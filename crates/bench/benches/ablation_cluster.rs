@@ -1,0 +1,46 @@
+//! Ablation: Section 4.4's clustering speedup — global Algorithm 1 vs
+//! per-cluster Algorithm 1 with a joint predictor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathrep_bench::prepared_small;
+use pathrep_core::approx::{approx_select, ApproxConfig};
+use pathrep_core::cluster::{clustered_select, ClusterConfig};
+
+fn bench_cluster(c: &mut Criterion) {
+    let pb = prepared_small(12);
+    let dm = &pb.delay_model;
+    let approx_cfg = ApproxConfig::new(0.05, pb.t_cons);
+
+    let global = approx_select(dm.a(), dm.mu_paths(), &approx_cfg).expect("global");
+    let cluster_cfg = ClusterConfig::new(approx_cfg.clone(), (pb.path_count() / 4).max(8));
+    let clustered =
+        clustered_select(dm.a(), dm.mu_paths(), dm.g(), &cluster_cfg).expect("clustered");
+    println!(
+        "\nAblation cluster: global |Pr| = {} (eps_r {:.3}) vs clustered |Pr| = {} \
+         across {} clusters (eps_r {:.3})",
+        global.selected.len(),
+        global.epsilon_r,
+        clustered.selected.len(),
+        clustered.cluster_count(),
+        clustered.epsilon_r
+    );
+
+    c.bench_function("ablation/select_global", |b| {
+        b.iter(|| approx_select(dm.a(), dm.mu_paths(), &approx_cfg).expect("sel"))
+    });
+    c.bench_function("ablation/select_clustered", |b| {
+        b.iter(|| {
+            clustered_select(dm.a(), dm.mu_paths(), dm.g(), &cluster_cfg).expect("sel")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_cluster
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: greedy conditioning-based selection vs the paper's
+//! SVD + QR-with-column-pivoting subset selection (Algorithm 1/2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathrep_bench::prepared_small;
+use pathrep_core::approx::{approx_select, ApproxConfig};
+use pathrep_core::greedy::greedy_select;
+
+fn bench_greedy(c: &mut Criterion) {
+    let pb = prepared_small(13);
+    let dm = &pb.delay_model;
+    let eps = 0.05;
+    let algo1 = approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(eps, pb.t_cons))
+        .expect("algo1");
+    let greedy = greedy_select(dm.a(), dm.mu_paths(), eps, pb.t_cons, 3.0).expect("greedy");
+    println!(
+        "\nAblation greedy: Algorithm 1 picks {} paths (eps_r {:.3}) vs greedy {} \
+         (eps_r {:.3})",
+        algo1.selected.len(),
+        algo1.epsilon_r,
+        greedy.selected.len(),
+        greedy.epsilon_r
+    );
+    c.bench_function("ablation/select_algo1", |b| {
+        b.iter(|| {
+            approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(eps, pb.t_cons))
+                .expect("sel")
+        })
+    });
+    c.bench_function("ablation/select_greedy", |b| {
+        b.iter(|| greedy_select(dm.a(), dm.mu_paths(), eps, pb.t_cons, 3.0).expect("sel"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_greedy
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: Algorithm 1's search schedule — the paper's decrement-by-one
+//! loop vs bisection. Both find the same selection size; bisection needs
+//! O(log rank) error evaluations instead of O(rank).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathrep_bench::prepared_small;
+use pathrep_core::approx::{approx_select_with, ApproxConfig, Schedule};
+use pathrep_core::ModelFactors;
+
+fn bench_schedule(c: &mut Criterion) {
+    let pb = prepared_small(7);
+    let dm = &pb.delay_model;
+    let factors = ModelFactors::compute(dm.a()).expect("factors");
+    let base = ApproxConfig::new(0.05, pb.t_cons);
+
+    // Report the evaluation counts once.
+    let bi = approx_select_with(dm.a(), dm.mu_paths(), &base, &factors).expect("bisection");
+    let de = approx_select_with(
+        dm.a(),
+        dm.mu_paths(),
+        &base.clone().with_schedule(Schedule::DecrementByOne),
+        &factors,
+    )
+    .expect("decrement");
+    println!(
+        "\nAblation schedule: |Pr| bisection = {} ({} evals) vs decrement = {} ({} evals)",
+        bi.selected.len(),
+        bi.trace.len(),
+        de.selected.len(),
+        de.trace.len()
+    );
+
+    c.bench_function("ablation/schedule_bisection", |b| {
+        b.iter(|| approx_select_with(dm.a(), dm.mu_paths(), &base, &factors).expect("sel"))
+    });
+    let dec_cfg = base.with_schedule(Schedule::DecrementByOne);
+    c.bench_function("ablation/schedule_decrement", |b| {
+        b.iter(|| approx_select_with(dm.a(), dm.mu_paths(), &dec_cfg, &factors).expect("sel"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_schedule
+}
+criterion_main!(benches);

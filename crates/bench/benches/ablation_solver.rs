@@ -1,0 +1,46 @@
+//! Ablation: linearized ADMM vs exact ellipsoid-projection ADMM on the
+//! segment-selection program (Eqn 10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathrep_bench::prepared_small_table2;
+use pathrep_convopt::{solve_ellipsoid_admm, solve_linearized_admm, AdmmConfig, GroupSelectProblem};
+use pathrep_core::exact::exact_select;
+use pathrep_core::predictor::DEFAULT_KAPPA;
+
+fn bench_solvers(c: &mut Criterion) {
+    let pb = prepared_small_table2(9);
+    let dm = &pb.delay_model;
+    let exact = exact_select(dm.a(), dm.mu_paths(), DEFAULT_KAPPA).expect("exact");
+    let problem = GroupSelectProblem {
+        g_target: dm.g().select_rows(&exact.selected),
+        sigma: dm.sigma().clone(),
+        radius: 0.06 * pb.t_cons / DEFAULT_KAPPA,
+    };
+    let config = AdmmConfig::default();
+    let lin = solve_linearized_admm(&problem, &config).expect("linearized");
+    let ell = solve_ellipsoid_admm(&problem, &config).expect("ellipsoid");
+    println!(
+        "\nAblation solver: linearized picks {} segments (obj {:.3}), \
+         ellipsoid picks {} (obj {:.3})",
+        lin.selected.len(),
+        lin.objective,
+        ell.selected.len(),
+        ell.objective
+    );
+    c.bench_function("ablation/admm_linearized", |b| {
+        b.iter(|| solve_linearized_admm(&problem, &config).expect("solve"))
+    });
+    c.bench_function("ablation/admm_ellipsoid", |b| {
+        b.iter(|| solve_ellipsoid_admm(&problem, &config).expect("solve"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_solvers
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: SVD of `A` vs symmetric eigendecomposition of the Gram matrix
+//! `A·Aᵀ` for rank / spectrum computation — the two routes DESIGN.md calls
+//! out. (The Gram route squares the condition number but works on the
+//! smaller square matrix when |x| >> n.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathrep_bench::prepared_small;
+use pathrep_linalg::eig::SymmetricEig;
+use pathrep_linalg::svd::Svd;
+
+fn bench_svd_routes(c: &mut Criterion) {
+    let pb = prepared_small(8);
+    let a = pb.delay_model.a().clone();
+    let gram = a.matmul(&a.transpose()).expect("gram");
+    println!(
+        "\nAblation svd: A is {}x{}, Gram is {}x{}",
+        a.nrows(),
+        a.ncols(),
+        gram.nrows(),
+        gram.ncols()
+    );
+    c.bench_function("ablation/svd_of_a", |b| {
+        b.iter(|| Svd::compute(&a).expect("svd").rank(1e-9))
+    });
+    c.bench_function("ablation/eig_of_gram", |b| {
+        b.iter(|| {
+            let eig = SymmetricEig::compute(&gram).expect("eig");
+            // Rank with the same relative tolerance, on squared values.
+            let vmax = eig.values().first().copied().unwrap_or(0.0).max(0.0);
+            eig.values()
+                .iter()
+                .take_while(|&&v| v > 1e-18 * vmax)
+                .count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_svd_routes
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Bench: regenerates Figure 2 (normalized singular values, base vs 3x
+//! random) at a reduced size and times the spectrum computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathrep_bench::{bench_spec, prepared_small};
+use pathrep_eval::experiments::figure2::{render, run, Figure2Options};
+use pathrep_eval::pipeline::PipelineConfig;
+use pathrep_linalg::svd::Svd;
+
+fn bench_figure2(c: &mut Criterion) {
+    let opts = Figure2Options {
+        spec: bench_spec(3),
+        k: 30,
+        random_scale: 3.0,
+        pipeline: PipelineConfig {
+            max_paths: 300,
+            ..PipelineConfig::default()
+        },
+    };
+    let fig = run(&opts).expect("figure 2 run");
+    println!("\nFigure 2 (reduced configuration):\n{}", render(&fig));
+
+    let pb = prepared_small(3);
+    let a = pb.delay_model.a().clone();
+    c.bench_function("figure2/svd_spectrum", |b| {
+        b.iter(|| {
+            let svd = Svd::compute(&a).expect("svd");
+            (svd.effective_rank(0.05).expect("eta"), svd.rank(1e-9))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_figure2
+}
+criterion_main!(benches);

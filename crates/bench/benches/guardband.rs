@@ -1,0 +1,63 @@
+//! Bench: regenerates the Section-6.3 guard-band analysis at a reduced size
+//! and times the per-chip classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathrep_bench::{bench_spec, prepared_small};
+use pathrep_core::approx::{approx_select, ApproxConfig};
+use pathrep_core::guardband::GuardBandOutcome;
+use pathrep_eval::experiments::guardband::{render, run, GuardBandOptions};
+use pathrep_eval::metrics::McConfig;
+use pathrep_eval::pipeline::PipelineConfig;
+use pathrep_variation::sampler::VariationSampler;
+
+fn bench_guardband(c: &mut Criterion) {
+    let opts = GuardBandOptions {
+        specs: vec![bench_spec(4)],
+        epsilon: 0.05,
+        pipeline: PipelineConfig {
+            max_paths: 300,
+            ..PipelineConfig::default()
+        },
+        mc: McConfig {
+            n_samples: 500,
+            ..McConfig::default()
+        },
+    };
+    let rows = run(&opts).expect("guardband run");
+    println!("\nGuard-band analysis (reduced configuration):\n{}", render(&rows));
+
+    let pb = prepared_small(4);
+    let dm = &pb.delay_model;
+    let approx = approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(0.05, pb.t_cons))
+        .expect("selection");
+    let bands: Vec<f64> = approx
+        .predictor
+        .wc_errors()
+        .iter()
+        .map(|wc| (wc / pb.t_cons).min(0.999))
+        .collect();
+    c.bench_function("guardband/classify_one_chip", |b| {
+        let mut sampler = VariationSampler::new(dm.variable_count(), 11);
+        b.iter(|| {
+            let x = sampler.draw();
+            let d = dm.path_delays(&x).expect("delays");
+            let measured: Vec<f64> = approx.selected.iter().map(|&i| d[i]).collect();
+            let pred = approx.predictor.predict(&measured).expect("predict");
+            let mut outcome = GuardBandOutcome::default();
+            for (k, &p) in approx.remaining.iter().enumerate() {
+                outcome.record(pred[k], d[p], bands[k], pb.t_cons);
+            }
+            outcome
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_guardband
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Bench: the dense kernels everything is built on, at the sizes the
+//! selection pipeline actually hits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathrep_linalg::cholesky::Cholesky;
+use pathrep_linalg::eig::SymmetricEig;
+use pathrep_linalg::qr::Qr;
+use pathrep_linalg::svd::Svd;
+use pathrep_linalg::Matrix;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    for &n in &[32usize, 64, 128] {
+        let a = random_matrix(n, n, n as u64);
+        c.bench_with_input(BenchmarkId::new("linalg/matmul", n), &n, |b, _| {
+            b.iter(|| a.matmul(&a).expect("matmul"))
+        });
+        c.bench_with_input(BenchmarkId::new("linalg/svd", n), &n, |b, _| {
+            b.iter(|| Svd::compute(&a).expect("svd"))
+        });
+        c.bench_with_input(BenchmarkId::new("linalg/qr_pivoted", n), &n, |b, _| {
+            b.iter(|| Qr::compute_pivoted(&a).expect("qr"))
+        });
+        let spd = {
+            let mut g = a.matmul(&a.transpose()).expect("gram");
+            for i in 0..n {
+                g[(i, i)] += n as f64;
+            }
+            g
+        };
+        c.bench_with_input(BenchmarkId::new("linalg/cholesky", n), &n, |b, _| {
+            b.iter(|| Cholesky::compute(&spd).expect("cholesky"))
+        });
+        c.bench_with_input(BenchmarkId::new("linalg/eig_sym", n), &n, |b, _| {
+            b.iter(|| SymmetricEig::compute(&spd).expect("eig"))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_kernels
+}
+criterion_main!(benches);

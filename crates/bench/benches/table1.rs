@@ -1,0 +1,43 @@
+//! Bench: regenerates Table 1 (exact vs approximate path selection) at a
+//! reduced size and times the selection stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathrep_bench::prepared_small;
+use pathrep_core::approx::{approx_select_with, ApproxConfig};
+use pathrep_core::ModelFactors;
+use pathrep_eval::experiments::table1::{render, run, Table1Options};
+
+fn bench_table1(c: &mut Criterion) {
+    // Regenerate the (reduced) table once, so `cargo bench` output carries
+    // the reproduced rows.
+    let rows = run(&Table1Options::fast()).expect("table 1 fast run");
+    println!("\nTable 1 (reduced configuration):\n{}", render(&rows));
+
+    let pb = prepared_small(1);
+    let dm = &pb.delay_model;
+    let factors = ModelFactors::compute(dm.a()).expect("factors");
+    c.bench_function("table1/approx_select", |b| {
+        b.iter(|| {
+            approx_select_with(
+                dm.a(),
+                dm.mu_paths(),
+                &ApproxConfig::new(0.05, pb.t_cons),
+                &factors,
+            )
+            .expect("selection")
+        })
+    });
+    c.bench_function("table1/model_factors", |b| {
+        b.iter(|| ModelFactors::compute(dm.a()).expect("factors"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_table1
+}
+criterion_main!(benches);

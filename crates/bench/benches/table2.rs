@@ -1,0 +1,44 @@
+//! Bench: regenerates Table 2 (hybrid path/segment selection) at a reduced
+//! size and times the hybrid stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathrep_bench::prepared_small_table2;
+use pathrep_core::hybrid::{hybrid_select_with, HybridConfig, HybridInputs};
+use pathrep_core::ModelFactors;
+use pathrep_eval::experiments::table2::{render, run, Table2Options};
+
+fn bench_table2(c: &mut Criterion) {
+    let rows = run(&Table2Options::fast()).expect("table 2 fast run");
+    println!("\nTable 2 (reduced configuration):\n{}", render(&rows));
+
+    let pb = prepared_small_table2(2);
+    let dm = &pb.delay_model;
+    let factors = ModelFactors::compute(dm.a()).expect("factors");
+    let inputs = HybridInputs {
+        g: dm.g(),
+        sigma: dm.sigma(),
+        a: dm.a(),
+        mu_segments: dm.mu_segments(),
+        mu_paths: dm.mu_paths(),
+    };
+    c.bench_function("table2/hybrid_select", |b| {
+        b.iter(|| {
+            hybrid_select_with(
+                &inputs,
+                &HybridConfig::new(0.08, 0.06, pb.t_cons),
+                &factors,
+            )
+            .expect("hybrid selection")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_table2
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Shared fixtures for the criterion benches.
+//!
+//! Each bench regenerates one of the paper's tables/figures at a reduced,
+//! fixed-size configuration (so a `cargo bench` run finishes in minutes on
+//! one core) and prints the regenerated rows once before timing. The
+//! full-size tables are produced by the `pathrep-eval` binaries
+//! (`cargo run --release -p pathrep-eval --bin table1` etc.); see
+//! EXPERIMENTS.md for the recorded outputs.
+
+use pathrep_eval::pipeline::{prepare, PipelineConfig, PreparedBenchmark};
+use pathrep_eval::suite::BenchmarkSpec;
+
+/// A small benchmark circuit used by the timing benches.
+pub fn bench_spec(seed: u64) -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "bench",
+        n_gates: 300,
+        n_inputs: 24,
+        n_outputs: 18,
+        model_levels: 3,
+        seed,
+        depth: Some(10),
+    }
+}
+
+/// Prepares the small benchmark with Table-1 settings.
+///
+/// # Panics
+///
+/// Panics if preparation fails (deterministic — cannot happen for the
+/// built-in spec).
+pub fn prepared_small(seed: u64) -> PreparedBenchmark {
+    prepare(
+        &bench_spec(seed),
+        &PipelineConfig {
+            max_paths: 300,
+            ..PipelineConfig::default()
+        },
+    )
+    .expect("bench spec must prepare")
+}
+
+/// Prepares the small benchmark with Table-2 settings (tight constraint,
+/// scaled random variation).
+///
+/// # Panics
+///
+/// Panics if preparation fails.
+pub fn prepared_small_table2(seed: u64) -> PreparedBenchmark {
+    prepare(
+        &bench_spec(seed),
+        &PipelineConfig {
+            t_cons_factor: 0.98,
+            max_paths: 300,
+            random_scale: 3.0,
+            ..PipelineConfig::default()
+        },
+    )
+    .expect("bench spec must prepare")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_prepare() {
+        let pb = prepared_small(5);
+        assert!(pb.path_count() > 0);
+        let pb2 = prepared_small_table2(5);
+        assert!(pb2.path_count() > 0);
+    }
+}

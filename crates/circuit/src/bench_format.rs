@@ -1,0 +1,488 @@
+//! Reader and writer for the ISCAS'89 `.bench` netlist format.
+//!
+//! The paper's benchmarks are distributed in this format:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = DFF(G17)
+//! G11 = NAND(G0, G10)
+//! G17 = NOT(G11)
+//! ```
+//!
+//! Sequential elements (`DFF`) are cut the way a timing analyzer cuts them:
+//! a flip-flop's output becomes a primary input of the combinational stage
+//! and its input a primary output. Unsupported wide gates are decomposed
+//! into trees of 2/3-input cells so any ISCAS'89 netlist loads.
+
+use crate::cell::{CellKind, CellLibrary};
+use crate::generator::PlacedCircuit;
+use crate::netlist::{GateId, Netlist, Signal};
+use crate::placement::Placement;
+use crate::{CircuitError, Result};
+use std::collections::HashMap;
+
+/// One parsed `.bench` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Statement {
+    Input(String),
+    Output(String),
+    Gate {
+        name: String,
+        func: String,
+        args: Vec<String>,
+    },
+}
+
+fn parse_statement(line: &str) -> Result<Option<Statement>> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let upper = line.to_ascii_uppercase();
+    let inner = |s: &str| -> Option<String> {
+        let open = s.find('(')?;
+        let close = s.rfind(')')?;
+        Some(s[open + 1..close].trim().to_string())
+    };
+    if upper.starts_with("INPUT") {
+        return match inner(line) {
+            Some(name) if !name.is_empty() => Ok(Some(Statement::Input(name))),
+            _ => Err(CircuitError::InvalidConfig {
+                what: format!("malformed INPUT statement: {line}"),
+            }),
+        };
+    }
+    if upper.starts_with("OUTPUT") {
+        return match inner(line) {
+            Some(name) if !name.is_empty() => Ok(Some(Statement::Output(name))),
+            _ => Err(CircuitError::InvalidConfig {
+                what: format!("malformed OUTPUT statement: {line}"),
+            }),
+        };
+    }
+    let (name, rhs) = line.split_once('=').ok_or_else(|| CircuitError::InvalidConfig {
+        what: format!("expected `name = FUNC(args)`: {line}"),
+    })?;
+    let rhs = rhs.trim();
+    let open = rhs.find('(').ok_or_else(|| CircuitError::InvalidConfig {
+        what: format!("missing `(` in gate statement: {line}"),
+    })?;
+    let close = rhs.rfind(')').ok_or_else(|| CircuitError::InvalidConfig {
+        what: format!("missing `)` in gate statement: {line}"),
+    })?;
+    let func = rhs[..open].trim().to_ascii_uppercase();
+    let args: Vec<String> = rhs[open + 1..close]
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if args.is_empty() {
+        return Err(CircuitError::InvalidConfig {
+            what: format!("gate with no fanins: {line}"),
+        });
+    }
+    Ok(Some(Statement::Gate {
+        name: name.trim().to_string(),
+        func,
+        args,
+    }))
+}
+
+/// A netlist parsed from `.bench` text, with name maps for round-tripping.
+#[derive(Debug, Clone)]
+pub struct BenchNetlist {
+    netlist: Netlist,
+    /// Signal names of the primary inputs (chip inputs first, then cut
+    /// flip-flop outputs).
+    input_names: Vec<String>,
+    /// `(signal name, gate)` for every named gate output.
+    gate_names: Vec<(String, GateId)>,
+    /// Number of flip-flops cut.
+    dff_count: usize,
+}
+
+impl BenchNetlist {
+    /// The combinational netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Primary-input signal names (pads first, then cut flip-flops).
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Named gate outputs.
+    pub fn gate_names(&self) -> &[(String, GateId)] {
+        &self.gate_names
+    }
+
+    /// Number of flip-flops cut at the sequential boundary.
+    pub fn dff_count(&self) -> usize {
+        self.dff_count
+    }
+
+    /// Promotes the parsed netlist to a [`PlacedCircuit`] with a synthetic
+    /// levelized placement (real `.bench` files carry no placement).
+    pub fn into_placed(self) -> PlacedCircuit {
+        let nl = self.netlist;
+        // Levelized placement mirroring the generator's layout.
+        let graph = crate::graph::TimingGraph::build(&nl);
+        let depth = graph.depth() + 1;
+        let mut per_level: HashMap<usize, usize> = HashMap::new();
+        for g in nl.gate_ids() {
+            *per_level.entry(graph.level(g)).or_insert(0) += 1;
+        }
+        let mut placed_in_level: HashMap<usize, usize> = HashMap::new();
+        let coords: Vec<(f64, f64)> = nl
+            .gate_ids()
+            .map(|g| {
+                let l = graph.level(g);
+                let pos = placed_in_level.entry(l).or_insert(0);
+                let total = per_level[&l];
+                let xy = (
+                    (l as f64 + 0.5) / depth as f64,
+                    (*pos as f64 + 0.5) / total as f64,
+                );
+                *pos += 1;
+                xy
+            })
+            .collect();
+        PlacedCircuit::from_parts(nl, Placement::new(coords), CellLibrary::synthetic_90nm())
+    }
+}
+
+/// Maps a `.bench` function name and arity to cell kinds, decomposing wide
+/// gates into balanced trees of the widest available cell.
+fn map_function(func: &str) -> Result<(CellKind, Option<CellKind>, bool)> {
+    // Returns (2-input kind, optional 3-input kind, invert_at_root) where
+    // wide decompositions build an AND/OR tree and invert once at the root
+    // for NAND/NOR.
+    match func {
+        "NOT" | "INV" => Ok((CellKind::Inv, None, false)),
+        "BUF" | "BUFF" => Ok((CellKind::Buf, None, false)),
+        "AND" => Ok((CellKind::And2, None, false)),
+        "OR" => Ok((CellKind::Or2, None, false)),
+        "NAND" => Ok((CellKind::Nand2, Some(CellKind::Nand3), true)),
+        "NOR" => Ok((CellKind::Nor2, Some(CellKind::Nor3), true)),
+        "XOR" => Ok((CellKind::Xor2, None, false)),
+        "MUX" => Ok((CellKind::Mux2, None, false)),
+        other => Err(CircuitError::InvalidConfig {
+            what: format!("unsupported .bench function {other}"),
+        }),
+    }
+}
+
+/// Parses `.bench` text into a combinational netlist (flip-flops cut).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidConfig`] for malformed statements,
+/// unknown functions, undefined signals or combinational cycles.
+pub fn parse_bench(text: &str) -> Result<BenchNetlist> {
+    let mut statements = Vec::new();
+    for line in text.lines() {
+        if let Some(st) = parse_statement(line)? {
+            statements.push(st);
+        }
+    }
+    // Catalogue signals: primary inputs + DFF outputs become inputs.
+    let mut input_names: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<(String, String, Vec<String>)> = Vec::new();
+    let mut dff_count = 0usize;
+    for st in statements {
+        match st {
+            Statement::Input(name) => input_names.push(name),
+            Statement::Output(name) => outputs.push(name),
+            Statement::Gate { name, func, args } => {
+                if func == "DFF" || func == "DFFSR" {
+                    // Cut: the FF's output is a pseudo primary input, its
+                    // data input a pseudo primary output.
+                    dff_count += 1;
+                    input_names.push(name);
+                    if let Some(d) = args.first() {
+                        outputs.push(d.clone());
+                    }
+                } else {
+                    gates.push((name, func, args));
+                }
+            }
+        }
+    }
+
+    // Topologically order the combinational gates (Kahn on name deps).
+    let defined: HashMap<&str, usize> = gates
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _, _))| (n.as_str(), i))
+        .collect();
+    let input_index: HashMap<&str, usize> = input_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut indegree = vec![0usize; gates.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+    for (i, (_, _, args)) in gates.iter().enumerate() {
+        for a in args {
+            if let Some(&j) = defined.get(a.as_str()) {
+                indegree[i] += 1;
+                dependents[j].push(i);
+            } else if !input_index.contains_key(a.as_str()) {
+                return Err(CircuitError::InvalidConfig {
+                    what: format!("undefined signal {a}"),
+                });
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..gates.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(gates.len());
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &d in &dependents[i] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                queue.push(d);
+            }
+        }
+    }
+    if order.len() != gates.len() {
+        return Err(CircuitError::CombinationalCycle);
+    }
+
+    // Build the netlist in topological order, decomposing wide gates.
+    let mut netlist = Netlist::new(input_names.len());
+    let mut signal_of: HashMap<String, Signal> = HashMap::new();
+    for (i, n) in input_names.iter().enumerate() {
+        signal_of.insert(n.clone(), Signal::Input(i));
+    }
+    let mut gate_names: Vec<(String, GateId)> = Vec::new();
+    for &i in &order {
+        let (name, func, args) = &gates[i];
+        let fanins: Vec<Signal> = args
+            .iter()
+            .map(|a| {
+                signal_of.get(a).copied().ok_or_else(|| CircuitError::InvalidConfig {
+                    what: format!("undefined signal {a}"),
+                })
+            })
+            .collect::<Result<_>>()?;
+        let (kind2, kind3, invert_root) = map_function(func)?;
+        let out = build_gate_tree(&mut netlist, kind2, kind3, invert_root, &fanins)?;
+        signal_of.insert(name.clone(), Signal::Gate(out));
+        gate_names.push((name.clone(), out));
+    }
+
+    // Mark outputs (pads + cut FF data inputs). Outputs naming a primary
+    // input directly (a pass-through FF) have no combinational gate to mark.
+    for o in &outputs {
+        if let Some(Signal::Gate(g)) = signal_of.get(o) {
+            netlist.mark_output(*g)?;
+        }
+    }
+    Ok(BenchNetlist {
+        netlist,
+        input_names,
+        gate_names,
+        dff_count,
+    })
+}
+
+/// Builds one logical gate, decomposing fanin counts our cells cannot take.
+fn build_gate_tree(
+    netlist: &mut Netlist,
+    kind2: CellKind,
+    kind3: Option<CellKind>,
+    invert_root: bool,
+    fanins: &[Signal],
+) -> Result<GateId> {
+    match (fanins.len(), kind2) {
+        (1, CellKind::Inv | CellKind::Buf) => netlist.add_gate(kind2, fanins.to_vec()),
+        (1, _) => {
+            // Degenerate 1-input AND/OR ⇒ buffer (inverted for NAND/NOR).
+            let k = if invert_root { CellKind::Inv } else { CellKind::Buf };
+            netlist.add_gate(k, fanins.to_vec())
+        }
+        (2, _) => netlist.add_gate(kind2, fanins.to_vec()),
+        (3, _) if kind3.is_some() => netlist.add_gate(kind3.expect("checked"), fanins.to_vec()),
+        (n, _) if n >= 3 => {
+            // Balanced tree of the positive-logic 2-input cell, single
+            // inversion at the root when the function is negated.
+            let positive = match kind2 {
+                CellKind::Nand2 => CellKind::And2,
+                CellKind::Nor2 => CellKind::Or2,
+                k => k,
+            };
+            let mut layer: Vec<Signal> = fanins.to_vec();
+            while layer.len() > 2 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                for pair in layer.chunks(2) {
+                    if pair.len() == 2 {
+                        let g = netlist.add_gate(positive, pair.to_vec())?;
+                        next.push(Signal::Gate(g));
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                layer = next;
+            }
+            let root_kind = if invert_root { kind2 } else { positive };
+            netlist.add_gate(root_kind, layer)
+        }
+        _ => Err(CircuitError::InvalidConfig {
+            what: "gate with no fanins".into(),
+        }),
+    }
+}
+
+/// Writes a netlist back to `.bench` text (gates named `n<i>`, inputs
+/// `in<i>`; flip-flop boundaries are not reconstructed).
+pub fn write_bench(netlist: &Netlist) -> String {
+    let mut out = String::from("# written by pathrep-circuit\n");
+    for i in 0..netlist.input_count() {
+        out.push_str(&format!("INPUT(in{i})\n"));
+    }
+    for o in netlist.outputs() {
+        out.push_str(&format!("OUTPUT(n{})\n", o.index()));
+    }
+    for id in netlist.gate_ids() {
+        let gate = netlist.gate(id);
+        let func = match gate.kind() {
+            CellKind::Inv => "NOT",
+            CellKind::Buf => "BUF",
+            CellKind::Nand2 | CellKind::Nand3 => "NAND",
+            CellKind::Nor2 | CellKind::Nor3 => "NOR",
+            CellKind::And2 => "AND",
+            CellKind::Or2 => "OR",
+            CellKind::Xor2 => "XOR",
+            CellKind::Mux2 => "MUX",
+        };
+        let args: Vec<String> = gate
+            .fanins()
+            .iter()
+            .map(|s| match s {
+                Signal::Input(i) => format!("in{i}"),
+                Signal::Gate(g) => format!("n{}", g.index()),
+            })
+            .collect();
+        out.push_str(&format!("n{} = {}({})\n", id.index(), func, args.join(", ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# A tiny sequential circuit in ISCAS'89 .bench style.
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+s  = DFF(y)
+t  = NAND(a, s)
+u  = NOT(b)
+y  = NOR(t, u)
+";
+
+    #[test]
+    fn parses_sample_and_cuts_dff() {
+        let bn = parse_bench(SAMPLE).unwrap();
+        // Inputs: a, b + cut FF output s.
+        assert_eq!(bn.input_names(), &["a", "b", "s"]);
+        assert_eq!(bn.dff_count(), 1);
+        // Gates: t, u, y.
+        assert_eq!(bn.netlist().gate_count(), 3);
+        // Outputs: y (pad) and y again (FF data input) — marked once.
+        assert_eq!(bn.netlist().outputs().len(), 1);
+    }
+
+    #[test]
+    fn wide_gates_decompose() {
+        let text = "
+INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)
+OUTPUT(z)
+z = NAND(a, b, c, d, e)
+";
+        let bn = parse_bench(text).unwrap();
+        // 5-input NAND ⇒ AND tree + NAND root: ceil tree of 5 leaves.
+        assert!(bn.netlist().gate_count() >= 3);
+        let nl = bn.netlist();
+        let root = bn.gate_names().last().unwrap().1;
+        assert!(matches!(
+            nl.gate(root).kind(),
+            CellKind::Nand2 | CellKind::Nand3
+        ));
+        assert!(nl.outputs().contains(&root));
+    }
+
+    #[test]
+    fn three_input_native_cells_used() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\nz = NOR(a,b,c)\n";
+        let bn = parse_bench(text).unwrap();
+        assert_eq!(bn.netlist().gate_count(), 1);
+        assert_eq!(bn.netlist().gate(bn.gate_names()[0].1).kind(), CellKind::Nor3);
+    }
+
+    #[test]
+    fn out_of_order_definitions_are_sorted() {
+        // y defined before its fanin u.
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(u)\nu = NOT(a)\n";
+        let bn = parse_bench(text).unwrap();
+        assert_eq!(bn.netlist().gate_count(), 2);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let text = "INPUT(a)\nOUTPUT(x)\nx = NAND(a, y)\ny = NOT(x)\n";
+        assert_eq!(parse_bench(text).unwrap_err(), CircuitError::CombinationalCycle);
+    }
+
+    #[test]
+    fn undefined_signal_rejected() {
+        let text = "INPUT(a)\nOUTPUT(x)\nx = NAND(a, ghost)\n";
+        assert!(matches!(
+            parse_bench(text).unwrap_err(),
+            CircuitError::InvalidConfig { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let text = "INPUT(a)\nOUTPUT(x)\nx = MAJ3(a, a, a)\n";
+        assert!(parse_bench(text).is_err());
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let bn = parse_bench(SAMPLE).unwrap();
+        let text = write_bench(bn.netlist());
+        let re = parse_bench(&text).unwrap();
+        assert_eq!(re.netlist().gate_count(), bn.netlist().gate_count());
+        assert_eq!(re.netlist().outputs().len(), bn.netlist().outputs().len());
+    }
+
+    #[test]
+    fn into_placed_gives_usable_circuit() {
+        let bn = parse_bench(SAMPLE).unwrap();
+        let circuit = bn.into_placed();
+        assert_eq!(circuit.netlist().gate_count(), 3);
+        for (_, (x, y)) in circuit.placement().iter() {
+            assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+        }
+        // Timing works end to end.
+        for g in circuit.netlist().gate_ids() {
+            assert!(circuit.nominal_delay(g) > 0.0);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# hello\nINPUT(a) # inline\nOUTPUT(z)\nz = NOT(a)\n\n";
+        let bn = parse_bench(text).unwrap();
+        assert_eq!(bn.netlist().gate_count(), 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Synthetic standard-cell library calibrated to a 90 nm-class process.
+//!
+//! The paper synthesizes with the TSMC 90 nm library; that library is
+//! proprietary, so this module provides cells whose nominal delays and
+//! variation sensitivities sit in the published 90 nm ballpark:
+//! FO4 inverter delay around 35–45 ps, and first-order delay elasticities
+//! to effective channel length (`L_eff`) and zero-bias threshold voltage
+//! (`V_t`) of roughly 0.8 and 0.5 respectively. With both parameters at
+//! σ = 10 % of nominal (the paper's setting), one σ of `L_eff` moves a gate
+//! delay by ~8 % and one σ of `V_t` by ~5 %.
+
+use serde::{Deserialize, Serialize};
+
+/// Logic function of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-to-1 multiplexer.
+    Mux2,
+}
+
+impl CellKind {
+    /// All kinds, in a fixed order (used by the generator's weighted draw).
+    pub const ALL: [CellKind; 10] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nand3,
+        CellKind::Nor2,
+        CellKind::Nor3,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Mux2,
+    ];
+
+    /// Number of logic inputs the cell expects.
+    pub fn fanin(self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf => 1,
+            CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2 => 2,
+            CellKind::Nand3 | CellKind::Nor3 | CellKind::Mux2 => 3,
+        }
+    }
+}
+
+/// Timing characterization of one cell: nominal delay and first-order
+/// sensitivities to the two varying process parameters.
+///
+/// Delays are picoseconds; sensitivities are picoseconds **per σ** of the
+/// (standardized) parameter, i.e. the entries of the paper's `Σ` matrix
+/// before spatial decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// Nominal (mean) propagation delay in ps.
+    pub nominal_ps: f64,
+    /// Delay shift per +1σ of standardized `L_eff` variation, in ps.
+    pub leff_sens_ps: f64,
+    /// Delay shift per +1σ of standardized `V_t` variation, in ps.
+    pub vt_sens_ps: f64,
+}
+
+/// A standard-cell library: per-kind timing characterization.
+///
+/// # Example
+///
+/// ```
+/// use pathrep_circuit::cell::{CellKind, CellLibrary};
+///
+/// let lib = CellLibrary::synthetic_90nm();
+/// let inv = lib.timing(CellKind::Inv);
+/// assert!(inv.nominal_ps > 0.0);
+/// assert!(inv.leff_sens_ps > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    timings: Vec<(CellKind, CellTiming)>,
+}
+
+impl CellLibrary {
+    /// The default synthetic 90 nm-class library.
+    ///
+    /// Per-σ sensitivities are fractions of the nominal delay: around 8 %
+    /// for `L_eff` (elasticity ~0.8 × σ/µ = 10 %) and 5 % for `V_t`
+    /// (~0.5 × 10 %), but the ratio varies by topology — taller stacks
+    /// (NAND3/NOR3) are more `V_t`-sensitive, pass-gate structures (MUX,
+    /// XOR) more `L_eff`-sensitive — which is what lets measurements
+    /// separate the two parameters.
+    pub fn synthetic_90nm() -> Self {
+        let cell = |nominal_ps: f64, leff_frac: f64, vt_frac: f64| CellTiming {
+            nominal_ps,
+            leff_sens_ps: nominal_ps * leff_frac,
+            vt_sens_ps: nominal_ps * vt_frac,
+        };
+        CellLibrary {
+            timings: vec![
+                (CellKind::Inv, cell(22.0, 0.085, 0.045)),
+                (CellKind::Buf, cell(38.0, 0.080, 0.048)),
+                (CellKind::Nand2, cell(33.0, 0.078, 0.055)),
+                (CellKind::Nand3, cell(46.0, 0.072, 0.064)),
+                (CellKind::Nor2, cell(41.0, 0.076, 0.058)),
+                (CellKind::Nor3, cell(60.0, 0.070, 0.066)),
+                (CellKind::And2, cell(52.0, 0.079, 0.052)),
+                (CellKind::Or2, cell(57.0, 0.077, 0.054)),
+                (CellKind::Xor2, cell(71.0, 0.092, 0.042)),
+                (CellKind::Mux2, cell(66.0, 0.095, 0.040)),
+            ],
+        }
+    }
+
+    /// Timing data for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library is missing the kind (cannot happen for the
+    /// built-in library, which covers [`CellKind::ALL`]).
+    pub fn timing(&self, kind: CellKind) -> CellTiming {
+        self.timings
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, t)| *t)
+            .unwrap_or_else(|| panic!("cell library missing {kind:?}"))
+    }
+
+    /// Returns a copy of the library with every sensitivity scaled, used by
+    /// the Figure-2 experiment ("increase the sensitivity of the independent
+    /// random variations in A by 3X").
+    pub fn with_sensitivity_scale(&self, leff_scale: f64, vt_scale: f64) -> Self {
+        CellLibrary {
+            timings: self
+                .timings
+                .iter()
+                .map(|&(k, t)| {
+                    (
+                        k,
+                        CellTiming {
+                            nominal_ps: t.nominal_ps,
+                            leff_sens_ps: t.leff_sens_ps * leff_scale,
+                            vt_sens_ps: t.vt_sens_ps * vt_scale,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        Self::synthetic_90nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_is_characterized() {
+        let lib = CellLibrary::synthetic_90nm();
+        for kind in CellKind::ALL {
+            let t = lib.timing(kind);
+            assert!(t.nominal_ps > 0.0);
+            assert!(t.leff_sens_ps > 0.0);
+            assert!(t.vt_sens_ps > 0.0);
+        }
+    }
+
+    #[test]
+    fn sensitivities_are_calibrated_fractions() {
+        let lib = CellLibrary::synthetic_90nm();
+        for kind in CellKind::ALL {
+            let t = lib.timing(kind);
+            let leff = t.leff_sens_ps / t.nominal_ps;
+            let vt = t.vt_sens_ps / t.nominal_ps;
+            assert!((0.06..=0.10).contains(&leff), "{kind:?} leff {leff}");
+            assert!((0.035..=0.07).contains(&vt), "{kind:?} vt {vt}");
+        }
+    }
+
+    #[test]
+    fn sensitivity_ratios_differ_across_kinds() {
+        // Parameter identifiability requires non-collinear ratios.
+        let lib = CellLibrary::synthetic_90nm();
+        let ratios: Vec<f64> = CellKind::ALL
+            .iter()
+            .map(|&k| {
+                let t = lib.timing(k);
+                t.leff_sens_ps / t.vt_sens_ps
+            })
+            .collect();
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max / min > 1.3, "ratios too uniform: {ratios:?}");
+    }
+
+    #[test]
+    fn fanin_counts() {
+        assert_eq!(CellKind::Inv.fanin(), 1);
+        assert_eq!(CellKind::Nand2.fanin(), 2);
+        assert_eq!(CellKind::Mux2.fanin(), 3);
+    }
+
+    #[test]
+    fn inverter_is_fastest_complex_gates_slower() {
+        let lib = CellLibrary::synthetic_90nm();
+        let inv = lib.timing(CellKind::Inv).nominal_ps;
+        let xor = lib.timing(CellKind::Xor2).nominal_ps;
+        assert!(inv < xor);
+    }
+
+    #[test]
+    fn sensitivity_scaling() {
+        let lib = CellLibrary::synthetic_90nm();
+        let scaled = lib.with_sensitivity_scale(3.0, 1.0);
+        let a = lib.timing(CellKind::Nand2);
+        let b = scaled.timing(CellKind::Nand2);
+        assert!((b.leff_sens_ps - 3.0 * a.leff_sens_ps).abs() < 1e-12);
+        assert!((b.vt_sens_ps - a.vt_sens_ps).abs() < 1e-12);
+        assert_eq!(a.nominal_ps, b.nominal_ps);
+    }
+
+    #[test]
+    fn default_is_synthetic_90nm() {
+        assert_eq!(CellLibrary::default(), CellLibrary::synthetic_90nm());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the circuit substrate.
+
+use std::fmt;
+
+/// Error returned by netlist construction, generation and graph analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate references an id that does not exist in the netlist.
+    UnknownGate {
+        /// The offending identifier.
+        id: usize,
+    },
+    /// The netlist contains a combinational cycle.
+    CombinationalCycle,
+    /// A generator configuration is internally inconsistent.
+    InvalidConfig {
+        /// What was wrong.
+        what: String,
+    },
+    /// A requested path is not structurally valid (non-adjacent gates, empty).
+    InvalidPath {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownGate { id } => write!(f, "unknown gate id {id}"),
+            CircuitError::CombinationalCycle => write!(f, "netlist contains a combinational cycle"),
+            CircuitError::InvalidConfig { what } => write!(f, "invalid generator config: {what}"),
+            CircuitError::InvalidPath { what } => write!(f, "invalid path: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_payload() {
+        assert!(CircuitError::UnknownGate { id: 42 }.to_string().contains("42"));
+        assert!(CircuitError::InvalidConfig {
+            what: "zero gates".into()
+        }
+        .to_string()
+        .contains("zero gates"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

@@ -1,0 +1,583 @@
+//! Seeded synthetic benchmark generator.
+//!
+//! The paper evaluates on ISCAS'89 circuits synthesized for minimum area
+//! under a stringent timing constraint. Those netlists are not
+//! redistributable, so this generator produces *ISCAS'89-class* circuits:
+//! levelized DAGs with matching gate counts, a realistic logic-depth
+//! profile, locality-biased fan-in selection (which creates the heavy
+//! path-sharing and reconvergence that drive the paper's effective-rank
+//! phenomenon) and skewed level sizes (which reproduce the "intrinsically
+//! unbalanced" circuits the paper mentions).
+
+use crate::cell::{CellKind, CellLibrary};
+use crate::graph::TimingGraph;
+use crate::netlist::{GateId, Netlist, Signal};
+use crate::placement::Placement;
+use crate::{CircuitError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`CircuitGenerator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Total number of gates.
+    pub n_gates: usize,
+    /// Number of primary inputs (flip-flop outputs / pads).
+    pub n_inputs: usize,
+    /// Minimum number of primary outputs (flip-flop inputs / pads).
+    pub n_outputs: usize,
+    /// Logic depth (number of levels). Defaults to a size-derived heuristic.
+    pub depth: usize,
+    /// RNG seed — the whole circuit is a pure function of the config.
+    pub seed: u64,
+    /// Probability that a non-first fanin reaches back further than one
+    /// level (reconvergence knob).
+    pub deep_fanin_prob: f64,
+    /// Locality window as a fraction of the previous level's size; small
+    /// windows concentrate fanout and increase path sharing.
+    pub locality: f64,
+    /// Number of weakly-interacting logic cones (flip-flop clusters);
+    /// 0 derives one cluster per ~250 gates. Real sequential circuits are
+    /// many such cones, which is what makes their critical-path pools
+    /// weakly correlated.
+    pub n_clusters: usize,
+    /// Probability that a non-first fanin crosses into an earlier cluster.
+    pub cross_cluster_prob: f64,
+    /// Equalize per-cone critical delays (the "timing wall" of min-area
+    /// synthesis under a stringent constraint: every cone ends up just
+    /// under the clock).
+    pub equalize_cones: bool,
+}
+
+impl GeneratorConfig {
+    /// Creates a config with the size-derived default depth and seed 0.
+    ///
+    /// `depth` defaults to `clamp(n_gates^0.45, 8, 60)`, matching the
+    /// depth-vs-size trend of the ISCAS'89 suite.
+    pub fn new(n_gates: usize, n_inputs: usize, n_outputs: usize) -> Self {
+        let depth = ((n_gates as f64).powf(0.45) as usize).clamp(8, 60).min(n_gates.max(1));
+        GeneratorConfig {
+            n_gates,
+            n_inputs,
+            n_outputs,
+            depth,
+            seed: 0,
+            deep_fanin_prob: 0.15,
+            locality: 0.25,
+            n_clusters: 0,
+            cross_cluster_prob: 0.02,
+            equalize_cones: true,
+        }
+    }
+
+    /// Sets the cluster (logic-cone) count; 0 = derive from size.
+    pub fn with_clusters(mut self, n_clusters: usize) -> Self {
+        self.n_clusters = n_clusters;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the logic depth.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.n_gates == 0 {
+            return Err(CircuitError::InvalidConfig {
+                what: "n_gates must be positive".into(),
+            });
+        }
+        if self.n_inputs == 0 {
+            return Err(CircuitError::InvalidConfig {
+                what: "n_inputs must be positive".into(),
+            });
+        }
+        if self.depth == 0 || self.depth > self.n_gates {
+            return Err(CircuitError::InvalidConfig {
+                what: format!("depth {} must lie in 1..=n_gates", self.depth),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.deep_fanin_prob) {
+            return Err(CircuitError::InvalidConfig {
+                what: "deep_fanin_prob must lie in [0,1]".into(),
+            });
+        }
+        if self.locality <= 0.0 || self.locality > 1.0 {
+            return Err(CircuitError::InvalidConfig {
+                what: "locality must lie in (0,1]".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.cross_cluster_prob) {
+            return Err(CircuitError::InvalidConfig {
+                what: "cross_cluster_prob must lie in [0,1]".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A generated circuit: netlist, timing graph, placement, cell library and
+/// per-instance delay scales.
+///
+/// The delay scale models drive-strength/load effects: an instance's delay
+/// and variation sensitivities are the library cell's values multiplied by
+/// its scale (fractional sensitivities are load-independent to first
+/// order). The generator derives scales from fanout load; hand-built
+/// circuits default to 1.0.
+#[derive(Debug, Clone)]
+pub struct PlacedCircuit {
+    netlist: Netlist,
+    graph: TimingGraph,
+    placement: Placement,
+    library: CellLibrary,
+    delay_scale: Vec<f64>,
+}
+
+impl PlacedCircuit {
+    /// Assembles a circuit from parts (used by tests and by hand-built
+    /// examples such as the paper's Figure 1). All delay scales are 1.0.
+    pub fn from_parts(netlist: Netlist, placement: Placement, library: CellLibrary) -> Self {
+        let graph = TimingGraph::build(&netlist);
+        let delay_scale = vec![1.0; netlist.gate_count()];
+        PlacedCircuit {
+            netlist,
+            graph,
+            placement,
+            library,
+            delay_scale,
+        }
+    }
+
+    /// Overrides the per-instance delay scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale count differs from the gate count or any scale
+    /// is not positive.
+    pub fn with_delay_scales(mut self, scales: Vec<f64>) -> Self {
+        assert_eq!(scales.len(), self.netlist.gate_count());
+        assert!(scales.iter().all(|&s| s > 0.0), "scales must be positive");
+        self.delay_scale = scales;
+        self
+    }
+
+    /// The per-instance delay scale of `id`.
+    pub fn delay_scale(&self, id: GateId) -> f64 {
+        self.delay_scale[id.index()]
+    }
+
+    /// Effective timing of one instance: the library cell's timing scaled
+    /// by the instance's drive/load factor.
+    pub fn gate_timing(&self, id: GateId) -> crate::cell::CellTiming {
+        let t = self.library.timing(self.netlist.gate(id).kind());
+        let s = self.delay_scale[id.index()];
+        crate::cell::CellTiming {
+            nominal_ps: t.nominal_ps * s,
+            leff_sens_ps: t.leff_sens_ps * s,
+            vt_sens_ps: t.vt_sens_ps * s,
+        }
+    }
+
+    /// The netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The timing graph.
+    pub fn graph(&self) -> &TimingGraph {
+        &self.graph
+    }
+
+    /// The placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The cell library.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// Replaces the cell library (used by the Figure-2 sensitivity-scaling
+    /// experiment), keeping topology and placement.
+    pub fn with_library(mut self, library: CellLibrary) -> Self {
+        self.library = library;
+        self
+    }
+
+    /// Nominal delay of one instance in ps (library delay × instance scale).
+    pub fn nominal_delay(&self, id: GateId) -> f64 {
+        self.gate_timing(id).nominal_ps
+    }
+}
+
+/// Generates [`PlacedCircuit`]s from a [`GeneratorConfig`].
+#[derive(Debug, Clone)]
+pub struct CircuitGenerator {
+    config: GeneratorConfig,
+}
+
+/// Relative frequency of each cell kind, loosely matching area-optimized
+/// synthesis output (NAND/NOR/INV-rich).
+const KIND_WEIGHTS: [(CellKind, f64); 10] = [
+    (CellKind::Inv, 0.22),
+    (CellKind::Buf, 0.05),
+    (CellKind::Nand2, 0.24),
+    (CellKind::Nand3, 0.08),
+    (CellKind::Nor2, 0.16),
+    (CellKind::Nor3, 0.05),
+    (CellKind::And2, 0.07),
+    (CellKind::Or2, 0.06),
+    (CellKind::Xor2, 0.04),
+    (CellKind::Mux2, 0.03),
+];
+
+impl CircuitGenerator {
+    /// Creates a generator for the given config.
+    pub fn new(config: GeneratorConfig) -> Self {
+        CircuitGenerator { config }
+    }
+
+    /// Generates the circuit. Deterministic in the config (including seed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidConfig`] for inconsistent configs.
+    pub fn generate(&self) -> Result<PlacedCircuit> {
+        let cfg = &self.config;
+        cfg.validate()?;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let depth = cfg.depth;
+
+        // --- Cluster (logic-cone) sizing ---
+        let k = if cfg.n_clusters == 0 {
+            (cfg.n_gates / 250).max(1)
+        } else {
+            cfg.n_clusters
+        }
+        .min((cfg.n_gates / depth).max(1));
+        let mut cluster_sizes = vec![cfg.n_gates / k; k];
+        for size in cluster_sizes.iter_mut().take(cfg.n_gates % k) {
+            *size += 1;
+        }
+
+        // --- Build each cluster level by level ---
+        let mut netlist = Netlist::new(cfg.n_inputs);
+        let mut clusters: Vec<Vec<Vec<GateId>>> = Vec::with_capacity(k);
+        let mut cluster_of: Vec<usize> = Vec::with_capacity(cfg.n_gates);
+        for (c, &size) in cluster_sizes.iter().enumerate() {
+            let level_sizes = hump_level_sizes(&mut rng, depth, size);
+            let input_lo = c * cfg.n_inputs / k;
+            let input_hi = (((c + 1) * cfg.n_inputs) / k).max(input_lo + 1).min(cfg.n_inputs);
+            let pick_input = |rng: &mut StdRng| {
+                if input_hi > input_lo {
+                    rng.gen_range(input_lo..input_hi)
+                } else {
+                    rng.gen_range(0..cfg.n_inputs)
+                }
+            };
+            let mut levels: Vec<Vec<GateId>> = Vec::with_capacity(depth);
+            for l in 0..depth {
+                let lsize = level_sizes[l];
+                let mut this_level = Vec::with_capacity(lsize);
+                for pos in 0..lsize {
+                    let kind = Self::draw_kind(&mut rng);
+                    let nf = kind.fanin();
+                    let mut fanins = Vec::with_capacity(nf);
+                    if l == 0 {
+                        for _ in 0..nf {
+                            fanins.push(Signal::Input(pick_input(&mut rng)));
+                        }
+                    } else {
+                        // First fanin: previous level of this cluster, within
+                        // a locality window (keeps the cone a cone).
+                        let prev = &levels[l - 1];
+                        let center = pos as f64 / lsize as f64 * prev.len() as f64;
+                        let half = (cfg.locality * prev.len() as f64 / 2.0).max(1.0);
+                        let pick_local = |rng: &mut StdRng| {
+                            let idx = (center + rng.gen_range(-half..half))
+                                .rem_euclid(prev.len() as f64);
+                            prev[idx as usize % prev.len()]
+                        };
+                        fanins.push(Signal::Gate(pick_local(&mut rng)));
+                        for _ in 1..nf {
+                            if c > 0 && rng.gen_bool(cfg.cross_cluster_prob) {
+                                // Cross-cone fanin from an earlier cluster's
+                                // shallower level (keeps levels canonical).
+                                let oc = rng.gen_range(0..c);
+                                let ol = rng.gen_range(0..l);
+                                let lev = &clusters[oc][ol];
+                                if !lev.is_empty() {
+                                    fanins.push(Signal::Gate(lev[rng.gen_range(0..lev.len())]));
+                                    continue;
+                                }
+                            }
+                            if rng.gen_bool(cfg.deep_fanin_prob) {
+                                let back = rng.gen_range(0..=l);
+                                if back == 0 && rng.gen_bool(0.5) {
+                                    fanins.push(Signal::Input(pick_input(&mut rng)));
+                                } else {
+                                    let lev = &levels[rng.gen_range(0..l)];
+                                    fanins.push(Signal::Gate(lev[rng.gen_range(0..lev.len())]));
+                                }
+                            } else {
+                                fanins.push(Signal::Gate(pick_local(&mut rng)));
+                            }
+                        }
+                    }
+                    let id = netlist.add_gate(kind, fanins)?;
+                    this_level.push(id);
+                    cluster_of.push(c);
+                }
+                levels.push(this_level);
+            }
+            clusters.push(levels);
+        }
+
+        // --- Outputs: every fanout-free gate, plus extras from the tops ---
+        let graph = TimingGraph::build(&netlist);
+        let mut n_marked = 0;
+        for id in netlist.gate_ids().collect::<Vec<_>>() {
+            if graph.fanouts(id).is_empty() {
+                netlist.mark_output(id)?;
+                n_marked += 1;
+            }
+        }
+        'extra: for levels in &clusters {
+            for &id in levels.last().expect("depth >= 1") {
+                if n_marked >= cfg.n_outputs {
+                    break 'extra;
+                }
+                if !netlist.outputs().contains(&id) {
+                    netlist.mark_output(id)?;
+                    n_marked += 1;
+                }
+            }
+        }
+
+        // --- Placement: clusters tile the die; levels sweep each tile ---
+        let grid = (k as f64).sqrt().ceil() as usize;
+        let cell = 1.0 / grid as f64;
+        let mut coords = vec![(0.0, 0.0); netlist.gate_count()];
+        for (c, levels) in clusters.iter().enumerate() {
+            let cx = (c % grid) as f64 * cell;
+            let cy = (c / grid) as f64 * cell;
+            for (l, level) in levels.iter().enumerate() {
+                for (pos, &id) in level.iter().enumerate() {
+                    let fx = (l as f64 + 0.5 + rng.gen_range(-0.4..0.4)) / depth as f64;
+                    let fy =
+                        (pos as f64 + 0.5 + rng.gen_range(-0.4..0.4)) / level.len() as f64;
+                    coords[id.index()] = (cx + fx * cell, cy + fy * cell);
+                }
+            }
+        }
+
+        // Rebuild the graph so it reflects the final output markings.
+        let graph = TimingGraph::build(&netlist);
+
+        // --- Per-instance delay scales: fanout load plus sizing jitter ---
+        let mut delay_scale: Vec<f64> = netlist
+            .gate_ids()
+            .map(|id| {
+                let load = graph.fanouts(id).len() as f64;
+                let base = (0.7 + 0.18 * load).min(2.2);
+                base * rng.gen_range(0.8..1.35)
+            })
+            .collect();
+
+        // --- Cone equalization: min-area synthesis under a stringent
+        // constraint leaves every cone just under the clock, so scale each
+        // cone's delays toward the slowest one's critical delay. ---
+        if cfg.equalize_cones && k > 1 {
+            let library = CellLibrary::synthetic_90nm();
+            for _pass in 0..2 {
+                let mut arrival = vec![0.0_f64; netlist.gate_count()];
+                for id in graph.topo_order() {
+                    let own = library.timing(netlist.gate(id).kind()).nominal_ps
+                        * delay_scale[id.index()];
+                    let fanin_max = graph
+                        .fanins(id)
+                        .iter()
+                        .map(|f| arrival[f.index()])
+                        .fold(0.0_f64, f64::max);
+                    arrival[id.index()] = fanin_max + own;
+                }
+                let mut crit = vec![0.0_f64; k];
+                for id in graph.topo_order() {
+                    let c = cluster_of[id.index()];
+                    crit[c] = crit[c].max(arrival[id.index()]);
+                }
+                let target = crit.iter().fold(0.0_f64, |m, &x| m.max(x));
+                let factors: Vec<f64> = crit
+                    .iter()
+                    .map(|&c| (target / c.max(1e-9)).min(2.5) * rng.gen_range(0.97..1.0))
+                    .collect();
+                for id in netlist.gate_ids() {
+                    delay_scale[id.index()] *= factors[cluster_of[id.index()]];
+                }
+            }
+        }
+
+        Ok(PlacedCircuit {
+            netlist,
+            graph,
+            placement: Placement::new(coords),
+            library: CellLibrary::synthetic_90nm(),
+            delay_scale,
+        })
+    }
+
+    fn draw_kind(rng: &mut StdRng) -> CellKind {
+        let total: f64 = KIND_WEIGHTS.iter().map(|(_, w)| w).sum();
+        let mut t = rng.gen_range(0.0..total);
+        for &(k, w) in &KIND_WEIGHTS {
+            if t < w {
+                return k;
+            }
+            t -= w;
+        }
+        CellKind::Nand2
+    }
+}
+
+/// Splits `total` gates across `depth` levels with a jittered mid-heavy
+/// hump, every level non-empty.
+fn hump_level_sizes(rng: &mut StdRng, depth: usize, total: usize) -> Vec<usize> {
+    let mut weights: Vec<f64> = (0..depth)
+        .map(|l| {
+            let t = (l as f64 + 0.5) / depth as f64;
+            let hump = t.powf(0.8) * (1.0 - t).powf(1.6) + 0.05;
+            hump * rng.gen_range(0.7..1.3)
+        })
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    for w in weights.iter_mut() {
+        *w /= wsum;
+    }
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w * total as f64).round() as usize).max(1))
+        .collect();
+    loop {
+        let sum: usize = sizes.iter().sum();
+        match sum.cmp(&total) {
+            std::cmp::Ordering::Equal => break,
+            std::cmp::Ordering::Less => {
+                let k = rng.gen_range(0..depth);
+                sizes[k] += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                let candidates: Vec<usize> = (0..depth).filter(|&l| sizes[l] > 1).collect();
+                let k = candidates[rng.gen_range(0..candidates.len())];
+                sizes[k] -= 1;
+            }
+        }
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PlacedCircuit {
+        CircuitGenerator::new(GeneratorConfig::new(300, 24, 20).with_seed(42))
+            .generate()
+            .unwrap()
+    }
+
+    #[test]
+    fn gate_count_matches_config() {
+        let c = small();
+        assert_eq!(c.netlist().gate_count(), 300);
+        assert_eq!(c.placement().len(), 300);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = CircuitGenerator::new(GeneratorConfig::new(150, 10, 8).with_seed(7))
+            .generate()
+            .unwrap();
+        let b = CircuitGenerator::new(GeneratorConfig::new(150, 10, 8).with_seed(7))
+            .generate()
+            .unwrap();
+        assert_eq!(a.netlist(), b.netlist());
+        assert_eq!(a.placement(), b.placement());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CircuitGenerator::new(GeneratorConfig::new(150, 10, 8).with_seed(1))
+            .generate()
+            .unwrap();
+        let b = CircuitGenerator::new(GeneratorConfig::new(150, 10, 8).with_seed(2))
+            .generate()
+            .unwrap();
+        assert_ne!(a.netlist(), b.netlist());
+    }
+
+    #[test]
+    fn outputs_cover_fanout_free_gates() {
+        let c = small();
+        for id in c.netlist().gate_ids() {
+            if c.graph().fanouts(id).is_empty() {
+                assert!(c.netlist().outputs().contains(&id));
+            }
+        }
+        assert!(c.netlist().outputs().len() >= 20);
+    }
+
+    #[test]
+    fn depth_is_respected() {
+        let c = CircuitGenerator::new(GeneratorConfig::new(400, 16, 8).with_seed(3).with_depth(12))
+            .generate()
+            .unwrap();
+        assert_eq!(c.graph().depth(), 11); // depth levels ⇒ max level index 11
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CircuitGenerator::new(GeneratorConfig::new(0, 4, 2))
+            .generate()
+            .is_err());
+        let mut cfg = GeneratorConfig::new(10, 4, 2);
+        cfg.depth = 0;
+        assert!(CircuitGenerator::new(cfg).generate().is_err());
+        let mut cfg = GeneratorConfig::new(10, 4, 2);
+        cfg.locality = 0.0;
+        assert!(CircuitGenerator::new(cfg).generate().is_err());
+    }
+
+    #[test]
+    fn placement_inside_unit_die() {
+        let c = small();
+        for (_, (x, y)) in c.placement().iter() {
+            assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn nominal_delay_positive() {
+        let c = small();
+        for id in c.netlist().gate_ids() {
+            assert!(c.nominal_delay(id) > 0.0);
+        }
+    }
+
+    #[test]
+    fn library_swap_keeps_topology() {
+        let c = small();
+        let lib3 = c.library().with_sensitivity_scale(3.0, 3.0);
+        let gates_before = c.netlist().gate_count();
+        let c3 = c.with_library(lib3);
+        assert_eq!(c3.netlist().gate_count(), gates_before);
+    }
+}

@@ -1,0 +1,202 @@
+//! Timing graph: the netlist as a DAG with fanout lists, topological levels,
+//! and structural queries used by SSTA and path enumeration.
+
+use crate::netlist::{GateId, Netlist};
+
+/// A timing DAG derived from a [`Netlist`].
+///
+/// Nodes are gates; an edge `u → v` exists when gate `u` drives an input of
+/// gate `v`. Primary inputs and outputs are implicit: gates with no gate
+/// fanins are *source gates* (driven directly by flip-flops / pads), and
+/// gates marked as outputs are *sink gates*.
+///
+/// # Example
+///
+/// ```
+/// use pathrep_circuit::netlist::{Netlist, Signal};
+/// use pathrep_circuit::cell::CellKind;
+/// use pathrep_circuit::graph::TimingGraph;
+///
+/// # fn main() -> Result<(), pathrep_circuit::CircuitError> {
+/// let mut nl = Netlist::new(1);
+/// let a = nl.add_gate(CellKind::Inv, vec![Signal::Input(0)])?;
+/// let b = nl.add_gate(CellKind::Inv, vec![Signal::Gate(a)])?;
+/// nl.mark_output(b)?;
+/// let tg = TimingGraph::build(&nl);
+/// assert_eq!(tg.level(b), 1);
+/// assert_eq!(tg.fanouts(a), &[b]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingGraph {
+    /// Gate-to-gate fanout adjacency, indexed by [`GateId::index`].
+    fanouts: Vec<Vec<GateId>>,
+    /// Gate-to-gate fanin adjacency (primary inputs excluded).
+    fanins: Vec<Vec<GateId>>,
+    /// Topological level: 0 for source gates, `1 + max(level of fanins)`.
+    levels: Vec<usize>,
+    /// Gates with no gate fanins.
+    sources: Vec<GateId>,
+    /// Gates marked as primary outputs.
+    sinks: Vec<GateId>,
+}
+
+impl TimingGraph {
+    /// Builds the graph. The netlist's add-in-topological-order invariant
+    /// guarantees acyclicity, so this cannot fail.
+    pub fn build(netlist: &Netlist) -> Self {
+        let n = netlist.gate_count();
+        let mut fanouts = vec![Vec::new(); n];
+        let mut fanins: Vec<Vec<GateId>> = vec![Vec::new(); n];
+        for id in netlist.gate_ids() {
+            for f in netlist.gate(id).fanin_gates() {
+                // A gate may drive several inputs of the same gate; the
+                // timing DAG keeps a single edge (paths are gate sequences,
+                // so parallel edges are indistinguishable).
+                if !fanins[id.index()].contains(&f) {
+                    fanouts[f.index()].push(id);
+                    fanins[id.index()].push(f);
+                }
+            }
+        }
+        let mut levels = vec![0usize; n];
+        let mut sources = Vec::new();
+        for id in netlist.gate_ids() {
+            let lvl = fanins[id.index()]
+                .iter()
+                .map(|f| levels[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            levels[id.index()] = lvl;
+            if fanins[id.index()].is_empty() {
+                sources.push(id);
+            }
+        }
+        TimingGraph {
+            fanouts,
+            fanins,
+            levels,
+            sources,
+            sinks: netlist.outputs().to_vec(),
+        }
+    }
+
+    /// Gates driven by `id`.
+    pub fn fanouts(&self, id: GateId) -> &[GateId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Gate fanins of `id` (primary inputs excluded).
+    pub fn fanins(&self, id: GateId) -> &[GateId] {
+        &self.fanins[id.index()]
+    }
+
+    /// Topological level of `id`.
+    pub fn level(&self, id: GateId) -> usize {
+        self.levels[id.index()]
+    }
+
+    /// Gates with no gate fanins (directly driven by flip-flops / pads).
+    pub fn sources(&self) -> &[GateId] {
+        &self.sources
+    }
+
+    /// Gates marked as primary outputs.
+    pub fn sinks(&self) -> &[GateId] {
+        &self.sinks
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The maximum topological level (logic depth minus one); 0 for an
+    /// empty or single-level graph.
+    pub fn depth(&self) -> usize {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Gate ids in topological (construction) order.
+    pub fn topo_order(&self) -> impl Iterator<Item = GateId> + '_ {
+        (0..self.gate_count()).map(GateId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::netlist::Signal;
+
+    /// Builds the Figure-1 subcircuit of the paper: G1..G9 with paths
+    /// merging at G5.
+    #[allow(clippy::vec_init_then_push)] // sequential ids read during construction
+    fn figure1() -> (Netlist, Vec<GateId>) {
+        let mut nl = Netlist::new(2);
+        let mut ids = Vec::new();
+        // G1, G2 driven by primary inputs.
+        ids.push(nl.add_gate(CellKind::Buf, vec![Signal::Input(0)]).unwrap()); // G1
+        ids.push(nl.add_gate(CellKind::Buf, vec![Signal::Input(1)]).unwrap()); // G2
+        ids.push(nl.add_gate(CellKind::Inv, vec![Signal::Gate(ids[0])]).unwrap()); // G3
+        ids.push(nl.add_gate(CellKind::Inv, vec![Signal::Gate(ids[1])]).unwrap()); // G4
+        ids.push(
+            nl.add_gate(
+                CellKind::Nand2,
+                vec![Signal::Gate(ids[2]), Signal::Gate(ids[3])],
+            )
+            .unwrap(),
+        ); // G5
+        ids.push(nl.add_gate(CellKind::Inv, vec![Signal::Gate(ids[4])]).unwrap()); // G6
+        ids.push(nl.add_gate(CellKind::Inv, vec![Signal::Gate(ids[4])]).unwrap()); // G7
+        ids.push(nl.add_gate(CellKind::Buf, vec![Signal::Gate(ids[5])]).unwrap()); // G8
+        ids.push(nl.add_gate(CellKind::Buf, vec![Signal::Gate(ids[6])]).unwrap()); // G9
+        nl.mark_output(ids[7]).unwrap();
+        nl.mark_output(ids[8]).unwrap();
+        (nl, ids)
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let (nl, ids) = figure1();
+        let tg = TimingGraph::build(&nl);
+        assert_eq!(tg.level(ids[0]), 0);
+        assert_eq!(tg.level(ids[4]), 2);
+        assert_eq!(tg.level(ids[8]), 4);
+        assert_eq!(tg.depth(), 4);
+    }
+
+    #[test]
+    fn adjacency_round_trips() {
+        let (nl, ids) = figure1();
+        let tg = TimingGraph::build(&nl);
+        // G5 has two fanins (G3, G4) and two fanouts (G6, G7).
+        assert_eq!(tg.fanins(ids[4]), &[ids[2], ids[3]]);
+        assert_eq!(tg.fanouts(ids[4]), &[ids[5], ids[6]]);
+        for g in tg.topo_order() {
+            for &f in tg.fanouts(g) {
+                assert!(tg.fanins(f).contains(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (nl, ids) = figure1();
+        let tg = TimingGraph::build(&nl);
+        assert_eq!(tg.sources(), &[ids[0], ids[1]]);
+        assert_eq!(tg.sinks(), &[ids[7], ids[8]]);
+    }
+
+    #[test]
+    fn levels_are_monotone_along_edges() {
+        let (nl, _) = figure1();
+        let tg = TimingGraph::build(&nl);
+        for g in tg.topo_order() {
+            for &f in tg.fanouts(g) {
+                assert!(tg.level(f) > tg.level(g));
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Gate-level circuit substrate for the `pathrep` workspace.
+//!
+//! The paper evaluates on ISCAS'89 benchmarks synthesized with a commercial
+//! 90 nm library. Neither the netlists nor the library are redistributable,
+//! so this crate provides the closest synthetic equivalent (see DESIGN.md):
+//!
+//! * a [`cell`] library with 90 nm-class nominal delays and `L_eff`/`V_t`
+//!   delay sensitivities,
+//! * a [`netlist`] representation of combinational logic between flip-flop
+//!   boundaries,
+//! * a seeded [`generator`] that produces ISCAS'89-*class* circuits — same
+//!   gate counts, depth profile and fan-in/fan-out statistics as the ten
+//!   benchmarks in the paper's tables,
+//! * a [`graph`] module with the timing DAG, topological levels and
+//!   **segment extraction** (the paper's Section 2 definition: maximal runs
+//!   of edges with no internal fan-in/fan-out within the covered subgraph),
+//! * [`placement`] assigning every gate a location on the unit die so the
+//!   hierarchical spatial-correlation model can bind gates to regions,
+//! * [`paths`] for path sets and the path/segment incidence matrix `G`.
+//!
+//! # Example
+//!
+//! ```
+//! use pathrep_circuit::generator::{CircuitGenerator, GeneratorConfig};
+//!
+//! # fn main() -> Result<(), pathrep_circuit::CircuitError> {
+//! let config = GeneratorConfig::new(200, 16, 16).with_seed(7);
+//! let circuit = CircuitGenerator::new(config).generate()?;
+//! assert_eq!(circuit.netlist().gate_count(), 200);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bench_format;
+pub mod cell;
+pub mod error;
+pub mod generator;
+pub mod graph;
+pub mod netlist;
+pub mod paths;
+pub mod placement;
+
+pub use error::CircuitError;
+pub use generator::{CircuitGenerator, GeneratorConfig, PlacedCircuit};
+pub use netlist::{Gate, GateId, Netlist};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CircuitError>;

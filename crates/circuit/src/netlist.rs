@@ -1,0 +1,271 @@
+//! Gate-level netlist: combinational logic between flip-flop boundaries.
+//!
+//! Sequential elements are modelled implicitly: the netlist describes one
+//! combinational stage, its primary inputs standing for flip-flop outputs /
+//! chip inputs and its primary outputs for flip-flop inputs / chip outputs —
+//! exactly the view a static timing analyzer takes.
+
+use crate::cell::CellKind;
+use crate::{CircuitError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a gate within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GateId(u32);
+
+impl GateId {
+    /// The gate's index into [`Netlist::gates`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index. Crate-internal: only modules that
+    /// already hold a validated index range (the timing graph, the
+    /// generator) may mint ids.
+    #[inline]
+    pub(crate) fn from_index(index: usize) -> GateId {
+        GateId(index as u32)
+    }
+}
+
+/// A driver of a gate input: either a primary input or another gate's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Signal {
+    /// Primary input `k` (flip-flop output or chip pad).
+    Input(usize),
+    /// Output of another gate.
+    Gate(GateId),
+}
+
+/// One instantiated cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gate {
+    kind: CellKind,
+    fanins: Vec<Signal>,
+}
+
+impl Gate {
+    /// The cell kind.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The gate's input drivers.
+    pub fn fanins(&self) -> &[Signal] {
+        &self.fanins
+    }
+
+    /// Iterator over fanin gates only (primary inputs skipped).
+    pub fn fanin_gates(&self) -> impl Iterator<Item = GateId> + '_ {
+        self.fanins.iter().filter_map(|s| match s {
+            Signal::Gate(g) => Some(*g),
+            Signal::Input(_) => None,
+        })
+    }
+}
+
+/// A combinational netlist.
+///
+/// Gates must be added in topological order — every fanin must reference a
+/// gate added earlier — which makes the netlist acyclic *by construction*.
+///
+/// # Example
+///
+/// ```
+/// use pathrep_circuit::netlist::{Netlist, Signal};
+/// use pathrep_circuit::cell::CellKind;
+///
+/// # fn main() -> Result<(), pathrep_circuit::CircuitError> {
+/// let mut nl = Netlist::new(2);
+/// let g0 = nl.add_gate(CellKind::Nand2, vec![Signal::Input(0), Signal::Input(1)])?;
+/// let g1 = nl.add_gate(CellKind::Inv, vec![Signal::Gate(g0)])?;
+/// nl.mark_output(g1)?;
+/// assert_eq!(nl.gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    input_count: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<GateId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with `input_count` primary inputs.
+    pub fn new(input_count: usize) -> Self {
+        Netlist {
+            input_count,
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// All gates, indexable by [`GateId::index`].
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Gates marked as primary outputs.
+    pub fn outputs(&self) -> &[GateId] {
+        &self.outputs
+    }
+
+    /// Adds a gate. Fanins must reference primary inputs or *previously
+    /// added* gates, and their count must match the cell kind.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::InvalidConfig`] if the fanin count does not match
+    ///   the kind, or a fanin input index is out of range.
+    /// * [`CircuitError::UnknownGate`] if a fanin references a gate not yet
+    ///   added (this rule keeps the netlist acyclic by construction).
+    pub fn add_gate(&mut self, kind: CellKind, fanins: Vec<Signal>) -> Result<GateId> {
+        if fanins.len() != kind.fanin() {
+            return Err(CircuitError::InvalidConfig {
+                what: format!(
+                    "{kind:?} expects {} fanins, got {}",
+                    kind.fanin(),
+                    fanins.len()
+                ),
+            });
+        }
+        for s in &fanins {
+            match *s {
+                Signal::Input(k) if k >= self.input_count => {
+                    return Err(CircuitError::InvalidConfig {
+                        what: format!("primary input {k} out of range (have {})", self.input_count),
+                    });
+                }
+                Signal::Gate(g) if g.index() >= self.gates.len() => {
+                    return Err(CircuitError::UnknownGate { id: g.index() });
+                }
+                _ => {}
+            }
+        }
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(Gate { kind, fanins });
+        Ok(id)
+    }
+
+    /// Marks `id` as a primary output. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownGate`] for a foreign id.
+    pub fn mark_output(&mut self, id: GateId) -> Result<()> {
+        if id.index() >= self.gates.len() {
+            return Err(CircuitError::UnknownGate { id: id.index() });
+        }
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+        Ok(())
+    }
+
+    /// Iterator over all gate ids in insertion (= topological) order.
+    pub fn gate_ids(&self) -> impl Iterator<Item = GateId> {
+        (0..self.gates.len() as u32).map(GateId)
+    }
+
+    /// Constructs a `GateId` from a raw index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownGate`] when out of range.
+    pub fn gate_id(&self, index: usize) -> Result<GateId> {
+        if index >= self.gates.len() {
+            return Err(CircuitError::UnknownGate { id: index });
+        }
+        Ok(GateId(index as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_gate_netlist() -> (Netlist, GateId, GateId) {
+        let mut nl = Netlist::new(2);
+        let g0 = nl
+            .add_gate(CellKind::Nand2, vec![Signal::Input(0), Signal::Input(1)])
+            .unwrap();
+        let g1 = nl.add_gate(CellKind::Inv, vec![Signal::Gate(g0)]).unwrap();
+        nl.mark_output(g1).unwrap();
+        (nl, g0, g1)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (nl, g0, g1) = two_gate_netlist();
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.input_count(), 2);
+        assert_eq!(nl.gate(g1).kind(), CellKind::Inv);
+        assert_eq!(nl.outputs(), &[g1]);
+        let fg: Vec<GateId> = nl.gate(g1).fanin_gates().collect();
+        assert_eq!(fg, vec![g0]);
+        assert_eq!(nl.gate(g0).fanin_gates().count(), 0);
+    }
+
+    #[test]
+    fn fanin_count_enforced() {
+        let mut nl = Netlist::new(1);
+        let err = nl.add_gate(CellKind::Nand2, vec![Signal::Input(0)]);
+        assert!(matches!(err, Err(CircuitError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn forward_references_rejected() {
+        let mut nl = Netlist::new(1);
+        // References gate 5 which does not exist yet.
+        let err = nl.add_gate(CellKind::Inv, vec![Signal::Gate(GateId(5))]);
+        assert_eq!(err, Err(CircuitError::UnknownGate { id: 5 }));
+    }
+
+    #[test]
+    fn input_range_enforced() {
+        let mut nl = Netlist::new(1);
+        let err = nl.add_gate(CellKind::Inv, vec![Signal::Input(3)]);
+        assert!(matches!(err, Err(CircuitError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn mark_output_is_idempotent() {
+        let (mut nl, _, g1) = two_gate_netlist();
+        nl.mark_output(g1).unwrap();
+        assert_eq!(nl.outputs().len(), 1);
+    }
+
+    #[test]
+    fn mark_output_unknown_gate() {
+        let (mut nl, ..) = two_gate_netlist();
+        assert!(nl.mark_output(GateId(9)).is_err());
+    }
+
+    #[test]
+    fn gate_id_bounds() {
+        let (nl, ..) = two_gate_netlist();
+        assert!(nl.gate_id(1).is_ok());
+        assert!(nl.gate_id(2).is_err());
+    }
+}

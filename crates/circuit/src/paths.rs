@@ -1,0 +1,393 @@
+//! Path sets and segment extraction.
+//!
+//! A *path* is a source-to-sink gate sequence in the timing graph. Given a
+//! set of target paths, the paper (Section 2) defines a **segment** as the
+//! union of consecutive edges in the covered subgraph with no incoming or
+//! outgoing edges in between — i.e. a maximal unbranched chain. Every path
+//! is then an exact concatenation of segments, `d_Ptar = G·d_S` with a 0/1
+//! incidence matrix `G`.
+//!
+//! Gate delays are mapped onto edges so the decomposition is exact: the edge
+//! `u → v` carries the delay of driving gate `u`, every path is implicitly
+//! extended with a virtual `SOURCE → first` edge (zero delay) and a
+//! `last → SINK` edge (carrying the last gate's delay). A path's delay is
+//! then exactly the sum of its gates' delays, and segments partition it.
+
+use crate::netlist::GateId;
+use crate::{CircuitError, Result};
+use std::collections::HashMap;
+
+/// A node of the covered path graph: a gate, or one of the two virtual
+/// terminals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathNode {
+    /// Virtual super-source preceding every path's first gate.
+    Source,
+    /// A real gate.
+    Gate(GateId),
+    /// Virtual super-sink following every path's last gate.
+    Sink,
+}
+
+/// A source-to-sink gate sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    gates: Vec<GateId>,
+}
+
+impl Path {
+    /// Creates a path from its gate sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidPath`] for an empty sequence.
+    pub fn new(gates: Vec<GateId>) -> Result<Self> {
+        if gates.is_empty() {
+            return Err(CircuitError::InvalidPath {
+                what: "empty gate sequence".into(),
+            });
+        }
+        Ok(Path { gates })
+    }
+
+    /// The gates along the path, in order.
+    pub fn gates(&self) -> &[GateId] {
+        &self.gates
+    }
+
+    /// Number of gates on the path.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `false` always (paths are non-empty by construction); present for
+    /// clippy-idiomatic pairing with [`len`].
+    ///
+    /// [`len`]: Path::len
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The edge sequence including the virtual terminals.
+    fn edges(&self) -> Vec<(PathNode, PathNode)> {
+        let mut e = Vec::with_capacity(self.gates.len() + 1);
+        e.push((PathNode::Source, PathNode::Gate(self.gates[0])));
+        for w in self.gates.windows(2) {
+            e.push((PathNode::Gate(w[0]), PathNode::Gate(w[1])));
+        }
+        e.push((
+            PathNode::Gate(*self.gates.last().expect("non-empty")),
+            PathNode::Sink,
+        ));
+        e
+    }
+}
+
+/// A maximal unbranched chain of covered edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Gates whose delay the segment carries (the driving gate of each edge
+    /// in the chain; the virtual source contributes nothing).
+    gates: Vec<GateId>,
+    /// First node of the chain (for diagnostics / test-structure placement).
+    start: PathNode,
+    /// Last node of the chain.
+    end: PathNode,
+}
+
+impl Segment {
+    /// Gates whose delays sum to this segment's delay.
+    pub fn gates(&self) -> &[GateId] {
+        &self.gates
+    }
+
+    /// The chain's first node.
+    pub fn start(&self) -> PathNode {
+        self.start
+    }
+
+    /// The chain's last node.
+    pub fn end(&self) -> PathNode {
+        self.end
+    }
+}
+
+/// The result of decomposing a path set into segments.
+#[derive(Debug, Clone)]
+pub struct SegmentDecomposition {
+    segments: Vec<Segment>,
+    /// For each path, the segment indices whose concatenation is the path.
+    path_segments: Vec<Vec<usize>>,
+    /// Sorted, deduplicated list of covered gates.
+    covered_gates: Vec<GateId>,
+}
+
+impl SegmentDecomposition {
+    /// All segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Segment indices composing path `p` (same order as traversal).
+    pub fn path_segments(&self, p: usize) -> &[usize] {
+        &self.path_segments[p]
+    }
+
+    /// Number of segments (the paper's `n_S`).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of paths decomposed.
+    pub fn path_count(&self) -> usize {
+        self.path_segments.len()
+    }
+
+    /// Gates covered by at least one path, sorted.
+    pub fn covered_gates(&self) -> &[GateId] {
+        &self.covered_gates
+    }
+
+    /// Dense 0/1 incidence rows: for each path, a vector over segments with
+    /// 1.0 where the segment belongs to the path. (Returned as raw rows so
+    /// the circuit crate stays independent of the matrix type.)
+    pub fn incidence_rows(&self) -> Vec<Vec<f64>> {
+        let ns = self.segments.len();
+        self.path_segments
+            .iter()
+            .map(|segs| {
+                let mut row = vec![0.0; ns];
+                for &s in segs {
+                    row[s] = 1.0;
+                }
+                row
+            })
+            .collect()
+    }
+}
+
+/// Decomposes `paths` into the paper's segments.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidPath`] when `paths` is empty.
+pub fn decompose_into_segments(paths: &[Path]) -> Result<SegmentDecomposition> {
+    if paths.is_empty() {
+        return Err(CircuitError::InvalidPath {
+            what: "cannot decompose an empty path set".into(),
+        });
+    }
+    // Covered edge set with in/out degrees per node.
+    let mut out_deg: HashMap<PathNode, usize> = HashMap::new();
+    let mut in_deg: HashMap<PathNode, usize> = HashMap::new();
+    let mut edge_set: HashMap<(PathNode, PathNode), ()> = HashMap::new();
+    for p in paths {
+        for e in p.edges() {
+            if edge_set.insert(e, ()).is_none() {
+                *out_deg.entry(e.0).or_insert(0) += 1;
+                *in_deg.entry(e.1).or_insert(0) += 1;
+            }
+        }
+    }
+    let breaks = |n: &PathNode| -> bool {
+        matches!(n, PathNode::Source | PathNode::Sink)
+            || out_deg.get(n).copied().unwrap_or(0) != 1
+            || in_deg.get(n).copied().unwrap_or(0) != 1
+    };
+
+    // Walk each path, cutting chains at break nodes; segments are keyed by
+    // their first edge (chains are forced, so the first edge is unique).
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut seg_by_first_edge: HashMap<(PathNode, PathNode), usize> = HashMap::new();
+    let mut path_segments = Vec::with_capacity(paths.len());
+    let mut covered: Vec<GateId> = Vec::new();
+
+    for p in paths {
+        covered.extend_from_slice(p.gates());
+        let edges = p.edges();
+        let mut segs_of_path = Vec::new();
+        let mut i = 0;
+        while i < edges.len() {
+            let first = edges[i];
+            // Extend the chain while the internal node does not break it.
+            let mut j = i;
+            while j + 1 < edges.len() && !breaks(&edges[j].1) {
+                j += 1;
+            }
+            let seg_id = match seg_by_first_edge.get(&first) {
+                Some(&id) => id,
+                None => {
+                    let mut gates = Vec::new();
+                    for e in &edges[i..=j] {
+                        if let PathNode::Gate(g) = e.0 {
+                            gates.push(g);
+                        }
+                    }
+                    let seg = Segment {
+                        gates,
+                        start: first.0,
+                        end: edges[j].1,
+                    };
+                    let id = segments.len();
+                    segments.push(seg);
+                    seg_by_first_edge.insert(first, id);
+                    id
+                }
+            };
+            segs_of_path.push(seg_id);
+            i = j + 1;
+        }
+        path_segments.push(segs_of_path);
+    }
+    covered.sort_unstable();
+    covered.dedup();
+    Ok(SegmentDecomposition {
+        segments,
+        path_segments,
+        covered_gates: covered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::graph::TimingGraph;
+    use crate::netlist::{Netlist, Signal};
+
+    /// The paper's Figure-1 example: four paths merging at G5.
+    /// p1: G1 G3 G5 G7 G9, p2: G1 G3 G5 G6 G8,
+    /// p3: G2 G4 G5 G6 G8, p4: G2 G4 G5 G7 G9.
+    fn figure1_paths() -> (Netlist, Vec<Path>) {
+        let mut nl = Netlist::new(2);
+        let g1 = nl.add_gate(CellKind::Buf, vec![Signal::Input(0)]).unwrap();
+        let g2 = nl.add_gate(CellKind::Buf, vec![Signal::Input(1)]).unwrap();
+        let g3 = nl.add_gate(CellKind::Inv, vec![Signal::Gate(g1)]).unwrap();
+        let g4 = nl.add_gate(CellKind::Inv, vec![Signal::Gate(g2)]).unwrap();
+        let g5 = nl
+            .add_gate(CellKind::Nand2, vec![Signal::Gate(g3), Signal::Gate(g4)])
+            .unwrap();
+        let g6 = nl.add_gate(CellKind::Inv, vec![Signal::Gate(g5)]).unwrap();
+        let g7 = nl.add_gate(CellKind::Inv, vec![Signal::Gate(g5)]).unwrap();
+        let g8 = nl.add_gate(CellKind::Buf, vec![Signal::Gate(g6)]).unwrap();
+        let g9 = nl.add_gate(CellKind::Buf, vec![Signal::Gate(g7)]).unwrap();
+        nl.mark_output(g8).unwrap();
+        nl.mark_output(g9).unwrap();
+        let paths = vec![
+            Path::new(vec![g1, g3, g5, g7, g9]).unwrap(),
+            Path::new(vec![g1, g3, g5, g6, g8]).unwrap(),
+            Path::new(vec![g2, g4, g5, g6, g8]).unwrap(),
+            Path::new(vec![g2, g4, g5, g7, g9]).unwrap(),
+        ];
+        (nl, paths)
+    }
+
+    #[test]
+    fn path_rejects_empty() {
+        assert!(Path::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn figure1_segment_structure() {
+        let (_, paths) = figure1_paths();
+        let dec = decompose_into_segments(&paths).unwrap();
+        // Expected chains: (SRC,G1,G3,G5], (SRC,G2,G4,G5], (G5,G7,G9,SINK],
+        // (G5,G6,G8,SINK] — four segments. G5's delay is carried by the two
+        // outgoing segments' first edge driver, i.e. by [G5,G7,G9] and
+        // [G5,G6,G8].
+        assert_eq!(dec.segment_count(), 4);
+        // Each path concatenates exactly two segments.
+        for p in 0..4 {
+            assert_eq!(dec.path_segments(p).len(), 2);
+        }
+        // Paths 1 and 2 share the first segment; 1 and 4 the last.
+        assert_eq!(dec.path_segments(0)[0], dec.path_segments(1)[0]);
+        assert_eq!(dec.path_segments(0)[1], dec.path_segments(3)[1]);
+        assert_eq!(dec.path_segments(2)[0], dec.path_segments(3)[0]);
+        assert_eq!(dec.path_segments(1)[1], dec.path_segments(2)[1]);
+        assert_eq!(dec.covered_gates().len(), 9);
+    }
+
+    #[test]
+    fn segment_gate_sums_reproduce_path_delay() {
+        // With edge-mapped delays, summing segment gate lists over a path
+        // must reproduce its gate multiset exactly (no double counting).
+        let (_, paths) = figure1_paths();
+        let dec = decompose_into_segments(&paths).unwrap();
+        for (p, path) in paths.iter().enumerate() {
+            let mut via_segments: Vec<GateId> = dec
+                .path_segments(p)
+                .iter()
+                .flat_map(|&s| dec.segments()[s].gates().iter().copied())
+                .collect();
+            via_segments.sort_unstable();
+            let mut direct = path.gates().to_vec();
+            direct.sort_unstable();
+            assert_eq!(via_segments, direct, "path {p} double counts a gate");
+        }
+    }
+
+    #[test]
+    fn figure1_linear_dependence() {
+        // The paper's motivating identity: d_p1 = d_p2 − d_p3 + d_p4 holds
+        // at the incidence level: row1 − row2 + row3 − row4 = 0.
+        let (_, paths) = figure1_paths();
+        let dec = decompose_into_segments(&paths).unwrap();
+        let rows = dec.incidence_rows();
+        for (s, &r0) in rows[0].iter().enumerate() {
+            let v = r0 - rows[1][s] + rows[2][s] - rows[3][s];
+            assert_eq!(v, 0.0, "segment {s} breaks the linear identity");
+        }
+    }
+
+    #[test]
+    fn single_path_is_single_segment() {
+        let (_, paths) = figure1_paths();
+        let dec = decompose_into_segments(&paths[..1]).unwrap();
+        assert_eq!(dec.segment_count(), 1);
+        assert_eq!(dec.segments()[0].gates().len(), 5);
+        assert_eq!(dec.path_segments(0), &[0]);
+    }
+
+    #[test]
+    fn incidence_rows_shape() {
+        let (_, paths) = figure1_paths();
+        let dec = decompose_into_segments(&paths).unwrap();
+        let rows = dec.incidence_rows();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.len() == dec.segment_count()));
+        // Each row sums to the number of segments on the path.
+        for (p, r) in rows.iter().enumerate() {
+            let sum: f64 = r.iter().sum();
+            assert_eq!(sum as usize, dec.path_segments(p).len());
+        }
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        assert!(decompose_into_segments(&[]).is_err());
+    }
+
+    #[test]
+    fn shared_prefix_of_different_lengths() {
+        // Two paths share a prefix then diverge: p1 = a→b→c, p2 = a→b→d.
+        let mut nl = Netlist::new(1);
+        let a = nl.add_gate(CellKind::Buf, vec![Signal::Input(0)]).unwrap();
+        let b = nl.add_gate(CellKind::Inv, vec![Signal::Gate(a)]).unwrap();
+        let c = nl.add_gate(CellKind::Inv, vec![Signal::Gate(b)]).unwrap();
+        let d = nl.add_gate(CellKind::Buf, vec![Signal::Gate(b)]).unwrap();
+        nl.mark_output(c).unwrap();
+        nl.mark_output(d).unwrap();
+        let tg = TimingGraph::build(&nl);
+        assert_eq!(tg.fanouts(b).len(), 2);
+        let paths = vec![
+            Path::new(vec![a, b, c]).unwrap(),
+            Path::new(vec![a, b, d]).unwrap(),
+        ];
+        let dec = decompose_into_segments(&paths).unwrap();
+        // Segments: (SRC→a→b], (b→c→SINK], (b→d→SINK] = 3 segments.
+        assert_eq!(dec.segment_count(), 3);
+        assert_eq!(dec.path_segments(0)[0], dec.path_segments(1)[0]);
+        assert_ne!(dec.path_segments(0)[1], dec.path_segments(1)[1]);
+    }
+}

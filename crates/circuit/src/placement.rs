@@ -1,0 +1,73 @@
+//! Gate placement on the unit die.
+//!
+//! The hierarchical spatial-correlation model bins gates into rectangular
+//! regions, so every gate needs a location. The generator produces a
+//! levelized placement: logic levels sweep left-to-right across the die and
+//! gates spread vertically within their level, with seeded jitter — the
+//! usual outcome of row-based placement of a levelized netlist.
+
+use crate::netlist::GateId;
+use serde::{Deserialize, Serialize};
+
+/// Per-gate coordinates on the unit die `[0, 1]²`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    coords: Vec<(f64, f64)>,
+}
+
+impl Placement {
+    /// Creates a placement from raw coordinates (one per gate, in id order).
+    /// Coordinates are clamped into the unit square.
+    pub fn new(coords: Vec<(f64, f64)>) -> Self {
+        let coords = coords
+            .into_iter()
+            .map(|(x, y)| (x.clamp(0.0, 1.0), y.clamp(0.0, 1.0)))
+            .collect();
+        Placement { coords }
+    }
+
+    /// Location of gate `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn location(&self, id: GateId) -> (f64, f64) {
+        self.coords[id.index()]
+    }
+
+    /// Number of placed gates.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// `true` when no gates are placed.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Iterator over `(GateId index, (x, y))` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, (f64, f64))> + '_ {
+        self.coords.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_are_clamped() {
+        let p = Placement::new(vec![(-0.5, 2.0), (0.25, 0.75)]);
+        assert_eq!(p.coords[0], (0.0, 1.0));
+        assert_eq!(p.coords[1], (0.25, 0.75));
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let p = Placement::new(vec![(0.1, 0.2), (0.3, 0.4)]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        let all: Vec<_> = p.iter().collect();
+        assert_eq!(all[1], (1, (0.3, 0.4)));
+    }
+}

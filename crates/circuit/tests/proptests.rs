@@ -1,0 +1,122 @@
+//! Property-based tests for the circuit substrate: generator invariants
+//! and the segment-decomposition contract.
+
+use pathrep_circuit::generator::{CircuitGenerator, GeneratorConfig};
+use pathrep_circuit::netlist::GateId;
+use pathrep_circuit::paths::{decompose_into_segments, Path};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (60usize..240, 4usize..24, 2usize..16, 0u64..500, 8usize..14).prop_map(
+        |(gates, inputs, outputs, seed, depth)| {
+            GeneratorConfig::new(gates, inputs, outputs)
+                .with_seed(seed)
+                .with_depth(depth)
+        },
+    )
+}
+
+/// Walks a path from a random source to a sink by following fanouts.
+fn random_path(
+    circuit: &pathrep_circuit::generator::PlacedCircuit,
+    start_idx: usize,
+    branch_bias: usize,
+) -> Option<Path> {
+    let graph = circuit.graph();
+    let sources = graph.sources();
+    if sources.is_empty() {
+        return None;
+    }
+    let mut gate: GateId = sources[start_idx % sources.len()];
+    let mut gates = vec![gate];
+    loop {
+        let fanouts = graph.fanouts(gate);
+        if fanouts.is_empty() {
+            break;
+        }
+        gate = fanouts[branch_bias % fanouts.len()];
+        gates.push(gate);
+    }
+    Path::new(gates).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_circuits_are_well_formed(cfg in config_strategy()) {
+        let c = CircuitGenerator::new(cfg.clone()).generate().expect("generate");
+        prop_assert_eq!(c.netlist().gate_count(), cfg.n_gates);
+        let graph = c.graph();
+        // DAG: every edge increases the level.
+        for g in graph.topo_order() {
+            for &f in graph.fanouts(g) {
+                prop_assert!(graph.level(f) > graph.level(g));
+            }
+        }
+        // Depth is exactly as configured.
+        prop_assert_eq!(graph.depth(), cfg.depth - 1);
+        // Every fanout-free gate is an output.
+        for g in graph.topo_order() {
+            if graph.fanouts(g).is_empty() {
+                prop_assert!(graph.sinks().contains(&g));
+            }
+        }
+        // All delays and scales positive.
+        for g in c.netlist().gate_ids() {
+            prop_assert!(c.nominal_delay(g) > 0.0);
+            prop_assert!(c.delay_scale(g) > 0.0);
+        }
+    }
+
+    #[test]
+    fn segment_decomposition_partitions_every_path(
+        cfg in config_strategy(),
+        starts in proptest::collection::vec(0usize..1000, 3..8),
+        bias in 0usize..3,
+    ) {
+        let c = CircuitGenerator::new(cfg).generate().expect("generate");
+        let mut paths: Vec<Path> = starts
+            .iter()
+            .filter_map(|&s| random_path(&c, s, bias))
+            .collect();
+        paths.dedup();
+        if paths.is_empty() {
+            return Ok(());
+        }
+        let dec = decompose_into_segments(&paths).expect("decompose");
+        // Contract: concatenating a path's segments reproduces its gate
+        // multiset exactly (the paper's exact d_P = G·d_S identity).
+        for (p, path) in paths.iter().enumerate() {
+            let mut via: Vec<GateId> = dec
+                .path_segments(p)
+                .iter()
+                .flat_map(|&s| dec.segments()[s].gates().iter().copied())
+                .collect();
+            via.sort_unstable();
+            let mut direct = path.gates().to_vec();
+            direct.sort_unstable();
+            prop_assert_eq!(via, direct, "path {} decomposition broken", p);
+        }
+        // Segment count never exceeds total path gates.
+        let total_gates: usize = paths.iter().map(|p| p.len()).sum();
+        prop_assert!(dec.segment_count() <= total_gates + paths.len());
+    }
+
+    #[test]
+    fn placement_stays_on_the_die(cfg in config_strategy()) {
+        let c = CircuitGenerator::new(cfg).generate().expect("generate");
+        for (_, (x, y)) in c.placement().iter() {
+            prop_assert!((0.0..=1.0).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(cfg in config_strategy()) {
+        let a = CircuitGenerator::new(cfg.clone()).generate().expect("a");
+        let b = CircuitGenerator::new(cfg).generate().expect("b");
+        prop_assert_eq!(a.netlist(), b.netlist());
+        prop_assert_eq!(a.placement(), b.placement());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the convex-optimization substrate.
+
+use pathrep_linalg::LinalgError;
+use std::fmt;
+
+/// Error returned by the solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConvoptError {
+    /// Problem dimensions are inconsistent.
+    Shape {
+        /// Human-readable description.
+        what: String,
+    },
+    /// A parameter is outside its valid domain.
+    InvalidArgument {
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// An underlying matrix routine failed.
+    Linalg(LinalgError),
+    /// The solver did not converge within its iteration budget. Carries the
+    /// last iterate's residuals so callers can decide whether to accept it.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final primal residual.
+        primal_residual: f64,
+        /// Final dual residual.
+        dual_residual: f64,
+    },
+}
+
+impl fmt::Display for ConvoptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvoptError::Shape { what } => write!(f, "inconsistent problem shape: {what}"),
+            ConvoptError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            ConvoptError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            ConvoptError::NoConvergence {
+                iterations,
+                primal_residual,
+                dual_residual,
+            } => write!(
+                f,
+                "ADMM did not converge after {iterations} iterations \
+                 (primal residual {primal_residual:.3e}, dual residual {dual_residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConvoptError {}
+
+impl From<LinalgError> for ConvoptError {
+    fn from(e: LinalgError) -> Self {
+        ConvoptError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ConvoptError::NoConvergence {
+            iterations: 100,
+            primal_residual: 1e-3,
+            dual_residual: 2e-4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("1.000e-3"));
+    }
+
+    #[test]
+    fn from_linalg() {
+        let e: ConvoptError = LinalgError::Singular.into();
+        assert!(matches!(e, ConvoptError::Linalg(_)));
+    }
+}

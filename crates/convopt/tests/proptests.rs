@@ -1,0 +1,100 @@
+//! Property-based tests for the convex-optimization substrate.
+
+use pathrep_convopt::prox::{group_linf_norm, project_l1_ball, prox_group_linf, prox_linf};
+use pathrep_convopt::project::EllipsoidProjector;
+use pathrep_convopt::{solve_linearized_admm, AdmmConfig, GroupSelectProblem};
+use pathrep_linalg::{vecops, Matrix};
+use proptest::prelude::*;
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-5.0..5.0f64, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn l1_projection_is_feasible_and_no_farther(v in vec_strategy(6), tau in 0.1..4.0f64) {
+        let p = project_l1_ball(&v, tau);
+        let l1: f64 = p.iter().map(|x| x.abs()).sum();
+        prop_assert!(l1 <= tau * (1.0 + 1e-9));
+        // Projection is the closest feasible point; in particular it is no
+        // farther from v than the origin (which is feasible).
+        let d_proj = vecops::norm2(&vecops::sub(&v, &p));
+        let d_origin = vecops::norm2(&v);
+        prop_assert!(d_proj <= d_origin + 1e-12);
+    }
+
+    #[test]
+    fn l1_projection_idempotent(v in vec_strategy(5), tau in 0.1..3.0f64) {
+        let p1 = project_l1_ball(&v, tau);
+        let p2 = project_l1_ball(&p1, tau);
+        for (a, b) in p1.iter().zip(p2.iter()) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn moreau_identity_holds(v in vec_strategy(6), t in 0.1..3.0f64) {
+        // v = prox_{t‖·‖∞}(v) + Π_{tB₁}(v).
+        let p = prox_linf(&v, t);
+        let q = project_l1_ball(&v, t);
+        for k in 0..v.len() {
+            prop_assert!((p[k] + q[k] - v[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn prox_never_increases_linf(v in vec_strategy(6), t in 0.0..3.0f64) {
+        let p = prox_linf(&v, t);
+        prop_assert!(vecops::norm_inf(&p) <= vecops::norm_inf(&v) + 1e-12);
+    }
+
+    #[test]
+    fn group_prox_reduces_objective(
+        data in proptest::collection::vec(-3.0..3.0f64, 12),
+        t in 0.1..2.0f64,
+    ) {
+        let m = Matrix::from_vec(3, 4, data).expect("sized");
+        let p = prox_group_linf(&m, t);
+        prop_assert!(group_linf_norm(&p) <= group_linf_norm(&m) + 1e-12);
+    }
+
+    #[test]
+    fn ellipsoid_projection_feasible_and_optimal_vs_center(
+        p in vec_strategy(3),
+        d1 in 0.2..4.0f64,
+        d2 in 0.2..4.0f64,
+        d3 in 0.0..4.0f64,
+        r in 0.2..2.0f64,
+    ) {
+        let q = Matrix::from_diag(&[d1, d2, d3]);
+        let proj = EllipsoidProjector::new(&q, r).expect("projector");
+        let z = proj.project(&p, &[0.0; 3]);
+        let quad = d1 * z[0] * z[0] + d2 * z[1] * z[1] + d3 * z[2] * z[2];
+        prop_assert!(quad <= r * r * (1.0 + 1e-6), "infeasible: {quad}");
+        // No farther from p than the center (which is feasible).
+        let dz = vecops::norm2(&vecops::sub(&p, &z));
+        let dc = vecops::norm2(&p);
+        prop_assert!(dz <= dc + 1e-9);
+    }
+
+    #[test]
+    fn admm_solution_feasible_and_cheaper_than_trivial(
+        gdata in proptest::collection::vec(0.0..1.0f64, 12),
+        sdata in proptest::collection::vec(0.1..2.0f64, 12),
+        radius in 0.5..4.0f64,
+    ) {
+        // 3 paths × 4 segments over 3 variables.
+        let g = Matrix::from_vec(3, 4, gdata.iter().map(|&x| if x > 0.5 { 1.0 } else { 0.0 }).collect())
+            .expect("sized");
+        let sigma = Matrix::from_vec(4, 3, sdata).expect("sized");
+        let problem = GroupSelectProblem { g_target: g.clone(), sigma, radius };
+        let sol = solve_linearized_admm(&problem, &AdmmConfig::default()).expect("solve");
+        prop_assert!(sol.worst_row_std <= radius * 1.1,
+            "constraint violated: {} vs {}", sol.worst_row_std, radius);
+        prop_assert!(sol.objective <= group_linf_norm(&g) + 1e-6,
+            "objective above the trivial feasible point");
+        prop_assert!(sol.selected.len() <= 4);
+    }
+}

@@ -1,0 +1,289 @@
+//! Section 4.4's scalability device: "if the number of target paths is very
+//! large, we can apply a clustering procedure to form clusters of paths of
+//! smaller size for speedup".
+//!
+//! Paths are clustered by segment overlap (paths sharing logic belong
+//! together), Algorithm 1 runs independently inside each cluster — cubing
+//! the cost of SVD/Gram work down from `n³` to `Σ nᵢ³` — and the union of
+//! per-cluster representatives feeds one joint Theorem-2 predictor over the
+//! full target set. A final greedy repair enforces the global tolerance if
+//! the union alone misses it (cross-cluster correlation the per-cluster
+//! runs could not see).
+
+use crate::approx::{approx_select, ApproxConfig};
+use crate::predictor::MeasurementPredictor;
+use crate::CoreError;
+use pathrep_linalg::Matrix;
+
+/// Configuration for [`clustered_select`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Algorithm-1 configuration applied inside each cluster.
+    pub approx: ApproxConfig,
+    /// Upper bound on paths per cluster.
+    pub max_cluster_size: usize,
+    /// Cap on global greedy-repair iterations.
+    pub max_repair: usize,
+}
+
+impl ClusterConfig {
+    /// Creates a config with the given per-cluster Algorithm-1 settings.
+    pub fn new(approx: ApproxConfig, max_cluster_size: usize) -> Self {
+        ClusterConfig {
+            approx,
+            max_cluster_size,
+            max_repair: 64,
+        }
+    }
+}
+
+/// Result of clustered selection.
+#[derive(Debug, Clone)]
+pub struct ClusteredSelection {
+    /// Path clusters (indices into the target set).
+    pub clusters: Vec<Vec<usize>>,
+    /// The union of per-cluster representative paths (global indices).
+    pub selected: Vec<usize>,
+    /// Remaining (predicted) target paths.
+    pub remaining: Vec<usize>,
+    /// Joint predictor from the union to the remaining paths.
+    pub predictor: MeasurementPredictor,
+    /// Achieved global worst-case error.
+    pub epsilon_r: f64,
+}
+
+impl ClusteredSelection {
+    /// Number of clusters formed.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+}
+
+/// Greedy segment-overlap clustering: paths are assigned, in order, to the
+/// non-full cluster whose accumulated segment set they overlap most.
+fn cluster_paths(g: &Matrix, max_size: usize) -> Vec<Vec<usize>> {
+    let n = g.nrows();
+    let ns = g.ncols();
+    let k = n.div_ceil(max_size);
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut segment_sets: Vec<Vec<bool>> = vec![vec![false; ns]; k];
+    for p in 0..n {
+        let row = g.row(p);
+        let mut best = 0usize;
+        let mut best_overlap = -1i64;
+        for (c, cluster) in clusters.iter().enumerate() {
+            if cluster.len() >= max_size {
+                continue;
+            }
+            let overlap: i64 = row
+                .iter()
+                .enumerate()
+                .filter(|&(s, &v)| v != 0.0 && segment_sets[c][s])
+                .map(|_| 1)
+                .sum();
+            // Ties break toward the emptiest cluster for balance.
+            let score = overlap * (max_size as i64 + 1) - cluster.len() as i64;
+            if score > best_overlap {
+                best_overlap = score;
+                best = c;
+            }
+        }
+        clusters[best].push(p);
+        for (s, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                segment_sets[best][s] = true;
+            }
+        }
+    }
+    clusters.retain(|c| !c.is_empty());
+    clusters
+}
+
+/// Runs clustered approximate selection (Section 4.4).
+///
+/// `g` is the path/segment incidence used for the overlap clustering; `a`
+/// and `mu` are the full delay model.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidArgument`] for inconsistent inputs.
+/// * Any error from the per-cluster Algorithm-1 runs.
+pub fn clustered_select(
+    a: &Matrix,
+    mu: &[f64],
+    g: &Matrix,
+    config: &ClusterConfig,
+) -> Result<ClusteredSelection, CoreError> {
+    let n = a.nrows();
+    if mu.len() != n || g.nrows() != n {
+        return Err(CoreError::InvalidArgument {
+            what: "A, mu and G must agree on the path count".into(),
+        });
+    }
+    if config.max_cluster_size == 0 {
+        return Err(CoreError::InvalidArgument {
+            what: "max_cluster_size must be positive".into(),
+        });
+    }
+    let clusters = cluster_paths(g, config.max_cluster_size);
+
+    // Algorithm 1 inside each cluster.
+    let mut selected: Vec<usize> = Vec::new();
+    for cluster in &clusters {
+        let sub_a = a.select_rows(cluster);
+        let sub_mu: Vec<f64> = cluster.iter().map(|&i| mu[i]).collect();
+        let sel = approx_select(&sub_a, &sub_mu, &config.approx)?;
+        selected.extend(sel.selected.iter().map(|&local| cluster[local]));
+    }
+    selected.sort_unstable();
+    selected.dedup();
+
+    // Joint predictor over the union, with global repair.
+    let mut repair = 0usize;
+    loop {
+        let is_sel: std::collections::HashSet<usize> = selected.iter().copied().collect();
+        let remaining: Vec<usize> = (0..n).filter(|i| !is_sel.contains(i)).collect();
+        let meas = a.select_rows(&selected);
+        let meas_mu: Vec<f64> = selected.iter().map(|&i| mu[i]).collect();
+        let target = a.select_rows(&remaining);
+        let target_mu: Vec<f64> = remaining.iter().map(|&i| mu[i]).collect();
+        let predictor = if remaining.is_empty() {
+            MeasurementPredictor::new(
+                &Matrix::zeros(0, a.ncols()),
+                &[],
+                &meas,
+                &meas_mu,
+                config.approx.kappa,
+            )?
+        } else {
+            MeasurementPredictor::new(&target, &target_mu, &meas, &meas_mu, config.approx.kappa)?
+        };
+        let epsilon_r = if remaining.is_empty() {
+            0.0
+        } else {
+            predictor.epsilon(config.approx.t_cons)
+        };
+        if epsilon_r <= config.approx.epsilon || remaining.is_empty() || repair >= config.max_repair
+        {
+            return Ok(ClusteredSelection {
+                clusters,
+                selected,
+                remaining,
+                predictor,
+                epsilon_r,
+            });
+        }
+        // Add the worst-predicted path and retry.
+        let worst = predictor
+            .stds()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(k, _)| remaining[k])
+            .expect("remaining non-empty");
+        selected.push(worst);
+        selected.sort_unstable();
+        repair += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// Two independent path "blocks" over disjoint segments + variables,
+    /// the natural clustering structure.
+    fn two_block_model(block: usize) -> (Matrix, Vec<f64>, Matrix) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let n = 2 * block;
+        let ns = 8;
+        let nx = 12;
+        let g = Matrix::from_fn(n, ns, |i, s| {
+            let in_block = if i < block { s < 4 } else { s >= 4 };
+            if in_block && rng.gen_bool(0.6) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let sigma = Matrix::from_fn(ns, nx, |s, j| {
+            let in_block = if s < 4 { j < 6 } else { j >= 6 };
+            if in_block {
+                rng.gen_range(0.5..2.0)
+            } else {
+                0.0
+            }
+        });
+        let a = g.matmul(&sigma).unwrap();
+        let mu = (0..n).map(|i| 500.0 + i as f64).collect();
+        (a, mu, g)
+    }
+
+    #[test]
+    fn clustering_respects_cap_and_covers_everything() {
+        let (a, mu, g) = two_block_model(10);
+        let cfg = ClusterConfig::new(ApproxConfig::new(0.05, 600.0), 10);
+        let sel = clustered_select(&a, &mu, &g, &cfg).unwrap();
+        assert!(sel.cluster_count() >= 2);
+        let mut all: Vec<usize> = sel.clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+        for c in &sel.clusters {
+            assert!(c.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn overlap_clustering_separates_blocks() {
+        let (a, mu, g) = two_block_model(10);
+        let cfg = ClusterConfig::new(ApproxConfig::new(0.05, 600.0), 10);
+        let sel = clustered_select(&a, &mu, &g, &cfg).unwrap();
+        // Each cluster must be block-pure: all indices on one side.
+        for c in &sel.clusters {
+            let in_first = c.iter().filter(|&&i| i < 10).count();
+            assert!(
+                in_first == 0 || in_first == c.len(),
+                "cluster mixes blocks: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn global_tolerance_met() {
+        let (a, mu, g) = two_block_model(12);
+        let cfg = ClusterConfig::new(ApproxConfig::new(0.05, 600.0), 8);
+        let sel = clustered_select(&a, &mu, &g, &cfg).unwrap();
+        assert!(
+            sel.epsilon_r <= 0.05 + 1e-9,
+            "global epsilon {} exceeds tolerance",
+            sel.epsilon_r
+        );
+        assert_eq!(sel.selected.len() + sel.remaining.len(), 24);
+    }
+
+    #[test]
+    fn clustered_cost_close_to_global() {
+        // The union must not be wildly larger than the single global run.
+        let (a, mu, g) = two_block_model(12);
+        let approx_cfg = ApproxConfig::new(0.05, 600.0);
+        let global = approx_select(&a, &mu, &approx_cfg).unwrap();
+        let cfg = ClusterConfig::new(approx_cfg, 12);
+        let clustered = clustered_select(&a, &mu, &g, &cfg).unwrap();
+        assert!(
+            clustered.selected.len() <= 3 * global.selected.len().max(2),
+            "clustered {} vs global {}",
+            clustered.selected.len(),
+            global.selected.len()
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let (a, mu, g) = two_block_model(4);
+        let cfg = ClusterConfig::new(ApproxConfig::new(0.05, 600.0), 0);
+        assert!(clustered_select(&a, &mu, &g, &cfg).is_err());
+        let cfg = ClusterConfig::new(ApproxConfig::new(0.05, 600.0), 4);
+        assert!(clustered_select(&a, &mu[..2], &g, &cfg).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Post-silicon variation diagnosis — the paper's stated future work
+//! ("we also plan to incorporate our framework into post-silicon
+//! diagnosis").
+//!
+//! Once the representative delays of a fabricated chip are measured, the
+//! same linear model runs *backwards*: under the standard-normal prior the
+//! posterior mean of the variation vector is the minimum-norm solution
+//!
+//! ```text
+//! x̂ = Mᵀ (M Mᵀ)⁺ (d_meas − µ_meas)
+//! ```
+//!
+//! and the fraction of each variable's variance the measurements pin down
+//! is `expl_j = m_jᵀ (M Mᵀ)⁺ m_j` (with `m_j` the j-th column of `M`).
+//! Variables with a large `|x̂_j|` *and* good observability are systematic
+//! deviation suspects — a shifted region points at a spatial process
+//! excursion, a shifted per-gate random at a local defect.
+
+use crate::CoreError;
+use pathrep_linalg::lstsq;
+use pathrep_linalg::{vecops, Matrix};
+
+/// Relative singular-value cutoff for the pseudo-inverse.
+const PINV_TOL: f64 = 1e-10;
+
+/// Precomputed back-solver from measured delays to the variation estimate.
+#[derive(Debug, Clone)]
+pub struct Diagnoser {
+    /// `Mᵀ (M Mᵀ)⁺` — maps centered measurements to `x̂`.
+    back: Matrix,
+    /// Per-variable explained variance fraction in `[0, 1]`.
+    explained: Vec<f64>,
+    meas_mu: Vec<f64>,
+}
+
+/// The diagnosis of one chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationDiagnosis {
+    x_hat: Vec<f64>,
+    explained: Vec<f64>,
+}
+
+impl Diagnoser {
+    /// Builds the diagnoser for a measurement set with sensitivity matrix
+    /// `meas_sens` (`m` × `|x|`) and nominal values `meas_mu`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidArgument`] on dimension mismatch.
+    /// * [`CoreError::Linalg`] if the pseudo-inverse fails.
+    pub fn new(meas_sens: &Matrix, meas_mu: &[f64]) -> Result<Self, CoreError> {
+        if meas_mu.len() != meas_sens.nrows() {
+            return Err(CoreError::InvalidArgument {
+                what: "meas_mu must match the measurement count".into(),
+            });
+        }
+        let gram = meas_sens.matmul(&meas_sens.transpose())?;
+        let pinv = lstsq::pseudo_inverse(&gram, PINV_TOL)?;
+        let back = meas_sens.transpose().matmul(&pinv)?;
+        // expl_j = m_jᵀ (MMᵀ)⁺ m_j = row_j(back) · col_j(meas_sens).
+        let nx = meas_sens.ncols();
+        let explained: Vec<f64> = (0..nx)
+            .map(|j| {
+                let col = meas_sens.col(j);
+                vecops::dot(back.row(j), &col).clamp(0.0, 1.0)
+            })
+            .collect();
+        Ok(Diagnoser {
+            back,
+            explained,
+            meas_mu: meas_mu.to_vec(),
+        })
+    }
+
+    /// Per-variable explained-variance fractions.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained
+    }
+
+    /// Diagnoses one chip from its measured delays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] on a wrong-length input.
+    pub fn diagnose(&self, measured: &[f64]) -> Result<VariationDiagnosis, CoreError> {
+        if measured.len() != self.meas_mu.len() {
+            return Err(CoreError::InvalidArgument {
+                what: format!(
+                    "expected {} measurements, got {}",
+                    self.meas_mu.len(),
+                    measured.len()
+                ),
+            });
+        }
+        let centered = vecops::sub(measured, &self.meas_mu);
+        let x_hat = self.back.matvec(&centered)?;
+        Ok(VariationDiagnosis {
+            x_hat,
+            explained: self.explained.clone(),
+        })
+    }
+}
+
+impl VariationDiagnosis {
+    /// The posterior-mean variation estimate `x̂`.
+    pub fn x_hat(&self) -> &[f64] {
+        &self.x_hat
+    }
+
+    /// Suspected systematic deviations: variables with `|x̂_j| > threshold`
+    /// and explained variance above `min_observability`, sorted by
+    /// descending `|x̂_j|`. Returns `(variable index, x̂_j)` pairs.
+    pub fn suspects(&self, threshold: f64, min_observability: f64) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = self
+            .x_hat
+            .iter()
+            .enumerate()
+            .filter(|&(j, &v)| v.abs() > threshold && self.explained[j] >= min_observability)
+            .map(|(j, &v)| (j, v))
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathrep_linalg::gauss;
+    use rand::SeedableRng;
+
+    /// 6 measurements over 10 variables; variables 0..4 are observed
+    /// through a generic (full-rank) block, variables 5..9 not at all.
+    fn meas_matrix() -> Matrix {
+        Matrix::from_fn(6, 10, |i, j| {
+            if j < 5 {
+                (((i + 1) * (j + 2)) as f64 * 0.7).sin() * 2.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn consistent_measurements_are_reproduced() {
+        // M x̂ must equal the centered measurements (x̂ is a solution).
+        let m = meas_matrix();
+        let mu = vec![100.0; 6];
+        let d = Diagnoser::new(&m, &mu).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut x = vec![0.0; 10];
+        gauss::fill_standard_normal(&mut rng, &mut x);
+        let meas: Vec<f64> = (0..6)
+            .map(|i| mu[i] + pathrep_linalg::vecops::dot(m.row(i), &x))
+            .collect();
+        let diag = d.diagnose(&meas).unwrap();
+        let back: Vec<f64> = (0..6)
+            .map(|i| pathrep_linalg::vecops::dot(m.row(i), diag.x_hat()))
+            .collect();
+        for (i, b) in back.iter().enumerate() {
+            assert!((b - (meas[i] - mu[i])).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn explained_variance_in_unit_interval_and_sensible() {
+        let m = meas_matrix();
+        let d = Diagnoser::new(&m, &[0.0; 6]).unwrap();
+        for &e in d.explained_variance() {
+            assert!((0.0..=1.0).contains(&e));
+        }
+        // Observed variables beat the unobserved tail (which is exactly 0).
+        let strong: f64 = d.explained_variance()[..5].iter().sum::<f64>() / 5.0;
+        let weak: f64 = d.explained_variance()[5..].iter().sum::<f64>() / 5.0;
+        assert!(strong > 0.5, "observed block explained only {strong}");
+        assert!(weak < 1e-9, "unobserved variables must have zero observability");
+    }
+
+    #[test]
+    fn injected_shift_is_top_suspect() {
+        let m = meas_matrix();
+        let mu = vec![50.0; 6];
+        let d = Diagnoser::new(&m, &mu).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        // Nominal chip noise plus a +5σ excursion on variable 2.
+        let mut x = vec![0.0; 10];
+        gauss::fill_standard_normal(&mut rng, &mut x);
+        for v in x.iter_mut() {
+            *v *= 0.3;
+        }
+        x[2] += 5.0;
+        let meas: Vec<f64> = (0..6)
+            .map(|i| mu[i] + pathrep_linalg::vecops::dot(m.row(i), &x))
+            .collect();
+        let diag = d.diagnose(&meas).unwrap();
+        let suspects = diag.suspects(2.0, 0.5);
+        assert!(!suspects.is_empty(), "shift must be detected");
+        assert_eq!(suspects[0].0, 2, "variable 2 must rank first: {suspects:?}");
+        assert!(suspects[0].1 > 3.0);
+    }
+
+    #[test]
+    fn clean_chip_has_no_suspects() {
+        let m = meas_matrix();
+        let d = Diagnoser::new(&m, &[0.0; 6]).unwrap();
+        let diag = d.diagnose(&[0.0; 6]).unwrap();
+        assert!(diag.suspects(3.0, 0.1).is_empty());
+        assert!(diag.x_hat().iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let m = meas_matrix();
+        assert!(Diagnoser::new(&m, &[0.0; 3]).is_err());
+        let d = Diagnoser::new(&m, &[0.0; 6]).unwrap();
+        assert!(d.diagnose(&[0.0; 4]).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the selection algorithms.
+
+use pathrep_convopt::ConvoptError;
+use pathrep_linalg::LinalgError;
+use std::fmt;
+
+/// Error returned by the selection algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A parameter is outside its valid domain.
+    InvalidArgument {
+        /// What was wrong.
+        what: String,
+    },
+    /// The requested tolerance cannot be met (e.g. `ε` below the exact
+    /// selection's zero only at `r = rank(A)` but a smaller `r` was forced).
+    Infeasible {
+        /// What failed.
+        what: String,
+    },
+    /// An underlying matrix routine failed.
+    Linalg(LinalgError),
+    /// The convex segment-selection solver failed.
+    Convopt(ConvoptError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            CoreError::Infeasible { what } => write!(f, "selection infeasible: {what}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            CoreError::Convopt(e) => write!(f, "convex solver failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<ConvoptError> for CoreError {
+    fn from(e: ConvoptError) -> Self {
+        CoreError::Convopt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = LinalgError::Singular.into();
+        assert!(e.to_string().contains("singular"));
+        let e: CoreError = ConvoptError::InvalidArgument { what: "radius" }.into();
+        assert!(e.to_string().contains("radius"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Shared factorizations of the sensitivity matrix `A`.
+//!
+//! Every selection algorithm needs the SVD of `A` (Algorithm 2, effective
+//! rank) and the Gram matrix `A·Aᵀ` (Theorem-2 error evaluation). Both are
+//! the most expensive computations in the whole pipeline, so they are
+//! computed once here and shared across exact, approximate and hybrid
+//! selection.
+
+use crate::CoreError;
+use pathrep_linalg::svd::Svd;
+use pathrep_linalg::Matrix;
+
+/// Precomputed SVD and Gram matrix of a sensitivity matrix `A`.
+#[derive(Debug, Clone)]
+pub struct ModelFactors {
+    svd: Svd,
+    gram: Matrix,
+}
+
+impl ModelFactors {
+    /// Computes both factorizations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Linalg`] on factorization failure.
+    pub fn compute(a: &Matrix) -> Result<Self, CoreError> {
+        let svd = Svd::compute(a)?;
+        let gram = a.matmul(&a.transpose())?;
+        Ok(ModelFactors { svd, gram })
+    }
+
+    /// The SVD of `A`.
+    pub fn svd(&self) -> &Svd {
+        &self.svd
+    }
+
+    /// The Gram matrix `A·Aᵀ`.
+    pub fn gram(&self) -> &Matrix {
+        &self.gram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_are_consistent() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let f = ModelFactors::compute(&a).unwrap();
+        assert_eq!(f.gram().shape(), (3, 3));
+        // Gram eigenvalues are squared singular values.
+        let s = f.svd().singular_values();
+        let tr: f64 = (0..3).map(|i| f.gram()[(i, i)]).sum();
+        let ssq: f64 = s.iter().map(|x| x * x).sum();
+        assert!((tr - ssq).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,150 @@
+//! Section 6.3: guard-band analysis for post-silicon failure detection.
+//!
+//! For a predicted path delay `d̂ᵢ` with per-path relative error bound
+//! `εᵢ` (so that `|d̂ᵢ − dᵢ| ≤ εᵢ·T_cons`... more precisely the paper uses
+//! the multiplicative rule: path `i` is flagged as failing when
+//! `d̂ᵢ / (1 − εᵢ) > T_cons`). The guard-band `φᵢ = εᵢ·T_cons` is the slack
+//! one must keep to declare a *pass* with full confidence.
+
+use serde::{Deserialize, Serialize};
+
+/// One path's guard-banded classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuardBandVerdict {
+    /// Predicted delay clears the constraint even with the guard-band:
+    /// confidently passing.
+    Pass,
+    /// Predicted delay violates the constraint by more than the guard-band:
+    /// confidently failing.
+    Fail,
+    /// Within the guard-band: must be validated by direct measurement.
+    Uncertain,
+}
+
+/// Classifies a predicted path delay with per-path relative error `eps_i`.
+///
+/// * `Fail` when `pred / (1 + eps_i) > t_cons` — even the most optimistic
+///   true delay violates timing.
+/// * `Pass` when `pred / (1 − eps_i) ≤ t_cons` — even the most pessimistic
+///   true delay meets timing (the paper's flag rule, inverted).
+/// * `Uncertain` otherwise.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ eps_i < 1` and `t_cons > 0`.
+pub fn classify(pred: f64, eps_i: f64, t_cons: f64) -> GuardBandVerdict {
+    assert!((0.0..1.0).contains(&eps_i), "eps_i must lie in [0,1)");
+    assert!(t_cons > 0.0, "t_cons must be positive");
+    if pred / (1.0 + eps_i) > t_cons {
+        GuardBandVerdict::Fail
+    } else if pred / (1.0 - eps_i) <= t_cons {
+        GuardBandVerdict::Pass
+    } else {
+        GuardBandVerdict::Uncertain
+    }
+}
+
+/// Aggregate outcome of validating guard-banded predictions against ground
+/// truth over a set of paths × samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GuardBandOutcome {
+    /// Confident verdicts that matched the truth.
+    pub confident_correct: usize,
+    /// Confident verdicts that contradicted the truth (should be ~0 when
+    /// `eps_i` really bounds the error).
+    pub confident_wrong: usize,
+    /// Paths deferred to direct measurement.
+    pub uncertain: usize,
+}
+
+impl GuardBandOutcome {
+    /// Records one (prediction, truth) pair.
+    pub fn record(&mut self, pred: f64, truth: f64, eps_i: f64, t_cons: f64) {
+        let verdict = classify(pred, eps_i, t_cons);
+        let fails = truth > t_cons;
+        match verdict {
+            GuardBandVerdict::Uncertain => self.uncertain += 1,
+            GuardBandVerdict::Fail => {
+                if fails {
+                    self.confident_correct += 1;
+                } else {
+                    self.confident_wrong += 1;
+                }
+            }
+            GuardBandVerdict::Pass => {
+                if fails {
+                    self.confident_wrong += 1;
+                } else {
+                    self.confident_correct += 1;
+                }
+            }
+        }
+    }
+
+    /// Total classified pairs.
+    pub fn total(&self) -> usize {
+        self.confident_correct + self.confident_wrong + self.uncertain
+    }
+
+    /// Fraction of pairs resolved without direct measurement.
+    pub fn decisiveness(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        1.0 - self.uncertain as f64 / self.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_cases() {
+        // 10 % guard-band around T = 100.
+        assert_eq!(classify(120.0, 0.1, 100.0), GuardBandVerdict::Fail);
+        assert_eq!(classify(80.0, 0.1, 100.0), GuardBandVerdict::Pass);
+        assert_eq!(classify(100.0, 0.1, 100.0), GuardBandVerdict::Uncertain);
+    }
+
+    #[test]
+    fn zero_guardband_is_decisive() {
+        assert_eq!(classify(100.1, 0.0, 100.0), GuardBandVerdict::Fail);
+        assert_eq!(classify(99.9, 0.0, 100.0), GuardBandVerdict::Pass);
+    }
+
+    #[test]
+    fn confident_verdicts_never_wrong_when_bound_holds() {
+        // If |pred − truth| ≤ eps·T genuinely holds (multiplicatively:
+        // truth ∈ [pred/(1+eps), pred/(1−eps)]), a confident verdict is
+        // always correct.
+        let t = 100.0;
+        let eps = 0.05;
+        let mut outcome = GuardBandOutcome::default();
+        for k in 0..2000 {
+            let truth = 80.0 + 0.02 * k as f64; // 80 .. 120
+            // Worst-case adversarial predictions at both bound edges.
+            for pred in [truth * (1.0 - eps), truth * (1.0 + eps)] {
+                outcome.record(pred, truth, eps, t);
+            }
+        }
+        assert_eq!(outcome.confident_wrong, 0, "guard-band failed: {outcome:?}");
+        assert!(outcome.confident_correct > 0);
+        assert!(outcome.uncertain > 0, "near-threshold cases must defer");
+    }
+
+    #[test]
+    fn decisiveness_fraction() {
+        let mut o = GuardBandOutcome::default();
+        o.record(120.0, 121.0, 0.1, 100.0); // confident fail, correct
+        o.record(100.0, 99.0, 0.1, 100.0); // uncertain
+        assert_eq!(o.total(), 2);
+        assert!((o.decisiveness() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps_i")]
+    fn eps_domain_checked() {
+        let _ = classify(1.0, 1.0, 100.0);
+    }
+}

@@ -1,0 +1,497 @@
+//! Algorithm 3: hybrid path/segment selection.
+//!
+//! 1. Select representative paths `P_r1` exactly (zero error).
+//! 2. Select representative segments `S_r1` that model `d_Pr1` within a
+//!    tighter tolerance `ε′ < ε` — the convex `ℓ1/ℓ∞` program (Eqn 10)
+//!    solved by `pathrep-convopt`.
+//! 3. Model the whole target set from `d_Sr1`; collect the paths `P_r2`
+//!    whose worst-case prediction error exceeds `ε`.
+//! 4. Measure `S_r1 ∪ P_r2` jointly and predict the rest; if the joint
+//!    error still exceeds `ε` (rare), greedily add the worst offender to
+//!    `P_r2` until it holds.
+//!
+//! Since the design-stage selection can be parallelized, the paper sweeps
+//! `ε′` and keeps the candidate minimizing `|P_r| + |S_r|`;
+//! [`hybrid_select_sweep`] does the same.
+
+use crate::exact::{exact_select_with, ExactSelection};
+use crate::factors::ModelFactors;
+use crate::predictor::MeasurementPredictor;
+use crate::CoreError;
+use pathrep_convopt::{solve_linearized_admm, AdmmConfig, GroupSelectProblem};
+use pathrep_linalg::Matrix;
+
+/// Configuration for Algorithm 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridConfig {
+    /// Overall error tolerance ε (fraction of `T_cons`).
+    pub epsilon: f64,
+    /// Segment-model tolerance ε′ (must be < ε).
+    pub epsilon_prime: f64,
+    /// Timing constraint `T_cons` (ps).
+    pub t_cons: f64,
+    /// Worst-case multiplier κ.
+    pub kappa: f64,
+    /// Convex-solver configuration.
+    pub admm: AdmmConfig,
+    /// Cap on greedy repair iterations in Step 4.
+    pub max_repair: usize,
+}
+
+impl HybridConfig {
+    /// Paper-style defaults (κ = 3).
+    pub fn new(epsilon: f64, epsilon_prime: f64, t_cons: f64) -> Self {
+        HybridConfig {
+            epsilon,
+            epsilon_prime,
+            t_cons,
+            kappa: crate::predictor::DEFAULT_KAPPA,
+            admm: AdmmConfig::default(),
+            max_repair: 64,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if !(self.epsilon > 0.0 && self.epsilon_prime > 0.0) {
+            return Err(CoreError::InvalidArgument {
+                what: "epsilon and epsilon_prime must be positive".into(),
+            });
+        }
+        if self.epsilon_prime >= self.epsilon {
+            return Err(CoreError::InvalidArgument {
+                what: "epsilon_prime must be strictly below epsilon".into(),
+            });
+        }
+        if !(self.t_cons > 0.0 && self.kappa > 0.0) {
+            return Err(CoreError::InvalidArgument {
+                what: "t_cons and kappa must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of hybrid selection. Post-silicon, the measurement vector is the
+/// selected segment delays followed by the selected path delays, in the
+/// stored index order.
+#[derive(Debug, Clone)]
+pub struct HybridSelection {
+    /// Selected segment indices (`S_r`).
+    pub segments: Vec<usize>,
+    /// Selected (directly measured) path indices (`P_r`).
+    pub paths: Vec<usize>,
+    /// The remaining target-path indices, predicted by [`predictor`].
+    ///
+    /// [`predictor`]: HybridSelection::predictor
+    pub remaining: Vec<usize>,
+    /// Joint predictor: input `[d_Sr ; d_Pr]`, output `d` of `remaining`.
+    pub predictor: MeasurementPredictor,
+    /// Achieved worst-case error ε_r.
+    pub epsilon_r: f64,
+    /// Size of the exact path selection of Step 1 (`|P_r1| = rank(A)`).
+    pub exact_size: usize,
+    /// The ε′ used (useful when returned from a sweep).
+    pub epsilon_prime: f64,
+}
+
+impl HybridSelection {
+    /// Total number of post-silicon measurements `|P_r| + |S_r|`.
+    pub fn measurement_count(&self) -> usize {
+        self.segments.len() + self.paths.len()
+    }
+}
+
+/// The delay-model pieces Algorithm 3 consumes (all from
+/// `pathrep_variation::DelayModel`, passed explicitly so this crate stays
+/// decoupled from circuit construction).
+#[derive(Debug, Clone)]
+pub struct HybridInputs<'a> {
+    /// Path/segment incidence `G` (n × n_S).
+    pub g: &'a Matrix,
+    /// Segment sensitivities `Σ` (n_S × |x|).
+    pub sigma: &'a Matrix,
+    /// Path sensitivities `A = G·Σ` (n × |x|).
+    pub a: &'a Matrix,
+    /// Nominal segment delays.
+    pub mu_segments: &'a [f64],
+    /// Nominal path delays.
+    pub mu_paths: &'a [f64],
+}
+
+/// Runs Algorithm 3 for one ε′.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidArgument`] for inconsistent inputs or config.
+/// * [`CoreError::Convopt`] if the segment-selection program fails.
+/// * [`CoreError::Linalg`] on factorization failure.
+pub fn hybrid_select(
+    inputs: &HybridInputs<'_>,
+    config: &HybridConfig,
+) -> Result<HybridSelection, CoreError> {
+    let factors = ModelFactors::compute(inputs.a)?;
+    hybrid_select_with(inputs, config, &factors)
+}
+
+/// [`hybrid_select`] with precomputed factorizations of `A`.
+///
+/// # Errors
+///
+/// Same as [`hybrid_select`].
+pub fn hybrid_select_with(
+    inputs: &HybridInputs<'_>,
+    config: &HybridConfig,
+    factors: &ModelFactors,
+) -> Result<HybridSelection, CoreError> {
+    config.validate()?;
+    let n = inputs.a.nrows();
+    if inputs.g.nrows() != n
+        || inputs.mu_paths.len() != n
+        || inputs.g.ncols() != inputs.sigma.nrows()
+        || inputs.mu_segments.len() != inputs.sigma.nrows()
+    {
+        return Err(CoreError::InvalidArgument {
+            what: "inconsistent hybrid input dimensions".into(),
+        });
+    }
+
+    // --- Step 1: exact path selection (zero error) ---
+    let exact: ExactSelection =
+        exact_select_with(inputs.a, inputs.mu_paths, config.kappa, factors)?;
+    let p_r1 = &exact.selected;
+
+    // --- Step 2: segment selection for the representative paths ---
+    let problem = GroupSelectProblem {
+        g_target: inputs.g.select_rows(p_r1),
+        sigma: inputs.sigma.clone(),
+        radius: config.epsilon_prime * config.t_cons / config.kappa,
+    };
+    let solution = solve_linearized_admm(&problem, &config.admm)?;
+    let s_r1 = solution.selected;
+
+    // --- Step 3: model all targets from the selected segments ---
+    let threshold = config.epsilon * config.t_cons;
+    let mut p_r2: Vec<usize> = if s_r1.is_empty() {
+        // No segments: every path whose own κσ exceeds the budget must be
+        // measured directly.
+        (0..n)
+            .filter(|&i| {
+                let row = inputs.a.row(i);
+                let sd: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+                config.kappa * sd > threshold
+            })
+            .collect()
+    } else {
+        let meas_sens = inputs.sigma.select_rows(&s_r1);
+        let meas_mu: Vec<f64> = s_r1.iter().map(|&s| inputs.mu_segments[s]).collect();
+        let seg_predictor = MeasurementPredictor::new(
+            inputs.a,
+            inputs.mu_paths,
+            &meas_sens,
+            &meas_mu,
+            config.kappa,
+        )?;
+        seg_predictor
+            .wc_errors()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &wc)| wc > threshold)
+            .map(|(i, _)| i)
+            .collect()
+    };
+
+    // --- Step 4: joint predictor, with greedy repair if needed ---
+    let mut repair = 0usize;
+    loop {
+        let (predictor, remaining) = build_joint_predictor(inputs, &s_r1, &p_r2, config.kappa)?;
+        let epsilon_r = if remaining.is_empty() {
+            0.0
+        } else {
+            predictor.epsilon(config.t_cons)
+        };
+        if epsilon_r <= config.epsilon || repair >= config.max_repair || remaining.is_empty() {
+            return Ok(HybridSelection {
+                segments: s_r1,
+                paths: p_r2,
+                remaining,
+                predictor,
+                epsilon_r,
+                exact_size: exact.rank,
+                epsilon_prime: config.epsilon_prime,
+            });
+        }
+        // Add the worst-predicted remaining path to the measurement set.
+        let worst = predictor
+            .stds()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(k, _)| remaining[k])
+            .expect("remaining non-empty");
+        p_r2.push(worst);
+        p_r2.sort_unstable();
+        repair += 1;
+    }
+}
+
+/// Builds the joint `[segments ; paths] → remaining paths` predictor.
+fn build_joint_predictor(
+    inputs: &HybridInputs<'_>,
+    segments: &[usize],
+    paths: &[usize],
+    kappa: f64,
+) -> Result<(MeasurementPredictor, Vec<usize>), CoreError> {
+    let n = inputs.a.nrows();
+    let measured_paths: std::collections::HashSet<usize> = paths.iter().copied().collect();
+    let remaining: Vec<usize> = (0..n).filter(|i| !measured_paths.contains(i)).collect();
+
+    let mut meas_rows = Vec::with_capacity(segments.len() + paths.len());
+    let mut meas_mu = Vec::with_capacity(segments.len() + paths.len());
+    let seg_sens = inputs.sigma.select_rows(segments);
+    for (k, &s) in segments.iter().enumerate() {
+        meas_rows.push(seg_sens.row(k).to_vec());
+        meas_mu.push(inputs.mu_segments[s]);
+    }
+    let path_sens = inputs.a.select_rows(paths);
+    for (k, &p) in paths.iter().enumerate() {
+        meas_rows.push(path_sens.row(k).to_vec());
+        meas_mu.push(inputs.mu_paths[p]);
+    }
+    let nx = inputs.sigma.ncols();
+    let meas_sens = if meas_rows.is_empty() {
+        Matrix::zeros(1, nx) // degenerate: predict by the mean only
+    } else {
+        let refs: Vec<&[f64]> = meas_rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs)?
+    };
+    let meas_mu_final = if meas_rows.is_empty() {
+        vec![0.0]
+    } else {
+        meas_mu
+    };
+    let target_sens = inputs.a.select_rows(&remaining);
+    let target_mu: Vec<f64> = remaining.iter().map(|&i| inputs.mu_paths[i]).collect();
+    let predictor = if remaining.is_empty() {
+        // All paths measured: a trivial predictor over an empty target set
+        // cannot be represented; build a 1-target dummy is wrong. Instead
+        // keep an empty-target predictor via a zero-row matrix.
+        MeasurementPredictor::new(
+            &Matrix::zeros(0, nx).add(&Matrix::zeros(0, nx))?,
+            &[],
+            &meas_sens,
+            &meas_mu_final,
+            kappa,
+        )?
+    } else {
+        MeasurementPredictor::new(&target_sens, &target_mu, &meas_sens, &meas_mu_final, kappa)?
+    };
+    Ok((predictor, remaining))
+}
+
+/// Sweeps ε′ candidates (all strictly below ε) and returns the selection
+/// with the fewest total measurements; ties break toward the smaller
+/// achieved error.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidArgument`] when no candidate is valid.
+/// * First solver error if every candidate fails.
+pub fn hybrid_select_sweep(
+    inputs: &HybridInputs<'_>,
+    base: &HybridConfig,
+    eps_prime_candidates: &[f64],
+) -> Result<HybridSelection, CoreError> {
+    let factors = ModelFactors::compute(inputs.a)?;
+    hybrid_select_sweep_with(inputs, base, eps_prime_candidates, &factors)
+}
+
+/// [`hybrid_select_sweep`] with precomputed factorizations of `A`.
+///
+/// # Errors
+///
+/// Same as [`hybrid_select_sweep`].
+pub fn hybrid_select_sweep_with(
+    inputs: &HybridInputs<'_>,
+    base: &HybridConfig,
+    eps_prime_candidates: &[f64],
+    factors: &ModelFactors,
+) -> Result<HybridSelection, CoreError> {
+    let mut best: Option<HybridSelection> = None;
+    let mut first_err: Option<CoreError> = None;
+    for &ep in eps_prime_candidates {
+        if !(ep > 0.0 && ep < base.epsilon) {
+            continue;
+        }
+        let config = HybridConfig {
+            epsilon_prime: ep,
+            ..base.clone()
+        };
+        match hybrid_select_with(inputs, &config, factors) {
+            Ok(sol) => {
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        sol.measurement_count() < b.measurement_count()
+                            || (sol.measurement_count() == b.measurement_count()
+                                && sol.epsilon_r < b.epsilon_r)
+                    }
+                };
+                if better {
+                    best = Some(sol);
+                }
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match best {
+        Some(b) => Ok(b),
+        None => Err(first_err.unwrap_or(CoreError::InvalidArgument {
+            what: "no valid epsilon_prime candidate (need 0 < eps' < eps)".into(),
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure-1-like model: 4 paths over 4 segments, 9 gate variables.
+    fn toy_inputs() -> (Matrix, Matrix, Matrix, Vec<f64>, Vec<f64>) {
+        let g = Matrix::from_rows(&[
+            &[1.0, 0.0, 1.0, 0.0],
+            &[1.0, 0.0, 0.0, 1.0],
+            &[0.0, 1.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        // Segments: A=[g0,g2], B=[g1,g3], C=[g4,g6,g8], D=[g4,g5,g7].
+        let seg = |gates: &[usize], w: f64| {
+            let mut row = vec![0.0; 9];
+            for &gt in gates {
+                row[gt] = w;
+            }
+            row
+        };
+        let srows = [
+            seg(&[0, 2], 3.0),
+            seg(&[1, 3], 3.0),
+            seg(&[4, 6, 8], 2.0),
+            seg(&[4, 5, 7], 2.0),
+        ];
+        let sigma =
+            Matrix::from_rows(&[&srows[0], &srows[1], &srows[2], &srows[3]]).unwrap();
+        let a = g.matmul(&sigma).unwrap();
+        let mu_seg = vec![50.0, 52.0, 70.0, 71.0];
+        let mu_paths = g.matvec(&mu_seg).unwrap();
+        (g, sigma, a, mu_seg, mu_paths)
+    }
+
+    #[test]
+    fn hybrid_meets_tolerance() {
+        let (g, sigma, a, mu_seg, mu_paths) = toy_inputs();
+        let inputs = HybridInputs {
+            g: &g,
+            sigma: &sigma,
+            a: &a,
+            mu_segments: &mu_seg,
+            mu_paths: &mu_paths,
+        };
+        let cfg = HybridConfig::new(0.08, 0.04, 130.0);
+        let sol = hybrid_select(&inputs, &cfg).unwrap();
+        assert!(sol.epsilon_r <= 0.08 + 1e-9);
+        assert!(sol.measurement_count() >= 1);
+        assert_eq!(
+            sol.remaining.len() + sol.paths.len(),
+            4,
+            "every path is measured or predicted"
+        );
+    }
+
+    #[test]
+    fn zero_like_tolerance_measures_enough_for_exactness() {
+        let (g, sigma, a, mu_seg, mu_paths) = toy_inputs();
+        let inputs = HybridInputs {
+            g: &g,
+            sigma: &sigma,
+            a: &a,
+            mu_segments: &mu_seg,
+            mu_paths: &mu_paths,
+        };
+        // Tiny ε: the repair loop must end with ε_r ≤ ε by measuring paths
+        // directly (or everything).
+        let cfg = HybridConfig::new(1e-6, 5e-7, 130.0);
+        let sol = hybrid_select(&inputs, &cfg).unwrap();
+        assert!(sol.epsilon_r <= 1e-6 + 1e-12 || sol.remaining.is_empty());
+    }
+
+    #[test]
+    fn joint_predictor_uses_segments_then_paths() {
+        let (g, sigma, a, mu_seg, mu_paths) = toy_inputs();
+        let inputs = HybridInputs {
+            g: &g,
+            sigma: &sigma,
+            a: &a,
+            mu_segments: &mu_seg,
+            mu_paths: &mu_paths,
+        };
+        let cfg = HybridConfig::new(0.08, 0.02, 130.0);
+        let sol = hybrid_select(&inputs, &cfg).unwrap();
+        assert_eq!(
+            sol.predictor.measurement_count(),
+            sol.measurement_count().max(1)
+        );
+    }
+
+    #[test]
+    fn sweep_picks_cheapest() {
+        let (g, sigma, a, mu_seg, mu_paths) = toy_inputs();
+        let inputs = HybridInputs {
+            g: &g,
+            sigma: &sigma,
+            a: &a,
+            mu_segments: &mu_seg,
+            mu_paths: &mu_paths,
+        };
+        let base = HybridConfig::new(0.08, 0.04, 130.0);
+        let sweep =
+            hybrid_select_sweep(&inputs, &base, &[0.01, 0.02, 0.04, 0.06]).unwrap();
+        for &ep in &[0.01, 0.02, 0.04, 0.06] {
+            let cfg = HybridConfig::new(0.08, ep, 130.0);
+            let sol = hybrid_select(&inputs, &cfg).unwrap();
+            assert!(sweep.measurement_count() <= sol.measurement_count());
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_empty_candidates() {
+        let (g, sigma, a, mu_seg, mu_paths) = toy_inputs();
+        let inputs = HybridInputs {
+            g: &g,
+            sigma: &sigma,
+            a: &a,
+            mu_segments: &mu_seg,
+            mu_paths: &mu_paths,
+        };
+        let base = HybridConfig::new(0.08, 0.04, 130.0);
+        assert!(hybrid_select_sweep(&inputs, &base, &[0.5]).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let (g, sigma, a, mu_seg, mu_paths) = toy_inputs();
+        let inputs = HybridInputs {
+            g: &g,
+            sigma: &sigma,
+            a: &a,
+            mu_segments: &mu_seg,
+            mu_paths: &mu_paths,
+        };
+        // ε′ ≥ ε rejected.
+        let bad = HybridConfig::new(0.05, 0.05, 130.0);
+        assert!(hybrid_select(&inputs, &bad).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation: how the random-variation extent moves the path-vs-segment
+//! crossover (extends the paper's Figure-2(b) argument to Table-2 form).
+//!
+//! For a fixed benchmark, sweep the per-gate random-σ scale and report the
+//! approximate-selection size, the hybrid measurement count, and both
+//! errors — the crossover where segments start winning is the paper's
+//! Section-5 motivation made quantitative.
+
+use pathrep_eval::experiments::table2::{run_one, Table2Options};
+use pathrep_eval::metrics::McConfig;
+use pathrep_eval::pipeline::PipelineConfig;
+use pathrep_eval::report::{pct, Table};
+use pathrep_eval::suite::Suite;
+
+fn main() {
+    let scales = [1.0, 2.0, 3.0, 4.0, 6.0, 8.0];
+    let spec = Suite::by_name("s1423").expect("s1423 is in the suite");
+    let mut table = Table::new([
+        "rand scale",
+        "|Ptar|",
+        "|Pr| approx",
+        "apx e1%",
+        "hybrid |Pr|",
+        "hybrid |Sr|",
+        "hybrid total",
+        "hyb e1%",
+    ]);
+    for &scale in &scales {
+        let opts = Table2Options {
+            specs: vec![spec.clone()],
+            eps_prime_candidates: vec![0.02, 0.04, 0.06],
+            pipeline: PipelineConfig {
+                t_cons_factor: 0.98,
+                max_paths: 600,
+                random_scale: scale,
+                ..PipelineConfig::default()
+            },
+            mc: McConfig {
+                n_samples: 1_000,
+                ..McConfig::default()
+            },
+            ..Table2Options::default()
+        };
+        match run_one(&spec, &opts) {
+            Ok(r) => table.push_row([
+                format!("{scale:.1}"),
+                r.n_tar.to_string(),
+                r.approx_paths.to_string(),
+                pct(r.approx_e1),
+                r.hybrid_paths.to_string(),
+                r.hybrid_segments.to_string(),
+                r.hybrid_total().to_string(),
+                pct(r.hybrid_e1),
+            ]),
+            Err(e) => {
+                eprintln!("scale {scale}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("Ablation: random-variation extent vs selection cost (s1423-class)");
+    println!("{}", table.render());
+}

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Figure 2 (normalized singular values of A).
+
+use pathrep_eval::experiments::figure2::{render, run, Figure2Options};
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    match run(&Figure2Options::default()) {
+        Ok(fig) => {
+            if csv {
+                print!("{}", pathrep_eval::csv::figure2_csv(&fig));
+            } else {
+                println!("{}", render(&fig));
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

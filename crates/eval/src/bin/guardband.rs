@@ -1,0 +1,23 @@
+//! Regenerates the Section-6.3 guard-band analysis.
+
+use pathrep_eval::experiments::guardband::{render, run, GuardBandOptions};
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    if !csv {
+        println!("Guard-band analysis (Section 6.3)");
+    }
+    match run(&GuardBandOptions::default()) {
+        Ok(rows) => {
+            if csv {
+                print!("{}", pathrep_eval::csv::guardband_csv(&rows));
+            } else {
+                println!("{}", render(&rows));
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates the paper's Table 1. `--fast` runs a reduced configuration.
+
+use pathrep_eval::experiments::table1::{render, run, Table1Options};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let opts = if fast {
+        Table1Options::fast()
+    } else {
+        Table1Options::default()
+    };
+    println!("Table 1: Results for Approximate Path Selection (eps = 5%)");
+    let csv = std::env::args().any(|a| a == "--csv");
+    match run(&opts) {
+        Ok(rows) => {
+            if csv {
+                print!("{}", pathrep_eval::csv::table1_csv(&rows));
+            } else {
+                println!("{}", render(&rows));
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates the paper's Table 2. `--fast` runs a reduced configuration.
+
+use pathrep_eval::experiments::table2::{render, run, Table2Options};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let opts = if fast {
+        Table2Options::fast()
+    } else {
+        Table2Options::default()
+    };
+    println!("Table 2: Results for Evaluating Hybrid Path/Segment Selection (eps = 8%)");
+    let csv = std::env::args().any(|a| a == "--csv");
+    match run(&opts) {
+        Ok(rows) => {
+            if csv {
+                print!("{}", pathrep_eval::csv::table2_csv(&rows));
+            } else {
+                println!("{}", render(&rows));
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! CSV export of experiment results (plain `std::fmt`, no extra deps), so
+//! the regenerated tables can be diffed, plotted, or archived alongside the
+//! paper's numbers.
+
+use crate::experiments::figure2::Figure2;
+use crate::experiments::guardband::GuardBandRow;
+use crate::experiments::table1::Table1Row;
+use crate::experiments::table2::Table2Row;
+
+/// Escapes one CSV cell (quotes when it contains a comma or quote).
+fn cell(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn line<I: IntoIterator<Item = String>>(fields: I) -> String {
+    fields
+        .into_iter()
+        .map(|f| cell(&f))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Table-1 rows as CSV (header included).
+pub fn table1_csv(rows: &[Table1Row]) -> String {
+    let mut out = String::from("bench,gates,regions,n_tar,r_exact,r_approx,e1,e2\n");
+    for r in rows {
+        out.push_str(&line([
+            r.name.clone(),
+            r.gates.to_string(),
+            r.regions.to_string(),
+            r.n_tar.to_string(),
+            r.r_exact.to_string(),
+            r.r_approx.to_string(),
+            format!("{:.6}", r.e1),
+            format!("{:.6}", r.e2),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+/// Table-2 rows as CSV (header included).
+pub fn table2_csv(rows: &[Table2Row]) -> String {
+    let mut out = String::from(
+        "bench,gates,regions,covered_gates,covered_regions,n_tar,\
+         approx_paths,approx_e1,approx_e2,hybrid_paths,hybrid_segments,\
+         hybrid_total,hybrid_e1,hybrid_e2\n",
+    );
+    for r in rows {
+        out.push_str(&line([
+            r.name.clone(),
+            r.gates.to_string(),
+            r.regions.to_string(),
+            r.covered_gates.to_string(),
+            r.covered_regions.to_string(),
+            r.n_tar.to_string(),
+            r.approx_paths.to_string(),
+            format!("{:.6}", r.approx_e1),
+            format!("{:.6}", r.approx_e2),
+            r.hybrid_paths.to_string(),
+            r.hybrid_segments.to_string(),
+            r.hybrid_total().to_string(),
+            format!("{:.6}", r.hybrid_e1),
+            format!("{:.6}", r.hybrid_e2),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure-2 series as CSV: `index,base,scaled` (header included).
+pub fn figure2_csv(fig: &Figure2) -> String {
+    let mut out = String::from("index,base,scaled\n");
+    let n = fig.base.values.len().max(fig.scaled.values.len());
+    for i in 0..n {
+        out.push_str(&line([
+            (i + 1).to_string(),
+            fig.base
+                .values
+                .get(i)
+                .map(|v| format!("{v:.8e}"))
+                .unwrap_or_default(),
+            fig.scaled
+                .values
+                .get(i)
+                .map(|v| format!("{v:.8e}"))
+                .unwrap_or_default(),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+/// Guard-band rows as CSV (header included).
+pub fn guardband_csv(rows: &[GuardBandRow]) -> String {
+    let mut out = String::from(
+        "bench,epsilon,avg_band,max_band,confident_correct,confident_wrong,uncertain\n",
+    );
+    for r in rows {
+        out.push_str(&line([
+            r.name.clone(),
+            format!("{:.6}", r.epsilon),
+            format!("{:.6}", r.avg_band),
+            format!("{:.6}", r.max_band),
+            r.outcome.confident_correct.to_string(),
+            r.outcome.confident_wrong.to_string(),
+            r.outcome.uncertain.to_string(),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(cell("plain"), "plain");
+        assert_eq!(cell("a,b"), "\"a,b\"");
+        assert_eq!(cell("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn table1_csv_shape() {
+        let rows = vec![Table1Row {
+            name: "s1".into(),
+            gates: 10,
+            regions: 21,
+            n_tar: 5,
+            r_exact: 3,
+            r_approx: 2,
+            e1: 0.0301,
+            e2: 0.005,
+        }];
+        let csv = table1_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("bench,"));
+        assert!(lines[1].starts_with("s1,10,21,5,3,2,0.030100,"));
+        // Column counts match.
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count()
+        );
+    }
+
+    #[test]
+    fn guardband_csv_shape() {
+        use pathrep_core::guardband::GuardBandOutcome;
+        let mut outcome = GuardBandOutcome::default();
+        outcome.record(120.0, 125.0, 0.05, 100.0);
+        let rows = vec![GuardBandRow {
+            name: "x".into(),
+            epsilon: 0.05,
+            avg_band: 0.02,
+            max_band: 0.04,
+            outcome,
+        }];
+        let csv = guardband_csv(&rows);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("x,0.050000,0.020000,0.040000,1,0,0"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Figure 2: normalized singular values of `A` under two configurations.
+//!
+//! (a) the base variation model; (b) the per-gate *random* sensitivities
+//! scaled ×3, which flattens the singular-value decay and shows why more
+//! representative paths are needed when independent random variation grows.
+
+use crate::experiments::ExperimentError;
+use crate::pipeline::{prepare, PipelineConfig};
+use crate::suite::{BenchmarkSpec, Suite};
+use pathrep_linalg::svd::Svd;
+use pathrep_linalg::Matrix;
+use pathrep_variation::model::Variable;
+use pathrep_variation::sensitivity::DelayModel;
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure2Series {
+    /// Configuration label.
+    pub label: String,
+    /// First `k` normalized singular values `λ_i / Σλ`.
+    pub values: Vec<f64>,
+    /// rank(A).
+    pub rank: usize,
+    /// Effective rank at η = 5 %.
+    pub effective_rank: usize,
+}
+
+/// The two-series figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure2 {
+    /// Series (a): base configuration.
+    pub base: Figure2Series,
+    /// Series (b): random sensitivities ×3.
+    pub scaled: Figure2Series,
+}
+
+/// Options for the Figure-2 run.
+#[derive(Debug, Clone)]
+pub struct Figure2Options {
+    /// Benchmark (paper: s1423).
+    pub spec: BenchmarkSpec,
+    /// Number of leading singular values plotted (paper: 30).
+    pub k: usize,
+    /// Random-sensitivity scale of configuration (b) (paper: 3×).
+    pub random_scale: f64,
+    /// Pipeline configuration.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for Figure2Options {
+    fn default() -> Self {
+        Figure2Options {
+            spec: Suite::by_name("s1423").expect("s1423 is in the suite"),
+            k: 30,
+            random_scale: 3.0,
+            // Same most-critical-800 pool as the Table-1 run.
+            pipeline: PipelineConfig {
+                max_paths: 800,
+                ..PipelineConfig::default()
+            },
+        }
+    }
+}
+
+fn series(label: &str, a: &Matrix, k: usize) -> Result<Figure2Series, ExperimentError> {
+    let svd = Svd::compute(a).map_err(ExperimentError::new)?;
+    let normalized = svd.normalized_singular_values();
+    Ok(Figure2Series {
+        label: label.to_string(),
+        values: normalized.into_iter().take(k).collect(),
+        rank: svd.rank(1e-9),
+        effective_rank: svd.effective_rank(0.05).map_err(ExperimentError::new)?,
+    })
+}
+
+/// Scales the columns of `A` belonging to per-gate random variables.
+fn scale_random_columns(dm: &DelayModel, scale: f64) -> Matrix {
+    let mut a = dm.a().clone();
+    for (j, v) in dm.variables().iter().enumerate() {
+        if matches!(v, Variable::GateRandom { .. }) {
+            for i in 0..a.nrows() {
+                a[(i, j)] *= scale;
+            }
+        }
+    }
+    a
+}
+
+/// Runs the Figure-2 experiment.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] when the pipeline or SVD fails.
+pub fn run(opts: &Figure2Options) -> Result<Figure2, ExperimentError> {
+    let pb = prepare(&opts.spec, &opts.pipeline).map_err(ExperimentError::new)?;
+    let dm = &pb.delay_model;
+    let base = series("(a) base", dm.a(), opts.k)?;
+    let scaled_a = scale_random_columns(dm, opts.random_scale);
+    let scaled = series(
+        &format!("(b) random x{:.0}", opts.random_scale),
+        &scaled_a,
+        opts.k,
+    )?;
+    Ok(Figure2 { base, scaled })
+}
+
+/// Renders the two series as aligned columns (log-scale values printed in
+/// scientific notation, like the paper's log-linear axis).
+pub fn render(fig: &Figure2) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Normalized singular values of A — {} (rank {}, eff.rank {}) vs {} (rank {}, eff.rank {})\n",
+        fig.base.label,
+        fig.base.rank,
+        fig.base.effective_rank,
+        fig.scaled.label,
+        fig.scaled.rank,
+        fig.scaled.effective_rank
+    ));
+    out.push_str(&format!("{:>5}  {:>12}  {:>12}\n", "i", "base", "scaled"));
+    for i in 0..fig.base.values.len().max(fig.scaled.values.len()) {
+        let b = fig
+            .base
+            .values
+            .get(i)
+            .map(|v| format!("{v:.4e}"))
+            .unwrap_or_default();
+        let s = fig
+            .scaled
+            .values
+            .get(i)
+            .map(|v| format!("{v:.4e}"))
+            .unwrap_or_default();
+        out.push_str(&format!("{:>5}  {:>12}  {:>12}\n", i + 1, b, s));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> Figure2Options {
+        Figure2Options {
+            spec: BenchmarkSpec {
+                name: "tiny",
+                n_gates: 260,
+                n_inputs: 22,
+                n_outputs: 18,
+                model_levels: 3,
+                seed: 71,
+                            depth: None,
+},
+            k: 20,
+            random_scale: 3.0,
+            pipeline: PipelineConfig::default(),
+        }
+    }
+
+    #[test]
+    fn values_normalized_and_sorted() {
+        let fig = run(&tiny_opts()).unwrap();
+        for s in [&fig.base, &fig.scaled] {
+            assert!(!s.values.is_empty());
+            for w in s.values.windows(2) {
+                assert!(w[0] >= w[1] - 1e-15, "singular values must decay");
+            }
+            assert!(s.values[0] <= 1.0);
+        }
+    }
+
+    #[test]
+    fn random_scaling_flattens_the_spectrum() {
+        // The paper's qualitative claim: with 3× random sensitivity, the
+        // spectrum decays slower, so the effective rank grows.
+        let fig = run(&tiny_opts()).unwrap();
+        assert!(
+            fig.scaled.effective_rank >= fig.base.effective_rank,
+            "scaled eff.rank {} < base {}",
+            fig.scaled.effective_rank,
+            fig.base.effective_rank
+        );
+        // And the tail carries more relative energy.
+        let tail = |s: &Figure2Series| -> f64 { s.values.iter().skip(5).sum() };
+        assert!(tail(&fig.scaled) >= tail(&fig.base) * 0.99);
+    }
+
+    #[test]
+    fn render_has_header_and_rows() {
+        let fig = run(&tiny_opts()).unwrap();
+        let s = render(&fig);
+        assert!(s.contains("eff.rank"));
+        assert!(s.lines().count() >= 5);
+    }
+}

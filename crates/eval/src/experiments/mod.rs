@@ -1,0 +1,43 @@
+//! Experiment runners, one module per table/figure of the paper.
+
+pub mod figure2;
+pub mod guardband;
+pub mod table1;
+pub mod table2;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error from an experiment run.
+#[derive(Debug)]
+pub struct ExperimentError {
+    message: String,
+}
+
+impl ExperimentError {
+    /// Wraps any displayable cause.
+    pub fn new<E: fmt::Display>(e: E) -> Self {
+        ExperimentError {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "experiment failed: {}", self.message)
+    }
+}
+
+impl Error for ExperimentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_causes() {
+        let e = ExperimentError::new("boom");
+        assert!(e.to_string().contains("boom"));
+    }
+}

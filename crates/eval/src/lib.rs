@@ -1,0 +1,25 @@
+//! Evaluation harness: regenerates every table and figure of the paper.
+//!
+//! * [`suite`] — the ten ISCAS'89-class benchmark configurations with the
+//!   region counts of the paper's tables;
+//! * [`pipeline`] — circuit generation → statistically-critical path
+//!   extraction → linear delay model, the shared front-end of every
+//!   experiment;
+//! * [`metrics`] — seeded, multi-threaded Monte-Carlo evaluation producing
+//!   the paper's `e1` / `e2` error statistics (Section 6);
+//! * [`experiments`] — one module per table/figure: `table1`, `table2`,
+//!   `figure2`, `guardband`;
+//! * [`report`] — plain-text table formatting.
+//!
+//! Each experiment also ships as a binary: `cargo run --release -p
+//! pathrep-eval --bin table1` (and `table2`, `figure2`, `guardband`).
+
+pub mod csv;
+pub mod experiments;
+pub mod metrics;
+pub mod pipeline;
+pub mod report;
+pub mod suite;
+
+pub use pipeline::{prepare, PipelineConfig, PreparedBenchmark};
+pub use suite::{BenchmarkSpec, Suite};

@@ -1,0 +1,353 @@
+//! Monte-Carlo evaluation of a selection (Section 6 of the paper).
+//!
+//! Draws `N` seeded realizations of the variation vector, "measures" the
+//! representative components on each (their exact delays under the linear
+//! model — the paper's own protocol), predicts the remaining target paths,
+//! and reports the paper's error statistics:
+//!
+//! * `ε_i`  — max over samples of the relative error of path `i`,
+//! * `ε̂_i` — mean over samples of the relative error of path `i`,
+//! * `e1`  — average of `ε_i` over the predicted paths,
+//! * `e2`  — average of `ε̂_i` over the predicted paths.
+
+use pathrep_core::hybrid::HybridSelection;
+use pathrep_core::MeasurementPredictor;
+use pathrep_variation::sampler::VariationSampler;
+use pathrep_variation::sensitivity::DelayModel;
+use std::error::Error;
+use std::fmt;
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McConfig {
+    /// Number of samples (the paper uses 10 000).
+    pub n_samples: usize,
+    /// Base RNG seed; worker `t` uses `seed + t`.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            n_samples: 10_000,
+            seed: 99,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// What is measured post-silicon.
+#[derive(Debug, Clone, Copy)]
+pub enum MeasurementPlan<'a> {
+    /// Measure a subset of target paths (exact / approximate selection).
+    Paths {
+        /// Indices of the measured paths.
+        selected: &'a [usize],
+        /// Predictor from measured to remaining paths.
+        predictor: &'a MeasurementPredictor,
+    },
+    /// Measure segments plus a subset of paths (hybrid selection).
+    Hybrid {
+        /// The hybrid selection result.
+        selection: &'a HybridSelection,
+    },
+}
+
+/// The paper's error statistics over the predicted (remaining) paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McMetrics {
+    /// `ε_i` per predicted path.
+    pub per_path_max: Vec<f64>,
+    /// `ε̂_i` per predicted path.
+    pub per_path_avg: Vec<f64>,
+    /// Average of `ε_i` (%: multiply by 100 when reporting).
+    pub e1: f64,
+    /// Average of `ε̂_i`.
+    pub e2: f64,
+}
+
+/// Error from Monte-Carlo evaluation.
+#[derive(Debug)]
+pub struct McError {
+    message: String,
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "monte-carlo evaluation failed: {}", self.message)
+    }
+}
+
+impl Error for McError {}
+
+fn err<E: fmt::Display>(e: E) -> McError {
+    McError {
+        message: e.to_string(),
+    }
+}
+
+/// Runs the Monte-Carlo evaluation of `plan` over `remaining` target paths.
+///
+/// `remaining` must list the indices (into the delay model's target set)
+/// the plan's predictor produces, in the predictor's output order.
+///
+/// # Errors
+///
+/// Returns [`McError`] when shapes disagree or a worker fails.
+pub fn evaluate(
+    dm: &DelayModel,
+    plan: &MeasurementPlan<'_>,
+    remaining: &[usize],
+    config: &McConfig,
+) -> Result<McMetrics, McError> {
+    if config.n_samples == 0 {
+        return Err(err("n_samples must be positive"));
+    }
+    if remaining.is_empty() {
+        return Ok(McMetrics {
+            per_path_max: Vec::new(),
+            per_path_avg: Vec::new(),
+            e1: 0.0,
+            e2: 0.0,
+        });
+    }
+    let threads = config.threads.max(1).min(config.n_samples);
+    let per_worker = config.n_samples.div_ceil(threads);
+    let nr = remaining.len();
+    let results = parking_lot::Mutex::new(Vec::<(Vec<f64>, Vec<f64>, usize)>::new());
+    let first_error = parking_lot::Mutex::new(Option::<String>::None);
+
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let results = &results;
+            let first_error = &first_error;
+            let plan = *plan;
+            scope.spawn(move |_| {
+                let n_here = per_worker.min(config.n_samples.saturating_sub(t * per_worker));
+                if n_here == 0 {
+                    return;
+                }
+                let mut sampler =
+                    VariationSampler::new(dm.variable_count(), config.seed + t as u64);
+                let mut max_err = vec![0.0_f64; nr];
+                let mut sum_err = vec![0.0_f64; nr];
+                for _ in 0..n_here {
+                    let x = sampler.draw();
+                    let d_all = match dm.path_delays(&x) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            *first_error.lock() = Some(e.to_string());
+                            return;
+                        }
+                    };
+                    let prediction = match plan {
+                        MeasurementPlan::Paths {
+                            selected,
+                            predictor,
+                        } => {
+                            let measured: Vec<f64> =
+                                selected.iter().map(|&i| d_all[i]).collect();
+                            predictor.predict(&measured)
+                        }
+                        MeasurementPlan::Hybrid { selection } => {
+                            let d_seg = match dm.segment_delays(&x) {
+                                Ok(d) => d,
+                                Err(e) => {
+                                    *first_error.lock() = Some(e.to_string());
+                                    return;
+                                }
+                            };
+                            let mut measured =
+                                Vec::with_capacity(selection.measurement_count());
+                            measured
+                                .extend(selection.segments.iter().map(|&s| d_seg[s]));
+                            measured.extend(selection.paths.iter().map(|&p| d_all[p]));
+                            selection.predictor.predict(&measured)
+                        }
+                    };
+                    let prediction = match prediction {
+                        Ok(p) => p,
+                        Err(e) => {
+                            *first_error.lock() = Some(e.to_string());
+                            return;
+                        }
+                    };
+                    for (k, &path) in remaining.iter().enumerate() {
+                        let truth = d_all[path];
+                        let rel = (prediction[k] - truth).abs() / truth.abs().max(1e-12);
+                        if rel > max_err[k] {
+                            max_err[k] = rel;
+                        }
+                        sum_err[k] += rel;
+                    }
+                }
+                results.lock().push((max_err, sum_err, n_here));
+            });
+        }
+    })
+    .map_err(|_| err("a monte-carlo worker panicked"))?;
+
+    if let Some(msg) = first_error.into_inner() {
+        return Err(err(msg));
+    }
+    let shards = results.into_inner();
+    let mut per_path_max = vec![0.0_f64; nr];
+    let mut per_path_sum = vec![0.0_f64; nr];
+    let mut total = 0usize;
+    for (mx, sm, n) in shards {
+        for k in 0..nr {
+            per_path_max[k] = per_path_max[k].max(mx[k]);
+            per_path_sum[k] += sm[k];
+        }
+        total += n;
+    }
+    if total != config.n_samples {
+        return Err(err(format!(
+            "worker accounting mismatch: {total} of {} samples",
+            config.n_samples
+        )));
+    }
+    let per_path_avg: Vec<f64> = per_path_sum.iter().map(|s| s / total as f64).collect();
+    let e1 = per_path_max.iter().sum::<f64>() / nr as f64;
+    let e2 = per_path_avg.iter().sum::<f64>() / nr as f64;
+    Ok(McMetrics {
+        per_path_max,
+        per_path_avg,
+        e1,
+        e2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{prepare, PipelineConfig};
+    use crate::suite::BenchmarkSpec;
+    use pathrep_core::exact::exact_select;
+    use pathrep_core::predictor::DEFAULT_KAPPA;
+
+    fn tiny() -> crate::pipeline::PreparedBenchmark {
+        prepare(
+            &BenchmarkSpec {
+                name: "tiny",
+                n_gates: 220,
+                n_inputs: 18,
+                n_outputs: 14,
+                model_levels: 3,
+                seed: 31,
+                            depth: None,
+},
+            &PipelineConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_selection_has_negligible_mc_error() {
+        let pb = tiny();
+        let dm = &pb.delay_model;
+        let sel = exact_select(dm.a(), dm.mu_paths(), DEFAULT_KAPPA).unwrap();
+        if sel.remaining.is_empty() {
+            return; // every path representative: nothing to evaluate
+        }
+        let plan = MeasurementPlan::Paths {
+            selected: &sel.selected,
+            predictor: &sel.predictor,
+        };
+        let cfg = McConfig {
+            n_samples: 200,
+            seed: 5,
+            threads: 2,
+        };
+        let m = evaluate(dm, &plan, &sel.remaining, &cfg).unwrap();
+        assert!(m.e1 < 1e-6, "exact selection e1 = {}", m.e1);
+        assert!(m.e2 <= m.e1);
+    }
+
+    #[test]
+    fn e1_dominates_e2_and_per_path_stats_ordered() {
+        let pb = tiny();
+        let dm = &pb.delay_model;
+        let sel = exact_select(dm.a(), dm.mu_paths(), DEFAULT_KAPPA).unwrap();
+        if sel.remaining.is_empty() {
+            return;
+        }
+        // Deliberately measure only half the representative paths so the
+        // error is non-trivial.
+        let half = &sel.selected[..sel.selected.len().div_ceil(2)];
+        let gram = dm.a().matmul(&dm.a().transpose()).unwrap();
+        let (pred, remaining) =
+            pathrep_core::MeasurementPredictor::from_gram(&gram, dm.mu_paths(), half, 3.0)
+                .unwrap();
+        let plan = MeasurementPlan::Paths {
+            selected: half,
+            predictor: &pred,
+        };
+        let cfg = McConfig {
+            n_samples: 300,
+            seed: 6,
+            threads: 3,
+        };
+        let m = evaluate(dm, &plan, &remaining, &cfg).unwrap();
+        assert!(m.e1 >= m.e2);
+        for (mx, av) in m.per_path_max.iter().zip(m.per_path_avg.iter()) {
+            assert!(mx >= av);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_threads() {
+        let pb = tiny();
+        let dm = &pb.delay_model;
+        let sel = exact_select(dm.a(), dm.mu_paths(), DEFAULT_KAPPA).unwrap();
+        if sel.remaining.is_empty() {
+            return;
+        }
+        let plan = MeasurementPlan::Paths {
+            selected: &sel.selected,
+            predictor: &sel.predictor,
+        };
+        let cfg = McConfig {
+            n_samples: 100,
+            seed: 11,
+            threads: 2,
+        };
+        let a = evaluate(dm, &plan, &sel.remaining, &cfg).unwrap();
+        let b = evaluate(dm, &plan, &sel.remaining, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_remaining_is_trivial() {
+        let pb = tiny();
+        let dm = &pb.delay_model;
+        let sel = exact_select(dm.a(), dm.mu_paths(), DEFAULT_KAPPA).unwrap();
+        let plan = MeasurementPlan::Paths {
+            selected: &sel.selected,
+            predictor: &sel.predictor,
+        };
+        let m = evaluate(dm, &plan, &[], &McConfig::default()).unwrap();
+        assert_eq!(m.e1, 0.0);
+        assert!(m.per_path_max.is_empty());
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let pb = tiny();
+        let dm = &pb.delay_model;
+        let sel = exact_select(dm.a(), dm.mu_paths(), DEFAULT_KAPPA).unwrap();
+        let plan = MeasurementPlan::Paths {
+            selected: &sel.selected,
+            predictor: &sel.predictor,
+        };
+        let cfg = McConfig {
+            n_samples: 0,
+            ..McConfig::default()
+        };
+        assert!(evaluate(dm, &plan, &sel.remaining, &cfg).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Shared experiment front-end: circuit → timing constraint → target-path
+//! extraction → linear delay model.
+
+use crate::suite::BenchmarkSpec;
+use pathrep_circuit::generator::{CircuitGenerator, PlacedCircuit};
+use pathrep_circuit::paths::{decompose_into_segments, Path, SegmentDecomposition};
+use pathrep_ssta::extract::{CriticalPathExtractor, ExtractConfig};
+use pathrep_ssta::yield_est::{monte_carlo_circuit_yield, nominal_circuit_delay};
+use pathrep_variation::model::VariationModel;
+use pathrep_variation::sensitivity::DelayModel;
+use std::error::Error;
+use std::fmt;
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Timing constraint as a fraction of the nominal circuit delay
+    /// (1.0 reproduces Table 1; < 1.0 tightens the constraint so more paths
+    /// become statistically critical, growing `|P_tar|` for Table 2).
+    pub t_cons_factor: f64,
+    /// Path yield-loss threshold as a fraction of the circuit yield loss
+    /// (the paper uses 0.01·(1 − Y)).
+    pub yield_loss_fraction: f64,
+    /// Cap on the extracted path count.
+    pub max_paths: usize,
+    /// Monte-Carlo samples for the circuit-yield estimate.
+    pub yield_samples: usize,
+    /// Seed for the yield estimate.
+    pub seed: u64,
+    /// Multiplier on the per-gate random σ (1.0 = calibrated budget; the
+    /// paper's Figure-2(b)/Table-2 regime grows it, e.g. 3.0).
+    pub random_scale: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            t_cons_factor: 1.0,
+            yield_loss_fraction: 0.01,
+            max_paths: 5_000,
+            yield_samples: 2_000,
+            seed: 7,
+            random_scale: 1.0,
+        }
+    }
+}
+
+/// A benchmark prepared for selection experiments.
+#[derive(Debug)]
+pub struct PreparedBenchmark {
+    /// The generated circuit.
+    pub circuit: PlacedCircuit,
+    /// The variation model in force.
+    pub model: VariationModel,
+    /// Timing constraint (ps).
+    pub t_cons: f64,
+    /// Monte-Carlo circuit timing yield at `t_cons`.
+    pub circuit_yield: f64,
+    /// The extracted target paths.
+    pub paths: Vec<Path>,
+    /// Their segment decomposition.
+    pub decomposition: SegmentDecomposition,
+    /// The linear delay model `d = µ + A·x`.
+    pub delay_model: DelayModel,
+}
+
+impl PreparedBenchmark {
+    /// `|P_tar|`.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// `|G_C|`: gates covered by the target paths.
+    pub fn covered_gate_count(&self) -> usize {
+        self.decomposition.covered_gates().len()
+    }
+
+    /// `|R_C|`: regions covered by the target paths.
+    pub fn covered_region_count(&self) -> usize {
+        self.delay_model.covered_region_count()
+    }
+}
+
+/// Error from pipeline preparation.
+#[derive(Debug)]
+pub struct PrepareError {
+    message: String,
+}
+
+impl fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipeline preparation failed: {}", self.message)
+    }
+}
+
+impl Error for PrepareError {}
+
+fn wrap<E: fmt::Display>(e: E) -> PrepareError {
+    PrepareError {
+        message: e.to_string(),
+    }
+}
+
+/// Runs the full front-end for one benchmark.
+///
+/// # Errors
+///
+/// Returns [`PrepareError`] when generation, extraction or model
+/// construction fails (e.g. no critical path qualifies — tighten
+/// `t_cons_factor`).
+pub fn prepare(
+    spec: &BenchmarkSpec,
+    config: &PipelineConfig,
+) -> Result<PreparedBenchmark, PrepareError> {
+    let circuit = CircuitGenerator::new(spec.generator_config())
+        .generate()
+        .map_err(wrap)?;
+    let model = spec.variation_model().with_random_scale(config.random_scale);
+    prepare_circuit(circuit, model, config)
+}
+
+/// [`prepare`] for an already-generated circuit (used by Figure 2, which
+/// swaps the cell library while keeping topology).
+///
+/// # Errors
+///
+/// Same as [`prepare`].
+pub fn prepare_circuit(
+    circuit: PlacedCircuit,
+    model: VariationModel,
+    config: &PipelineConfig,
+) -> Result<PreparedBenchmark, PrepareError> {
+    let nominal = nominal_circuit_delay(&circuit);
+    let t_cons = nominal * config.t_cons_factor;
+    let circuit_yield = monte_carlo_circuit_yield(
+        &circuit,
+        &model,
+        t_cons,
+        config.yield_samples,
+        config.seed,
+    );
+    // Paper: extract all paths with yield-loss > fraction·(1 − Y).
+    let threshold = (config.yield_loss_fraction * (1.0 - circuit_yield)).max(1e-9);
+    let extract_cfg =
+        ExtractConfig::new(t_cons, threshold).with_max_paths(config.max_paths);
+    let extracted = CriticalPathExtractor::new(&circuit, &model, extract_cfg).extract();
+    if extracted.is_empty() {
+        return Err(PrepareError {
+            message: format!(
+                "no statistically-critical paths at t_cons {t_cons:.1} ps \
+                 (yield {circuit_yield:.3}, threshold {threshold:.2e})"
+            ),
+        });
+    }
+    let paths: Vec<Path> = extracted.into_iter().map(|e| e.path).collect();
+    let decomposition = decompose_into_segments(&paths).map_err(wrap)?;
+    let delay_model =
+        DelayModel::build(&circuit, &paths, &decomposition, &model).map_err(wrap)?;
+    Ok(PreparedBenchmark {
+        circuit,
+        model,
+        t_cons,
+        circuit_yield,
+        paths,
+        decomposition,
+        delay_model,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::BenchmarkSpec;
+
+    fn tiny_spec() -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: "tiny",
+            n_gates: 250,
+            n_inputs: 20,
+            n_outputs: 16,
+            model_levels: 3,
+            seed: 12,
+                        depth: None,
+}
+    }
+
+    #[test]
+    fn prepare_produces_consistent_model() {
+        let pb = prepare(&tiny_spec(), &PipelineConfig::default()).unwrap();
+        assert!(pb.path_count() >= 1);
+        assert_eq!(pb.delay_model.a().nrows(), pb.path_count());
+        assert_eq!(
+            pb.delay_model.g().ncols(),
+            pb.decomposition.segment_count()
+        );
+        assert!(pb.covered_gate_count() <= 250);
+        assert!(pb.covered_region_count() <= 21);
+        assert!(pb.t_cons > 0.0);
+        assert!((0.0..=1.0).contains(&pb.circuit_yield));
+    }
+
+    #[test]
+    fn tighter_constraint_grows_path_pool() {
+        let base = prepare(&tiny_spec(), &PipelineConfig::default()).unwrap();
+        let tight = prepare(
+            &tiny_spec(),
+            &PipelineConfig {
+                t_cons_factor: 0.95,
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            tight.path_count() >= base.path_count(),
+            "tightening T_cons must not shrink |P_tar| ({} vs {})",
+            tight.path_count(),
+            base.path_count()
+        );
+    }
+
+    #[test]
+    fn rank_bounded_by_segment_count() {
+        // Lemma 1: rank(A) ≤ n_S.
+        let pb = prepare(&tiny_spec(), &PipelineConfig::default()).unwrap();
+        let svd = pathrep_linalg::svd::Svd::compute(pb.delay_model.a()).unwrap();
+        assert!(svd.rank(1e-9) <= pb.decomposition.segment_count());
+    }
+
+    #[test]
+    fn determinism() {
+        let a = prepare(&tiny_spec(), &PipelineConfig::default()).unwrap();
+        let b = prepare(&tiny_spec(), &PipelineConfig::default()).unwrap();
+        assert_eq!(a.path_count(), b.path_count());
+        assert_eq!(a.t_cons, b.t_cons);
+        assert!(a.delay_model.a().approx_eq(b.delay_model.a(), 0.0));
+    }
+}

@@ -1,0 +1,382 @@
+//! Symmetric eigendecomposition (Householder tridiagonalization + implicit
+//! QL with Wilkinson shifts).
+//!
+//! Used by the convex-optimization substrate: projecting onto the
+//! ellipsoidal worst-case-error constraint sets requires the
+//! eigendecomposition of the segment-delay covariance matrix.
+
+use crate::vecops::pythag;
+use crate::{LinalgError, Matrix, Result};
+
+/// Maximum QL iterations per eigenvalue.
+const MAX_ITERS: usize = 60;
+
+/// Eigendecomposition `A = Q·diag(λ)·Qᵀ` of a symmetric matrix.
+///
+/// Eigenvalues are returned in **non-increasing** order with matching
+/// eigenvector columns.
+///
+/// # Example
+///
+/// ```
+/// use pathrep_linalg::{Matrix, eig::SymmetricEig};
+///
+/// # fn main() -> Result<(), pathrep_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let eig = SymmetricEig::compute(&a)?;
+/// assert!((eig.values()[0] - 3.0).abs() < 1e-12);
+/// assert!((eig.values()[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEig {
+    values: Vec<f64>,
+    vectors: Matrix,
+}
+
+impl SymmetricEig {
+    /// Computes the eigendecomposition of a symmetric matrix. Symmetry is
+    /// enforced by averaging `a` with its transpose, so mild asymmetry from
+    /// rounding is tolerated.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] / [`LinalgError::Empty`] on bad shapes.
+    /// * [`LinalgError::NoConvergence`] if the QL iteration stalls.
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        if a.nrows() == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.nrows();
+        // Symmetrize.
+        let mut z = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let mut d = vec![0.0; n];
+        let mut e = vec![0.0; n];
+        tred2(&mut z, &mut d, &mut e);
+        tql2(&mut z, &mut d, &mut e)?;
+        // Sort in non-increasing order.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).unwrap_or(std::cmp::Ordering::Equal));
+        let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+        let vectors = z.select_cols(&order);
+        Ok(SymmetricEig { values, vectors })
+    }
+
+    /// Eigenvalues in non-increasing order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Orthonormal eigenvectors, one per column, matching [`values`].
+    ///
+    /// [`values`]: SymmetricEig::values
+    pub fn vectors(&self) -> &Matrix {
+        &self.vectors
+    }
+
+    /// Rebuilds `Q·diag(λ)·Qᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors cannot occur for a decomposition built by
+    /// [`SymmetricEig::compute`]; the `Result` mirrors [`Matrix::matmul`].
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let n = self.values.len();
+        let mut qd = self.vectors.clone();
+        for j in 0..n {
+            for i in 0..n {
+                qd[(i, j)] *= self.values[j];
+            }
+        }
+        qd.matmul(&self.vectors.transpose())
+    }
+}
+
+/// Householder reduction of a symmetric matrix to tridiagonal form with
+/// accumulated transformations (EISPACK `tred2`, 0-indexed).
+#[allow(clippy::needless_range_loop)]
+fn tred2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    if n == 1 {
+        d[0] = z[(0, 0)];
+        z[(0, 0)] = 1.0;
+        e[0] = 0.0;
+        return;
+    }
+    for j in 0..n {
+        d[j] = z[(n - 1, j)];
+    }
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        let mut scale = 0.0;
+        if l > 0 {
+            for k in 0..=l {
+                scale += d[k].abs();
+            }
+        }
+        if scale == 0.0 {
+            e[i] = if l > 0 { d[l] } else { d[0] };
+            for j in 0..=l {
+                d[j] = z[(l, j)];
+                z[(i, j)] = 0.0;
+                z[(j, i)] = 0.0;
+            }
+        } else {
+            for k in 0..=l {
+                d[k] /= scale;
+                h += d[k] * d[k];
+            }
+            let mut f = d[l];
+            let mut g = if f > 0.0 { -h.sqrt() } else { h.sqrt() };
+            e[i] = scale * g;
+            h -= f * g;
+            d[l] = f - g;
+            for j in 0..=l {
+                e[j] = 0.0;
+            }
+            // Apply the similarity transformation to the remaining rows.
+            for j in 0..=l {
+                f = d[j];
+                z[(j, i)] = f;
+                g = e[j] + z[(j, j)] * f;
+                for k in (j + 1)..=l {
+                    g += z[(k, j)] * d[k];
+                    e[k] += z[(k, j)] * f;
+                }
+                e[j] = g;
+            }
+            f = 0.0;
+            for j in 0..=l {
+                e[j] /= h;
+                f += e[j] * d[j];
+            }
+            let hh = f / (h + h);
+            for j in 0..=l {
+                e[j] -= hh * d[j];
+            }
+            for j in 0..=l {
+                f = d[j];
+                g = e[j];
+                for k in j..=l {
+                    let dk = d[k];
+                    let ek = e[k];
+                    z[(k, j)] -= f * ek + g * dk;
+                }
+                d[j] = z[(l, j)];
+                z[(i, j)] = 0.0;
+            }
+        }
+        d[i] = h;
+    }
+    // Accumulate the transformations.
+    for i in 0..(n - 1) {
+        z[(n - 1, i)] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        let h = d[i + 1];
+        if h != 0.0 {
+            for k in 0..=i {
+                d[k] = z[(k, i + 1)] / h;
+            }
+            for j in 0..=i {
+                let mut g = 0.0;
+                for k in 0..=i {
+                    g += z[(k, i + 1)] * z[(k, j)];
+                }
+                for k in 0..=i {
+                    let dk = d[k];
+                    z[(k, j)] -= g * dk;
+                }
+            }
+        }
+        for k in 0..=i {
+            z[(k, i + 1)] = 0.0;
+        }
+    }
+    for j in 0..n {
+        d[j] = z[(n - 1, j)];
+        z[(n - 1, j)] = 0.0;
+    }
+    z[(n - 1, n - 1)] = 1.0;
+    e[0] = 0.0;
+}
+
+/// Implicit QL with Wilkinson shifts on a symmetric tridiagonal matrix
+/// (EISPACK `tql2`, 0-indexed), updating the accumulated transformations.
+#[allow(clippy::needless_range_loop)]
+fn tql2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<()> {
+    let n = d.len();
+    if n == 1 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    let mut f = 0.0_f64;
+    let mut tst1 = 0.0_f64;
+    let eps = f64::EPSILON;
+    for l in 0..n {
+        tst1 = tst1.max(d[l].abs() + e[l].abs());
+        let mut m = l;
+        while m < n {
+            if e[m].abs() <= eps * tst1 {
+                break;
+            }
+            m += 1;
+        }
+        if m == n {
+            m = n - 1;
+        }
+        if m > l {
+            let mut iter = 0;
+            loop {
+                iter += 1;
+                if iter > MAX_ITERS {
+                    return Err(LinalgError::NoConvergence {
+                        routine: "tql2",
+                        iterations: MAX_ITERS,
+                    });
+                }
+                // Wilkinson shift.
+                let g = d[l];
+                let mut p = (d[l + 1] - g) / (2.0 * e[l]);
+                let mut r = pythag(p, 1.0);
+                if p < 0.0 {
+                    r = -r;
+                }
+                d[l] = e[l] / (p + r);
+                d[l + 1] = e[l] * (p + r);
+                let dl1 = d[l + 1];
+                let mut h = g - d[l];
+                for i in (l + 2)..n {
+                    d[i] -= h;
+                }
+                f += h;
+                // Implicit QL sweep.
+                p = d[m];
+                let mut c = 1.0_f64;
+                let mut c2 = c;
+                let mut c3 = c;
+                let el1 = e[l + 1];
+                let mut s = 0.0_f64;
+                let mut s2 = 0.0_f64;
+                for i in (l..m).rev() {
+                    c3 = c2;
+                    c2 = c;
+                    s2 = s;
+                    let g2 = c * e[i];
+                    h = c * p;
+                    r = pythag(p, e[i]);
+                    e[i + 1] = s * r;
+                    s = e[i] / r;
+                    c = p / r;
+                    p = c * d[i] - s * g2;
+                    d[i + 1] = h + s * (c * g2 + s * d[i]);
+                    for k in 0..n {
+                        let hz = z[(k, i + 1)];
+                        z[(k, i + 1)] = s * z[(k, i)] + c * hz;
+                        z[(k, i)] = c * z[(k, i)] - s * hz;
+                    }
+                }
+                p = -s * s2 * c3 * el1 * e[l] / dl1;
+                e[l] = s * p;
+                d[l] = c * p;
+                if e[l].abs() <= eps * tst1 {
+                    break;
+                }
+            }
+        }
+        d[l] += f;
+        e[l] = 0.0;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_eig(a: &Matrix, tol: f64) {
+        let eig = SymmetricEig::compute(a).unwrap();
+        assert!(eig.reconstruct().unwrap().approx_eq(a, tol));
+        let q = eig.vectors();
+        let qtq = q.transpose().matmul(q).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(a.nrows()), tol));
+        let vals = eig.values();
+        for i in 1..vals.len() {
+            assert!(vals[i] <= vals[i - 1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let eig = SymmetricEig::compute(&a).unwrap();
+        assert!((eig.values()[0] - 3.0).abs() < 1e-12);
+        assert!((eig.values()[1] - 1.0).abs() < 1e-12);
+        check_eig(&a, 1e-12);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[&[5.0]]).unwrap();
+        let eig = SymmetricEig::compute(&a).unwrap();
+        assert_eq!(eig.values(), &[5.0]);
+        check_eig(&a, 1e-15);
+    }
+
+    #[test]
+    fn diagonal_values_pass_through() {
+        let a = Matrix::from_diag(&[-1.0, 4.0, 2.0]);
+        let eig = SymmetricEig::compute(&a).unwrap();
+        assert!((eig.values()[0] - 4.0).abs() < 1e-12);
+        assert!((eig.values()[1] - 2.0).abs() < 1e-12);
+        assert!((eig.values()[2] + 1.0).abs() < 1e-12);
+        check_eig(&a, 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 25;
+        let b = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let a = b.add(&b.transpose()).unwrap().scale(0.5);
+        check_eig(&a, 1e-9);
+    }
+
+    #[test]
+    fn psd_gram_matrix_has_nonnegative_values() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let b = Matrix::from_fn(10, 6, |_, _| rng.gen_range(-1.0..1.0));
+        let a = b.transpose().matmul(&b).unwrap();
+        let eig = SymmetricEig::compute(&a).unwrap();
+        for &v in eig.values() {
+            assert!(v > -1e-10, "Gram matrix eigenvalue {v} must be >= 0");
+        }
+        check_eig(&a, 1e-9);
+    }
+
+    #[test]
+    fn eigenvalue_sum_is_trace() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let b = Matrix::from_fn(12, 12, |_, _| rng.gen_range(-2.0..2.0));
+        let a = b.add(&b.transpose()).unwrap().scale(0.5);
+        let eig = SymmetricEig::compute(&a).unwrap();
+        let sum: f64 = eig.values().iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(SymmetricEig::compute(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Error returned by the factorizations and solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (e.g. multiplying a 3×2 by a 3×3).
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix that must be square is not.
+    NotSquare {
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// A matrix expected to be non-empty has zero rows or columns.
+    Empty,
+    /// The matrix is singular (or numerically singular) where a regular one
+    /// is required.
+    Singular,
+    /// Cholesky failed: the matrix is not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Leading minor index at which the failure occurred (0-based).
+        minor: usize,
+    },
+    /// An iterative routine did not converge within its iteration budget.
+    NoConvergence {
+        /// The routine that failed.
+        routine: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was out of its valid domain (probability not in (0,1), a
+    /// negative tolerance, ...).
+    InvalidArgument {
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Empty => write!(f, "matrix must be non-empty"),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotPositiveDefinite { minor } => write!(
+                f,
+                "matrix is not positive definite (failure at leading minor {minor})"
+            ),
+            LinalgError::NoConvergence {
+                routine,
+                iterations,
+            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            LinalgError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (3, 2),
+            rhs: (3, 3),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("3x2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(LinalgError::Singular);
+        assert_eq!(e.to_string(), "matrix is singular");
+    }
+}

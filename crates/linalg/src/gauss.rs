@@ -1,0 +1,229 @@
+//! Gaussian sampling and tail statistics.
+//!
+//! The paper assumes all process variables are iid standard normal; path
+//! yields and worst-case bounds come from the Gaussian CDF and its inverse.
+
+use rand::Rng;
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+///
+/// Uses both uniforms of one Box–Muller pair lazily is unnecessary here; the
+/// Monte-Carlo loops in `pathrep-eval` draw millions of values, and the
+/// simple polar-free form keeps the stream reproducible across refactors.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard the log against u1 == 0.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fills `out` with iid standard-normal samples.
+pub fn fill_standard_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    for x in out.iter_mut() {
+        *x = sample_standard_normal(rng);
+    }
+}
+
+/// Standard normal probability density.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution Φ(x), accurate to ~1e-15 via the
+/// complementary error function.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function.
+///
+/// Near zero uses the Maclaurin series of `erf`; elsewhere a Chebyshev
+/// rational fit (absolute error below ~1.2e-7, ample for yield and
+/// guard-band computations, which tolerate far coarser probabilities).
+pub fn erfc(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax < 0.5 {
+        return 1.0 - erf_series(x);
+    }
+    let e = (-ax * ax).exp();
+    let t = 1.0 / (1.0 + 0.5 * ax);
+    let tau = t
+        * (-1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp()
+        * e;
+    if x >= 0.0 {
+        tau
+    } else {
+        2.0 - tau
+    }
+}
+
+/// Error function via its Maclaurin series, adequate for `|x| < 0.5`.
+fn erf_series(x: f64) -> f64 {
+    let mut term = x;
+    let mut sum = x;
+    let x2 = x * x;
+    for n in 1..40 {
+        term *= -x2 / n as f64;
+        let add = term / (2 * n + 1) as f64;
+        sum += add;
+        if add.abs() < 1e-18 * sum.abs().max(1e-300) {
+            break;
+        }
+    }
+    2.0 / std::f64::consts::PI.sqrt() * sum
+}
+
+/// Inverse of the standard normal CDF (the probit function), computed with
+/// the Acklam rational approximation refined by one Halley step — relative
+/// error below 1e-13 over (0, 1).
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must lie strictly in (0,1)");
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // Halley refinement.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((normal_cdf(1.0) - 0.841_344_746_068_543).abs() < 1e-7);
+        assert!((normal_cdf(-1.0) - 0.158_655_253_931_457).abs() < 1e-7);
+        assert!((normal_cdf(3.0) - 0.998_650_101_968_370).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_symmetric() {
+        let xs = [-4.0, -2.0, -1.0, -0.3, 0.0, 0.3, 1.0, 2.0, 4.0];
+        for w in xs.windows(2) {
+            assert!(normal_cdf(w[0]) < normal_cdf(w[1]));
+        }
+        for &x in &xs {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = normal_quantile(p);
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-7,
+                "probit round-trip failed at p={p}"
+            );
+        }
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly in (0,1)")]
+    fn quantile_rejects_bounds() {
+        let _ = normal_quantile(0.0);
+    }
+
+    #[test]
+    fn samples_have_right_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = sample_standard_normal(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.02, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn fill_matches_single_draws() {
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(5);
+        let mut buf = vec![0.0; 8];
+        fill_standard_normal(&mut rng1, &mut buf);
+        for &b in &buf {
+            assert_eq!(b, sample_standard_normal(&mut rng2));
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_roughly() {
+        // Trapezoid over [-8, 8].
+        let n = 4000;
+        let h = 16.0 / n as f64;
+        let mut acc = 0.0;
+        for i in 0..=n {
+            let x = -8.0 + i as f64 * h;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            acc += w * normal_pdf(x);
+        }
+        assert!((acc * h - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,50 @@
+//! Dense numerical linear algebra for the `pathrep` workspace.
+//!
+//! This crate implements, from scratch, every matrix computation the
+//! representative-path-selection method of Xie & Davoodi (DAC 2010) relies on:
+//!
+//! * a dense row-major [`Matrix`] type with the usual arithmetic,
+//! * LU with partial pivoting ([`lu`]), Cholesky ([`cholesky`]),
+//! * Householder QR and **rank-revealing QR with column pivoting**
+//!   ([`qr`]) — the subset-selection workhorse of the paper's Algorithm 2,
+//! * the **Golub–Reinsch SVD** ([`svd`]) used for rank and *effective rank*,
+//! * symmetric eigendecomposition ([`eig`]) used by the convex solver's
+//!   ellipsoid projections,
+//! * least squares and the Moore–Penrose pseudo-inverse ([`lstsq`]),
+//! * Gaussian sampling and tail statistics ([`gauss`]).
+//!
+//! # Example
+//!
+//! ```
+//! use pathrep_linalg::{Matrix, svd::Svd};
+//!
+//! # fn main() -> Result<(), pathrep_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]])?;
+//! let svd = Svd::compute(&a)?;
+//! assert!((svd.singular_values()[0] - 3.0).abs() < 1e-12);
+//! assert_eq!(svd.rank(1e-9), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+// Indexed loops are the clearest form for the triangular-solve and
+// factorization kernels in this crate; iterator adapters obscure the
+// in-place update patterns.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cholesky;
+pub mod eig;
+pub mod error;
+pub mod gauss;
+pub mod lstsq;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod svd;
+pub mod vecops;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

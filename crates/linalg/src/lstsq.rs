@@ -1,0 +1,140 @@
+//! Least-squares solvers and the pseudo-inverse convenience API.
+
+use crate::cholesky::Cholesky;
+use crate::qr::Qr;
+use crate::svd::Svd;
+use crate::{LinalgError, Matrix, Result};
+
+/// Solves `min ‖A x − b‖₂` by Householder QR (requires `m ≥ n` and full
+/// column rank).
+///
+/// # Errors
+///
+/// * [`LinalgError::InvalidArgument`] when `m < n` (use
+///   [`solve_least_squares_svd`] instead).
+/// * [`LinalgError::Singular`] when `A` is column-rank deficient.
+///
+/// # Example
+///
+/// ```
+/// use pathrep_linalg::{Matrix, lstsq};
+///
+/// # fn main() -> Result<(), pathrep_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]])?;
+/// let x = lstsq::solve_least_squares(&a, &[1.0, 1.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::compute(a)?.solve_least_squares(b)
+}
+
+/// Minimum-norm least-squares solution via the SVD pseudo-inverse; handles
+/// any shape and rank. Singular values below `tol · s_max` are discarded.
+///
+/// # Errors
+///
+/// Propagates SVD errors ([`LinalgError::Empty`],
+/// [`LinalgError::NoConvergence`]) and shape mismatches.
+pub fn solve_least_squares_svd(a: &Matrix, b: &[f64], tol: f64) -> Result<Vec<f64>> {
+    let svd = Svd::compute(a)?;
+    svd.pseudo_inverse(tol)?.matvec(b)
+}
+
+/// Moore–Penrose pseudo-inverse with relative cutoff `tol`.
+///
+/// # Errors
+///
+/// Propagates SVD errors.
+pub fn pseudo_inverse(a: &Matrix, tol: f64) -> Result<Matrix> {
+    Svd::compute(a)?.pseudo_inverse(tol)
+}
+
+/// Solves the regularized normal equations `(AᵀA + λI) x = Aᵀ b`
+/// (ridge regression). `λ > 0` guarantees a unique solution for any `A`.
+///
+/// # Errors
+///
+/// * [`LinalgError::InvalidArgument`] when `lambda < 0`.
+/// * Propagates Cholesky errors if `lambda == 0` and `AᵀA` is singular.
+pub fn solve_ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if lambda < 0.0 {
+        return Err(LinalgError::InvalidArgument {
+            what: "ridge parameter lambda must be non-negative",
+        });
+    }
+    let mut gram = a.transpose().matmul(a)?;
+    for i in 0..gram.nrows() {
+        gram[(i, i)] += lambda;
+    }
+    let atb = a.matvec_t(b)?;
+    Cholesky::compute(&gram)?.solve(&atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_and_svd_agree_on_full_rank() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[0.0, 1.0],
+            &[1.0, 0.0],
+            &[2.0, 1.0],
+        ])
+        .unwrap();
+        let b = [1.0, -1.0, 0.5, 2.0];
+        let x1 = solve_least_squares(&a, &b).unwrap();
+        let x2 = solve_least_squares_svd(&a, &b, 1e-12).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn svd_handles_rank_deficiency_with_min_norm() {
+        // Columns identical: the min-norm solution splits the weight evenly.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let x = solve_least_squares_svd(&a, &[2.0, 2.0], 1e-12).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ridge_shrinks_solution() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let x0 = solve_ridge(&a, &[1.0, 1.0], 0.0).unwrap();
+        let x1 = solve_ridge(&a, &[1.0, 1.0], 1.0).unwrap();
+        assert!((x0[0] - 1.0).abs() < 1e-12);
+        assert!((x1[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_rejects_negative_lambda() {
+        let a = Matrix::identity(2);
+        assert!(solve_ridge(&a, &[1.0, 1.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn underdetermined_requires_svd_route() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0, 0.0]]).unwrap();
+        assert!(solve_least_squares(&a, &[1.0]).is_err());
+        let x = solve_least_squares_svd(&a, &[1.0], 1e-12).unwrap();
+        let r = a.matvec(&x).unwrap();
+        assert!((r[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pseudo_inverse_shape() {
+        let a = Matrix::zeros(3, 5);
+        let p = pseudo_inverse(
+            &Matrix::from_fn(3, 5, |i, j| (i + j) as f64),
+            1e-12,
+        )
+        .unwrap();
+        assert_eq!(p.shape(), (5, 3));
+        let _ = a;
+    }
+}

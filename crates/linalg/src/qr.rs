@@ -1,0 +1,391 @@
+//! Householder QR factorization, with and without column pivoting.
+//!
+//! QR with column pivoting (Businger–Golub) is the subset-selection engine of
+//! the paper's Algorithm 2: applied to `U_rᵀ` (the leading right factor of
+//! the SVD), the first `r` pivot columns identify the `r` most linearly
+//! independent rows of `A`, i.e. the representative paths.
+
+use crate::vecops;
+use crate::{LinalgError, Matrix, Result};
+
+/// Householder QR factorization `A·P = Q·R` (P = identity when unpivoted).
+///
+/// # Example
+///
+/// ```
+/// use pathrep_linalg::{Matrix, qr::Qr};
+///
+/// # fn main() -> Result<(), pathrep_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]])?;
+/// let qr = Qr::compute(&a)?;
+/// let back = qr.q_thin().matmul(&qr.r())?;
+/// assert!(back.approx_eq(&a, 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorization: R in the upper triangle, Householder vectors
+    /// (with implicit unit first entry) below the diagonal.
+    qr: Matrix,
+    /// Householder scalars β_k such that H_k = I − β_k v vᵀ.
+    betas: Vec<f64>,
+    /// Column permutation: `perm[k]` is the original column index placed at
+    /// position `k`.
+    perm: Vec<usize>,
+}
+
+impl Qr {
+    /// Factors `a` without pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty matrix.
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        Self::factor(a, false)
+    }
+
+    /// Factors `a` with Businger–Golub column pivoting, producing a
+    /// rank-revealing factorization: `|r_00| ≥ |r_11| ≥ …`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty matrix.
+    pub fn compute_pivoted(a: &Matrix) -> Result<Self> {
+        Self::factor(a, true)
+    }
+
+    fn factor(a: &Matrix, pivot: bool) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut qr = a.clone();
+        let kmax = m.min(n);
+        let mut betas = vec![0.0; kmax];
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        // Squared column norms for pivot choice, down-dated as we go.
+        let mut colnorm2: Vec<f64> = (0..n)
+            .map(|j| (0..m).map(|i| qr[(i, j)] * qr[(i, j)]).sum())
+            .collect();
+        let colnorm2_orig = colnorm2.clone();
+
+        for k in 0..kmax {
+            if pivot {
+                // Pick the remaining column with the largest residual norm.
+                let (pj, &max) = colnorm2[k..]
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(off, v)| (k + off, v))
+                    .expect("non-empty slice");
+                // Guard against down-dating drift: recompute when the running
+                // value has decayed far below the original.
+                if max <= 1e-14 * colnorm2_orig[perm[pj]].max(1.0) {
+                    for j in k..n {
+                        colnorm2[j] = (k..m).map(|i| qr[(i, j)] * qr[(i, j)]).sum();
+                    }
+                }
+                let (pj, _) = colnorm2[k..]
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(off, v)| (k + off, v))
+                    .expect("non-empty slice");
+                if pj != k {
+                    for i in 0..m {
+                        let t = qr[(i, k)];
+                        qr[(i, k)] = qr[(i, pj)];
+                        qr[(i, pj)] = t;
+                    }
+                    colnorm2.swap(k, pj);
+                    perm.swap(k, pj);
+                }
+            }
+
+            // Build the Householder reflector for column k.
+            let normx = {
+                let col: Vec<f64> = (k..m).map(|i| qr[(i, k)]).collect();
+                vecops::norm2(&col)
+            };
+            if normx == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -normx } else { normx };
+            let v0 = qr[(k, k)] - alpha;
+            // Normalize so the first component of v is implicitly 1.
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            betas[k] = -v0 / alpha;
+            qr[(k, k)] = alpha;
+
+            // Apply H_k to the trailing columns.
+            for j in (k + 1)..n {
+                let mut s = qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= betas[k];
+                qr[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+
+            if pivot {
+                // Down-date residual column norms.
+                for j in (k + 1)..n {
+                    let r = qr[(k, j)];
+                    colnorm2[j] = (colnorm2[j] - r * r).max(0.0);
+                }
+            }
+        }
+        Ok(Qr { qr, betas, perm })
+    }
+
+    /// The upper-triangular factor `R` (`min(m,n)` × `n`).
+    pub fn r(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let k = m.min(n);
+        Matrix::from_fn(k, n, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+
+    /// The thin orthogonal factor `Q` (`m` × `min(m,n)`).
+    pub fn q_thin(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let k = m.min(n);
+        let mut q = Matrix::from_fn(m, k, |i, j| if i == j { 1.0 } else { 0.0 });
+        // Apply H_0 … H_{k-1} to the identity, in reverse.
+        for h in (0..k).rev() {
+            if self.betas[h] == 0.0 {
+                continue;
+            }
+            for j in 0..k {
+                let mut s = q[(h, j)];
+                for i in (h + 1)..m {
+                    s += self.qr[(i, h)] * q[(i, j)];
+                }
+                s *= self.betas[h];
+                q[(h, j)] -= s;
+                for i in (h + 1)..m {
+                    let vih = self.qr[(i, h)];
+                    q[(i, j)] -= s * vih;
+                }
+            }
+        }
+        q
+    }
+
+    /// The column permutation. `perm()[k]` is the original index of the
+    /// column standing at position `k` of the factored matrix. For the
+    /// unpivoted factorization this is the identity.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Numerical rank from the diagonal of R: the count of `|r_kk|` above
+    /// `tol * |r_00|`. Only meaningful for the *pivoted* factorization.
+    pub fn rank(&self, tol: f64) -> usize {
+        let k = self.qr.nrows().min(self.qr.ncols());
+        if k == 0 {
+            return 0;
+        }
+        let r00 = self.qr[(0, 0)].abs();
+        if r00 == 0.0 {
+            return 0;
+        }
+        (0..k)
+            .take_while(|&i| self.qr[(i, i)].abs() > tol * r00)
+            .count()
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`, in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.len() != m`.
+    pub fn apply_qt(&self, b: &mut [f64]) -> Result<()> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "apply_qt",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let k = m.min(n);
+        for h in 0..k {
+            if self.betas[h] == 0.0 {
+                continue;
+            }
+            let mut s = b[h];
+            for i in (h + 1)..m {
+                s += self.qr[(i, h)] * b[i];
+            }
+            s *= self.betas[h];
+            b[h] -= s;
+            for i in (h + 1)..m {
+                b[i] -= s * self.qr[(i, h)];
+            }
+        }
+        Ok(())
+    }
+
+    /// Least-squares solution of `min ‖A x − b‖₂` for full-column-rank `A`.
+    ///
+    /// Accounts for the column permutation, returning `x` in the original
+    /// column order.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] on a wrong-length `b`.
+    /// * [`LinalgError::Singular`] when `R` has a (numerically) zero diagonal.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if m < n {
+            return Err(LinalgError::InvalidArgument {
+                what: "least squares requires m >= n; use the SVD pseudo-inverse otherwise",
+            });
+        }
+        let mut qtb = b.to_vec();
+        self.apply_qt(&mut qtb)?;
+        let mut y = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = qtb[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * y[j];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            y[i] = s / d;
+        }
+        // Undo the permutation: y answers the permuted system.
+        let mut x = vec![0.0; n];
+        for (k, &orig) in self.perm.iter().enumerate() {
+            x[orig] = y[k];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, -1.0, 4.0],
+            &[1.0, 4.0, -2.0],
+            &[1.0, 4.0, 2.0],
+            &[1.0, -1.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn reconstruction_unpivoted() {
+        let a = tall();
+        let qr = Qr::compute(&a).unwrap();
+        let back = qr.q_thin().matmul(&qr.r()).unwrap();
+        assert!(back.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = tall();
+        let q = Qr::compute(&a).unwrap().q_thin();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn reconstruction_pivoted() {
+        let a = tall();
+        let qr = Qr::compute_pivoted(&a).unwrap();
+        let ap = a.select_cols(qr.perm());
+        let back = qr.q_thin().matmul(&qr.r()).unwrap();
+        assert!(back.approx_eq(&ap, 1e-12));
+    }
+
+    #[test]
+    fn pivoted_diagonal_is_nonincreasing() {
+        let a = Matrix::from_rows(&[
+            &[1e-6, 5.0, 1.0],
+            &[2e-6, -3.0, 2.0],
+            &[1e-6, 1.0, 7.0],
+        ])
+        .unwrap();
+        let qr = Qr::compute_pivoted(&a).unwrap();
+        let r = qr.r();
+        for i in 1..3 {
+            assert!(
+                r[(i, i)].abs() <= r[(i - 1, i - 1)].abs() + 1e-12,
+                "diagonal must be non-increasing"
+            );
+        }
+        // The tiny first column must be pivoted last.
+        assert_eq!(qr.perm()[2], 0);
+    }
+
+    #[test]
+    fn rank_detects_deficiency() {
+        // Third column = first + second.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 1.0, 2.0],
+            &[2.0, 1.0, 3.0],
+        ])
+        .unwrap();
+        let qr = Qr::compute_pivoted(&a).unwrap();
+        assert_eq!(qr.rank(1e-10), 2);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = tall();
+        let b = [2.0, 1.0, 0.0, -1.0];
+        let x = Qr::compute(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Residual must be orthogonal to the column space: Aᵀ(Ax − b) = 0.
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(b.iter()).map(|(&p, &q)| p - q).collect();
+        let g = a.matvec_t(&resid).unwrap();
+        for gi in g {
+            assert!(gi.abs() < 1e-10, "normal equations violated: {gi}");
+        }
+    }
+
+    #[test]
+    fn least_squares_with_pivoting_returns_original_order() {
+        let a = tall();
+        let b = [2.0, 1.0, 0.0, -1.0];
+        let x0 = Qr::compute(&a).unwrap().solve_least_squares(&b).unwrap();
+        let x1 = Qr::compute_pivoted(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
+        for (u, v) in x0.iter().zip(x1.iter()) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Qr::compute(&Matrix::zeros(0, 3)).is_err());
+    }
+
+    #[test]
+    fn wide_matrix_factors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let qr = Qr::compute_pivoted(&a).unwrap();
+        let ap = a.select_cols(qr.perm());
+        let back = qr.q_thin().matmul(&qr.r()).unwrap();
+        assert!(back.approx_eq(&ap, 1e-12));
+    }
+}

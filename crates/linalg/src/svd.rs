@@ -1,0 +1,624 @@
+//! Singular value decomposition (Golub–Reinsch) and the *effective rank*.
+//!
+//! The paper's approximate selection (Section 4.2) is driven by the singular
+//! value spectrum of the sensitivity matrix `A`: the **effective rank** is
+//! the index at which the cumulative singular-value energy reaches
+//! `(1 − η)` of the total, and it lower-bounds how few representative paths
+//! can predict the rest within tolerance.
+
+use crate::vecops::pythag;
+use crate::{LinalgError, Matrix, Result};
+
+/// Maximum implicit-QR sweeps per singular value before giving up.
+const MAX_SWEEPS: usize = 75;
+
+/// Thin singular value decomposition `A = U·diag(s)·Vᵀ`.
+///
+/// For an `m`×`n` input with `k = min(m, n)`, `U` is `m`×`k`, `s` has `k`
+/// non-negative entries sorted in non-increasing order, and `V` is `n`×`k`.
+///
+/// # Example
+///
+/// ```
+/// use pathrep_linalg::{Matrix, svd::Svd};
+///
+/// # fn main() -> Result<(), pathrep_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]])?;
+/// let svd = Svd::compute(&a)?;
+/// assert!(svd.reconstruct()?.approx_eq(&a, 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Svd {
+    u: Matrix,
+    s: Vec<f64>,
+    v: Matrix,
+}
+
+impl Svd {
+    /// Computes the thin SVD of `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] for an empty matrix.
+    /// * [`LinalgError::NoConvergence`] if the implicit-QR phase exceeds its
+    ///   sweep budget (never observed on finite input).
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if m >= n {
+            let (u, s, v) = golub_reinsch(a)?;
+            Ok(Svd { u, s, v })
+        } else {
+            // SVD(Aᵀ) = V Σ Uᵀ  ⇒  swap the factors.
+            let (v, s, u) = golub_reinsch(&a.transpose())?;
+            Ok(Svd { u, s, v })
+        }
+    }
+
+    /// Left singular vectors (`m` × `k`).
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// Singular values, non-negative and non-increasing.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.s
+    }
+
+    /// Right singular vectors (`n` × `k`).
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Numerical rank: the number of singular values above `tol · s_max`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        if smax <= 0.0 {
+            return 0;
+        }
+        self.s.iter().take_while(|&&x| x > tol * smax).count()
+    }
+
+    /// The paper's **effective rank** for energy threshold `η` (Section 4.2):
+    /// the smallest `k` with `Σ_{i<k} s_i ≥ (1 − η)·Σ_i s_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] unless `0 ≤ η < 1`.
+    pub fn effective_rank(&self, eta: f64) -> Result<usize> {
+        if !(0.0..1.0).contains(&eta) {
+            return Err(LinalgError::InvalidArgument {
+                what: "effective-rank threshold eta must lie in [0, 1)",
+            });
+        }
+        let total: f64 = self.s.iter().sum();
+        if total == 0.0 {
+            return Ok(0);
+        }
+        let target = (1.0 - eta) * total;
+        let mut acc = 0.0;
+        for (k, &sv) in self.s.iter().enumerate() {
+            acc += sv;
+            if acc >= target - 1e-15 * total {
+                return Ok(k + 1);
+            }
+        }
+        Ok(self.s.len())
+    }
+
+    /// Singular values normalized by their sum (`λ_i / Σλ`), the quantity
+    /// plotted in the paper's Figure 2.
+    pub fn normalized_singular_values(&self) -> Vec<f64> {
+        let total: f64 = self.s.iter().sum();
+        if total == 0.0 {
+            return vec![0.0; self.s.len()];
+        }
+        self.s.iter().map(|&x| x / total).collect()
+    }
+
+    /// Rebuilds `U·diag(s)·Vᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors cannot occur for a decomposition built by
+    /// [`Svd::compute`]; the `Result` mirrors [`Matrix::matmul`].
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let k = self.s.len();
+        let mut us = self.u.clone();
+        for j in 0..k {
+            for i in 0..us.nrows() {
+                us[(i, j)] *= self.s[j];
+            }
+        }
+        us.matmul(&self.v.transpose())
+    }
+
+    /// Moore–Penrose pseudo-inverse with relative cutoff `tol` (singular
+    /// values below `tol · s_max` are treated as zero).
+    ///
+    /// # Errors
+    ///
+    /// Shape errors cannot occur for a decomposition built by
+    /// [`Svd::compute`]; the `Result` mirrors [`Matrix::matmul`].
+    pub fn pseudo_inverse(&self, tol: f64) -> Result<Matrix> {
+        let k = self.s.len();
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        let mut vs = self.v.clone();
+        for j in 0..k {
+            let inv = if smax > 0.0 && self.s[j] > tol * smax {
+                1.0 / self.s[j]
+            } else {
+                0.0
+            };
+            for i in 0..vs.nrows() {
+                vs[(i, j)] *= inv;
+            }
+        }
+        vs.matmul(&self.u.transpose())
+    }
+}
+
+#[inline]
+fn same_sign(a: f64, b: f64) -> f64 {
+    if b >= 0.0 {
+        a.abs()
+    } else {
+        -a.abs()
+    }
+}
+
+/// Golub–Reinsch SVD for `m ≥ n`: Householder bidiagonalization followed by
+/// implicit-shift QR on the bidiagonal form. Returns `(U, s, V)` with `U`
+/// `m`×`n`, `s` of length `n`, `V` `n`×`n`, sorted by decreasing singular
+/// value with non-negative values.
+#[allow(clippy::needless_range_loop)]
+fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
+    let (m, n) = a_in.shape();
+    debug_assert!(m >= n);
+    let mut a = a_in.clone();
+    let mut w = vec![0.0_f64; n];
+    let mut v = Matrix::zeros(n, n);
+    let mut rv1 = vec![0.0_f64; n];
+
+    let (mut g, mut scale, mut anorm) = (0.0_f64, 0.0_f64, 0.0_f64);
+
+    // --- Householder reduction to bidiagonal form ---
+    for i in 0..n {
+        let l = i + 1;
+        rv1[i] = scale * g;
+        g = 0.0;
+        let mut s;
+        scale = 0.0;
+        if i < m {
+            for k in i..m {
+                scale += a[(k, i)].abs();
+            }
+            if scale != 0.0 {
+                s = 0.0;
+                for k in i..m {
+                    a[(k, i)] /= scale;
+                    s += a[(k, i)] * a[(k, i)];
+                }
+                let f = a[(i, i)];
+                g = -same_sign(s.sqrt(), f);
+                let h = f * g - s;
+                a[(i, i)] = f - g;
+                for j in l..n {
+                    let mut s2 = 0.0;
+                    for k in i..m {
+                        s2 += a[(k, i)] * a[(k, j)];
+                    }
+                    let f2 = s2 / h;
+                    for k in i..m {
+                        let aki = a[(k, i)];
+                        a[(k, j)] += f2 * aki;
+                    }
+                }
+                for k in i..m {
+                    a[(k, i)] *= scale;
+                }
+            }
+        }
+        w[i] = scale * g;
+        g = 0.0;
+        scale = 0.0;
+        if i < m && i != n - 1 {
+            for k in l..n {
+                scale += a[(i, k)].abs();
+            }
+            if scale != 0.0 {
+                s = 0.0;
+                for k in l..n {
+                    a[(i, k)] /= scale;
+                    s += a[(i, k)] * a[(i, k)];
+                }
+                let f = a[(i, l)];
+                g = -same_sign(s.sqrt(), f);
+                let h = f * g - s;
+                a[(i, l)] = f - g;
+                for k in l..n {
+                    rv1[k] = a[(i, k)] / h;
+                }
+                for j in l..m {
+                    let mut s2 = 0.0;
+                    for k in l..n {
+                        s2 += a[(j, k)] * a[(i, k)];
+                    }
+                    for k in l..n {
+                        let rk = rv1[k];
+                        a[(j, k)] += s2 * rk;
+                    }
+                }
+                for k in l..n {
+                    a[(i, k)] *= scale;
+                }
+            }
+        }
+        anorm = anorm.max(w[i].abs() + rv1[i].abs());
+    }
+
+    // --- Accumulation of right-hand transformations ---
+    let mut l = n; // sentinel; set properly on the first pass below
+    for i in (0..n).rev() {
+        if i < n - 1 {
+            if g != 0.0 {
+                for j in l..n {
+                    // Double division avoids possible underflow.
+                    v[(j, i)] = (a[(i, j)] / a[(i, l)]) / g;
+                }
+                for j in l..n {
+                    let mut s = 0.0;
+                    for k in l..n {
+                        s += a[(i, k)] * v[(k, j)];
+                    }
+                    for k in l..n {
+                        let vki = v[(k, i)];
+                        v[(k, j)] += s * vki;
+                    }
+                }
+            }
+            for j in l..n {
+                v[(i, j)] = 0.0;
+                v[(j, i)] = 0.0;
+            }
+        }
+        v[(i, i)] = 1.0;
+        g = rv1[i];
+        l = i;
+    }
+
+    // --- Accumulation of left-hand transformations ---
+    for i in (0..n.min(m)).rev() {
+        let l = i + 1;
+        g = w[i];
+        for j in l..n {
+            a[(i, j)] = 0.0;
+        }
+        if g != 0.0 {
+            g = 1.0 / g;
+            for j in l..n {
+                let mut s = 0.0;
+                for k in l..m {
+                    s += a[(k, i)] * a[(k, j)];
+                }
+                let f = (s / a[(i, i)]) * g;
+                for k in i..m {
+                    let aki = a[(k, i)];
+                    a[(k, j)] += f * aki;
+                }
+            }
+            for j in i..m {
+                a[(j, i)] *= g;
+            }
+        } else {
+            for j in i..m {
+                a[(j, i)] = 0.0;
+            }
+        }
+        a[(i, i)] += 1.0;
+    }
+
+    // --- Diagonalization of the bidiagonal form ---
+    let eps = f64::EPSILON;
+    for k in (0..n).rev() {
+        let mut converged = false;
+        for sweep in 0..=MAX_SWEEPS {
+            if sweep == MAX_SWEEPS {
+                return Err(LinalgError::NoConvergence {
+                    routine: "svd",
+                    iterations: MAX_SWEEPS,
+                });
+            }
+            // Test for splitting: find the largest l ≤ k with negligible
+            // rv1[l]; note rv1[0] is always zero so l = 0 terminates.
+            let mut flag = true;
+            let mut l = k;
+            loop {
+                if rv1[l].abs() <= eps * anorm {
+                    flag = false;
+                    break;
+                }
+                if w[l - 1].abs() <= eps * anorm {
+                    break;
+                }
+                l -= 1;
+            }
+            if flag {
+                // Cancellation of rv1[l] when w[l-1] is negligible.
+                let mut c = 0.0;
+                let mut s = 1.0;
+                let nm = l - 1;
+                for i in l..=k {
+                    let mut f = s * rv1[i];
+                    rv1[i] *= c;
+                    if f.abs() <= eps * anorm {
+                        break;
+                    }
+                    g = w[i];
+                    let mut h = pythag(f, g);
+                    w[i] = h;
+                    h = 1.0 / h;
+                    c = g * h;
+                    s = -f * h;
+                    for j in 0..m {
+                        let y = a[(j, nm)];
+                        let z = a[(j, i)];
+                        a[(j, nm)] = y * c + z * s;
+                        a[(j, i)] = z * c - y * s;
+                    }
+                    let _ = f; // f fully consumed above
+                    f = 0.0;
+                    let _ = f;
+                }
+            }
+            let z = w[k];
+            if l == k {
+                // Converged; enforce non-negative singular value.
+                if z < 0.0 {
+                    w[k] = -z;
+                    for j in 0..n {
+                        v[(j, k)] = -v[(j, k)];
+                    }
+                }
+                converged = true;
+                break;
+            }
+            // Shift from the bottom 2×2 minor.
+            let mut x = w[l];
+            let nm = k - 1;
+            let mut y = w[nm];
+            g = rv1[nm];
+            let mut h = rv1[k];
+            let mut f = ((y - z) * (y + z) + (g - h) * (g + h)) / (2.0 * h * y);
+            g = pythag(f, 1.0);
+            f = ((x - z) * (x + z) + h * ((y / (f + same_sign(g, f))) - h)) / x;
+            // Next QR transformation.
+            let mut c = 1.0;
+            let mut s = 1.0;
+            for j in l..=nm {
+                let i = j + 1;
+                g = rv1[i];
+                y = w[i];
+                h = s * g;
+                g *= c;
+                let mut zz = pythag(f, h);
+                rv1[j] = zz;
+                c = f / zz;
+                s = h / zz;
+                f = x * c + g * s;
+                g = g * c - x * s;
+                h = y * s;
+                y *= c;
+                for jj in 0..n {
+                    let xv = v[(jj, j)];
+                    let zv = v[(jj, i)];
+                    v[(jj, j)] = xv * c + zv * s;
+                    v[(jj, i)] = zv * c - xv * s;
+                }
+                zz = pythag(f, h);
+                w[j] = zz;
+                if zz != 0.0 {
+                    let inv = 1.0 / zz;
+                    c = f * inv;
+                    s = h * inv;
+                }
+                f = c * g + s * y;
+                x = c * y - s * g;
+                for jj in 0..m {
+                    let ya = a[(jj, j)];
+                    let za = a[(jj, i)];
+                    a[(jj, j)] = ya * c + za * s;
+                    a[(jj, i)] = za * c - ya * s;
+                }
+            }
+            rv1[l] = 0.0;
+            rv1[k] = f;
+            w[k] = x;
+        }
+        debug_assert!(converged);
+    }
+
+    // --- Sort by decreasing singular value ---
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| w[j].partial_cmp(&w[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let s_sorted: Vec<f64> = order.iter().map(|&i| w[i]).collect();
+    let u_sorted = a.select_cols(&order);
+    let v_sorted = v.select_cols(&order);
+    Ok((u_sorted, s_sorted, v_sorted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_svd(a: &Matrix, tol: f64) {
+        let svd = Svd::compute(a).unwrap();
+        let k = a.nrows().min(a.ncols());
+        assert_eq!(svd.singular_values().len(), k);
+        // Reconstruction.
+        assert!(
+            svd.reconstruct().unwrap().approx_eq(a, tol),
+            "reconstruction failed"
+        );
+        // Orthonormality of both factors.
+        let utu = svd.u().transpose().matmul(svd.u()).unwrap();
+        assert!(utu.approx_eq(&Matrix::identity(k), tol), "U not orthonormal");
+        let vtv = svd.v().transpose().matmul(svd.v()).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(k), tol), "V not orthonormal");
+        // Ordering and non-negativity.
+        let s = svd.singular_values();
+        for i in 0..k {
+            assert!(s[i] >= 0.0);
+            if i > 0 {
+                assert!(s[i] <= s[i - 1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let svd = Svd::compute(&a).unwrap();
+        let s = svd.singular_values();
+        assert!((s[0] - 3.0).abs() < 1e-12);
+        assert!((s[1] - 2.0).abs() < 1e-12);
+        assert!((s[2] - 1.0).abs() < 1e-12);
+        check_svd(&a, 1e-12);
+    }
+
+    #[test]
+    fn tall_matrix() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 8.0],
+        ])
+        .unwrap();
+        check_svd(&a, 1e-11);
+    }
+
+    #[test]
+    fn wide_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]]).unwrap();
+        check_svd(&a, 1e-11);
+    }
+
+    #[test]
+    fn rank_deficient() {
+        // Rank 1: every row is a multiple of the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], &[3.0, 6.0, 9.0]])
+            .unwrap();
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        check_svd(&a, 1e-11);
+    }
+
+    #[test]
+    fn known_singular_values() {
+        // A = [[3, 0], [4, 5]] has singular values sqrt(45/2 ± ...) — check
+        // against the eigenvalues of AᵀA: s1·s2 = |det| = 15, s1²+s2² = 50.
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[4.0, 5.0]]).unwrap();
+        let svd = Svd::compute(&a).unwrap();
+        let s = svd.singular_values();
+        assert!((s[0] * s[1] - 15.0).abs() < 1e-10);
+        assert!((s[0] * s[0] + s[1] * s[1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_matrix_properties() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Matrix::from_fn(40, 17, |_, _| rng.gen_range(-1.0..1.0));
+        check_svd(&a, 1e-9);
+        let b = Matrix::from_fn(17, 40, |_, _| rng.gen_range(-1.0..1.0));
+        check_svd(&b, 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(3, 2);
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.rank(1e-12), 0);
+        assert!(svd.singular_values().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn effective_rank_low_rank_plus_noise() {
+        // Two dominant directions plus faint noise: effective rank at 5%
+        // should be 2 while the exact rank is full.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut a = Matrix::from_fn(30, 10, |_, _| 1e-4 * rng.gen_range(-1.0..1.0));
+        for i in 0..30 {
+            let t = i as f64;
+            for j in 0..10 {
+                a[(i, j)] += (t * 0.1).sin() * (j as f64 + 1.0) + (t * 0.3).cos() * (j as f64);
+            }
+        }
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.rank(1e-12), 10);
+        let er = svd.effective_rank(0.05).unwrap();
+        assert!(er <= 3, "effective rank {er} should be tiny");
+    }
+
+    #[test]
+    fn effective_rank_rejects_bad_eta() {
+        let a = Matrix::identity(2);
+        let svd = Svd::compute(&a).unwrap();
+        assert!(svd.effective_rank(1.0).is_err());
+        assert!(svd.effective_rank(-0.1).is_err());
+        assert_eq!(svd.effective_rank(0.0).unwrap(), 2);
+    }
+
+    #[test]
+    fn normalized_values_sum_to_one() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[0.5, 3.0], &[1.0, 1.0]]).unwrap();
+        let svd = Svd::compute(&a).unwrap();
+        let nv = svd.normalized_singular_values();
+        let sum: f64 = nv.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pseudo_inverse_of_full_rank_is_inverse() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let pinv = Svd::compute(&a).unwrap().pseudo_inverse(1e-12).unwrap();
+        assert!(a.matmul(&pinv).unwrap().approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn pseudo_inverse_satisfies_penrose_conditions() {
+        // Rank-deficient example.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[0.0, 0.0]]).unwrap();
+        let p = Svd::compute(&a).unwrap().pseudo_inverse(1e-12).unwrap();
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(apa.approx_eq(&a, 1e-10), "A P A = A violated");
+        let pap = p.matmul(&a).unwrap().matmul(&p).unwrap();
+        assert!(pap.approx_eq(&p, 1e-10), "P A P = P violated");
+        let ap = a.matmul(&p).unwrap();
+        assert!(ap.approx_eq(&ap.transpose(), 1e-10), "(AP)ᵀ = AP violated");
+        let pa = p.matmul(&a).unwrap();
+        assert!(pa.approx_eq(&pa.transpose(), 1e-10), "(PA)ᵀ = PA violated");
+    }
+
+    #[test]
+    fn single_column() {
+        let a = Matrix::from_rows(&[&[3.0], &[4.0]]).unwrap();
+        let svd = Svd::compute(&a).unwrap();
+        assert!((svd.singular_values()[0] - 5.0).abs() < 1e-12);
+        check_svd(&a, 1e-12);
+    }
+
+    #[test]
+    fn single_row() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        let svd = Svd::compute(&a).unwrap();
+        assert!((svd.singular_values()[0] - 5.0).abs() < 1e-12);
+        check_svd(&a, 1e-12);
+    }
+}

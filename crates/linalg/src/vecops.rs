@@ -1,0 +1,136 @@
+//! Small vector kernels used across the crate.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics in debug builds if the lengths differ; in release builds the
+/// shorter length wins (standard `zip` semantics), which is never intended —
+/// callers must pass equal lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice, computed with scaling to avoid overflow.
+pub fn norm2(a: &[f64]) -> f64 {
+    let scale = a.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+    if scale == 0.0 {
+        return 0.0;
+    }
+    let ssq: f64 = a.iter().map(|&x| (x / scale) * (x / scale)).sum();
+    scale * ssq.sqrt()
+}
+
+/// Maximum absolute entry.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// Sum of absolute entries.
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics in debug builds if the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b` as a new vector.
+///
+/// # Panics
+///
+/// Panics in debug builds if the lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect()
+}
+
+/// Scales a slice in place.
+pub fn scale(a: &mut [f64], s: f64) {
+    for x in a.iter_mut() {
+        *x *= s;
+    }
+}
+
+/// Stable two-norm of `(a, b)` — `hypot` without the libm call overhead
+/// differences across platforms.
+#[inline]
+pub fn pythag(a: f64, b: f64) -> f64 {
+    let (a, b) = (a.abs(), b.abs());
+    if a > b {
+        let r = b / a;
+        a * (1.0 + r * r).sqrt()
+    } else if b > 0.0 {
+        let r = a / b;
+        b * (1.0 + r * r).sqrt()
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn norm2_overflow_safe() {
+        let big = 1e200;
+        let n = norm2(&[big, big]);
+        assert!((n - big * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn norms_agree_on_simple_input() {
+        let v = [3.0, -4.0];
+        assert!((norm2(&v) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&v), 4.0);
+        assert_eq!(norm1(&v), 7.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn pythag_matches_hypot() {
+        for (a, b) in [(3.0, 4.0), (0.0, 0.0), (-5.0, 12.0), (1e-300, 1e-300)] {
+            assert!((pythag(a, b) - f64::hypot(a, b)).abs() <= 1e-12 * f64::hypot(a, b).max(1.0));
+        }
+    }
+
+    #[test]
+    fn add_sub_are_elementwise() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+    }
+}

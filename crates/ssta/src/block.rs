@@ -1,0 +1,170 @@
+//! Block-based SSTA: propagates canonical arrival times through the timing
+//! graph, producing the circuit-delay distribution.
+
+use crate::canonical::CanonicalForm;
+use pathrep_circuit::generator::PlacedCircuit;
+use pathrep_circuit::netlist::GateId;
+use pathrep_variation::catalog::VariableSpace;
+use pathrep_variation::model::VariationModel;
+use pathrep_variation::sensitivity::gate_contribution_terms;
+
+/// Result of one block-based SSTA run.
+#[derive(Debug, Clone)]
+pub struct SstaResult {
+    arrivals: Vec<CanonicalForm>,
+    circuit_delay: CanonicalForm,
+}
+
+impl SstaResult {
+    /// Canonical arrival time at the output of `gate`.
+    pub fn arrival(&self, gate: GateId) -> &CanonicalForm {
+        &self.arrivals[gate.index()]
+    }
+
+    /// The circuit-delay distribution (max over all output arrivals).
+    pub fn circuit_delay(&self) -> &CanonicalForm {
+        &self.circuit_delay
+    }
+}
+
+/// Canonical delay form of a single gate: nominal mean plus its
+/// variation-contribution terms in the dense [`VariableSpace`].
+pub fn gate_delay_form(
+    circuit: &PlacedCircuit,
+    model: &VariationModel,
+    space: &VariableSpace,
+    gate: GateId,
+) -> CanonicalForm {
+    let terms = gate_contribution_terms(circuit, model, gate)
+        .into_iter()
+        .map(|(v, c)| (space.index_of(v), c));
+    CanonicalForm::from_terms(circuit.nominal_delay(gate), terms)
+}
+
+/// Runs block-based SSTA: arrival(g) = delay(g) + max over fanin arrivals
+/// (Clark's approximation), then the circuit delay is the max over output
+/// arrivals.
+///
+/// # Panics
+///
+/// Panics if the circuit has no output gates.
+pub fn run_ssta(circuit: &PlacedCircuit, model: &VariationModel) -> SstaResult {
+    let space = VariableSpace::new(model, circuit.netlist().gate_count());
+    let graph = circuit.graph();
+    let mut arrivals: Vec<CanonicalForm> = Vec::with_capacity(graph.gate_count());
+    for g in graph.topo_order() {
+        let own = gate_delay_form(circuit, model, &space, g);
+        let fanin_max = graph
+            .fanins(g)
+            .iter()
+            .map(|&f| arrivals[f.index()].clone())
+            .reduce(|acc, x| acc.max(&x));
+        let arr = match fanin_max {
+            Some(fm) => fm.add(&own),
+            None => own,
+        };
+        arrivals.push(arr);
+    }
+    let circuit_delay = graph
+        .sinks()
+        .iter()
+        .map(|&s| arrivals[s.index()].clone())
+        .reduce(|acc, x| acc.max(&x))
+        .expect("circuit must have at least one output");
+    SstaResult {
+        arrivals,
+        circuit_delay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathrep_circuit::cell::{CellKind, CellLibrary};
+    use pathrep_circuit::generator::{CircuitGenerator, GeneratorConfig};
+    use pathrep_circuit::netlist::{Netlist, Signal};
+    use pathrep_circuit::placement::Placement;
+
+    fn chain_circuit(n: usize) -> PlacedCircuit {
+        let mut nl = Netlist::new(1);
+        let mut prev = None;
+        for _ in 0..n {
+            let fanin = match prev {
+                None => Signal::Input(0),
+                Some(g) => Signal::Gate(g),
+            };
+            prev = Some(nl.add_gate(CellKind::Inv, vec![fanin]).unwrap());
+        }
+        nl.mark_output(prev.unwrap()).unwrap();
+        PlacedCircuit::from_parts(
+            nl,
+            Placement::new(vec![(0.5, 0.5); n]),
+            CellLibrary::synthetic_90nm(),
+        )
+    }
+
+    #[test]
+    fn chain_arrival_is_sum_of_delays() {
+        let c = chain_circuit(5);
+        let model = VariationModel::three_level();
+        let res = run_ssta(&c, &model);
+        let expected: f64 = c.netlist().gate_ids().map(|g| c.nominal_delay(g)).sum();
+        assert!((res.circuit_delay().mean - expected).abs() < 1e-9);
+        // Single path ⇒ variance equals the exact path variance: gates are
+        // co-located so spatial terms add coherently.
+        assert!(res.circuit_delay().variance() > 0.0);
+        assert_eq!(res.circuit_delay().extra_var, 0.0);
+    }
+
+    #[test]
+    fn chain_variance_exact_when_colocated() {
+        // All gates identical and co-located: spatial coefficients add
+        // linearly, randoms add in quadrature.
+        let n = 4;
+        let c = chain_circuit(n);
+        let model = VariationModel::three_level();
+        let res = run_ssta(&c, &model);
+        let t = c.library().timing(CellKind::Inv);
+        let spatial_sd_one = ((t.leff_sens_ps * t.leff_sens_ps + t.vt_sens_ps * t.vt_sens_ps)
+            * (1.0 - model.random_fraction()))
+        .sqrt();
+        let rand_var_one =
+            model.random_fraction() * (t.leff_sens_ps.powi(2) + t.vt_sens_ps.powi(2));
+        let expected_var = (n as f64 * spatial_sd_one).powi(2) + n as f64 * rand_var_one;
+        assert!(
+            (res.circuit_delay().variance() - expected_var).abs() < 1e-6 * expected_var,
+            "var {} vs expected {}",
+            res.circuit_delay().variance(),
+            expected_var
+        );
+    }
+
+    #[test]
+    fn circuit_delay_dominates_every_output_mean() {
+        let c = CircuitGenerator::new(GeneratorConfig::new(200, 16, 12).with_seed(5))
+            .generate()
+            .unwrap();
+        let model = VariationModel::three_level();
+        let res = run_ssta(&c, &model);
+        for &s in c.graph().sinks() {
+            assert!(res.circuit_delay().mean >= res.arrival(s).mean - 1e-9);
+        }
+    }
+
+    #[test]
+    fn arrivals_increase_along_edges() {
+        let c = CircuitGenerator::new(GeneratorConfig::new(120, 12, 8).with_seed(6))
+            .generate()
+            .unwrap();
+        let model = VariationModel::three_level();
+        let res = run_ssta(&c, &model);
+        for g in c.graph().topo_order() {
+            for &f in c.graph().fanouts(g) {
+                assert!(
+                    res.arrival(f).mean > res.arrival(g).mean,
+                    "arrival must grow along edges"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! First-order canonical delay forms and Clark's max approximation.
+
+use crate::sparse::SparseVec;
+use pathrep_linalg::gauss::{normal_cdf, normal_pdf};
+use serde::{Deserialize, Serialize};
+
+/// A first-order canonical form `d = µ + Σ aᵢ·xᵢ + σ_extra·z`, where the
+/// `xᵢ` are the shared variation variables and `z` an independent residual
+/// absorbing the variance that Clark's max cannot attribute to shared
+/// variables.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CanonicalForm {
+    /// Mean µ.
+    pub mean: f64,
+    /// Coefficients on the shared variables.
+    pub sens: SparseVec,
+    /// Variance of the independent residual term (`σ_extra²`).
+    pub extra_var: f64,
+}
+
+impl CanonicalForm {
+    /// A deterministic constant.
+    pub fn constant(mean: f64) -> Self {
+        CanonicalForm {
+            mean,
+            sens: SparseVec::new(),
+            extra_var: 0.0,
+        }
+    }
+
+    /// Builds from mean and shared-variable terms.
+    pub fn from_terms<I: IntoIterator<Item = (usize, f64)>>(mean: f64, terms: I) -> Self {
+        CanonicalForm {
+            mean,
+            sens: SparseVec::from_terms(terms),
+            extra_var: 0.0,
+        }
+    }
+
+    /// Total variance.
+    pub fn variance(&self) -> f64 {
+        self.sens.norm2_sq() + self.extra_var
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sum of two forms (`self + other`); residual variances add (their
+    /// residuals are independent by construction).
+    pub fn add(&self, other: &CanonicalForm) -> CanonicalForm {
+        CanonicalForm {
+            mean: self.mean + other.mean,
+            sens: self.sens.linear_combination(1.0, &other.sens, 1.0),
+            extra_var: self.extra_var + other.extra_var,
+        }
+    }
+
+    /// Covariance with another form (residuals are independent across
+    /// forms, so only shared variables contribute).
+    pub fn covariance(&self, other: &CanonicalForm) -> f64 {
+        self.sens.dot(&other.sens)
+    }
+
+    /// Clark's approximation of `max(self, other)` as a canonical form.
+    ///
+    /// The result's mean and variance match Clark's exact first two moments
+    /// of the max of two (possibly correlated) Gaussians; the shared
+    /// coefficients are blended by the tightness probability and the
+    /// leftover variance goes into the independent residual (never
+    /// negative — clamped at zero against rounding).
+    pub fn max(&self, other: &CanonicalForm) -> CanonicalForm {
+        let (a, b) = (self, other);
+        let va = a.variance();
+        let vb = b.variance();
+        let cov = a.covariance(b);
+        let theta_sq = (va + vb - 2.0 * cov).max(0.0);
+        let theta = theta_sq.sqrt();
+        if theta < 1e-12 {
+            // Nearly perfectly correlated with equal variance: the larger
+            // mean dominates.
+            return if a.mean >= b.mean { a.clone() } else { b.clone() };
+        }
+        let alpha = (a.mean - b.mean) / theta;
+        let t = normal_cdf(alpha); // tightness probability P(A > B)
+        let phi = normal_pdf(alpha);
+        let mean = a.mean * t + b.mean * (1.0 - t) + theta * phi;
+        let second_moment = (va + a.mean * a.mean) * t
+            + (vb + b.mean * b.mean) * (1.0 - t)
+            + (a.mean + b.mean) * theta * phi;
+        let variance = (second_moment - mean * mean).max(0.0);
+        // Blend shared sensitivities by tightness.
+        let sens = a.sens.linear_combination(t, &b.sens, 1.0 - t);
+        let shared_var = sens.norm2_sq();
+        let extra_var = (variance - shared_var).max(0.0);
+        CanonicalForm {
+            mean,
+            sens,
+            extra_var,
+        }
+    }
+
+    /// The `p`-quantile of the (Gaussian) delay this form represents —
+    /// e.g. `quantile(0.999)` is a 99.9 %-coverage arrival bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` lies strictly in `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mean + pathrep_linalg::gauss::normal_quantile(p) * self.std_dev()
+    }
+
+    /// Probability that this delay meets a constraint: `P(d ≤ t_cons)`.
+    pub fn yield_at(&self, t_cons: f64) -> f64 {
+        let sd = self.std_dev();
+        if sd <= 0.0 {
+            return if self.mean <= t_cons { 1.0 } else { 0.0 };
+        }
+        normal_cdf((t_cons - self.mean) / sd)
+    }
+
+    /// Evaluates the *shared* part against a realization `x` (the residual
+    /// is statistical only and evaluates to its mean, zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stored index exceeds `x`'s bounds.
+    pub fn eval_mean_shared(&self, x: &[f64]) -> f64 {
+        self.mean + self.sens.eval(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn form(mean: f64, terms: &[(usize, f64)]) -> CanonicalForm {
+        CanonicalForm::from_terms(mean, terms.iter().copied())
+    }
+
+    #[test]
+    fn add_sums_everything() {
+        let a = form(10.0, &[(0, 1.0), (1, 2.0)]);
+        let b = form(5.0, &[(1, 1.0)]);
+        let c = a.add(&b);
+        assert_eq!(c.mean, 15.0);
+        assert_eq!(c.sens.get(1), 3.0);
+        assert_eq!(c.variance(), 1.0 + 9.0);
+    }
+
+    #[test]
+    fn max_of_identical_is_identity() {
+        let a = form(10.0, &[(0, 2.0)]);
+        let m = a.max(&a);
+        assert!((m.mean - a.mean).abs() < 1e-12);
+        assert!((m.variance() - a.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_of_dominating_mean() {
+        // B is far above A: max ≈ B.
+        let a = form(0.0, &[(0, 1.0)]);
+        let b = form(100.0, &[(1, 1.0)]);
+        let m = a.max(&b);
+        assert!((m.mean - 100.0).abs() < 1e-6);
+        assert!((m.variance() - 1.0).abs() < 1e-6);
+        // Sensitivity should be essentially B's.
+        assert!(m.sens.get(1) > 0.999);
+        assert!(m.sens.get(0) < 1e-6);
+    }
+
+    #[test]
+    fn max_of_equal_independent_standard_gaussians() {
+        // E[max(X, Y)] = 1/sqrt(pi) for X,Y ~ N(0,1) independent;
+        // Var = 1 − 1/pi.
+        let a = form(0.0, &[(0, 1.0)]);
+        let b = form(0.0, &[(1, 1.0)]);
+        let m = a.max(&b);
+        let expected_mean = 1.0 / std::f64::consts::PI.sqrt();
+        let expected_var = 1.0 - 1.0 / std::f64::consts::PI;
+        assert!((m.mean - expected_mean).abs() < 1e-6);
+        assert!((m.variance() - expected_var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_against_monte_carlo() {
+        use pathrep_linalg::gauss;
+        use rand::SeedableRng;
+        // Correlated pair sharing variable 0.
+        let a = form(10.0, &[(0, 2.0), (1, 1.0)]);
+        let b = form(10.5, &[(0, 1.5), (2, 2.0)]);
+        let clark = a.max(&b);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = [
+                gauss::sample_standard_normal(&mut rng),
+                gauss::sample_standard_normal(&mut rng),
+                gauss::sample_standard_normal(&mut rng),
+            ];
+            let da = a.eval_mean_shared(&x);
+            let db = b.eval_mean_shared(&x);
+            let m = da.max(db);
+            sum += m;
+            sumsq += m * m;
+        }
+        let mc_mean = sum / n as f64;
+        let mc_var = sumsq / n as f64 - mc_mean * mc_mean;
+        assert!(
+            (clark.mean - mc_mean).abs() < 0.02,
+            "Clark mean {} vs MC {}",
+            clark.mean,
+            mc_mean
+        );
+        assert!(
+            (clark.variance() - mc_var).abs() < 0.1,
+            "Clark var {} vs MC {}",
+            clark.variance(),
+            mc_var
+        );
+    }
+
+    #[test]
+    fn quantile_and_yield_are_consistent() {
+        let a = CanonicalForm::from_terms(100.0, [(0usize, 5.0)]);
+        let q = a.quantile(0.9);
+        assert!((a.yield_at(q) - 0.9).abs() < 1e-6);
+        assert!(a.quantile(0.5) - 100.0 < 1e-9);
+        assert!(a.quantile(0.99) > a.quantile(0.9));
+    }
+
+    #[test]
+    fn yield_of_constant_is_step() {
+        let c = CanonicalForm::constant(10.0);
+        assert_eq!(c.yield_at(9.0), 0.0);
+        assert_eq!(c.yield_at(11.0), 1.0);
+    }
+
+    #[test]
+    fn constant_has_zero_variance() {
+        let c = CanonicalForm::constant(3.0);
+        assert_eq!(c.variance(), 0.0);
+        assert_eq!(c.std_dev(), 0.0);
+        assert_eq!(c.eval_mean_shared(&[]), 3.0);
+    }
+
+    #[test]
+    fn covariance_only_through_shared() {
+        let mut a = form(0.0, &[(0, 2.0)]);
+        a.extra_var = 5.0;
+        let b = form(0.0, &[(0, 3.0), (1, 1.0)]);
+        assert_eq!(a.covariance(&b), 6.0);
+    }
+}

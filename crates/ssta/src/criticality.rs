@@ -1,0 +1,159 @@
+//! Path criticality: the probability that a given target path is *the*
+//! slowest one on a fabricated chip.
+//!
+//! Yield-loss ranks paths by their individual tail mass; criticality ranks
+//! them by who actually sets the chip frequency — the quantity a debug
+//! engineer triages by. Computed by seeded Monte Carlo over the linear
+//! delay model (exact for the model, no max-approximation error).
+
+use pathrep_linalg::gauss;
+use pathrep_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-path criticality statistics over a Monte-Carlo population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Criticality {
+    /// `P(path i is the slowest)`, summing to 1 over the target set.
+    pub probability: Vec<f64>,
+    /// Mean slack to the pool maximum, `E[max_j d_j − d_i]`, in ps.
+    pub mean_slack: Vec<f64>,
+    /// Number of samples used.
+    pub samples: usize,
+}
+
+impl Criticality {
+    /// Paths ordered by decreasing criticality probability.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.probability.len()).collect();
+        order.sort_by(|&i, &j| {
+            self.probability[j]
+                .partial_cmp(&self.probability[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order
+    }
+
+    /// The smallest set of paths whose criticality mass reaches `coverage`
+    /// (e.g. 0.95): the paths a debug flow must actually watch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < coverage <= 1`.
+    pub fn covering_set(&self, coverage: f64) -> Vec<usize> {
+        assert!(coverage > 0.0 && coverage <= 1.0, "coverage must be in (0,1]");
+        let mut acc = 0.0;
+        let mut out = Vec::new();
+        for i in self.ranking() {
+            out.push(i);
+            acc += self.probability[i];
+            if acc >= coverage {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Estimates path criticalities for the delay model `d = µ + A·x` with
+/// `n_samples` seeded Monte-Carlo draws.
+///
+/// # Panics
+///
+/// Panics if `mu` does not match `a`'s row count or `n_samples == 0`.
+pub fn monte_carlo_criticality(
+    a: &Matrix,
+    mu: &[f64],
+    n_samples: usize,
+    seed: u64,
+) -> Criticality {
+    let n = a.nrows();
+    assert_eq!(mu.len(), n, "mu must match the path count");
+    assert!(n_samples > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = vec![0.0_f64; a.ncols()];
+    let mut wins = vec![0usize; n];
+    let mut slack_sum = vec![0.0_f64; n];
+    for _ in 0..n_samples {
+        gauss::fill_standard_normal(&mut rng, &mut x);
+        let mut d = a.matvec(&x).expect("x sized to A");
+        for (di, &m) in d.iter_mut().zip(mu.iter()) {
+            *di += m;
+        }
+        let (mut argmax, mut max) = (0usize, f64::NEG_INFINITY);
+        for (i, &di) in d.iter().enumerate() {
+            if di > max {
+                max = di;
+                argmax = i;
+            }
+        }
+        wins[argmax] += 1;
+        for (i, &di) in d.iter().enumerate() {
+            slack_sum[i] += max - di;
+        }
+    }
+    Criticality {
+        probability: wins.iter().map(|&w| w as f64 / n_samples as f64).collect(),
+        mean_slack: slack_sum.iter().map(|s| s / n_samples as f64).collect(),
+        samples: n_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.5, 0.5]]).unwrap();
+        let c = monte_carlo_criticality(&a, &[100.0, 100.0, 99.0], 2_000, 1);
+        let sum: f64 = c.probability.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(c.samples, 2_000);
+    }
+
+    #[test]
+    fn dominant_path_wins() {
+        // Path 0 is 50 ps slower than the rest: essentially always critical.
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]).unwrap();
+        let c = monte_carlo_criticality(&a, &[150.0, 100.0, 100.0], 3_000, 2);
+        assert!(c.probability[0] > 0.99);
+        assert_eq!(c.ranking()[0], 0);
+        assert!(c.mean_slack[0] < c.mean_slack[1]);
+    }
+
+    #[test]
+    fn symmetric_paths_split_evenly() {
+        // Two iid paths: each critical about half the time.
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 3.0]]).unwrap();
+        let c = monte_carlo_criticality(&a, &[100.0, 100.0], 20_000, 3);
+        assert!((c.probability[0] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn covering_set_grows_with_coverage() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0], &[1.5, 1.5], &[0.1, 0.1]])
+            .unwrap();
+        let c = monte_carlo_criticality(&a, &[102.0, 100.0, 101.0, 90.0], 5_000, 4);
+        let small = c.covering_set(0.5);
+        let large = c.covering_set(0.99);
+        assert!(small.len() <= large.len());
+        // The hopeless path 3 should not be needed even at 99 %.
+        assert!(!large.contains(&3));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]).unwrap();
+        let c1 = monte_carlo_criticality(&a, &[10.0, 10.0], 500, 9);
+        let c2 = monte_carlo_criticality(&a, &[10.0, 10.0], 500, 9);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must match")]
+    fn dimension_checked() {
+        let a = Matrix::identity(2);
+        let _ = monte_carlo_criticality(&a, &[1.0], 10, 0);
+    }
+}

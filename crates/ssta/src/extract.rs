@@ -1,0 +1,411 @@
+//! Statistically-critical path extraction (the paper's `P_tar` producer).
+//!
+//! Implements a bound-based branch-and-bound enumeration in the spirit of
+//! the paper's ref. 11 (Xie & Davoodi, ASPDAC 2009): paths are grown from
+//! source gates in best-first order of an *optimistic criticality bound*;
+//! a partial path is pruned as soon as even its most optimistic completion
+//! cannot reach the yield-loss threshold. The search therefore returns
+//! exactly the paths with `yield-loss > threshold` (up to the configured
+//! caps), most-critical first.
+
+use crate::yield_est::path_yield_loss;
+use pathrep_circuit::generator::PlacedCircuit;
+use pathrep_circuit::netlist::GateId;
+use pathrep_circuit::paths::Path;
+use pathrep_linalg::gauss::normal_quantile;
+use pathrep_variation::catalog::VariableSpace;
+use pathrep_variation::model::VariationModel;
+use pathrep_variation::sensitivity::{gate_contribution_terms, gate_delay_sigma};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration of the extractor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractConfig {
+    /// Timing constraint `T_cons` in ps.
+    pub t_cons: f64,
+    /// Extract paths with yield-loss strictly above this threshold.
+    pub yield_loss_threshold: f64,
+    /// Hard cap on the number of returned paths (most critical kept).
+    pub max_paths: usize,
+    /// Safety cap on branch-and-bound expansions.
+    pub max_expansions: usize,
+}
+
+impl ExtractConfig {
+    /// Creates a config with the paper-style defaults: caps generous enough
+    /// for the evaluation sizes.
+    pub fn new(t_cons: f64, yield_loss_threshold: f64) -> Self {
+        ExtractConfig {
+            t_cons,
+            yield_loss_threshold,
+            max_paths: 5_000,
+            max_expansions: 2_000_000,
+        }
+    }
+
+    /// Sets the path cap.
+    pub fn with_max_paths(mut self, max_paths: usize) -> Self {
+        self.max_paths = max_paths;
+        self
+    }
+}
+
+/// One extracted path with its Gaussian delay moments.
+#[derive(Debug, Clone)]
+pub struct ExtractedPath {
+    /// The gate sequence.
+    pub path: Path,
+    /// Mean path delay (ps).
+    pub mean: f64,
+    /// Path delay standard deviation (ps).
+    pub sigma: f64,
+    /// `P(d_p > T_cons)`.
+    pub yield_loss: f64,
+}
+
+/// Best-first branch-and-bound extractor of statistically-critical paths.
+#[derive(Debug)]
+pub struct CriticalPathExtractor<'a> {
+    circuit: &'a PlacedCircuit,
+    model: &'a VariationModel,
+    config: ExtractConfig,
+}
+
+/// A partial path in the search queue, ordered by optimistic bound
+/// (smallest `z` = most critical first).
+struct State {
+    /// Optimistic lower bound on the final `z = (T − mean)/σ`.
+    z_lb: f64,
+    gate: GateId,
+    gates: Vec<GateId>,
+    mean: f64,
+    variance: f64,
+    coeffs: HashMap<usize, f64>,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.z_lb == other.z_lb
+    }
+}
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest bound pops first.
+        other
+            .z_lb
+            .partial_cmp(&self.z_lb)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl<'a> CriticalPathExtractor<'a> {
+    /// Creates an extractor.
+    pub fn new(circuit: &'a PlacedCircuit, model: &'a VariationModel, config: ExtractConfig) -> Self {
+        CriticalPathExtractor {
+            circuit,
+            model,
+            config,
+        }
+    }
+
+    /// Runs the extraction. Returns paths with yield-loss above the
+    /// threshold, most critical first, capped at `max_paths`.
+    pub fn extract(&self) -> Vec<ExtractedPath> {
+        let graph = self.circuit.graph();
+        let n = graph.gate_count();
+        let space = VariableSpace::new(self.model, n);
+        let t_cons = self.config.t_cons;
+        let theta = self.config.yield_loss_threshold.clamp(1e-12, 1.0 - 1e-12);
+        // Path qualifies iff z = (T − mean)/σ < z_star.
+        let z_star = normal_quantile(1.0 - theta);
+
+        // Per-gate data.
+        let is_output: Vec<bool> = {
+            let mut v = vec![false; n];
+            for &s in graph.sinks() {
+                v[s.index()] = true;
+            }
+            v
+        };
+        let mean_g: Vec<f64> = graph
+            .topo_order()
+            .map(|g| self.circuit.nominal_delay(g))
+            .collect();
+        let sigma_g: Vec<f64> = graph
+            .topo_order()
+            .map(|g| gate_delay_sigma(self.circuit, self.model, g))
+            .collect();
+        let terms: Vec<Vec<(usize, f64)>> = graph
+            .topo_order()
+            .map(|g| {
+                gate_contribution_terms(self.circuit, self.model, g)
+                    .into_iter()
+                    .map(|(v, c)| (space.index_of(v), c))
+                    .collect()
+            })
+            .collect();
+
+        // Reverse DP: best completion stats from a gate's *fanouts* onward.
+        // suffix_mean[g] / suffix_sig[g] include gate g itself.
+        let mut suffix_mean = vec![f64::NEG_INFINITY; n];
+        let mut suffix_sig = vec![0.0_f64; n];
+        for g in graph.topo_order().collect::<Vec<_>>().into_iter().rev() {
+            let gi = g.index();
+            let mut best_m = if is_output[gi] { 0.0 } else { f64::NEG_INFINITY };
+            let mut best_s = 0.0;
+            for &f in graph.fanouts(g) {
+                let fm = suffix_mean[f.index()];
+                if fm > best_m {
+                    best_m = fm;
+                }
+                if suffix_sig[f.index()] > best_s {
+                    best_s = suffix_sig[f.index()];
+                }
+            }
+            if best_m.is_finite() {
+                suffix_mean[gi] = mean_g[gi] + best_m;
+                suffix_sig[gi] = sigma_g[gi] + best_s;
+            }
+        }
+
+        // Optimistic z for a partial path ending at g (stats include g):
+        // completions re-use the suffix DP of g's fanouts (or stop at g).
+        let bound = |g: GateId, mean: f64, var: f64| -> f64 {
+            let gi = g.index();
+            let sigma_p = var.sqrt().max(1e-12);
+            let mut rest_m = if is_output[gi] { 0.0 } else { f64::NEG_INFINITY };
+            let mut rest_s = 0.0;
+            for &f in graph.fanouts(g) {
+                if suffix_mean[f.index()] > rest_m {
+                    rest_m = suffix_mean[f.index()];
+                }
+                if suffix_sig[f.index()] > rest_s {
+                    rest_s = suffix_sig[f.index()];
+                }
+            }
+            if !rest_m.is_finite() {
+                return f64::INFINITY; // no valid completion
+            }
+            let mean_max = mean + rest_m;
+            let num = t_cons - mean_max;
+            if num >= 0.0 {
+                num / (sigma_p + rest_s)
+            } else {
+                num / sigma_p
+            }
+        };
+
+        let mut heap: BinaryHeap<State> = BinaryHeap::new();
+        for &s in graph.sources() {
+            let si = s.index();
+            let mut coeffs: HashMap<usize, f64> = HashMap::new();
+            let mut var = 0.0;
+            accumulate(&mut coeffs, &mut var, &terms[si]);
+            let z_lb = bound(s, mean_g[si], var);
+            if z_lb < z_star {
+                heap.push(State {
+                    z_lb,
+                    gate: s,
+                    gates: vec![s],
+                    mean: mean_g[si],
+                    variance: var,
+                    coeffs,
+                });
+            }
+        }
+
+        let mut results: Vec<ExtractedPath> = Vec::new();
+        let mut expansions = 0usize;
+        while let Some(state) = heap.pop() {
+            if state.z_lb >= z_star
+                || results.len() >= self.config.max_paths
+                || expansions >= self.config.max_expansions
+            {
+                break;
+            }
+            expansions += 1;
+            let gi = state.gate.index();
+            if is_output[gi] {
+                let sigma = state.variance.sqrt();
+                let z = (t_cons - state.mean) / sigma.max(1e-12);
+                if z < z_star {
+                    results.push(ExtractedPath {
+                        path: Path::new(state.gates.clone()).expect("non-empty by construction"),
+                        mean: state.mean,
+                        sigma,
+                        yield_loss: path_yield_loss(state.mean, sigma, t_cons),
+                    });
+                }
+            }
+            for &f in graph.fanouts(state.gate) {
+                let fi = f.index();
+                let mut coeffs = state.coeffs.clone();
+                let mut var = state.variance;
+                accumulate(&mut coeffs, &mut var, &terms[fi]);
+                let mean = state.mean + mean_g[fi];
+                let z_lb = bound(f, mean, var);
+                if z_lb < z_star {
+                    let mut gates = state.gates.clone();
+                    gates.push(f);
+                    heap.push(State {
+                        z_lb,
+                        gate: f,
+                        gates,
+                        mean,
+                        variance: var,
+                        coeffs,
+                    });
+                }
+            }
+        }
+        results.sort_by(|a, b| {
+            b.yield_loss
+                .partial_cmp(&a.yield_loss)
+                .unwrap_or(Ordering::Equal)
+        });
+        results.truncate(self.config.max_paths);
+        results
+    }
+}
+
+/// Adds a gate's terms into the running coefficient map, updating the
+/// variance incrementally: `var += Σ (2 c_j δ_j + δ_j²)`.
+fn accumulate(coeffs: &mut HashMap<usize, f64>, var: &mut f64, terms: &[(usize, f64)]) {
+    for &(j, d) in terms {
+        let c = coeffs.entry(j).or_insert(0.0);
+        *var += 2.0 * *c * d + d * d;
+        *c += d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathrep_circuit::generator::{CircuitGenerator, GeneratorConfig};
+    use crate::yield_est::nominal_circuit_delay;
+
+    fn small_circuit() -> PlacedCircuit {
+        CircuitGenerator::new(GeneratorConfig::new(250, 20, 12).with_seed(11))
+            .generate()
+            .unwrap()
+    }
+
+    #[test]
+    fn extracts_nonempty_at_nominal_constraint() {
+        let c = small_circuit();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let cfg = ExtractConfig::new(t, 0.005);
+        let paths = CriticalPathExtractor::new(&c, &model, cfg).extract();
+        assert!(!paths.is_empty(), "nominal constraint must yield critical paths");
+        // The longest nominal path has yield-loss 0.5 > threshold.
+        assert!(paths[0].yield_loss >= 0.4);
+    }
+
+    #[test]
+    fn all_extracted_paths_exceed_threshold() {
+        let c = small_circuit();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let theta = 0.01;
+        let cfg = ExtractConfig::new(t, theta);
+        let paths = CriticalPathExtractor::new(&c, &model, cfg).extract();
+        for p in &paths {
+            assert!(p.yield_loss > theta, "yield loss {} below threshold", p.yield_loss);
+        }
+    }
+
+    #[test]
+    fn results_sorted_most_critical_first() {
+        let c = small_circuit();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let paths = CriticalPathExtractor::new(&c, &model, ExtractConfig::new(t, 0.005)).extract();
+        for w in paths.windows(2) {
+            assert!(w[0].yield_loss >= w[1].yield_loss);
+        }
+    }
+
+    #[test]
+    fn paths_are_structurally_valid() {
+        let c = small_circuit();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let paths = CriticalPathExtractor::new(&c, &model, ExtractConfig::new(t, 0.01)).extract();
+        let graph = c.graph();
+        for p in &paths {
+            let gates = p.path.gates();
+            // Starts at a source, ends at an output.
+            assert!(graph.fanins(gates[0]).is_empty());
+            assert!(graph.sinks().contains(gates.last().unwrap()));
+            for w in gates.windows(2) {
+                assert!(graph.fanouts(w[0]).contains(&w[1]), "non-edge in path");
+            }
+        }
+    }
+
+    #[test]
+    fn path_moments_match_direct_computation() {
+        let c = small_circuit();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let paths = CriticalPathExtractor::new(&c, &model, ExtractConfig::new(t, 0.01)).extract();
+        let space = VariableSpace::new(&model, c.netlist().gate_count());
+        for p in paths.iter().take(5) {
+            let mean: f64 = p.path.gates().iter().map(|&g| c.nominal_delay(g)).sum();
+            let mut coeffs: HashMap<usize, f64> = HashMap::new();
+            for &g in p.path.gates() {
+                for (v, co) in gate_contribution_terms(&c, &model, g) {
+                    *coeffs.entry(space.index_of(v)).or_insert(0.0) += co;
+                }
+            }
+            let var: f64 = coeffs.values().map(|v| v * v).sum();
+            assert!((p.mean - mean).abs() < 1e-9);
+            assert!((p.sigma - var.sqrt()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn relaxed_constraint_extracts_fewer_paths() {
+        let c = small_circuit();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let tight = CriticalPathExtractor::new(&c, &model, ExtractConfig::new(t, 0.01))
+            .extract()
+            .len();
+        let relaxed = CriticalPathExtractor::new(&c, &model, ExtractConfig::new(t * 1.1, 0.01))
+            .extract()
+            .len();
+        assert!(relaxed <= tight);
+    }
+
+    #[test]
+    fn max_paths_cap_respected() {
+        let c = small_circuit();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let cfg = ExtractConfig::new(t, 0.001).with_max_paths(3);
+        let paths = CriticalPathExtractor::new(&c, &model, cfg).extract();
+        assert!(paths.len() <= 3);
+    }
+
+    #[test]
+    fn no_duplicate_paths() {
+        let c = small_circuit();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let paths = CriticalPathExtractor::new(&c, &model, ExtractConfig::new(t, 0.01)).extract();
+        let mut seen: Vec<&[GateId]> = paths.iter().map(|p| p.path.gates()).collect();
+        seen.sort();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(before, seen.len(), "duplicate paths extracted");
+    }
+}

@@ -1,0 +1,205 @@
+//! Sparse coefficient vectors over the variation-variable space.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse vector: sorted `(index, value)` pairs with unique indices and no
+/// stored zeros.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SparseVec {
+    entries: Vec<(usize, f64)>,
+}
+
+impl SparseVec {
+    /// The empty vector.
+    pub fn new() -> Self {
+        SparseVec {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds from unsorted, possibly duplicated terms; duplicates are
+    /// summed, zeros dropped.
+    pub fn from_terms<I: IntoIterator<Item = (usize, f64)>>(terms: I) -> Self {
+        let mut entries: Vec<(usize, f64)> = terms.into_iter().collect();
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        let mut out: Vec<(usize, f64)> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            match out.last_mut() {
+                Some((li, lv)) if *li == i => *lv += v,
+                _ => out.push((i, v)),
+            }
+        }
+        out.retain(|&(_, v)| v != 0.0);
+        SparseVec { entries: out }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the vector is all-zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored `(index, value)` pairs, sorted by index.
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
+    /// The coefficient at `index` (zero when absent).
+    pub fn get(&self, index: usize) -> f64 {
+        match self.entries.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm2_sq(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v * v).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(&self) -> f64 {
+        self.norm2_sq().sqrt()
+    }
+
+    /// Dot product with another sparse vector (merge join).
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let mut acc = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ia, va) = self.entries[i];
+            let (ib, vb) = other.entries[j];
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += va * vb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Returns `alpha·self + beta·other`.
+    pub fn linear_combination(&self, alpha: f64, other: &SparseVec, beta: f64) -> SparseVec {
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < other.entries.len() {
+            let next = match (self.entries.get(i), other.entries.get(j)) {
+                (Some(&(ia, va)), Some(&(ib, vb))) => match ia.cmp(&ib) {
+                    std::cmp::Ordering::Less => {
+                        i += 1;
+                        (ia, alpha * va)
+                    }
+                    std::cmp::Ordering::Greater => {
+                        j += 1;
+                        (ib, beta * vb)
+                    }
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                        (ia, alpha * va + beta * vb)
+                    }
+                },
+                (Some(&(ia, va)), None) => {
+                    i += 1;
+                    (ia, alpha * va)
+                }
+                (None, Some(&(ib, vb))) => {
+                    j += 1;
+                    (ib, beta * vb)
+                }
+                (None, None) => unreachable!("loop condition guards this"),
+            };
+            if next.1 != 0.0 {
+                out.push(next);
+            }
+        }
+        SparseVec { entries: out }
+    }
+
+    /// Adds `other` in place.
+    pub fn add_assign(&mut self, other: &SparseVec) {
+        *self = self.linear_combination(1.0, other, 1.0);
+    }
+
+    /// Evaluates `Σ aᵢ x[i]` against a dense realization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stored index is out of `x`'s bounds.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.entries.iter().map(|&(i, v)| v * x[i]).sum()
+    }
+}
+
+impl FromIterator<(usize, f64)> for SparseVec {
+    fn from_iter<I: IntoIterator<Item = (usize, f64)>>(iter: I) -> Self {
+        SparseVec::from_terms(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_terms_merges_and_sorts() {
+        let v = SparseVec::from_terms([(3, 1.0), (1, 2.0), (3, 4.0), (2, 0.0)]);
+        assert_eq!(v.entries(), &[(1, 2.0), (3, 5.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(3), 5.0);
+        assert_eq!(v.get(0), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_dense() {
+        let a = SparseVec::from_terms([(0, 1.0), (2, 3.0), (5, -2.0)]);
+        let b = SparseVec::from_terms([(2, 4.0), (3, 1.0), (5, 0.5)]);
+        assert_eq!(a.dot(&b), 12.0 - 1.0);
+        assert_eq!(a.dot(&b), b.dot(&a));
+    }
+
+    #[test]
+    fn linear_combination_covers_all_branches() {
+        let a = SparseVec::from_terms([(0, 1.0), (2, 2.0)]);
+        let b = SparseVec::from_terms([(1, 3.0), (2, -1.0)]);
+        let c = a.linear_combination(2.0, &b, 1.0);
+        assert_eq!(c.entries(), &[(0, 2.0), (1, 3.0), (2, 3.0)]);
+        // Cancellation drops the entry.
+        let d = a.linear_combination(1.0, &a, -1.0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn norms() {
+        let a = SparseVec::from_terms([(1, 3.0), (7, 4.0)]);
+        assert_eq!(a.norm2_sq(), 25.0);
+        assert_eq!(a.norm2(), 5.0);
+    }
+
+    #[test]
+    fn eval_against_dense() {
+        let a = SparseVec::from_terms([(0, 2.0), (2, -1.0)]);
+        assert_eq!(a.eval(&[1.0, 9.0, 4.0]), -2.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = SparseVec::from_terms([(0, 1.0)]);
+        a.add_assign(&SparseVec::from_terms([(0, 1.0), (1, 2.0)]));
+        assert_eq!(a.entries(), &[(0, 2.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let v: SparseVec = [(4, 1.0), (4, 1.0)].into_iter().collect();
+        assert_eq!(v.entries(), &[(4, 2.0)]);
+    }
+}

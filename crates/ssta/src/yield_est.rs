@@ -1,0 +1,202 @@
+//! Circuit- and path-level timing yield.
+
+use pathrep_circuit::generator::PlacedCircuit;
+use pathrep_linalg::gauss::{self, normal_cdf};
+use pathrep_variation::catalog::VariableSpace;
+use pathrep_variation::model::VariationModel;
+use pathrep_variation::sensitivity::gate_contribution_terms;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Longest-path nominal circuit delay (ps): the deterministic STA answer,
+/// used by the paper as the timing constraint `T_cons`.
+///
+/// # Panics
+///
+/// Panics if the circuit has no output gates.
+pub fn nominal_circuit_delay(circuit: &PlacedCircuit) -> f64 {
+    let graph = circuit.graph();
+    let mut arrival = vec![0.0_f64; graph.gate_count()];
+    for g in graph.topo_order() {
+        let fanin_max = graph
+            .fanins(g)
+            .iter()
+            .map(|&f| arrival[f.index()])
+            .fold(0.0_f64, f64::max);
+        arrival[g.index()] = fanin_max + circuit.nominal_delay(g);
+    }
+    graph
+        .sinks()
+        .iter()
+        .map(|&s| arrival[s.index()])
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Monte-Carlo estimate of the circuit timing yield
+/// `Y = P(circuit delay ≤ t_cons)` with `n_samples` seeded samples.
+///
+/// Each sample draws the full variation vector, evaluates every gate's
+/// first-order delay, and runs a longest-path sweep — the exact yield of
+/// the linear delay model, free of the max-approximation error.
+pub fn monte_carlo_circuit_yield(
+    circuit: &PlacedCircuit,
+    model: &VariationModel,
+    t_cons: f64,
+    n_samples: usize,
+    seed: u64,
+) -> f64 {
+    let graph = circuit.graph();
+    let space = VariableSpace::new(model, graph.gate_count());
+    // Pre-extract per-gate terms once.
+    let terms: Vec<Vec<(usize, f64)>> = graph
+        .topo_order()
+        .map(|g| {
+            gate_contribution_terms(circuit, model, g)
+                .into_iter()
+                .map(|(v, c)| (space.index_of(v), c))
+                .collect()
+        })
+        .collect();
+    let nominal: Vec<f64> = graph
+        .topo_order()
+        .map(|g| circuit.nominal_delay(g))
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = vec![0.0_f64; space.len()];
+    let mut arrival = vec![0.0_f64; graph.gate_count()];
+    let mut pass = 0usize;
+    for _ in 0..n_samples {
+        gauss::fill_standard_normal(&mut rng, &mut x);
+        for g in graph.topo_order() {
+            let gi = g.index();
+            let mut d = nominal[gi];
+            for &(j, c) in &terms[gi] {
+                d += c * x[j];
+            }
+            let fanin_max = graph
+                .fanins(g)
+                .iter()
+                .map(|&f| arrival[f.index()])
+                .fold(0.0_f64, f64::max);
+            arrival[gi] = fanin_max + d;
+        }
+        let delay = graph
+            .sinks()
+            .iter()
+            .map(|&s| arrival[s.index()])
+            .fold(f64::NEG_INFINITY, f64::max);
+        if delay <= t_cons {
+            pass += 1;
+        }
+    }
+    pass as f64 / n_samples as f64
+}
+
+/// Gaussian path yield `P(d_p ≤ t_cons)` for a path with the given moments.
+pub fn path_yield(mean: f64, sigma: f64, t_cons: f64) -> f64 {
+    if sigma <= 0.0 {
+        return if mean <= t_cons { 1.0 } else { 0.0 };
+    }
+    normal_cdf((t_cons - mean) / sigma)
+}
+
+/// Gaussian path yield-loss `P(d_p > t_cons)`.
+pub fn path_yield_loss(mean: f64, sigma: f64, t_cons: f64) -> f64 {
+    1.0 - path_yield(mean, sigma, t_cons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathrep_circuit::cell::{CellKind, CellLibrary};
+    use pathrep_circuit::generator::{CircuitGenerator, GeneratorConfig};
+    use pathrep_circuit::netlist::{Netlist, Signal};
+    use pathrep_circuit::placement::Placement;
+
+    #[test]
+    fn nominal_delay_of_chain() {
+        let mut nl = Netlist::new(1);
+        let a = nl.add_gate(CellKind::Inv, vec![Signal::Input(0)]).unwrap();
+        let b = nl.add_gate(CellKind::Inv, vec![Signal::Gate(a)]).unwrap();
+        nl.mark_output(b).unwrap();
+        let c = PlacedCircuit::from_parts(
+            nl,
+            Placement::new(vec![(0.5, 0.5); 2]),
+            CellLibrary::synthetic_90nm(),
+        );
+        let inv = c.library().timing(CellKind::Inv).nominal_ps;
+        assert!((nominal_circuit_delay(&c) - 2.0 * inv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn yield_at_nominal_is_roughly_half_or_less() {
+        // With symmetric zero-mean variation, the max of many paths exceeds
+        // the nominal longest path more often than not, so Y ≤ ~0.5.
+        let c = CircuitGenerator::new(GeneratorConfig::new(150, 12, 8).with_seed(8))
+            .generate()
+            .unwrap();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let y = monte_carlo_circuit_yield(&c, &model, t, 500, 1);
+        assert!(y <= 0.6, "yield {y} unexpectedly high at nominal");
+        assert!(y > 0.0, "yield should not vanish at nominal");
+    }
+
+    #[test]
+    fn yield_is_monotone_in_constraint() {
+        let c = CircuitGenerator::new(GeneratorConfig::new(100, 10, 6).with_seed(9))
+            .generate()
+            .unwrap();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let y0 = monte_carlo_circuit_yield(&c, &model, t * 0.9, 400, 2);
+        let y1 = monte_carlo_circuit_yield(&c, &model, t, 400, 2);
+        let y2 = monte_carlo_circuit_yield(&c, &model, t * 1.2, 400, 2);
+        assert!(y0 <= y1 && y1 <= y2);
+        assert!(y2 > 0.95, "generous constraint should pass almost always");
+    }
+
+    #[test]
+    fn path_yield_limits() {
+        assert!((path_yield(100.0, 10.0, 100.0) - 0.5).abs() < 1e-12);
+        assert!(path_yield(100.0, 10.0, 130.0) > 0.99);
+        assert!(path_yield(100.0, 10.0, 70.0) < 0.01);
+        assert_eq!(path_yield(100.0, 0.0, 99.0), 0.0);
+        assert_eq!(path_yield(100.0, 0.0, 101.0), 1.0);
+        assert!((path_yield_loss(100.0, 10.0, 100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mc_yield_agrees_with_gaussian_on_single_path() {
+        // A chain circuit has exactly one path, so the MC circuit yield must
+        // match the analytic Gaussian path yield.
+        let mut nl = Netlist::new(1);
+        let mut prev = nl.add_gate(CellKind::Nand2, vec![Signal::Input(0), Signal::Input(0)]);
+        let mut gates = vec![prev.clone().unwrap()];
+        for _ in 0..5 {
+            let g = nl
+                .add_gate(CellKind::Inv, vec![Signal::Gate(prev.unwrap())])
+                .unwrap();
+            gates.push(g);
+            prev = Ok(g);
+        }
+        nl.mark_output(*gates.last().unwrap()).unwrap();
+        let c = PlacedCircuit::from_parts(
+            nl,
+            Placement::new(vec![(0.3, 0.3); 6]),
+            CellLibrary::synthetic_90nm(),
+        );
+        let model = VariationModel::three_level();
+        let res = crate::block::run_ssta(&c, &model);
+        let mean = res.circuit_delay().mean;
+        let sigma = res.circuit_delay().std_dev();
+        let t = mean + sigma; // one sigma of margin ⇒ yield ≈ 84 %
+        let analytic = path_yield(mean, sigma, t);
+        let mc = monte_carlo_circuit_yield(&c, &model, t, 4000, 3);
+        assert!(
+            (analytic - mc).abs() < 0.03,
+            "analytic {analytic} vs MC {mc}"
+        );
+    }
+}

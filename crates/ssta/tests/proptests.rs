@@ -1,0 +1,108 @@
+//! Property-based tests for the SSTA substrate.
+
+use pathrep_ssta::canonical::CanonicalForm;
+use pathrep_ssta::sparse::SparseVec;
+use proptest::prelude::*;
+
+fn sparse_strategy(max_idx: usize, max_len: usize) -> impl Strategy<Value = SparseVec> {
+    proptest::collection::vec((0..max_idx, -3.0..3.0f64), 0..max_len)
+        .prop_map(SparseVec::from_terms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sparse_entries_sorted_unique_nonzero(v in sparse_strategy(40, 30)) {
+        let e = v.entries();
+        for w in e.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        prop_assert!(e.iter().all(|&(_, x)| x != 0.0));
+    }
+
+    #[test]
+    fn sparse_dot_is_symmetric_and_cauchy_schwarz(
+        a in sparse_strategy(30, 20),
+        b in sparse_strategy(30, 20),
+    ) {
+        let ab = a.dot(&b);
+        prop_assert!((ab - b.dot(&a)).abs() < 1e-12);
+        prop_assert!(ab.abs() <= a.norm2() * b.norm2() * (1.0 + 1e-12) + 1e-12);
+    }
+
+    #[test]
+    fn sparse_linear_combination_matches_dense(
+        a in sparse_strategy(25, 15),
+        b in sparse_strategy(25, 15),
+        alpha in -2.0..2.0f64,
+        beta in -2.0..2.0f64,
+    ) {
+        let c = a.linear_combination(alpha, &b, beta);
+        for idx in 0..25 {
+            let expected = alpha * a.get(idx) + beta * b.get(idx);
+            prop_assert!((c.get(idx) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clark_max_dominates_both_means(
+        ma in -5.0..5.0f64,
+        mb in -5.0..5.0f64,
+        sa in 0.1..3.0f64,
+        sb in 0.1..3.0f64,
+    ) {
+        // max(A, B) has mean at least max(E[A], E[B]).
+        let a = CanonicalForm::from_terms(ma, [(0usize, sa)]);
+        let b = CanonicalForm::from_terms(mb, [(1usize, sb)]);
+        let m = a.max(&b);
+        prop_assert!(m.mean >= ma.max(mb) - 1e-9, "mean {} below inputs", m.mean);
+        // And its variance is bounded by the larger input variance plus the
+        // mean gap effect; at minimum it is non-negative.
+        prop_assert!(m.variance() >= -1e-12);
+    }
+
+    #[test]
+    fn clark_max_is_exact_for_far_apart_inputs(
+        gap in 25.0..100.0f64,
+        s in 0.1..2.0f64,
+    ) {
+        let a = CanonicalForm::from_terms(0.0, [(0usize, s)]);
+        let b = CanonicalForm::from_terms(gap, [(1usize, s)]);
+        let m = a.max(&b);
+        prop_assert!((m.mean - gap).abs() < 1e-6);
+        prop_assert!((m.variance() - s * s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn canonical_add_is_commutative_and_linear(
+        ma in -5.0..5.0f64,
+        mb in -5.0..5.0f64,
+        sa in 0.0..2.0f64,
+        sb in 0.0..2.0f64,
+    ) {
+        let a = CanonicalForm::from_terms(ma, [(0usize, sa), (1usize, 0.5)]);
+        let b = CanonicalForm::from_terms(mb, [(1usize, sb)]);
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert!((ab.mean - ba.mean).abs() < 1e-12);
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-12);
+        // Shared variable 1 adds coherently.
+        prop_assert!((ab.sens.get(1) - (0.5 + sb)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clark_max_between_bounds(
+        ma in -3.0..3.0f64,
+        mb in -3.0..3.0f64,
+        sa in 0.2..2.0f64,
+        sb in 0.2..2.0f64,
+    ) {
+        // E[max] ≤ E[A] + E[(B−A)+] ≤ max mean + θ (loose sanity bound).
+        let a = CanonicalForm::from_terms(ma, [(0usize, sa)]);
+        let b = CanonicalForm::from_terms(mb, [(1usize, sb)]);
+        let m = a.max(&b);
+        let theta = (sa * sa + sb * sb).sqrt();
+        prop_assert!(m.mean <= ma.max(mb) + theta);
+    }
+}

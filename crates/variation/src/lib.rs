@@ -1,0 +1,49 @@
+//! Process-variation substrate for the `pathrep` workspace.
+//!
+//! Models the paper's variation setting (Section 6):
+//!
+//! * two varying parameters, effective channel length `L_eff` and zero-bias
+//!   threshold voltage `V_t`, Gaussian with sigma = 10 % of nominal;
+//! * spatial correlation via the **hierarchical model** of Agarwal/Blaauw —
+//!   a quad-tree of rectangular regions (3 levels = 21 regions for small
+//!   circuits, 5 levels = 341 for large ones), see [`regions`];
+//! * a **per-gate independent random** component carrying 6 % of the total
+//!   delay variance, see [`model`];
+//! * construction of the linear delay model `d = mu + A*x` with
+//!   `A = G*Sigma` factored through segment delays, see [`sensitivity`];
+//! * seeded Monte-Carlo sampling of the standardized variation vector `x`,
+//!   see [`sampler`].
+//!
+//! # Example
+//!
+//! ```
+//! use pathrep_circuit::generator::{CircuitGenerator, GeneratorConfig};
+//! use pathrep_circuit::paths::{decompose_into_segments, Path};
+//! use pathrep_variation::model::VariationModel;
+//! use pathrep_variation::sensitivity::DelayModel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = CircuitGenerator::new(GeneratorConfig::new(60, 8, 4).with_seed(1)).generate()?;
+//! // One trivial path: any source gate followed along first fanouts.
+//! let g0 = circuit.graph().sources()[0];
+//! let mut gates = vec![g0];
+//! while let Some(&next) = circuit.graph().fanouts(*gates.last().unwrap()).first() {
+//!     gates.push(next);
+//! }
+//! let paths = vec![Path::new(gates)?];
+//! let dec = decompose_into_segments(&paths)?;
+//! let model = VariationModel::three_level();
+//! let dm = DelayModel::build(&circuit, &paths, &dec, &model)?;
+//! assert_eq!(dm.a().nrows(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod catalog;
+pub mod model;
+pub mod regions;
+pub mod sampler;
+pub mod sensitivity;
+
+pub use model::VariationModel;
+pub use sensitivity::DelayModel;

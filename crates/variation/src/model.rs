@@ -1,0 +1,258 @@
+//! The variation model: parameters, variance budget, spatial weights.
+
+use crate::regions::RegionHierarchy;
+use serde::{Deserialize, Serialize};
+
+/// A varying process parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Parameter {
+    /// Effective channel length.
+    Leff,
+    /// Zero-bias threshold voltage.
+    Vt,
+}
+
+impl Parameter {
+    /// Both parameters, in a fixed order.
+    pub const ALL: [Parameter; 2] = [Parameter::Leff, Parameter::Vt];
+}
+
+/// One independent standard-normal variable of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variable {
+    /// A spatial (die-to-die or within-die) component of one parameter:
+    /// `region_flat` is the flat region index of [`RegionHierarchy`].
+    Region {
+        /// Which parameter this component perturbs.
+        param: Parameter,
+        /// Flat index of the region (see [`RegionHierarchy::flat_index`]).
+        region_flat: usize,
+    },
+    /// The per-gate independent random component (one per gate, shared
+    /// across parameters, as in the paper's variable accounting).
+    GateRandom {
+        /// Gate index ([`pathrep_circuit::netlist::GateId::index`]).
+        gate: usize,
+    },
+}
+
+/// The full variation model: region hierarchy, per-level variance split,
+/// and random-component fraction.
+///
+/// The paper's configuration: parameters at σ = 10 % of mean (already folded
+/// into the cell library's ps-per-σ sensitivities), a 3-level model
+/// (21 regions) for small circuits and a 5-level model (341 regions) for
+/// large ones, and a per-gate random term carrying 6 % of total variance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    hierarchy: RegionHierarchy,
+    /// Per-level standard-deviation weights `w_l` with `Σ w_l² = 1`.
+    level_weights: Vec<f64>,
+    /// Fraction of total delay variance assigned to the per-gate random
+    /// component.
+    random_fraction: f64,
+    /// Extra multiplier on the per-gate random σ (1.0 = the calibrated
+    /// budget; > 1 models technology scaling growing the *extent* of
+    /// independent random variation, the paper's Figure-2(b)/Section-5
+    /// regime).
+    random_scale: f64,
+}
+
+impl VariationModel {
+    /// Builds a model with an equal variance split across levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ random_fraction < 1`.
+    pub fn new(levels: usize, random_fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&random_fraction),
+            "random_fraction must lie in [0,1)"
+        );
+        let w = (1.0 / levels as f64).sqrt();
+        VariationModel {
+            hierarchy: RegionHierarchy::new(levels),
+            level_weights: vec![w; levels],
+            random_fraction,
+            random_scale: 1.0,
+        }
+    }
+
+    /// Scales the per-gate random σ by `scale` (growing the total variance;
+    /// the spatial budget is untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0`.
+    pub fn with_random_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "random scale must be positive");
+        self.random_scale = scale;
+        self
+    }
+
+    /// The per-gate random σ multiplier.
+    pub fn random_scale(&self) -> f64 {
+        self.random_scale
+    }
+
+    /// The paper's small-circuit model: 3 levels (21 regions), 6 % random.
+    pub fn three_level() -> Self {
+        Self::new(3, 0.06)
+    }
+
+    /// The paper's large-circuit model: 5 levels (341 regions), 6 % random.
+    pub fn five_level() -> Self {
+        Self::new(5, 0.06)
+    }
+
+    /// The region hierarchy.
+    pub fn hierarchy(&self) -> &RegionHierarchy {
+        &self.hierarchy
+    }
+
+    /// Per-level σ-weights (`Σ w_l² = 1`).
+    pub fn level_weights(&self) -> &[f64] {
+        &self.level_weights
+    }
+
+    /// Variance fraction of the per-gate random component.
+    pub fn random_fraction(&self) -> f64 {
+        self.random_fraction
+    }
+
+    /// Overrides the per-level weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight count differs from the level count or the
+    /// squared weights do not sum to 1 within 1e-9.
+    pub fn with_level_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.hierarchy.levels());
+        let ssq: f64 = weights.iter().map(|w| w * w).sum();
+        assert!(
+            (ssq - 1.0).abs() < 1e-9,
+            "squared level weights must sum to 1, got {ssq}"
+        );
+        self.level_weights = weights;
+        self
+    }
+
+    /// Scale applied to spatial (per-parameter) sensitivities so that the
+    /// random fraction claims its variance share: `sqrt(1 − f)`.
+    pub fn spatial_scale(&self) -> f64 {
+        (1.0 - self.random_fraction).sqrt()
+    }
+
+    /// Correlation between one parameter's value at two die locations —
+    /// the hierarchical model's spatial kernel: locations sharing deeper
+    /// quad-tree regions correlate more, die-to-die alone gives the floor
+    /// `w_0²`. (The per-gate random component is excluded: it is
+    /// gate-specific, not location-specific.)
+    pub fn spatial_correlation(&self, a: (f64, f64), b: (f64, f64)) -> f64 {
+        let ha = self.hierarchy.regions_containing(a.0, a.1);
+        let hb = self.hierarchy.regions_containing(b.0, b.1);
+        let shared: f64 = ha
+            .iter()
+            .zip(hb.iter())
+            .zip(self.level_weights.iter())
+            .filter(|((ra, rb), _)| ra == rb)
+            .map(|(_, &w)| w * w)
+            .sum();
+        // Both parameter values have unit variance (Σ w² = 1), so the
+        // covariance over shared regions *is* the correlation.
+        shared
+    }
+
+    /// The per-gate random σ (in ps) for a gate whose per-parameter
+    /// sensitivities are `sens` (in ps per σ):
+    /// `random_scale · sqrt(f · Σ s_p²)`.
+    ///
+    /// At `random_scale = 1` the gate's total delay variance is preserved:
+    /// `(1−f)·Σs² + f·Σs² = Σs²`.
+    pub fn random_sigma(&self, sens: &[f64]) -> f64 {
+        let total: f64 = sens.iter().map(|s| s * s).sum();
+        self.random_scale * (self.random_fraction * total).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_region_counts() {
+        assert_eq!(VariationModel::three_level().hierarchy().region_count(), 21);
+        assert_eq!(VariationModel::five_level().hierarchy().region_count(), 341);
+    }
+
+    #[test]
+    fn default_weights_are_unit_energy() {
+        let m = VariationModel::three_level();
+        let ssq: f64 = m.level_weights().iter().map(|w| w * w).sum();
+        assert!((ssq - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_budget_balances() {
+        let m = VariationModel::new(4, 0.06);
+        let sens = [8.0, 5.0]; // ps per σ for Leff, Vt
+        let total: f64 = sens.iter().map(|s| s * s).sum();
+        let spatial: f64 = sens
+            .iter()
+            .map(|s| (s * m.spatial_scale()).powi(2))
+            .sum();
+        let random = m.random_sigma(&sens).powi(2);
+        assert!((spatial + random - total).abs() < 1e-9 * total);
+        assert!((random / total - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_weights_validated() {
+        let w = vec![0.8, 0.6];
+        let m = VariationModel::new(2, 0.1).with_level_weights(w);
+        assert_eq!(m.level_weights(), &[0.8, 0.6]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_weights_rejected() {
+        let _ = VariationModel::new(2, 0.1).with_level_weights(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "random_fraction")]
+    fn bad_fraction_rejected() {
+        let _ = VariationModel::new(3, 1.0);
+    }
+
+    #[test]
+    fn spatial_correlation_decays_with_distance() {
+        let m = VariationModel::five_level();
+        let a = (0.30, 0.30);
+        let same = m.spatial_correlation(a, (0.30, 0.30));
+        let near = m.spatial_correlation(a, (0.31, 0.31));
+        let mid = m.spatial_correlation(a, (0.40, 0.40));
+        let far = m.spatial_correlation(a, (0.95, 0.95));
+        assert!((same - 1.0).abs() < 1e-12, "self-correlation must be 1");
+        assert!(near >= mid && mid >= far, "correlation must decay: {near} {mid} {far}");
+        // Die-to-die floor: even opposite corners share level 0.
+        let w0 = m.level_weights()[0];
+        assert!((far - w0 * w0).abs() < 1e-12 || far >= w0 * w0);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn spatial_correlation_is_symmetric() {
+        let m = VariationModel::three_level();
+        let a = (0.1, 0.8);
+        let b = (0.7, 0.2);
+        assert_eq!(m.spatial_correlation(a, b), m.spatial_correlation(b, a));
+    }
+
+    #[test]
+    fn zero_random_fraction_allowed() {
+        let m = VariationModel::new(3, 0.0);
+        assert_eq!(m.random_sigma(&[8.0, 5.0]), 0.0);
+        assert!((m.spatial_scale() - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,146 @@
+//! Hierarchical spatial-correlation regions (Agarwal/Blaauw quad-tree).
+//!
+//! Level 0 is the whole die (the die-to-die component); level `l` splits the
+//! die into a `2^l × 2^l` grid. A model with `L` levels has
+//! `(4^L − 1) / 3` regions in total — 21 for `L = 3`, 341 for `L = 5`,
+//! exactly the `|R|` column of the paper's tables. A gate's parameter value
+//! is the weighted sum of the region variables containing it, one per level,
+//! which induces spatial correlation that decays with distance.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one region: its level and flat grid index within the level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId {
+    /// Quad-tree level, 0-based (0 = whole die).
+    pub level: usize,
+    /// Row-major cell index within the `2^level × 2^level` grid.
+    pub cell: usize,
+}
+
+/// The quad-tree region hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionHierarchy {
+    levels: usize,
+}
+
+impl RegionHierarchy {
+    /// Creates a hierarchy with `levels` levels (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` or `levels > 12` (4^12 cells would overflow
+    /// any practical use).
+    pub fn new(levels: usize) -> Self {
+        assert!((1..=12).contains(&levels), "levels must lie in 1..=12");
+        RegionHierarchy { levels }
+    }
+
+    /// Number of quad-tree levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Total number of regions across all levels: `(4^L − 1) / 3`.
+    pub fn region_count(&self) -> usize {
+        ((4usize.pow(self.levels as u32)) - 1) / 3
+    }
+
+    /// Number of cells at `level`.
+    pub fn cells_at(&self, level: usize) -> usize {
+        4usize.pow(level as u32)
+    }
+
+    /// The region containing `(x, y)` at `level`. Coordinates are clamped
+    /// into the unit die.
+    pub fn region_at(&self, level: usize, x: f64, y: f64) -> RegionId {
+        debug_assert!(level < self.levels);
+        let side = 1usize << level;
+        let ix = ((x.clamp(0.0, 1.0) * side as f64) as usize).min(side - 1);
+        let iy = ((y.clamp(0.0, 1.0) * side as f64) as usize).min(side - 1);
+        RegionId {
+            level,
+            cell: iy * side + ix,
+        }
+    }
+
+    /// All regions containing `(x, y)`, one per level (die-to-die first).
+    pub fn regions_containing(&self, x: f64, y: f64) -> Vec<RegionId> {
+        (0..self.levels).map(|l| self.region_at(l, x, y)).collect()
+    }
+
+    /// Flat index of a region across all levels (level-0 region is 0, then
+    /// level-1's cells, ...). Suitable for variable numbering.
+    pub fn flat_index(&self, id: RegionId) -> usize {
+        debug_assert!(id.level < self.levels);
+        let offset = ((4usize.pow(id.level as u32)) - 1) / 3;
+        offset + id.cell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_counts_match_paper() {
+        assert_eq!(RegionHierarchy::new(3).region_count(), 21);
+        assert_eq!(RegionHierarchy::new(5).region_count(), 341);
+        assert_eq!(RegionHierarchy::new(1).region_count(), 1);
+    }
+
+    #[test]
+    fn level0_is_whole_die() {
+        let h = RegionHierarchy::new(3);
+        let a = h.region_at(0, 0.05, 0.05);
+        let b = h.region_at(0, 0.95, 0.95);
+        assert_eq!(a, b);
+        assert_eq!(a.cell, 0);
+    }
+
+    #[test]
+    fn deeper_levels_separate_distant_gates() {
+        let h = RegionHierarchy::new(3);
+        let a = h.region_at(2, 0.05, 0.05);
+        let b = h.region_at(2, 0.95, 0.95);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nearby_gates_share_all_regions() {
+        let h = RegionHierarchy::new(5);
+        let ra = h.regions_containing(0.301, 0.702);
+        let rb = h.regions_containing(0.302, 0.703);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn flat_indices_are_unique_and_dense() {
+        let h = RegionHierarchy::new(3);
+        let mut seen = vec![false; h.region_count()];
+        for level in 0..3 {
+            for cell in 0..h.cells_at(level) {
+                let idx = h.flat_index(RegionId { level, cell });
+                assert!(idx < h.region_count());
+                assert!(!seen[idx], "duplicate flat index {idx}");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn boundary_coordinates_clamp() {
+        let h = RegionHierarchy::new(4);
+        let r = h.region_at(3, 1.0, 1.0);
+        assert_eq!(r.cell, 63); // last cell of the 8×8 grid
+        let r = h.region_at(3, -0.2, 1.7);
+        assert_eq!(r.cell, 56); // bottom-left x, top y ⇒ row 7, col 0
+    }
+
+    #[test]
+    #[should_panic(expected = "levels must lie")]
+    fn zero_levels_rejected() {
+        let _ = RegionHierarchy::new(0);
+    }
+}

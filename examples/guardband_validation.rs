@@ -1,0 +1,78 @@
+//! Guard-band analysis (Section 6.3): confident pass/fail classification.
+//!
+//! Every predicted speedpath carries an analytic per-path error bound
+//! `ε_i = κ·std(Δ_i)/T_cons`. Post-silicon, a prediction outside the
+//! guard-band `ε_i·T_cons` is a *confident* verdict; only paths inside the
+//! band need direct measurement. This example classifies the speedpaths of
+//! simulated chips and shows how decisive the band is.
+//!
+//! Run with: `cargo run --release --example guardband_validation`
+
+use pathrep::core::approx::{approx_select, ApproxConfig};
+use pathrep::core::guardband::{classify, GuardBandOutcome, GuardBandVerdict};
+use pathrep::eval::pipeline::{prepare, PipelineConfig};
+use pathrep::eval::suite::Suite;
+use pathrep::variation::sampler::VariationSampler;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let spec = Suite::by_name("s1238").expect("s1238 is in the suite");
+    let pipeline = PipelineConfig {
+        max_paths: 300,
+        ..PipelineConfig::default()
+    };
+    let pb = prepare(&spec, &pipeline)?;
+    let dm = &pb.delay_model;
+    let approx = approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(0.05, pb.t_cons))?;
+    let bands: Vec<f64> = approx
+        .predictor
+        .wc_errors()
+        .iter()
+        .map(|wc| (wc / pb.t_cons).min(0.999))
+        .collect();
+    let avg_band = bands.iter().sum::<f64>() / bands.len().max(1) as f64;
+    println!(
+        "{}: {} measured paths, {} predicted; average guard-band {:.2} % of T_cons \
+         (pre-specified ε = 5 %)",
+        spec.name,
+        approx.selected.len(),
+        approx.remaining.len(),
+        100.0 * avg_band
+    );
+
+    let mut sampler = VariationSampler::new(dm.variable_count(), 31337);
+    let mut outcome = GuardBandOutcome::default();
+    let n_chips = 200;
+    for _ in 0..n_chips {
+        let x = sampler.draw();
+        let d_all = dm.path_delays(&x)?;
+        let measured: Vec<f64> = approx.selected.iter().map(|&i| d_all[i]).collect();
+        let predicted = approx.predictor.predict(&measured)?;
+        for (k, &p) in approx.remaining.iter().enumerate() {
+            outcome.record(predicted[k], d_all[p], bands[k], pb.t_cons);
+            // Show one example verdict from the first chip.
+            if outcome.total() == 1 {
+                let v = classify(predicted[k], bands[k], pb.t_cons);
+                let tag = match v {
+                    GuardBandVerdict::Pass => "PASS",
+                    GuardBandVerdict::Fail => "FAIL",
+                    GuardBandVerdict::Uncertain => "MEASURE",
+                };
+                println!(
+                    "example: path {p} predicted {:.1} ps vs T = {:.1} ps ⇒ {tag}",
+                    predicted[k], pb.t_cons
+                );
+            }
+        }
+    }
+    println!(
+        "{n_chips} chips × {} paths: {} confident-correct, {} confident-wrong, \
+         {} deferred — {:.1} % decisive",
+        approx.remaining.len(),
+        outcome.confident_correct,
+        outcome.confident_wrong,
+        outcome.uncertain,
+        100.0 * outcome.decisiveness()
+    );
+    Ok(())
+}

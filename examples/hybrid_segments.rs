@@ -1,0 +1,88 @@
+//! Hybrid path/segment selection: designing custom test structures.
+//!
+//! When independent random variation is large (the paper's scaled-
+//! technology regime), measuring whole paths becomes less efficient and
+//! the convex segment-selection program picks a compact set of segments
+//! whose delays — measurable through custom test structures — predict the
+//! entire speedpath pool.
+//!
+//! Run with: `cargo run --release --example hybrid_segments`
+
+use pathrep::core::hybrid::{hybrid_select_sweep, HybridConfig, HybridInputs};
+use pathrep::eval::pipeline::{prepare, PipelineConfig};
+use pathrep::eval::suite::Suite;
+use pathrep::variation::sampler::VariationSampler;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let spec = Suite::by_name("s1423").expect("s1423 is in the suite");
+    let pipeline = PipelineConfig {
+        t_cons_factor: 0.98, // tighten the constraint: more target paths
+        max_paths: 400,
+        random_scale: 3.0, // the paper's Figure-2(b) high-random regime
+        ..PipelineConfig::default()
+    };
+    let pb = prepare(&spec, &pipeline)?;
+    let dm = &pb.delay_model;
+    println!(
+        "{}: |P_tar| = {}, {} segments cover {} gates, |x| = {}",
+        spec.name,
+        pb.path_count(),
+        pb.decomposition.segment_count(),
+        pb.covered_gate_count(),
+        dm.variable_count()
+    );
+
+    // Sweep ε′ below ε = 8 % and keep the cheapest measurement plan.
+    let inputs = HybridInputs {
+        g: dm.g(),
+        sigma: dm.sigma(),
+        a: dm.a(),
+        mu_segments: dm.mu_segments(),
+        mu_paths: dm.mu_paths(),
+    };
+    let base = HybridConfig::new(0.08, 0.06, pb.t_cons);
+    let sel = hybrid_select_sweep(&inputs, &base, &[0.04, 0.06, 0.07])?;
+    println!(
+        "hybrid plan (ε′ = {:.0} %): {} segments + {} paths = {} measurements \
+         for {} predicted paths (exact selection would need {})",
+        100.0 * sel.epsilon_prime,
+        sel.segments.len(),
+        sel.paths.len(),
+        sel.measurement_count(),
+        sel.remaining.len(),
+        sel.exact_size
+    );
+
+    // The segments to instrument: identify their gate spans for the test
+    // structure designer.
+    for &s in sel.segments.iter().take(5) {
+        let seg = &pb.decomposition.segments()[s];
+        println!(
+            "  segment {s}: {} gates, from {:?} to {:?}",
+            seg.gates().len(),
+            seg.start(),
+            seg.end()
+        );
+    }
+    if sel.segments.len() > 5 {
+        println!("  ... and {} more", sel.segments.len() - 5);
+    }
+
+    // Validate on one simulated chip.
+    let mut sampler = VariationSampler::new(dm.variable_count(), 4242);
+    let x = sampler.draw();
+    let d_seg = dm.segment_delays(&x)?;
+    let d_path = dm.path_delays(&x)?;
+    let mut measured: Vec<f64> = sel.segments.iter().map(|&s| d_seg[s]).collect();
+    measured.extend(sel.paths.iter().map(|&p| d_path[p]));
+    let predicted = sel.predictor.predict(&measured)?;
+    let worst = sel
+        .remaining
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| (predicted[k] - d_path[p]).abs() / d_path[p])
+        .fold(0.0_f64, f64::max);
+    println!("simulated chip: worst relative error {:.2} %", 100.0 * worst);
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Quickstart: the paper's Figure-1 motivating example, end to end.
+//!
+//! Four paths merge at gate G5; because they share segments, any one of
+//! them is an exact linear combination of the other three
+//! (`d_p1 = d_p2 − d_p3 + d_p4`). Exact selection discovers this: it keeps
+//! `rank(A) = 3` representative paths and predicts the fourth with zero
+//! error.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pathrep::circuit::cell::{CellKind, CellLibrary};
+use pathrep::circuit::generator::PlacedCircuit;
+use pathrep::circuit::netlist::{Netlist, Signal};
+use pathrep::circuit::paths::{decompose_into_segments, Path};
+use pathrep::circuit::placement::Placement;
+use pathrep::core::exact::exact_select;
+use pathrep::core::predictor::DEFAULT_KAPPA;
+use pathrep::variation::model::VariationModel;
+use pathrep::variation::sampler::VariationSampler;
+use pathrep::variation::sensitivity::DelayModel;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // --- Build the Figure-1 subcircuit: G1..G9, paths merging at G5 ---
+    let mut nl = Netlist::new(2);
+    let g1 = nl.add_gate(CellKind::Buf, vec![Signal::Input(0)])?;
+    let g2 = nl.add_gate(CellKind::Buf, vec![Signal::Input(1)])?;
+    let g3 = nl.add_gate(CellKind::Inv, vec![Signal::Gate(g1)])?;
+    let g4 = nl.add_gate(CellKind::Inv, vec![Signal::Gate(g2)])?;
+    let g5 = nl.add_gate(CellKind::Nand2, vec![Signal::Gate(g3), Signal::Gate(g4)])?;
+    let g6 = nl.add_gate(CellKind::Inv, vec![Signal::Gate(g5)])?;
+    let g7 = nl.add_gate(CellKind::Inv, vec![Signal::Gate(g5)])?;
+    let g8 = nl.add_gate(CellKind::Buf, vec![Signal::Gate(g6)])?;
+    let g9 = nl.add_gate(CellKind::Buf, vec![Signal::Gate(g7)])?;
+    nl.mark_output(g8)?;
+    nl.mark_output(g9)?;
+    let circuit = PlacedCircuit::from_parts(
+        nl,
+        Placement::new(vec![(0.5, 0.5); 9]),
+        CellLibrary::synthetic_90nm(),
+    );
+
+    // --- The four target paths of the figure ---
+    let paths = vec![
+        Path::new(vec![g1, g3, g5, g7, g9])?, // p1
+        Path::new(vec![g1, g3, g5, g6, g8])?, // p2
+        Path::new(vec![g2, g4, g5, g6, g8])?, // p3
+        Path::new(vec![g2, g4, g5, g7, g9])?, // p4
+    ];
+    let dec = decompose_into_segments(&paths)?;
+    println!(
+        "{} target paths decompose into {} segments",
+        paths.len(),
+        dec.segment_count()
+    );
+
+    // --- Linear delay model d = µ + A·x under the 3-level variation model ---
+    let model = VariationModel::three_level();
+    let dm = DelayModel::build(&circuit, &paths, &dec, &model)?;
+    println!(
+        "variation dimension |x| = {} (2 params × regions + per-gate randoms)",
+        dm.variable_count()
+    );
+
+    // --- Exact selection: rank(A) = 3 representative paths suffice ---
+    let sel = exact_select(dm.a(), dm.mu_paths(), DEFAULT_KAPPA)?;
+    println!(
+        "rank(A) = {} ⇒ representative paths: {:?}, predicted: {:?}",
+        sel.rank, sel.selected, sel.remaining
+    );
+
+    // --- "Fabricate" a chip and validate the prediction ---
+    let mut sampler = VariationSampler::new(dm.variable_count(), 2024);
+    let x = sampler.draw();
+    let d_all = dm.path_delays(&x)?;
+    let measured: Vec<f64> = sel.selected.iter().map(|&i| d_all[i]).collect();
+    let predicted = sel.predictor.predict(&measured)?;
+    for (k, &p) in sel.remaining.iter().enumerate() {
+        println!(
+            "path {}: true {:.3} ps, predicted {:.3} ps (error {:.2e} ps)",
+            p,
+            d_all[p],
+            predicted[k],
+            (predicted[k] - d_all[p]).abs()
+        );
+    }
+    // The motivating identity itself:
+    let lhs = d_all[0];
+    let rhs = d_all[1] - d_all[2] + d_all[3];
+    println!("identity d_p1 = d_p2 − d_p3 + d_p4: {lhs:.3} = {rhs:.3}");
+    Ok(())
+}

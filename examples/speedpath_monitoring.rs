@@ -1,0 +1,70 @@
+//! Speedpath monitoring: the paper's main workflow on a realistic circuit.
+//!
+//! Design stage: generate an ISCAS'89-class circuit, extract the
+//! statistically-critical paths, and run approximate selection (ε = 5 %) so
+//! only a handful of representative paths need post-silicon measurement.
+//!
+//! Post-silicon stage (simulated): for a few "fabricated chips" (variation
+//! draws), measure the representative paths and predict every other target
+//! speedpath, then report the prediction quality.
+//!
+//! Run with: `cargo run --release --example speedpath_monitoring`
+
+use pathrep::core::approx::{approx_select, ApproxConfig};
+use pathrep::eval::pipeline::{prepare, PipelineConfig};
+use pathrep::eval::suite::Suite;
+use pathrep::variation::sampler::VariationSampler;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // --- Design stage ---
+    let spec = Suite::by_name("s1423").expect("s1423 is in the suite");
+    let pipeline = PipelineConfig {
+        max_paths: 400,
+        ..PipelineConfig::default()
+    };
+    let pb = prepare(&spec, &pipeline)?;
+    println!(
+        "{}: T_cons = {:.0} ps, circuit yield {:.1} %, |P_tar| = {}",
+        spec.name,
+        pb.t_cons,
+        100.0 * pb.circuit_yield,
+        pb.path_count()
+    );
+
+    let dm = &pb.delay_model;
+    let approx = approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(0.05, pb.t_cons))?;
+    println!(
+        "exact selection needs rank(A) = {} paths; ε = 5 % shrinks it to {} \
+         (effective rank {})",
+        approx.rank,
+        approx.selected.len(),
+        approx.effective_rank
+    );
+
+    // --- Post-silicon stage: three simulated chips ---
+    let mut sampler = VariationSampler::new(dm.variable_count(), 777);
+    for chip in 1..=3 {
+        let x = sampler.draw();
+        let d_all = dm.path_delays(&x)?;
+        let measured: Vec<f64> = approx.selected.iter().map(|&i| d_all[i]).collect();
+        let predicted = approx.predictor.predict(&measured)?;
+        let mut worst = 0.0_f64;
+        let mut mean = 0.0_f64;
+        for (k, &p) in approx.remaining.iter().enumerate() {
+            let rel = (predicted[k] - d_all[p]).abs() / d_all[p];
+            worst = worst.max(rel);
+            mean += rel;
+        }
+        mean /= approx.remaining.len().max(1) as f64;
+        println!(
+            "chip {chip}: {} measurements predict {} speedpaths — \
+             worst error {:.2} %, mean {:.3} %",
+            approx.selected.len(),
+            approx.remaining.len(),
+            100.0 * worst,
+            100.0 * mean
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! # pathrep — Representative Path Selection for Post-Silicon Timing Prediction
+//!
+//! Facade crate re-exporting the whole `pathrep` workspace: a faithful Rust
+//! reproduction of *Xie & Davoodi, "Representative Path Selection for
+//! Post-Silicon Timing Prediction Under Variability", DAC 2010*.
+//!
+//! Start with [`core`] for the selection algorithms, [`circuit`] +
+//! [`variation`] + [`ssta`] for the substrates that produce the linear delay
+//! model, and [`eval`] to rerun the paper's experiments.
+
+pub use pathrep_circuit as circuit;
+pub use pathrep_convopt as convopt;
+pub use pathrep_core as core;
+pub use pathrep_eval as eval;
+pub use pathrep_linalg as linalg;
+pub use pathrep_ssta as ssta;
+pub use pathrep_variation as variation;

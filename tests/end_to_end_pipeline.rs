@@ -1,0 +1,137 @@
+//! Integration test: the full design-to-post-silicon flow on generated
+//! circuits, checking the paper's headline guarantees end to end.
+
+use pathrep::core::approx::{approx_select, ApproxConfig};
+use pathrep::core::hybrid::{hybrid_select, HybridConfig, HybridInputs};
+use pathrep::eval::metrics::{evaluate, McConfig, MeasurementPlan};
+use pathrep::eval::pipeline::{prepare, PipelineConfig};
+use pathrep::eval::suite::BenchmarkSpec;
+
+fn spec(seed: u64) -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "it",
+        n_gates: 300,
+        n_inputs: 24,
+        n_outputs: 18,
+        model_levels: 3,
+        seed,
+        depth: Some(10),
+    }
+}
+
+fn mc() -> McConfig {
+    McConfig {
+        n_samples: 500,
+        seed: 9,
+        threads: 2,
+    }
+}
+
+#[test]
+fn approximate_selection_meets_its_tolerance_end_to_end() {
+    let pb = prepare(&spec(1001), &PipelineConfig::default()).unwrap();
+    let dm = &pb.delay_model;
+    let epsilon = 0.05;
+    let approx =
+        approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(epsilon, pb.t_cons)).unwrap();
+    // Analytic guarantee.
+    assert!(approx.epsilon_r <= epsilon + 1e-12);
+    // Monte-Carlo verification: e1 aggregates per-path maxima over 500
+    // samples; with κ = 3 bounds it stays near/below ε.
+    let m = evaluate(
+        dm,
+        &MeasurementPlan::Paths {
+            selected: &approx.selected,
+            predictor: &approx.predictor,
+        },
+        &approx.remaining,
+        &mc(),
+    )
+    .unwrap();
+    assert!(m.e1 < epsilon * 1.2, "MC e1 {} too large", m.e1);
+    assert!(m.e2 < m.e1);
+    // The selection is far below the exact rank — the effective-rank
+    // phenomenon the paper is built on.
+    assert!(approx.selected.len() < approx.rank);
+}
+
+#[test]
+fn hybrid_selection_meets_epsilon_and_uses_segments() {
+    let pb = prepare(
+        &spec(1002),
+        &PipelineConfig {
+            t_cons_factor: 0.98,
+            max_paths: 200,
+            random_scale: 3.0,
+            ..PipelineConfig::default()
+        },
+    )
+    .unwrap();
+    let dm = &pb.delay_model;
+    let inputs = HybridInputs {
+        g: dm.g(),
+        sigma: dm.sigma(),
+        a: dm.a(),
+        mu_segments: dm.mu_segments(),
+        mu_paths: dm.mu_paths(),
+    };
+    let epsilon = 0.08;
+    let sel = hybrid_select(&inputs, &HybridConfig::new(epsilon, 0.06, pb.t_cons)).unwrap();
+    assert!(!sel.segments.is_empty(), "segments must carry the plan");
+    assert!(sel.epsilon_r <= epsilon + 1e-9);
+    // Hybrid must undercut the exact path selection.
+    assert!(
+        sel.measurement_count() < sel.exact_size,
+        "hybrid {} vs exact {}",
+        sel.measurement_count(),
+        sel.exact_size
+    );
+    let m = evaluate(
+        dm,
+        &MeasurementPlan::Hybrid { selection: &sel },
+        &sel.remaining,
+        &mc(),
+    )
+    .unwrap();
+    assert!(m.e1 < epsilon * 1.2, "MC e1 {} too large", m.e1);
+}
+
+#[test]
+fn tighter_tolerance_costs_more_measurements_but_less_error() {
+    let pb = prepare(&spec(1003), &PipelineConfig::default()).unwrap();
+    let dm = &pb.delay_model;
+    let loose =
+        approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(0.08, pb.t_cons)).unwrap();
+    let tight =
+        approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(0.02, pb.t_cons)).unwrap();
+    assert!(tight.selected.len() >= loose.selected.len());
+    assert!(tight.epsilon_r <= loose.epsilon_r + 1e-12);
+}
+
+#[test]
+fn higher_random_variation_needs_more_representatives() {
+    // The paper's Figure-2 argument, end to end: scaling the independent
+    // random extent grows the selection at fixed ε.
+    let count = |scale: f64| {
+        let pb = prepare(
+            &spec(1004),
+            &PipelineConfig {
+                random_scale: scale,
+                max_paths: 300,
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        let dm = &pb.delay_model;
+        approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(0.05, pb.t_cons))
+            .unwrap()
+            .selected
+            .len()
+    };
+    let base = count(1.0);
+    let scaled = count(4.0);
+    assert!(
+        scaled >= base,
+        "random x4 should not shrink the selection ({base} -> {scaled})"
+    );
+}

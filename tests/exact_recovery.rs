@@ -1,0 +1,71 @@
+//! Integration test: Theorem 1 / Lemma 1 (Section 4.1) on generated
+//! circuits across seeds — exact selection sizes and zero-error recovery.
+
+use pathrep::core::exact::exact_select;
+use pathrep::core::predictor::DEFAULT_KAPPA;
+use pathrep::eval::pipeline::{prepare, PipelineConfig};
+use pathrep::eval::suite::BenchmarkSpec;
+use pathrep::linalg::svd::Svd;
+use pathrep::variation::sampler::VariationSampler;
+
+fn spec(seed: u64) -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "xr",
+        n_gates: 260,
+        n_inputs: 20,
+        n_outputs: 16,
+        model_levels: 3,
+        seed,
+        depth: Some(10),
+    }
+}
+
+#[test]
+fn lemma1_rank_bounded_by_segments_across_seeds() {
+    for seed in [11, 22, 33] {
+        let pb = prepare(&spec(seed), &PipelineConfig::default()).unwrap();
+        let svd = Svd::compute(pb.delay_model.a()).unwrap();
+        let rank = svd.rank(1e-9);
+        assert!(
+            rank <= pb.decomposition.segment_count(),
+            "seed {seed}: rank {} > n_S {}",
+            rank,
+            pb.decomposition.segment_count()
+        );
+        assert!(rank <= pb.path_count());
+    }
+}
+
+#[test]
+fn exact_selection_recovers_all_paths_on_simulated_chips() {
+    let pb = prepare(&spec(44), &PipelineConfig::default()).unwrap();
+    let dm = &pb.delay_model;
+    let sel = exact_select(dm.a(), dm.mu_paths(), DEFAULT_KAPPA).unwrap();
+    assert_eq!(sel.selected.len(), sel.rank);
+    let mut sampler = VariationSampler::new(dm.variable_count(), 7);
+    for _ in 0..20 {
+        let x = sampler.draw();
+        let d = dm.path_delays(&x).unwrap();
+        let measured: Vec<f64> = sel.selected.iter().map(|&i| d[i]).collect();
+        let pred = sel.predictor.predict(&measured).unwrap();
+        for (k, &p) in sel.remaining.iter().enumerate() {
+            let rel = (pred[k] - d[p]).abs() / d[p];
+            assert!(rel < 1e-7, "path {p} relative error {rel}");
+        }
+    }
+}
+
+#[test]
+fn representative_paths_span_the_row_space() {
+    // Theorem 1's content: the selected rows span all rows of A.
+    let pb = prepare(&spec(55), &PipelineConfig::default()).unwrap();
+    let a = pb.delay_model.a();
+    let sel = exact_select(a, pb.delay_model.mu_paths(), DEFAULT_KAPPA).unwrap();
+    let ar = a.select_rows(&sel.selected);
+    let stacked = a.vstack(&ar).unwrap();
+    let r_stacked = Svd::compute(&stacked).unwrap().rank(1e-8);
+    assert_eq!(
+        r_stacked, sel.rank,
+        "stacking A onto A_r must not increase the rank"
+    );
+}
