@@ -181,6 +181,7 @@ pub fn solve_linearized_admm(
     problem: &GroupSelectProblem,
     config: &AdmmConfig,
 ) -> Result<GroupSelectSolution, ConvoptError> {
+    let _span = pathrep_obs::span!("admm_linearized");
     problem.validate()?;
     let g = &problem.g_target;
     // The constraint only sees Σ through Q = ΣΣᵀ, so when the variable
@@ -247,6 +248,9 @@ pub fn solve_linearized_admm(
         // Residuals.
         primal = r.norm_fro() / scale_primal.sqrt();
         dual = rho * e_new.sub(&e)?.matmul(&sigma.transpose())?.norm_fro() / scale_dual.sqrt();
+        pathrep_obs::counter_add("convopt.admm.iterations", 1);
+        pathrep_obs::histogram_record("convopt.admm.primal_residual", primal);
+        pathrep_obs::histogram_record("convopt.admm.dual_residual", dual);
         b = b_new;
         e = e_new;
         let support_size = select_columns(&b, config.selection_threshold).len();
@@ -259,6 +263,13 @@ pub fn solve_linearized_admm(
         if stall >= STALL_LIMIT && k % FEAS_CHECK_EVERY == 0 {
             let worst = problem.worst_row_std(&b)?;
             if worst <= problem.radius * 1.05 {
+                pathrep_obs::info("convopt.admm.support_stall", || {
+                    format!(
+                        "support stable for {STALL_LIMIT} iterations and feasible \
+                         (worst {worst:.3e} <= radius {:.3e}); stopping at iteration {iterations}",
+                        problem.radius
+                    )
+                });
                 let objective = group_linf_norm(&b);
                 return Ok(GroupSelectSolution {
                     selected: select_columns(&b, config.selection_threshold),
@@ -292,6 +303,13 @@ pub fn solve_linearized_admm(
     }
     let worst = problem.worst_row_std(&b)?;
     let objective = group_linf_norm(&b);
+    pathrep_obs::warn("convopt.admm.unconverged", || {
+        format!(
+            "linearized ADMM exhausted {iterations} iterations \
+             (primal {primal:.3e}, dual {dual:.3e}, worst {worst:.3e}, radius {:.3e})",
+            problem.radius
+        )
+    });
     Ok(GroupSelectSolution {
         selected: select_columns(&b, config.selection_threshold),
         b,
@@ -321,6 +339,7 @@ pub fn solve_ellipsoid_admm(
     problem: &GroupSelectProblem,
     config: &AdmmConfig,
 ) -> Result<GroupSelectSolution, ConvoptError> {
+    let _span = pathrep_obs::span!("admm_ellipsoid");
     problem.validate()?;
     let g = &problem.g_target;
     let sigma = &problem.sigma;
@@ -352,6 +371,9 @@ pub fn solve_ellipsoid_admm(
         u = u.add(&r)?;
         primal = r.norm_fro() / scale.sqrt();
         dual = config.rho * z_new.sub(&z)?.norm_fro() / scale.sqrt();
+        pathrep_obs::counter_add("convopt.admm.iterations", 1);
+        pathrep_obs::histogram_record("convopt.admm.primal_residual", primal);
+        pathrep_obs::histogram_record("convopt.admm.dual_residual", dual);
         b = b_new;
         z = z_new;
         let eps_primal = config.tol_abs + config.tol_rel * b.norm_fro().max(z.norm_fro()) / scale.sqrt();
@@ -363,6 +385,14 @@ pub fn solve_ellipsoid_admm(
     // Z is feasible by construction; report it as the solution.
     let worst = problem.worst_row_std(&z)?;
     let converged = iterations < config.max_iters.max(1);
+    if !converged {
+        pathrep_obs::warn("convopt.admm.unconverged", || {
+            format!(
+                "ellipsoid ADMM exhausted {iterations} iterations \
+                 (primal {primal:.3e}, dual {dual:.3e}, worst {worst:.3e})"
+            )
+        });
+    }
     let objective = group_linf_norm(&z);
     Ok(GroupSelectSolution {
         selected: select_columns(&z, config.selection_threshold),

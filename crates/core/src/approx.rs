@@ -122,6 +122,7 @@ pub fn approx_select_with(
     config: &ApproxConfig,
     factors: &ModelFactors,
 ) -> Result<ApproxSelection, CoreError> {
+    let _span = pathrep_obs::span!("approx_select");
     config.validate()?;
     if mu.len() != a.nrows() {
         return Err(CoreError::InvalidArgument {
@@ -136,6 +137,7 @@ pub fn approx_select_with(
 
     // Evaluate one candidate r: Algorithm 2 selection + Theorem 2 error.
     let mut evaluate = |r: usize| -> Result<(Vec<usize>, MeasurementPredictor, Vec<usize>, f64), CoreError> {
+        let _span = pathrep_obs::span!("evaluate_candidate");
         let selected = select_rows_with_svd(a, svd, r)?;
         let (predictor, remaining) =
             MeasurementPredictor::from_gram(gram, mu, &selected, config.kappa)?;
@@ -145,6 +147,9 @@ pub fn approx_select_with(
             predictor.epsilon(config.t_cons)
         };
         trace.push((r, eps));
+        pathrep_obs::counter_add("core.approx.evaluations", 1);
+        pathrep_obs::histogram_record("core.approx.epsilon_r", eps);
+        pathrep_obs::info("core.approx.trace", || format!("r={r} epsilon_r={eps:.6e}"));
         Ok((selected, predictor, remaining, eps))
     };
 
@@ -153,6 +158,14 @@ pub fn approx_select_with(
         // Even the exact-size selection misses the tolerance (possible only
         // through rank rounding); accept it as the most conservative answer.
         let (selected, predictor, remaining, epsilon_r) = best;
+        pathrep_obs::warn("core.approx.tolerance_unmet", || {
+            format!(
+                "exact-size selection (r={rank}) already exceeds tolerance: \
+                 epsilon_r={epsilon_r:.6e} > epsilon={:.6e}",
+                config.epsilon
+            )
+        });
+        record_outcome(rank, effective_rank, selected.len(), epsilon_r);
         return Ok(ApproxSelection {
             selected,
             remaining,
@@ -199,6 +212,7 @@ pub fn approx_select_with(
     }
 
     let (selected, predictor, remaining, epsilon_r) = best;
+    record_outcome(rank, effective_rank, selected.len(), epsilon_r);
     Ok(ApproxSelection {
         selected,
         remaining,
@@ -208,6 +222,15 @@ pub fn approx_select_with(
         effective_rank,
         trace,
     })
+}
+
+/// Final Algorithm-1 telemetry, shared by both exits.
+fn record_outcome(rank: usize, effective_rank: usize, selected: usize, epsilon_r: f64) {
+    pathrep_obs::counter_add("core.approx.selections", 1);
+    pathrep_obs::gauge_set("core.approx.rank", rank as f64);
+    pathrep_obs::gauge_set("core.approx.effective_rank", effective_rank as f64);
+    pathrep_obs::gauge_set("core.approx.selected", selected as f64);
+    pathrep_obs::gauge_set("core.approx.epsilon_r", epsilon_r);
 }
 
 #[cfg(test)]

@@ -69,8 +69,10 @@ fn cluster_paths(g: &Matrix, max_size: usize) -> Vec<Vec<usize>> {
     let mut segment_sets: Vec<Vec<bool>> = vec![vec![false; ns]; k];
     for p in 0..n {
         let row = g.row(p);
-        let mut best = 0usize;
-        let mut best_overlap = -1i64;
+        // `None` until the first non-full candidate: a sentinel score would
+        // lose to zero-overlap clusters and silently overfill `clusters[0]`.
+        let mut best: Option<usize> = None;
+        let mut best_score = i64::MIN;
         for (c, cluster) in clusters.iter().enumerate() {
             if cluster.len() >= max_size {
                 continue;
@@ -83,11 +85,12 @@ fn cluster_paths(g: &Matrix, max_size: usize) -> Vec<Vec<usize>> {
                 .sum();
             // Ties break toward the emptiest cluster for balance.
             let score = overlap * (max_size as i64 + 1) - cluster.len() as i64;
-            if score > best_overlap {
-                best_overlap = score;
-                best = c;
+            if best.is_none() || score > best_score {
+                best_score = score;
+                best = Some(c);
             }
         }
+        let best = best.expect("k*max_size >= n guarantees a non-full cluster");
         clusters[best].push(p);
         for (s, &v) in row.iter().enumerate() {
             if v != 0.0 {
@@ -114,6 +117,7 @@ pub fn clustered_select(
     g: &Matrix,
     config: &ClusterConfig,
 ) -> Result<ClusteredSelection, CoreError> {
+    let _span = pathrep_obs::span!("clustered_select");
     let n = a.nrows();
     if mu.len() != n || g.nrows() != n {
         return Err(CoreError::InvalidArgument {
@@ -200,8 +204,12 @@ mod tests {
         let ns = 8;
         let nx = 12;
         let g = Matrix::from_fn(n, ns, |i, s| {
-            let in_block = if i < block { s < 4 } else { s >= 4 };
-            if in_block && rng.gen_bool(0.6) {
+            let base = if i < block { 0 } else { 4 };
+            let in_block = s >= base && s < base + 4;
+            // Anchor one guaranteed segment per path so no path is left
+            // segmentless (a degenerate, blockless row) by the random draw.
+            let anchor = s == base + i % 4;
+            if in_block && (anchor || rng.gen_bool(0.6)) {
                 1.0
             } else {
                 0.0

@@ -47,12 +47,15 @@ pub fn exact_select_with(
     kappa: f64,
     factors: &ModelFactors,
 ) -> Result<ExactSelection, CoreError> {
+    let _span = pathrep_obs::span!("exact_select");
     if mu.len() != a.nrows() {
         return Err(CoreError::InvalidArgument {
             what: "mean vector must match the row count of A".into(),
         });
     }
     let rank = factors.svd().rank(RANK_TOL).max(1);
+    pathrep_obs::counter_add("core.exact.selections", 1);
+    pathrep_obs::gauge_set("core.exact.rank", rank as f64);
     let selected = select_rows_with_svd(a, factors.svd(), rank)?;
     let (predictor, remaining) =
         MeasurementPredictor::from_gram(factors.gram(), mu, &selected, kappa)?;

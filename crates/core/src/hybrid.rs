@@ -18,8 +18,40 @@ use crate::exact::{exact_select_with, ExactSelection};
 use crate::factors::ModelFactors;
 use crate::predictor::MeasurementPredictor;
 use crate::CoreError;
-use pathrep_convopt::{solve_linearized_admm, AdmmConfig, GroupSelectProblem};
+use pathrep_convopt::{solve_linearized_admm, AdmmConfig, GroupSelectProblem, GroupSelectSolution};
 use pathrep_linalg::Matrix;
+
+/// Convergence statistics of the Step-2 ADMM segment-selection solve,
+/// surfaced so callers can audit a selection whose convex program stopped
+/// on the iteration budget rather than the residual test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmmStats {
+    /// Iterations performed by the solver.
+    pub iterations: usize,
+    /// Whether the stopping criterion was met within the budget.
+    pub converged: bool,
+    /// Final primal residual (Frobenius, normalized).
+    pub primal_residual: f64,
+    /// Final dual residual (Frobenius, normalized).
+    pub dual_residual: f64,
+    /// Final `ℓ1/ℓ∞` objective value.
+    pub objective: f64,
+    /// Achieved `max_i ‖(g_i − b_i)Σ‖` against the ε′ radius.
+    pub worst_row_std: f64,
+}
+
+impl From<&GroupSelectSolution> for AdmmStats {
+    fn from(sol: &GroupSelectSolution) -> Self {
+        AdmmStats {
+            iterations: sol.iterations,
+            converged: sol.converged,
+            primal_residual: sol.primal_residual,
+            dual_residual: sol.dual_residual,
+            objective: sol.objective,
+            worst_row_std: sol.worst_row_std,
+        }
+    }
+}
 
 /// Configuration for Algorithm 3.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +124,8 @@ pub struct HybridSelection {
     pub exact_size: usize,
     /// The ε′ used (useful when returned from a sweep).
     pub epsilon_prime: f64,
+    /// Convergence statistics of the Step-2 segment-selection ADMM solve.
+    pub admm_stats: AdmmStats,
 }
 
 impl HybridSelection {
@@ -143,6 +177,7 @@ pub fn hybrid_select_with(
     config: &HybridConfig,
     factors: &ModelFactors,
 ) -> Result<HybridSelection, CoreError> {
+    let _span = pathrep_obs::span!("hybrid_select");
     config.validate()?;
     let n = inputs.a.nrows();
     if inputs.g.nrows() != n
@@ -167,6 +202,21 @@ pub fn hybrid_select_with(
         radius: config.epsilon_prime * config.t_cons / config.kappa,
     };
     let solution = solve_linearized_admm(&problem, &config.admm)?;
+    let admm_stats = AdmmStats::from(&solution);
+    if !admm_stats.converged {
+        pathrep_obs::warn("core.hybrid.admm_unconverged", || {
+            format!(
+                "segment-selection ADMM stopped on the {}-iteration budget \
+                 (primal {:.3e}, dual {:.3e}, worst {:.3e} vs radius {:.3e}); \
+                 downstream error checks still apply",
+                admm_stats.iterations,
+                admm_stats.primal_residual,
+                admm_stats.dual_residual,
+                admm_stats.worst_row_std,
+                problem.radius
+            )
+        });
+    }
     let s_r1 = solution.selected;
 
     // --- Step 3: model all targets from the selected segments ---
@@ -210,6 +260,11 @@ pub fn hybrid_select_with(
             predictor.epsilon(config.t_cons)
         };
         if epsilon_r <= config.epsilon || repair >= config.max_repair || remaining.is_empty() {
+            pathrep_obs::counter_add("core.hybrid.selections", 1);
+            pathrep_obs::counter_add("core.hybrid.segments_selected", s_r1.len() as u64);
+            pathrep_obs::counter_add("core.hybrid.paths_selected", p_r2.len() as u64);
+            pathrep_obs::counter_add("core.hybrid.repair_iterations", repair as u64);
+            pathrep_obs::gauge_set("core.hybrid.epsilon_r", epsilon_r);
             return Ok(HybridSelection {
                 segments: s_r1,
                 paths: p_r2,
@@ -218,6 +273,7 @@ pub fn hybrid_select_with(
                 epsilon_r,
                 exact_size: exact.rank,
                 epsilon_prime: config.epsilon_prime,
+                admm_stats,
             });
         }
         // Add the worst-predicted remaining path to the measurement set.
@@ -316,6 +372,7 @@ pub fn hybrid_select_sweep_with(
     eps_prime_candidates: &[f64],
     factors: &ModelFactors,
 ) -> Result<HybridSelection, CoreError> {
+    let _span = pathrep_obs::span!("hybrid_sweep");
     let mut best: Option<HybridSelection> = None;
     let mut first_err: Option<CoreError> = None;
     for &ep in eps_prime_candidates {

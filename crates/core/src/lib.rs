@@ -38,5 +38,5 @@ pub use error::CoreError;
 pub use greedy::{greedy_select, GreedySelection};
 pub use factors::ModelFactors;
 pub use exact::{exact_select, ExactSelection};
-pub use hybrid::{hybrid_select, hybrid_select_sweep, HybridConfig, HybridSelection};
+pub use hybrid::{hybrid_select, hybrid_select_sweep, AdmmStats, HybridConfig, HybridSelection};
 pub use predictor::MeasurementPredictor;

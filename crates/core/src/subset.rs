@@ -33,6 +33,8 @@ pub fn select_rows(a: &Matrix, r: usize) -> Result<Vec<usize>, CoreError> {
 ///
 /// Same as [`select_rows`].
 pub fn select_rows_with_svd(a: &Matrix, svd: &Svd, r: usize) -> Result<Vec<usize>, CoreError> {
+    let _span = pathrep_obs::span!("subset_select");
+    pathrep_obs::counter_add("core.subset.calls", 1);
     let n = a.nrows();
     if r == 0 || r > n {
         return Err(CoreError::InvalidArgument {

@@ -1,0 +1,108 @@
+//! Telemetry contract for Algorithm 1: `approx_select` on a small
+//! deterministic model records exactly one decrement-loop span tree plus
+//! counters that agree with the returned ε_r trace.
+//!
+//! This lives in its own integration-test binary (a separate process) so
+//! enabling the global registry cannot interfere with other tests.
+
+use pathrep_core::approx::{approx_select, ApproxConfig, Schedule};
+use pathrep_linalg::Matrix;
+
+#[test]
+fn approx_select_records_one_span_tree_and_matching_counters() {
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+
+    // Deterministic 6×4 sensitivity matrix of rank 3: rows are fixed
+    // combinations of three independent directions, so rank(A) = 3 and the
+    // decrement loop always evaluates r = 3 first and at least r = 2 next.
+    let a = Matrix::from_rows(&[
+        &[2.0, 0.0, 0.0, 1.0],
+        &[0.0, 3.0, 0.0, 1.0],
+        &[0.0, 0.0, 2.5, 1.0],
+        &[2.0, 3.0, 0.0, 2.0],
+        &[2.0, 0.0, 2.5, 2.0],
+        &[0.0, 3.0, 2.5, 2.0],
+    ])
+    .expect("rows are rectangular");
+    let mu = [10.0, 11.0, 10.5, 12.0, 12.5, 11.5];
+    let cfg = ApproxConfig::new(0.05, 100.0).with_schedule(Schedule::DecrementByOne);
+
+    let sel = approx_select(&a, &mu, &cfg).expect("selection succeeds");
+    assert!(sel.rank >= 2, "fixture must exercise the decrement loop");
+    assert!(sel.trace.len() >= 2, "rank eval plus at least one decrement");
+
+    let snap = pathrep_obs::registry().snapshot();
+
+    // Exactly one Algorithm-1 span tree: a single `approx_select` root
+    // (the factorization's own `svd` span precedes it at root level).
+    let roots: Vec<_> = snap
+        .spans
+        .iter()
+        .filter(|s| s.name == "approx_select")
+        .collect();
+    assert_eq!(roots.len(), 1, "one approx_select root, got {:?}", snap.spans);
+    let root = roots[0];
+    assert_eq!(root.count, 1);
+
+    // Its decrement loop: one aggregated `evaluate_candidate` child whose
+    // hit count equals the ε_r trace length, each evaluation running one
+    // Algorithm-2 subset selection over one pivoted QR.
+    let eval = root
+        .children
+        .iter()
+        .find(|c| c.name == "evaluate_candidate")
+        .expect("evaluate_candidate nested under approx_select");
+    assert_eq!(eval.count, sel.trace.len() as u64);
+    let subset = eval
+        .children
+        .iter()
+        .find(|c| c.name == "subset_select")
+        .expect("subset_select nested under evaluate_candidate");
+    assert_eq!(subset.count, sel.trace.len() as u64);
+    let qr = subset
+        .children
+        .iter()
+        .find(|c| c.name == "qr_factor")
+        .expect("qr_factor nested under subset_select");
+    assert_eq!(qr.count, sel.trace.len() as u64);
+
+    // Counters agree with the returned trace.
+    let counter = |name: &str| -> u64 {
+        snap.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    let n = sel.trace.len() as u64;
+    assert_eq!(counter("core.approx.evaluations"), n);
+    assert_eq!(counter("core.subset.calls"), n);
+    assert_eq!(counter("linalg.qr.pivoted_calls"), n);
+    assert_eq!(counter("core.approx.selections"), 1);
+    assert_eq!(counter("linalg.svd.calls"), 1, "one shared factorization");
+
+    // Gauges mirror the selection result.
+    let gauge = |name: &str| -> f64 {
+        snap.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .map_or(f64::NAN, |g| g.value)
+    };
+    assert_eq!(gauge("core.approx.rank"), sel.rank as f64);
+    assert_eq!(gauge("core.approx.selected"), sel.selected.len() as f64);
+    assert_eq!(gauge("core.approx.epsilon_r"), sel.epsilon_r);
+
+    // The ε_r histogram and per-candidate trace events line up too.
+    let hist = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "core.approx.epsilon_r")
+        .expect("epsilon_r histogram recorded");
+    assert_eq!(hist.count, n);
+    let trace_events = snap
+        .events
+        .iter()
+        .filter(|e| e.name == "core.approx.trace")
+        .count();
+    assert_eq!(trace_events as u64, n);
+}

@@ -67,4 +67,5 @@ fn main() {
         factors.svd().rank(1e-9)
     );
     println!("{}", table.render());
+    pathrep_obs::report("ablation_eta");
 }

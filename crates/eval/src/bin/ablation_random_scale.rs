@@ -60,4 +60,5 @@ fn main() {
     }
     println!("Ablation: random-variation extent vs selection cost (s1423-class)");
     println!("{}", table.render());
+    pathrep_obs::report("ablation_random_scale");
 }

@@ -11,6 +11,7 @@ fn main() {
             } else {
                 println!("{}", render(&fig));
             }
+            pathrep_obs::report("figure2");
         }
         Err(e) => {
             eprintln!("{e}");

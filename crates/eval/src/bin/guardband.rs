@@ -14,6 +14,7 @@ fn main() {
             } else {
                 println!("{}", render(&rows));
             }
+            pathrep_obs::report("guardband");
         }
         Err(e) => {
             eprintln!("{e}");

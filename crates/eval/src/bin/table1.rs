@@ -18,6 +18,7 @@ fn main() {
             } else {
                 println!("{}", render(&rows));
             }
+            pathrep_obs::report("table1");
         }
         Err(e) => {
             eprintln!("{e}");

@@ -84,6 +84,7 @@ impl Table1Options {
 ///
 /// Returns [`ExperimentError`] when any pipeline stage fails.
 pub fn run_one(spec: &BenchmarkSpec, opts: &Table1Options) -> Result<Table1Row, ExperimentError> {
+    let _span = pathrep_obs::span!(spec.name);
     let pb = prepare(spec, &opts.pipeline).map_err(ExperimentError::new)?;
     let dm = &pb.delay_model;
     let approx = approx_select(

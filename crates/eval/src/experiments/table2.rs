@@ -122,6 +122,7 @@ impl Table2Options {
 ///
 /// Returns [`ExperimentError`] when any stage fails.
 pub fn run_one(spec: &BenchmarkSpec, opts: &Table2Options) -> Result<Table2Row, ExperimentError> {
+    let _span = pathrep_obs::span!(spec.name);
     let mut pipeline = opts.pipeline.clone();
     if spec.name == opts.headline.0 {
         pipeline.max_paths = opts.headline.1;

@@ -104,9 +104,12 @@ pub fn evaluate(
     remaining: &[usize],
     config: &McConfig,
 ) -> Result<McMetrics, McError> {
+    let _span = pathrep_obs::span!("mc_evaluate");
     if config.n_samples == 0 {
         return Err(err("n_samples must be positive"));
     }
+    pathrep_obs::counter_add("eval.mc.evaluations", 1);
+    pathrep_obs::counter_add("eval.mc.samples", config.n_samples as u64);
     if remaining.is_empty() {
         return Ok(McMetrics {
             per_path_max: Vec::new(),

@@ -108,13 +108,41 @@ fn wrap<E: fmt::Display>(e: E) -> PrepareError {
 /// Returns [`PrepareError`] when generation, extraction or model
 /// construction fails (e.g. no critical path qualifies — tighten
 /// `t_cons_factor`).
+/// Counters every experiment report carries even at zero — a Table-1 run
+/// performs no ADMM solve, and the report should say so explicitly rather
+/// than omit the row.
+const STANDARD_COUNTERS: &[&str] = &[
+    "convopt.admm.iterations",
+    "core.approx.evaluations",
+    "core.approx.selections",
+    "core.exact.selections",
+    "core.hybrid.selections",
+    "core.subset.calls",
+    "eval.mc.evaluations",
+    "eval.mc.samples",
+    "linalg.qr.pivoted_calls",
+    "linalg.svd.calls",
+    "ssta.extract.paths",
+];
+
+fn declare_standard_counters() {
+    for name in STANDARD_COUNTERS {
+        pathrep_obs::counter_add(name, 0);
+    }
+}
+
 pub fn prepare(
     spec: &BenchmarkSpec,
     config: &PipelineConfig,
 ) -> Result<PreparedBenchmark, PrepareError> {
-    let circuit = CircuitGenerator::new(spec.generator_config())
-        .generate()
-        .map_err(wrap)?;
+    declare_standard_counters();
+    let _span = pathrep_obs::span!("prepare");
+    let circuit = {
+        let _g = pathrep_obs::span!("generate_circuit");
+        CircuitGenerator::new(spec.generator_config())
+            .generate()
+            .map_err(wrap)?
+    };
     let model = spec.variation_model().with_random_scale(config.random_scale);
     prepare_circuit(circuit, model, config)
 }
@@ -130,15 +158,13 @@ pub fn prepare_circuit(
     model: VariationModel,
     config: &PipelineConfig,
 ) -> Result<PreparedBenchmark, PrepareError> {
+    let _span = pathrep_obs::span!("prepare_circuit");
     let nominal = nominal_circuit_delay(&circuit);
     let t_cons = nominal * config.t_cons_factor;
-    let circuit_yield = monte_carlo_circuit_yield(
-        &circuit,
-        &model,
-        t_cons,
-        config.yield_samples,
-        config.seed,
-    );
+    let circuit_yield = {
+        let _g = pathrep_obs::span!("circuit_yield");
+        monte_carlo_circuit_yield(&circuit, &model, t_cons, config.yield_samples, config.seed)
+    };
     // Paper: extract all paths with yield-loss > fraction·(1 − Y).
     let threshold = (config.yield_loss_fraction * (1.0 - circuit_yield)).max(1e-9);
     let extract_cfg =
@@ -153,9 +179,14 @@ pub fn prepare_circuit(
         });
     }
     let paths: Vec<Path> = extracted.into_iter().map(|e| e.path).collect();
-    let decomposition = decompose_into_segments(&paths).map_err(wrap)?;
-    let delay_model =
-        DelayModel::build(&circuit, &paths, &decomposition, &model).map_err(wrap)?;
+    pathrep_obs::gauge_set("eval.pipeline.target_paths", paths.len() as f64);
+    let (decomposition, delay_model) = {
+        let _g = pathrep_obs::span!("build_delay_model");
+        let decomposition = decompose_into_segments(&paths).map_err(wrap)?;
+        let delay_model =
+            DelayModel::build(&circuit, &paths, &decomposition, &model).map_err(wrap)?;
+        (decomposition, delay_model)
+    };
     Ok(PreparedBenchmark {
         circuit,
         model,

@@ -56,10 +56,19 @@ impl Qr {
     }
 
     fn factor(a: &Matrix, pivot: bool) -> Result<Self> {
+        let _span = pathrep_obs::span!("qr_factor");
         let (m, n) = a.shape();
         if m == 0 || n == 0 {
             return Err(LinalgError::Empty);
         }
+        pathrep_obs::counter_add(
+            if pivot {
+                "linalg.qr.pivoted_calls"
+            } else {
+                "linalg.qr.calls"
+            },
+            1,
+        );
         let mut qr = a.clone();
         let kmax = m.min(n);
         let mut betas = vec![0.0; kmax];
@@ -83,6 +92,7 @@ impl Qr {
                 // Guard against down-dating drift: recompute when the running
                 // value has decayed far below the original.
                 if max <= 1e-14 * colnorm2_orig[perm[pj]].max(1.0) {
+                    pathrep_obs::counter_add("linalg.qr.norm_recomputes", 1);
                     for j in k..n {
                         colnorm2[j] = (k..m).map(|i| qr[(i, j)] * qr[(i, j)]).sum();
                     }
@@ -94,6 +104,7 @@ impl Qr {
                     .map(|(off, v)| (k + off, v))
                     .expect("non-empty slice");
                 if pj != k {
+                    pathrep_obs::counter_add("linalg.qr.pivot_swaps", 1);
                     for i in 0..m {
                         let t = qr[(i, k)];
                         qr[(i, k)] = qr[(i, pj)];

@@ -45,10 +45,12 @@ impl Svd {
     /// * [`LinalgError::NoConvergence`] if the implicit-QR phase exceeds its
     ///   sweep budget (never observed on finite input).
     pub fn compute(a: &Matrix) -> Result<Self> {
+        let _span = pathrep_obs::span!("svd");
         let (m, n) = a.shape();
         if m == 0 || n == 0 {
             return Err(LinalgError::Empty);
         }
+        pathrep_obs::counter_add("linalg.svd.calls", 1);
         if m >= n {
             let (u, s, v) = golub_reinsch(a)?;
             Ok(Svd { u, s, v })
@@ -324,6 +326,7 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
 
     // --- Diagonalization of the bidiagonal form ---
     let eps = f64::EPSILON;
+    let mut qr_sweeps: u64 = 0;
     for k in (0..n).rev() {
         let mut converged = false;
         for sweep in 0..=MAX_SWEEPS {
@@ -388,6 +391,7 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
                 break;
             }
             // Shift from the bottom 2×2 minor.
+            qr_sweeps += 1;
             let mut x = w[l];
             let nm = k - 1;
             let mut y = w[nm];
@@ -441,6 +445,8 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
         }
         debug_assert!(converged);
     }
+
+    pathrep_obs::counter_add("linalg.svd.qr_sweeps", qr_sweeps);
 
     // --- Sort by decreasing singular value ---
     let mut order: Vec<usize> = (0..n).collect();

@@ -1,0 +1,199 @@
+//! # pathrep-obs — observability substrate for the pathrep pipeline
+//!
+//! A dependency-free instrumentation layer (std + the vendored
+//! `parking_lot`/`serde` shims only) giving every stage of the DAC-2010
+//! flow — path extraction, SVD/QR subset selection, the ε_r decrement
+//! loop, the ADMM segment program and the Monte-Carlo evaluation —
+//! spans, counters, gauges, histograms and warning events, collected in a
+//! global thread-safe [`Registry`].
+//!
+//! ## Design rules
+//!
+//! * **Disabled means free.** Every recording call first checks
+//!   [`enabled`] — a single relaxed atomic load — and returns immediately
+//!   when telemetry is off, so instrumented kernels cost ~nothing in
+//!   benchmarks.
+//! * **Hierarchical spans.** [`span!`] returns an RAII guard; nested
+//!   guards on the same thread build slash-separated paths
+//!   (`"table1/prepare/extract"`) aggregated per path in the registry.
+//! * **Structured export.** [`Registry::snapshot`] produces a plain-data
+//!   [`Snapshot`] renderable as a text tree ([`Snapshot::render`]) or JSON
+//!   ([`Snapshot::to_json`] / [`Snapshot::from_json`]).
+//!
+//! ## Environment variables
+//!
+//! * `PATHREP_OBS=1` — enable collection; experiment binaries then print a
+//!   telemetry section after their tables.
+//! * `PATHREP_OBS_JSON=<path>` — additionally append one JSON line per
+//!   [`report`] call to `<path>`.
+//!
+//! ## Example
+//!
+//! ```
+//! pathrep_obs::set_enabled(true);
+//! {
+//!     let _outer = pathrep_obs::span!("stage");
+//!     let _inner = pathrep_obs::span!("kernel");
+//!     pathrep_obs::counter_add("stage.kernel.calls", 1);
+//! }
+//! let snap = pathrep_obs::registry().snapshot();
+//! assert_eq!(snap.counters[0].name, "stage.kernel.calls");
+//! let round_trip = pathrep_obs::Snapshot::from_json(&snap.to_json()).unwrap();
+//! assert_eq!(round_trip.counters[0].value, 1);
+//! ```
+
+#![deny(missing_docs)]
+
+mod json;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use registry::{registry, Event, Level, Registry, MAX_EVENTS};
+pub use snapshot::{
+    CounterSnapshot, EventSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot, SpanNode,
+};
+pub use span::SpanGuard;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// 0 = undecided (read env on first query), 1 = off, 2 = on.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether telemetry collection is on. The first call resolves the
+/// `PATHREP_OBS` environment variable (`1`/`true`/`on` enable); later
+/// calls are a single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_enabled(),
+    }
+}
+
+#[cold]
+fn init_enabled() -> bool {
+    let on = std::env::var("PATHREP_OBS")
+        .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
+        .unwrap_or(false);
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Programmatically enables or disables collection, overriding the
+/// environment (used by tests and by embedding applications).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Opens a span named `name` under the current thread's innermost open
+/// span; prefer the [`span!`] macro. The returned guard records the
+/// span's wall-clock duration into the global registry when dropped.
+#[inline]
+pub fn span_enter(name: &'static str) -> SpanGuard {
+    SpanGuard::enter(name)
+}
+
+/// Adds `delta` to the monotonic counter `name`.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if enabled() {
+        registry().counter_add_slow(name, delta);
+    }
+}
+
+/// Sets the gauge `name` to `value` (last write wins).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if enabled() {
+        registry().gauge_set_slow(name, value);
+    }
+}
+
+/// Records `value` into the histogram `name` using the default
+/// logarithmic bucket edges (`1e-12, 1e-11, …, 1e3`), suitable for
+/// residuals and relative errors.
+#[inline]
+pub fn histogram_record(name: &'static str, value: f64) {
+    if enabled() {
+        registry().histogram_record_slow(name, None, value);
+    }
+}
+
+/// Records `value` into the histogram `name` with explicit ascending
+/// bucket `edges` (applied on first touch; later calls reuse the
+/// registered edges).
+#[inline]
+pub fn histogram_record_with(name: &'static str, edges: &[f64], value: f64) {
+    if enabled() {
+        registry().histogram_record_slow(name, Some(edges), value);
+    }
+}
+
+/// Records a warning event (e.g. an unconverged solver), keeping the
+/// first [`registry::MAX_EVENTS`] events.
+#[inline]
+pub fn warn(name: &'static str, message: impl FnOnce() -> String) {
+    if enabled() {
+        registry().event_slow(Level::Warn, name, message());
+    }
+}
+
+/// Records an informational event.
+#[inline]
+pub fn info(name: &'static str, message: impl FnOnce() -> String) {
+    if enabled() {
+        registry().event_slow(Level::Info, name, message());
+    }
+}
+
+/// Clears every metric in the global registry (tests and long-lived
+/// embedders).
+pub fn reset() {
+    registry().reset();
+}
+
+/// Emits the standard end-of-run telemetry report for an experiment
+/// labelled `label`: when collection is enabled, prints the text tree to
+/// stdout and — if `PATHREP_OBS_JSON=<path>` is set — appends one JSON
+/// line `{"label": …, "snapshot": …}` to `<path>`.
+pub fn report(label: &str) {
+    if !enabled() {
+        return;
+    }
+    let snap = registry().snapshot();
+    println!("\n── telemetry ({label}) ──");
+    print!("{}", snap.render());
+    if let Ok(path) = std::env::var("PATHREP_OBS_JSON") {
+        if !path.is_empty() {
+            if let Err(e) = append_json_line(&path, label, &snap) {
+                eprintln!("pathrep-obs: failed to write {path}: {e}");
+            }
+        }
+    }
+}
+
+fn append_json_line(path: &str, label: &str, snap: &Snapshot) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        file,
+        "{{\"label\":{},\"snapshot\":{}}}",
+        json::escape_string(label),
+        snap.to_json()
+    )
+}
+
+/// Opens a hierarchical timing span: `let _g = pathrep_obs::span!("name")`.
+/// The guard records the span's duration when it leaves scope; bind it to
+/// a named `_`-prefixed variable so it lives to the end of the block.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span_enter($name)
+    };
+}

@@ -1,0 +1,244 @@
+//! The global metric store.
+
+use crate::snapshot::{
+    CounterSnapshot, EventSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Cap on stored events so a pathological loop cannot grow memory
+/// unboundedly; later events only bump the drop counter.
+pub const MAX_EVENTS: usize = 256;
+
+/// Default histogram bucket edges: decades from `1e-12` to `1e3`,
+/// matching the dynamic range of solver residuals and relative errors.
+pub fn default_edges() -> Vec<f64> {
+    (-12..=3).map(|e| 10.0_f64.powi(e)).collect()
+}
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Informational.
+    Info,
+    /// Something needing attention (e.g. an unconverged solver).
+    Warn,
+}
+
+impl Level {
+    /// Stable string form used in snapshots and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// A recorded event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Stable event name (e.g. `"convopt.admm.unconverged"`).
+    pub name: &'static str,
+    /// Human-readable details.
+    pub message: String,
+}
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SpanStats {
+    pub count: u64,
+    pub total_ns: u128,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct HistogramData {
+    pub edges: Vec<f64>,
+    /// `edges.len() + 1` buckets: `(-inf, e0], (e0, e1], …, (e_last, inf)`.
+    pub counts: Vec<u64>,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramData {
+    fn new(edges: Vec<f64>) -> Self {
+        let n = edges.len() + 1;
+        HistogramData {
+            edges,
+            counts: vec![0; n],
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| value <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, HistogramData>,
+    /// Aggregated span statistics keyed by full slash path.
+    spans: BTreeMap<String, SpanStats>,
+    events: Vec<Event>,
+    events_dropped: u64,
+}
+
+/// Global, thread-safe store of every recorded metric.
+///
+/// All mutation goes through the free functions in the crate root
+/// ([`crate::counter_add`], [`crate::span!`], …), which bail out in one
+/// atomic load when collection is disabled; the registry itself is the
+/// slow path behind that check.
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+/// The global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        inner: Mutex::new(Inner::default()),
+    })
+}
+
+impl Registry {
+    pub(crate) fn counter_add_slow(&self, name: &'static str, delta: u64) {
+        let mut g = self.inner.lock();
+        *g.counters.entry(name).or_insert(0) += delta;
+    }
+
+    pub(crate) fn gauge_set_slow(&self, name: &'static str, value: f64) {
+        self.inner.lock().gauges.insert(name, value);
+    }
+
+    pub(crate) fn histogram_record_slow(
+        &self,
+        name: &'static str,
+        edges: Option<&[f64]>,
+        value: f64,
+    ) {
+        let mut g = self.inner.lock();
+        g.histograms
+            .entry(name)
+            .or_insert_with(|| {
+                HistogramData::new(edges.map(<[f64]>::to_vec).unwrap_or_else(default_edges))
+            })
+            .record(value);
+    }
+
+    pub(crate) fn span_record(&self, path: &str, duration_ns: u64) {
+        let mut g = self.inner.lock();
+        match g.spans.get_mut(path) {
+            Some(s) => {
+                s.count += 1;
+                s.total_ns += duration_ns as u128;
+                s.min_ns = s.min_ns.min(duration_ns);
+                s.max_ns = s.max_ns.max(duration_ns);
+            }
+            None => {
+                g.spans.insert(
+                    path.to_owned(),
+                    SpanStats {
+                        count: 1,
+                        total_ns: duration_ns as u128,
+                        min_ns: duration_ns,
+                        max_ns: duration_ns,
+                    },
+                );
+            }
+        }
+    }
+
+    pub(crate) fn event_slow(&self, level: Level, name: &'static str, message: String) {
+        let mut g = self.inner.lock();
+        if g.events.len() < MAX_EVENTS {
+            g.events.push(Event {
+                level,
+                name,
+                message,
+            });
+        } else {
+            g.events_dropped += 1;
+        }
+    }
+
+    /// Clears every stored metric.
+    pub fn reset(&self) {
+        let mut g = self.inner.lock();
+        *g = Inner::default();
+    }
+
+    /// Takes a consistent point-in-time copy of every metric as plain
+    /// data, with spans assembled into their hierarchy.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.inner.lock();
+        let counters = g
+            .counters
+            .iter()
+            .map(|(&name, &value)| CounterSnapshot {
+                name: name.to_owned(),
+                value,
+            })
+            .collect();
+        let gauges = g
+            .gauges
+            .iter()
+            .map(|(&name, &value)| GaugeSnapshot {
+                name: name.to_owned(),
+                value,
+            })
+            .collect();
+        let histograms = g
+            .histograms
+            .iter()
+            .map(|(&name, h)| {
+                let count: u64 = h.counts.iter().sum();
+                HistogramSnapshot {
+                    name: name.to_owned(),
+                    edges: h.edges.clone(),
+                    counts: h.counts.clone(),
+                    count,
+                    sum: h.sum,
+                    min: if count > 0 { h.min } else { 0.0 },
+                    max: if count > 0 { h.max } else { 0.0 },
+                }
+            })
+            .collect();
+        let events = g
+            .events
+            .iter()
+            .map(|e| EventSnapshot {
+                level: e.level.as_str().to_owned(),
+                name: e.name.to_owned(),
+                message: e.message.clone(),
+            })
+            .collect();
+        let spans = crate::snapshot::build_span_tree(&g.spans);
+        Snapshot {
+            spans,
+            counters,
+            gauges,
+            histograms,
+            events,
+            events_dropped: g.events_dropped,
+        }
+    }
+}

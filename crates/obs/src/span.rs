@@ -1,0 +1,57 @@
+//! RAII span guards and the per-thread span stack.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of full paths of the spans currently open on this thread.
+    static SPAN_PATHS: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard for one open span; records the elapsed wall-clock time into the
+/// global registry when dropped. Created by [`crate::span!`].
+#[must_use = "a span guard measures until it is dropped; bind it with `let _g = …`"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when telemetry was disabled at entry — drop is then free.
+    started: Option<Instant>,
+}
+
+impl SpanGuard {
+    #[inline]
+    pub(crate) fn enter(name: &'static str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { started: None };
+        }
+        SPAN_PATHS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => {
+                    let mut p = String::with_capacity(parent.len() + 1 + name.len());
+                    p.push_str(parent);
+                    p.push('/');
+                    p.push_str(name);
+                    p
+                }
+                None => name.to_owned(),
+            };
+            stack.push(path);
+        });
+        SpanGuard {
+            started: Some(Instant::now()),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(started) = self.started else {
+            return;
+        };
+        let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let path = SPAN_PATHS.with(|stack| stack.borrow_mut().pop());
+        if let Some(path) = path {
+            crate::registry().span_record(&path, duration_ns);
+        }
+    }
+}

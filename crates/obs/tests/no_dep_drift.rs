@@ -1,0 +1,84 @@
+//! Guards the crate's founding constraints: pathrep-obs must stay
+//! dependency-free (std plus the vendored `parking_lot`/`serde` shims
+//! only) and fully documented, so it can never pull the offline build
+//! toward crates.io or grow an undocumented surface.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Returns the dependency names listed under `[section]` in `manifest`.
+fn section_deps(manifest: &str, section: &str) -> BTreeSet<String> {
+    let mut deps = BTreeSet::new();
+    let mut in_section = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(header) = line.strip_prefix('[') {
+            in_section = header.trim_end_matches(']') == section;
+            continue;
+        }
+        if in_section && !line.is_empty() && !line.starts_with('#') {
+            if let Some((key, _)) = line.split_once('=') {
+                // `serde.workspace = true` and `serde = { … }` both name
+                // the dependency in the first dotted segment.
+                let name = key.trim().split('.').next().unwrap_or_default();
+                deps.insert(name.to_owned());
+            }
+        }
+    }
+    deps
+}
+
+#[test]
+fn dependencies_stay_within_the_vendored_set() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let manifest = std::fs::read_to_string(manifest_dir.join("Cargo.toml"))
+        .expect("crate manifest is readable");
+
+    let allowed: BTreeSet<String> =
+        ["parking_lot", "serde"].map(str::to_owned).into();
+    let deps = section_deps(&manifest, "dependencies");
+    let drift: Vec<_> = deps.difference(&allowed).collect();
+    assert!(
+        drift.is_empty(),
+        "pathrep-obs gained non-vendored dependencies: {drift:?} \
+         (allowed: {allowed:?})"
+    );
+
+    let allowed_dev: BTreeSet<String> = ["crossbeam"].map(str::to_owned).into();
+    let dev_deps = section_deps(&manifest, "dev-dependencies");
+    let dev_drift: Vec<_> = dev_deps.difference(&allowed_dev).collect();
+    assert!(
+        dev_drift.is_empty(),
+        "pathrep-obs gained non-vendored dev-dependencies: {dev_drift:?}"
+    );
+
+    // Every dependency must resolve through workspace path shims, never a
+    // version requirement that would reach for crates.io.
+    for name in deps.iter().chain(dev_deps.iter()) {
+        let line = manifest
+            .lines()
+            .map(str::trim)
+            .find(|l| {
+                l.split_once('=').is_some_and(|(k, _)| {
+                    k.trim().split('.').next() == Some(name.as_str())
+                })
+            })
+            .expect("dependency line exists");
+        assert!(
+            line.contains("workspace = true") || line.contains("path"),
+            "`{line}` must inherit the vendored workspace entry"
+        );
+    }
+}
+
+#[test]
+fn public_surface_denies_missing_docs() {
+    let lib = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("src/lib.rs"),
+    )
+    .expect("lib.rs is readable");
+    assert!(
+        lib.contains("#![deny(missing_docs)]"),
+        "crates/obs/src/lib.rs must keep `#![deny(missing_docs)]`"
+    );
+}

@@ -1,0 +1,191 @@
+//! Integration tests for the telemetry substrate.
+//!
+//! The registry and the enabled flag are process-global, and the default
+//! test harness runs tests on parallel threads — every test serializes on
+//! [`guard`] and resets the registry before recording.
+
+use pathrep_obs::Snapshot;
+use std::time::Duration;
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn span_nesting_builds_tree_with_monotone_timing() {
+    let _l = guard();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    {
+        let _outer = pathrep_obs::span!("outer");
+        std::thread::sleep(Duration::from_millis(2));
+        {
+            let _inner = pathrep_obs::span!("inner");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let _inner = pathrep_obs::span!("inner");
+        }
+    }
+    let snap = pathrep_obs::registry().snapshot();
+    assert_eq!(snap.spans.len(), 1, "one root span");
+    let outer = &snap.spans[0];
+    assert_eq!(outer.name, "outer");
+    assert_eq!(outer.path, "outer");
+    assert_eq!(outer.count, 1);
+    assert_eq!(outer.children.len(), 1);
+    let inner = &outer.children[0];
+    assert_eq!(inner.name, "inner");
+    assert_eq!(inner.path, "outer/inner");
+    assert_eq!(inner.count, 2);
+    // Timing monotonicity: the parent encloses both child executions, the
+    // aggregate bounds order correctly, and nothing is zero.
+    assert!(outer.total_ns >= inner.total_ns);
+    assert!(inner.min_ns <= inner.max_ns);
+    assert!(inner.total_ns >= u128::from(inner.max_ns));
+    assert!(inner.total_ns <= u128::from(inner.min_ns) + u128::from(inner.max_ns));
+    assert!(outer.total_ns > 0);
+}
+
+#[test]
+fn sibling_spans_do_not_nest() {
+    let _l = guard();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    {
+        let _a = pathrep_obs::span!("first");
+    }
+    {
+        let _b = pathrep_obs::span!("second");
+    }
+    let snap = pathrep_obs::registry().snapshot();
+    let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["first", "second"]);
+    assert!(snap.spans.iter().all(|s| s.children.is_empty()));
+}
+
+#[test]
+fn counters_accumulate_atomically_across_threads() {
+    let _l = guard();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 1_000;
+    crossbeam::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|_| {
+                for _ in 0..PER_THREAD {
+                    pathrep_obs::counter_add("test.concurrent", 1);
+                }
+            });
+        }
+    })
+    .expect("no worker panics");
+    let snap = pathrep_obs::registry().snapshot();
+    let c = snap
+        .counters
+        .iter()
+        .find(|c| c.name == "test.concurrent")
+        .expect("counter recorded");
+    assert_eq!(c.value, THREADS as u64 * PER_THREAD, "no lost increments");
+}
+
+#[test]
+fn histogram_buckets_split_on_inclusive_upper_edges() {
+    let _l = guard();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    let edges = [1.0, 2.0, 4.0];
+    // Bucket i counts values ≤ edges[i]; edge values land in their own
+    // bucket, values above the last edge overflow.
+    for v in [0.5, 1.0, 1.5, 2.0, 3.0, 5.0] {
+        pathrep_obs::histogram_record_with("test.hist", &edges, v);
+    }
+    let snap = pathrep_obs::registry().snapshot();
+    let h = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "test.hist")
+        .expect("histogram recorded");
+    assert_eq!(h.edges, edges);
+    assert_eq!(h.counts, [2, 2, 1, 1]);
+    assert_eq!(h.count, 6);
+    assert_eq!(h.min, 0.5);
+    assert_eq!(h.max, 5.0);
+    assert!((h.sum - 13.0).abs() < 1e-12);
+}
+
+#[test]
+fn default_histogram_edges_are_decades() {
+    let _l = guard();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    pathrep_obs::histogram_record("test.default", 1e-7);
+    let snap = pathrep_obs::registry().snapshot();
+    let h = &snap.histograms[0];
+    assert_eq!(h.edges.len(), 16, "decades 1e-12 ..= 1e3");
+    assert_eq!(h.counts.len(), 17);
+    // 1e-7 ≤ 1e-7 lands exactly on the 1e-7 edge (index 5).
+    assert_eq!(h.counts[5], 1);
+    assert_eq!(h.counts.iter().sum::<u64>(), 1);
+}
+
+#[test]
+fn json_snapshot_round_trips_exactly() {
+    let _l = guard();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    {
+        let _a = pathrep_obs::span!("alpha");
+        let _b = pathrep_obs::span!("beta");
+    }
+    pathrep_obs::counter_add("c.one", 7);
+    pathrep_obs::gauge_set("g.pi", std::f64::consts::PI);
+    pathrep_obs::gauge_set("g.tiny", -2.5e-7);
+    pathrep_obs::histogram_record("h.resid", 1e-7);
+    pathrep_obs::warn("w.unconverged", || "π \"quoted\"\nsecond line\t".to_owned());
+    pathrep_obs::info("i.note", || "plain".to_owned());
+    let snap = pathrep_obs::registry().snapshot();
+    let back = Snapshot::from_json(&snap.to_json()).expect("well-formed JSON");
+    assert_eq!(back, snap, "JSON round-trip must be lossless");
+    // The text rendering carries every section.
+    let text = snap.render();
+    for section in ["spans:", "counters:", "gauges:", "histograms:", "events:"] {
+        assert!(text.contains(section), "missing `{section}` in:\n{text}");
+    }
+}
+
+#[test]
+fn event_cap_counts_drops() {
+    let _l = guard();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    for i in 0..pathrep_obs::MAX_EVENTS + 5 {
+        pathrep_obs::info("e.flood", || format!("event {i}"));
+    }
+    let snap = pathrep_obs::registry().snapshot();
+    assert_eq!(snap.events.len(), pathrep_obs::MAX_EVENTS);
+    assert_eq!(snap.events_dropped, 5);
+}
+
+#[test]
+fn disabled_collection_records_nothing() {
+    let _l = guard();
+    pathrep_obs::set_enabled(false);
+    pathrep_obs::reset();
+    {
+        let _s = pathrep_obs::span!("ghost");
+        pathrep_obs::counter_add("ghost.counter", 3);
+        pathrep_obs::gauge_set("ghost.gauge", 1.0);
+        pathrep_obs::histogram_record("ghost.hist", 0.5);
+        pathrep_obs::warn("ghost.warn", || unreachable!("message must not be built"));
+    }
+    let snap = pathrep_obs::registry().snapshot();
+    assert!(snap.spans.is_empty());
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    assert!(snap.histograms.is_empty());
+    assert!(snap.events.is_empty());
+    pathrep_obs::set_enabled(true); // leave the flag predictable for peers
+}

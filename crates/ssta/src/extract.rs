@@ -118,6 +118,7 @@ impl<'a> CriticalPathExtractor<'a> {
     /// Runs the extraction. Returns paths with yield-loss above the
     /// threshold, most critical first, capped at `max_paths`.
     pub fn extract(&self) -> Vec<ExtractedPath> {
+        let _span = pathrep_obs::span!("extract_paths");
         let graph = self.circuit.graph();
         let n = graph.gate_count();
         let space = VariableSpace::new(self.model, n);
@@ -271,6 +272,9 @@ impl<'a> CriticalPathExtractor<'a> {
                 .unwrap_or(Ordering::Equal)
         });
         results.truncate(self.config.max_paths);
+        pathrep_obs::counter_add("ssta.extract.expansions", expansions as u64);
+        pathrep_obs::counter_add("ssta.extract.paths", results.len() as u64);
+        pathrep_obs::gauge_set("ssta.extract.frontier_left", heap.len() as f64);
         results
     }
 }

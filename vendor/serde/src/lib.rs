@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde only for `#[derive(Serialize, Deserialize)]`
+//! annotations on model types; no code path serializes through serde at
+//! runtime (the `pathrep-obs` telemetry export hand-rolls its JSON). This
+//! shim provides the two marker traits and re-exports the no-op derives so
+//! those annotations keep compiling without crates-io access.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` — nothing
+//! serializes through serde at runtime (structured output is hand-rolled,
+//! see `pathrep-obs`) — so these derives expand to nothing. The
+//! `attributes(serde)` declaration keeps any future `#[serde(...)]` field
+//! attributes from becoming hard errors.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
