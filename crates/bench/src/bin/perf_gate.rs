@@ -1,0 +1,202 @@
+//! The perf-regression gate runner.
+//!
+//! Runs the calibrated workload matrix (see `pathrep_bench::workloads`),
+//! writes the next-numbered `BENCH_<k>.json` at the repo root, and — when
+//! `--baseline <path>` is given — diffs p50 wall times per workload
+//! against that baseline, printing a comparison table and exiting
+//! non-zero if any workload regressed beyond the threshold.
+//!
+//! ```text
+//! perf_gate [--baseline BENCH_1.json] [--repeat N] [--threshold PCT]
+//!           [--out PATH] [--inject-slowdown WORKLOAD]
+//! ```
+//!
+//! `--inject-slowdown` doubles the recorded wall times of one workload
+//! after measurement — a self-test hook proving the gate actually trips
+//! (`perf_gate --baseline BENCH_1.json --inject-slowdown exact_small`
+//! must exit 1).
+
+use pathrep_bench::gate::{
+    diff, has_regression, render_diff, BenchReport, DEFAULT_THRESHOLD, SCHEMA_VERSION,
+};
+use pathrep_bench::workloads::{measure, workload_matrix};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    baseline: Option<String>,
+    repeat: usize,
+    threshold: f64,
+    out: Option<String>,
+    inject_slowdown: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: None,
+        repeat: 5,
+        threshold: DEFAULT_THRESHOLD,
+        out: None,
+        inject_slowdown: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--inject-slowdown" => args.inject_slowdown = Some(value("--inject-slowdown")?),
+            "--repeat" => {
+                args.repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|e| format!("--repeat: {e}"))?;
+            }
+            "--threshold" => {
+                let pct: f64 = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if !(pct > 0.0) {
+                    return Err("--threshold must be a positive percentage".into());
+                }
+                args.threshold = pct / 100.0;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "perf_gate [--baseline BENCH_k.json] [--repeat N] \
+                     [--threshold PCT] [--out PATH] [--inject-slowdown WORKLOAD]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the repo root")
+        .to_path_buf()
+}
+
+/// The next unused `BENCH_<k>.json` index at `root` (1 on a clean tree).
+fn next_bench_index(root: &Path) -> u64 {
+    let mut max = 0;
+    if let Ok(entries) = std::fs::read_dir(root) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(k) = name
+                .strip_prefix("BENCH_")
+                .and_then(|r| r.strip_suffix(".json"))
+                .and_then(|k| k.parse::<u64>().ok())
+            {
+                max = max.max(k);
+            }
+        }
+    }
+    max + 1
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!("perf_gate: preparing workload matrix (untimed)…");
+    let workloads = workload_matrix();
+    eprintln!(
+        "perf_gate: measuring {} workloads × {} repeats…",
+        workloads.len(),
+        args.repeat
+    );
+    let mut results = measure(&workloads, args.repeat);
+
+    if let Some(victim) = &args.inject_slowdown {
+        match results.iter_mut().find(|r| &r.name == victim) {
+            Some(r) => {
+                eprintln!("perf_gate: injecting 2× slowdown into `{victim}` (self-test)");
+                r.p50_ms *= 2.0;
+                r.p95_ms *= 2.0;
+            }
+            None => {
+                eprintln!("perf_gate: --inject-slowdown: no workload named `{victim}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        commit: git_commit(),
+        workloads: results,
+    };
+
+    let root = repo_root();
+    let out_path = match &args.out {
+        Some(p) => PathBuf::from(p),
+        None => root.join(format!("BENCH_{}.json", next_bench_index(&root))),
+    };
+    if let Err(e) = std::fs::write(&out_path, report.to_json() + "\n") {
+        eprintln!("perf_gate: failed to write {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+    println!("perf_gate: wrote {}", out_path.display());
+    for w in &report.workloads {
+        println!(
+            "  {:<20} p50 {:>9.2} ms   p95 {:>9.2} ms",
+            w.name, w.p50_ms, w.p95_ms
+        );
+    }
+
+    let Some(baseline_path) = &args.baseline else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match std::fs::read_to_string(baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| BenchReport::from_json(&text))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf_gate: cannot load baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rows = diff(&baseline, &report, args.threshold);
+    println!(
+        "\nperf_gate: vs {} (commit {}, threshold {:.0} %):",
+        baseline_path,
+        baseline.commit,
+        args.threshold * 100.0
+    );
+    print!("{}", render_diff(&rows));
+    if has_regression(&rows) {
+        eprintln!("perf_gate: FAIL — at least one workload regressed");
+        ExitCode::FAILURE
+    } else {
+        println!("perf_gate: OK — no workload regressed beyond the threshold");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,412 @@
+//! The perf-regression gate: `BENCH_*.json` schema, serialization and the
+//! baseline diff that decides pass/fail.
+//!
+//! A [`BenchReport`] is what one `perf_gate` run writes to the repo root:
+//! per-workload p50/p95 wall times plus the exact operation counters
+//! (SVD sweeps, QR pivots, ADMM iterations, …) collected from the
+//! `pathrep-obs` registry. Because every workload runs with fixed RNG
+//! seeds, counter diffs between two reports are exact — a changed counter
+//! means the algorithm did different work, not that the machine was noisy.
+
+use pathrep_obs::json::{self, JsonValue};
+use std::collections::BTreeMap;
+
+/// Version stamp of the `BENCH_*.json` layout. Bump on breaking changes so
+/// the diff can refuse incomparable baselines.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Relative p50 slowdown tolerated before the gate fails (25 %).
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// Measured result of one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadResult {
+    /// Workload name (stable across runs; the diff joins on it).
+    pub name: String,
+    /// Median wall time over the repeats, in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile wall time, in milliseconds.
+    pub p95_ms: f64,
+    /// Deterministic operation counters from the obs registry.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// One `BENCH_*.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// [`SCHEMA_VERSION`] at write time.
+    pub schema_version: u64,
+    /// Git commit the run was taken at (short hash, or `"unknown"`).
+    pub commit: String,
+    /// Per-workload results, in matrix order.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty-enough single-line JSON.
+    pub fn to_json(&self) -> String {
+        JsonValue::Object(vec![
+            (
+                "schema_version".into(),
+                JsonValue::Number(self.schema_version as f64),
+            ),
+            ("commit".into(), JsonValue::String(self.commit.clone())),
+            (
+                "workloads".into(),
+                JsonValue::Array(
+                    self.workloads
+                        .iter()
+                        .map(|w| {
+                            JsonValue::Object(vec![
+                                ("name".into(), JsonValue::String(w.name.clone())),
+                                ("p50_ms".into(), JsonValue::Number(w.p50_ms)),
+                                ("p95_ms".into(), JsonValue::Number(w.p95_ms)),
+                                (
+                                    "counters".into(),
+                                    JsonValue::Object(
+                                        w.counters
+                                            .iter()
+                                            .map(|(k, &v)| {
+                                                (k.clone(), JsonValue::Number(v as f64))
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parses a report written by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct, including a
+    /// schema-version mismatch.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let v = json::parse(text)?;
+        let schema_version = v.field("schema_version")?.number()? as u64;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "baseline schema_version {schema_version} is not the supported \
+                 {SCHEMA_VERSION} — regenerate the baseline"
+            ));
+        }
+        let workloads = v
+            .field("workloads")?
+            .array()?
+            .iter()
+            .map(|w| {
+                let counters = match w.field("counters")? {
+                    JsonValue::Object(fields) => fields
+                        .iter()
+                        .map(|(k, v)| Ok((k.clone(), v.number()? as u64)))
+                        .collect::<Result<BTreeMap<_, _>, String>>()?,
+                    _ => return Err("counters must be an object".into()),
+                };
+                Ok(WorkloadResult {
+                    name: w.field("name")?.string()?,
+                    p50_ms: w.field("p50_ms")?.number()?,
+                    p95_ms: w.field("p95_ms")?.number()?,
+                    counters,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(BenchReport {
+            schema_version,
+            commit: v.field("commit")?.string()?,
+            workloads,
+        })
+    }
+}
+
+/// Verdict of one workload's baseline comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// p50 within the threshold band.
+    Ok,
+    /// p50 shrank beyond the threshold.
+    Improved,
+    /// p50 grew beyond the threshold — the gate fails.
+    Regressed,
+    /// Present now, absent in the baseline (informational).
+    New,
+    /// Present in the baseline, absent now (informational, surfaced so a
+    /// silently dropped workload cannot hide a regression).
+    Removed,
+}
+
+impl Verdict {
+    /// Stable display tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::New => "new",
+            Verdict::Removed => "removed",
+        }
+    }
+}
+
+/// One row of the comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Workload name.
+    pub name: String,
+    /// Baseline p50 (ms), when present.
+    pub baseline_p50_ms: Option<f64>,
+    /// Current p50 (ms), when present.
+    pub current_p50_ms: Option<f64>,
+    /// `current / baseline`, when both sides exist.
+    pub ratio: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Counters whose values changed: `name → (baseline, current)`.
+    pub counter_deltas: BTreeMap<String, (u64, u64)>,
+}
+
+/// Compares `current` against `baseline` workload-by-workload. A workload
+/// regresses when its p50 grows by more than `threshold` (relative, e.g.
+/// `0.25` = 25 %); it counts as improved when it shrinks by the same
+/// margin. Rows come back in current-report order, then removed ones.
+pub fn diff(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Vec<DiffRow> {
+    let base_by_name: BTreeMap<&str, &WorkloadResult> = baseline
+        .workloads
+        .iter()
+        .map(|w| (w.name.as_str(), w))
+        .collect();
+    let mut rows = Vec::new();
+    for cur in &current.workloads {
+        match base_by_name.get(cur.name.as_str()) {
+            None => rows.push(DiffRow {
+                name: cur.name.clone(),
+                baseline_p50_ms: None,
+                current_p50_ms: Some(cur.p50_ms),
+                ratio: None,
+                verdict: Verdict::New,
+                counter_deltas: BTreeMap::new(),
+            }),
+            Some(base) => {
+                let ratio = if base.p50_ms > 0.0 {
+                    cur.p50_ms / base.p50_ms
+                } else {
+                    1.0
+                };
+                let verdict = if ratio > 1.0 + threshold {
+                    Verdict::Regressed
+                } else if ratio < 1.0 - threshold {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                let mut counter_deltas = BTreeMap::new();
+                for (k, &b) in &base.counters {
+                    let c = cur.counters.get(k).copied().unwrap_or(0);
+                    if c != b {
+                        counter_deltas.insert(k.clone(), (b, c));
+                    }
+                }
+                for (k, &c) in &cur.counters {
+                    if !base.counters.contains_key(k) {
+                        counter_deltas.insert(k.clone(), (0, c));
+                    }
+                }
+                rows.push(DiffRow {
+                    name: cur.name.clone(),
+                    baseline_p50_ms: Some(base.p50_ms),
+                    current_p50_ms: Some(cur.p50_ms),
+                    ratio: Some(ratio),
+                    verdict,
+                    counter_deltas,
+                });
+            }
+        }
+    }
+    let current_names: BTreeMap<&str, ()> = current
+        .workloads
+        .iter()
+        .map(|w| (w.name.as_str(), ()))
+        .collect();
+    for base in &baseline.workloads {
+        if !current_names.contains_key(base.name.as_str()) {
+            rows.push(DiffRow {
+                name: base.name.clone(),
+                baseline_p50_ms: Some(base.p50_ms),
+                current_p50_ms: None,
+                ratio: None,
+                verdict: Verdict::Removed,
+                counter_deltas: BTreeMap::new(),
+            });
+        }
+    }
+    rows
+}
+
+/// Whether any row fails the gate.
+pub fn has_regression(rows: &[DiffRow]) -> bool {
+    rows.iter().any(|r| r.verdict == Verdict::Regressed)
+}
+
+/// Renders the per-workload comparison table.
+pub fn render_diff(rows: &[DiffRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>12} {:>12} {:>8}  {}",
+        "workload", "base p50", "cur p50", "ratio", "verdict"
+    );
+    let fmt_ms = |v: Option<f64>| match v {
+        Some(ms) => format!("{ms:.2} ms"),
+        None => "—".to_owned(),
+    };
+    for r in rows {
+        let ratio = match r.ratio {
+            Some(x) => format!("{x:.2}×"),
+            None => "—".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>12} {:>12} {:>8}  {}",
+            r.name,
+            fmt_ms(r.baseline_p50_ms),
+            fmt_ms(r.current_p50_ms),
+            ratio,
+            r.verdict.as_str(),
+        );
+        for (k, (b, c)) in &r.counter_deltas {
+            let _ = writeln!(out, "{:<20}   counter {k}: {b} → {c}", "");
+        }
+    }
+    out
+}
+
+/// Interpolated percentile of already-measured wall times. `q` in `[0, 1]`.
+pub fn percentile_ms(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted_ms.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted_ms[lo] + frac * (sorted_ms[hi] - sorted_ms[lo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(name: &str, p50: f64, counters: &[(&str, u64)]) -> WorkloadResult {
+        WorkloadResult {
+            name: name.to_owned(),
+            p50_ms: p50,
+            p95_ms: p50 * 1.2,
+            counters: counters
+                .iter()
+                .map(|&(k, v)| (k.to_owned(), v))
+                .collect(),
+        }
+    }
+
+    fn report(workloads: Vec<WorkloadResult>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            commit: "abc1234".into(),
+            workloads,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report(vec![
+            workload("exact_small", 12.5, &[("svd_sweeps", 9), ("qr_pivots", 40)]),
+            workload("hybrid_medium", 310.25, &[("admm_iters", 128)]),
+        ]);
+        let back = BenchReport::from_json(&r.to_json()).expect("valid JSON");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let text = r#"{"schema_version":99,"commit":"x","workloads":[]}"#;
+        let err = BenchReport::from_json(text).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails_the_gate() {
+        let base = report(vec![workload("a", 100.0, &[("svd_sweeps", 5)])]);
+        let cur = report(vec![workload("a", 200.0, &[("svd_sweeps", 5)])]);
+        let rows = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].verdict, Verdict::Regressed);
+        assert_eq!(rows[0].ratio, Some(2.0));
+        assert!(has_regression(&rows));
+        // The rendered table carries the verdict.
+        assert!(render_diff(&rows).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn within_threshold_passes_and_improvement_is_flagged() {
+        let base = report(vec![
+            workload("steady", 100.0, &[]),
+            workload("faster", 100.0, &[]),
+        ]);
+        let cur = report(vec![
+            workload("steady", 110.0, &[]),
+            workload("faster", 40.0, &[]),
+        ]);
+        let rows = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert_eq!(rows[0].verdict, Verdict::Ok);
+        assert_eq!(rows[1].verdict, Verdict::Improved);
+        assert!(!has_regression(&rows));
+    }
+
+    #[test]
+    fn new_and_removed_workloads_are_informational() {
+        let base = report(vec![workload("gone", 50.0, &[])]);
+        let cur = report(vec![workload("fresh", 60.0, &[])]);
+        let rows = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].verdict, Verdict::New);
+        assert_eq!(rows[0].name, "fresh");
+        assert_eq!(rows[1].verdict, Verdict::Removed);
+        assert_eq!(rows[1].name, "gone");
+        assert!(!has_regression(&rows), "membership changes alone never fail");
+    }
+
+    #[test]
+    fn counter_drift_is_reported_exactly() {
+        let base = report(vec![workload("a", 100.0, &[("svd_sweeps", 5), ("same", 1)])]);
+        let cur = report(vec![workload(
+            "a",
+            101.0,
+            &[("svd_sweeps", 7), ("same", 1), ("admm_iters", 3)],
+        )]);
+        let rows = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert_eq!(
+            rows[0].counter_deltas,
+            [
+                ("svd_sweeps".to_owned(), (5, 7)),
+                ("admm_iters".to_owned(), (0, 3)),
+            ]
+            .into_iter()
+            .collect()
+        );
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_ms(&xs, 0.0), 10.0);
+        assert_eq!(percentile_ms(&xs, 1.0), 40.0);
+        assert_eq!(percentile_ms(&xs, 0.5), 25.0);
+        assert_eq!(percentile_ms(&[7.5], 0.95), 7.5);
+    }
+}

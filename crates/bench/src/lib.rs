@@ -1,11 +1,22 @@
-//! Shared fixtures for the criterion benches.
+//! Benchmark fixtures and the perf-regression gate.
 //!
-//! Each bench regenerates one of the paper's tables/figures at a reduced,
-//! fixed-size configuration (so a `cargo bench` run finishes in minutes on
-//! one core) and prints the regenerated rows once before timing. The
-//! full-size tables are produced by the `pathrep-eval` binaries
-//! (`cargo run --release -p pathrep-eval --bin table1` etc.); see
-//! EXPERIMENTS.md for the recorded outputs.
+//! Two surfaces live here:
+//!
+//! * Shared fixtures for the criterion benches. Each bench regenerates one
+//!   of the paper's tables/figures at a reduced, fixed-size configuration
+//!   (so a `cargo bench` run finishes in minutes on one core) and prints
+//!   the regenerated rows once before timing. The full-size tables are
+//!   produced by the `pathrep-eval` binaries
+//!   (`cargo run --release -p pathrep-eval --bin table1` etc.); see
+//!   EXPERIMENTS.md for the recorded outputs.
+//! * The `perf_gate` runner ([`gate`], [`workloads`], and the `perf_gate`
+//!   binary): a deterministic, seeded workload matrix whose wall times and
+//!   obs operation counters are written to `BENCH_<k>.json` at the repo
+//!   root and diffed against the previous baseline, failing the build on
+//!   a p50 regression beyond the threshold.
+
+pub mod gate;
+pub mod workloads;
 
 use pathrep_eval::pipeline::{prepare, PipelineConfig, PreparedBenchmark};
 use pathrep_eval::suite::BenchmarkSpec;

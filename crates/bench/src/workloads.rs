@@ -1,0 +1,271 @@
+//! The calibrated workload matrix `perf_gate` measures, and the
+//! measurement harness itself.
+//!
+//! Two synthetic instances (small ≈ 300 gates, medium = the s1423-class
+//! circuit) run through every selection algorithm of the paper — exact
+//! (rank-revealing QR), approximate (Algorithm 1) and hybrid
+//! path/segment (Algorithm 3, ADMM) — plus the Monte-Carlo evaluation and
+//! the front-end pipeline itself. Every workload uses fixed RNG seeds, so
+//! the operation counters collected from `pathrep-obs` are exactly
+//! reproducible: a counter diff between two `BENCH_*.json` files is an
+//! algorithmic change, never machine noise.
+
+use crate::gate::{percentile_ms, WorkloadResult};
+use pathrep_core::approx::{approx_select, ApproxConfig};
+use pathrep_core::exact::exact_select;
+use pathrep_core::hybrid::{hybrid_select, HybridConfig, HybridInputs};
+use pathrep_core::predictor::DEFAULT_KAPPA;
+use pathrep_eval::metrics::{evaluate, McConfig, MeasurementPlan};
+use pathrep_eval::pipeline::{prepare, PipelineConfig, PreparedBenchmark};
+use pathrep_eval::suite::{BenchmarkSpec, Suite};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Seed shared by every workload (distinct from the unit-test seeds so the
+/// gate exercises fresh instances).
+pub const GATE_SEED: u64 = 11;
+
+/// Monte-Carlo sample count for the evaluation workloads — small enough to
+/// keep a 5-repeat run in seconds, large enough that the timed region is
+/// dominated by real work.
+pub const GATE_MC_SAMPLES: usize = 2_000;
+
+/// One named, self-contained timed unit.
+pub struct Workload {
+    /// Stable name — the `BENCH_*.json` diff joins on it.
+    pub name: &'static str,
+    run: Box<dyn Fn()>,
+}
+
+impl Workload {
+    /// Runs the workload once.
+    pub fn run(&self) {
+        (self.run)()
+    }
+}
+
+fn small_spec() -> BenchmarkSpec {
+    crate::bench_spec(GATE_SEED)
+}
+
+fn medium_spec() -> BenchmarkSpec {
+    Suite::by_name("s1423").expect("s1423 is in the suite")
+}
+
+fn small_config() -> PipelineConfig {
+    PipelineConfig {
+        max_paths: 300,
+        ..PipelineConfig::default()
+    }
+}
+
+fn medium_config() -> PipelineConfig {
+    PipelineConfig {
+        t_cons_factor: 0.98,
+        max_paths: 400,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Table-2-style regime for the hybrid workloads: tight constraint, scaled
+/// random variation (where segment measurement pays off).
+fn hybrid_config(base: &PipelineConfig) -> PipelineConfig {
+    PipelineConfig {
+        t_cons_factor: 0.98,
+        random_scale: 3.0,
+        ..base.clone()
+    }
+}
+
+fn prepare_or_die(spec: &BenchmarkSpec, config: &PipelineConfig) -> Rc<PreparedBenchmark> {
+    Rc::new(prepare(spec, config).expect("gate workloads are deterministic and must prepare"))
+}
+
+fn exact_workload(name: &'static str, pb: Rc<PreparedBenchmark>) -> Workload {
+    Workload {
+        name,
+        run: Box::new(move || {
+            let dm = &pb.delay_model;
+            exact_select(dm.a(), dm.mu_paths(), DEFAULT_KAPPA).expect("exact selection succeeds");
+        }),
+    }
+}
+
+fn approx_workload(name: &'static str, pb: Rc<PreparedBenchmark>) -> Workload {
+    Workload {
+        name,
+        run: Box::new(move || {
+            let dm = &pb.delay_model;
+            let config = ApproxConfig::new(0.05, pb.t_cons);
+            approx_select(dm.a(), dm.mu_paths(), &config).expect("approx selection succeeds");
+        }),
+    }
+}
+
+fn hybrid_workload(name: &'static str, pb: Rc<PreparedBenchmark>) -> Workload {
+    Workload {
+        name,
+        run: Box::new(move || {
+            let dm = &pb.delay_model;
+            let inputs = HybridInputs {
+                g: dm.g(),
+                sigma: dm.sigma(),
+                a: dm.a(),
+                mu_segments: dm.mu_segments(),
+                mu_paths: dm.mu_paths(),
+            };
+            let config = HybridConfig::new(0.08, 0.06, pb.t_cons);
+            hybrid_select(&inputs, &config).expect("hybrid selection succeeds");
+        }),
+    }
+}
+
+fn mc_config() -> McConfig {
+    McConfig {
+        n_samples: GATE_MC_SAMPLES,
+        seed: 99,
+        // Fixed worker count: available_parallelism would change both the
+        // timing profile and the per-worker sample split across machines.
+        threads: 2,
+    }
+}
+
+/// Builds the full workload matrix. Preparation (circuit generation, path
+/// extraction, delay-model construction for the shared instances) happens
+/// here, untimed; the returned workloads are pure timed regions.
+pub fn workload_matrix() -> Vec<Workload> {
+    let small = prepare_or_die(&small_spec(), &small_config());
+    let medium = prepare_or_die(&medium_spec(), &medium_config());
+    let small_hy = prepare_or_die(&small_spec(), &hybrid_config(&small_config()));
+    let medium_hy = prepare_or_die(&medium_spec(), &hybrid_config(&medium_config()));
+
+    let mut workloads = vec![
+        Workload {
+            name: "pipeline_small",
+            run: Box::new(|| {
+                prepare(&small_spec(), &small_config()).expect("pipeline prepares");
+            }),
+        },
+        Workload {
+            name: "pipeline_medium",
+            run: Box::new(|| {
+                prepare(&medium_spec(), &medium_config()).expect("pipeline prepares");
+            }),
+        },
+        exact_workload("exact_small", Rc::clone(&small)),
+        exact_workload("exact_medium", Rc::clone(&medium)),
+        approx_workload("approx_small", Rc::clone(&small)),
+        approx_workload("approx_medium", Rc::clone(&medium)),
+        hybrid_workload("hybrid_small", Rc::clone(&small_hy)),
+        hybrid_workload("hybrid_medium", Rc::clone(&medium_hy)),
+    ];
+    workloads.push(Workload {
+        name: "mc_eval_small",
+        run: Box::new(move || {
+            let dm = &small.delay_model;
+            let sel = approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(0.05, small.t_cons))
+                .expect("approx selection succeeds");
+            let plan = MeasurementPlan::Paths {
+                selected: &sel.selected,
+                predictor: &sel.predictor,
+            };
+            evaluate(dm, &plan, &sel.remaining, &mc_config()).expect("MC evaluation succeeds");
+        }),
+    });
+    workloads
+}
+
+/// Dotted obs counter → short `BENCH_*.json` key for the headline
+/// operation counts; everything else keeps its dotted name.
+const COUNTER_ALIASES: &[(&str, &str)] = &[
+    ("convopt.admm.iterations", "admm_iters"),
+    ("core.approx.evaluations", "approx_evals"),
+    ("core.subset.calls", "subset_calls"),
+    ("eval.mc.samples", "mc_samples"),
+    ("linalg.qr.pivot_swaps", "qr_pivots"),
+    ("linalg.svd.calls", "svd_calls"),
+    ("linalg.svd.qr_sweeps", "svd_sweeps"),
+    ("ssta.extract.paths", "extract_paths"),
+];
+
+fn collect_counters(snap: &pathrep_obs::Snapshot) -> BTreeMap<String, u64> {
+    snap.counters
+        .iter()
+        .map(|c| {
+            let key = COUNTER_ALIASES
+                .iter()
+                .find(|(dotted, _)| *dotted == c.name)
+                .map(|&(_, short)| short.to_owned())
+                .unwrap_or_else(|| c.name.clone());
+            (key, c.value)
+        })
+        .collect()
+}
+
+/// Runs every workload `repeats` times with telemetry on, collecting wall
+/// times (p50/p95) and the obs counters of the final repeat. Counters are
+/// checked for repeat-to-repeat stability — drift means hidden global
+/// state and is reported on stderr rather than silently recorded.
+pub fn measure(workloads: &[Workload], repeats: usize) -> Vec<WorkloadResult> {
+    let repeats = repeats.max(1);
+    pathrep_obs::set_enabled(true);
+    let mut results = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        let mut times_ms = Vec::with_capacity(repeats);
+        let mut counters: Option<BTreeMap<String, u64>> = None;
+        for rep in 0..repeats {
+            pathrep_obs::reset();
+            let t0 = Instant::now();
+            w.run();
+            times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            let snap = pathrep_obs::registry().snapshot();
+            let c = collect_counters(&snap);
+            if let Some(prev) = &counters {
+                if prev != &c {
+                    eprintln!(
+                        "perf_gate: WARNING: workload `{}` counters drifted between \
+                         repeat {} and {} — seeds are not pinning the work",
+                        w.name,
+                        rep - 1,
+                        rep
+                    );
+                }
+            }
+            counters = Some(c);
+        }
+        times_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        results.push(WorkloadResult {
+            name: w.name.to_owned(),
+            p50_ms: percentile_ms(&times_ms, 0.50),
+            p95_ms: percentile_ms(&times_ms, 0.95),
+            counters: counters.unwrap_or_default(),
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_records_times_and_deterministic_counters() {
+        let workloads = vec![Workload {
+            name: "noop_counter",
+            run: Box::new(|| {
+                pathrep_obs::counter_add("linalg.svd.qr_sweeps", 3);
+                pathrep_obs::counter_add("custom.thing", 1);
+            }),
+        }];
+        let results = measure(&workloads, 3);
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.name, "noop_counter");
+        assert!(r.p50_ms >= 0.0 && r.p95_ms >= r.p50_ms);
+        // The alias maps the dotted obs name to the short key; unknown
+        // counters keep their dotted name.
+        assert_eq!(r.counters.get("svd_sweeps"), Some(&3));
+        assert_eq!(r.counters.get("custom.thing"), Some(&1));
+    }
+}

@@ -26,6 +26,12 @@
 //!   telemetry section after their tables.
 //! * `PATHREP_OBS_JSON=<path>` — additionally append one JSON line per
 //!   [`report`] call to `<path>`.
+//! * `PATHREP_OBS_TRACE=<path>` — buffer span begin/end timestamps and
+//!   write them at [`report`] as Chrome Trace Event JSON (open in
+//!   `chrome://tracing` or Perfetto); see [`trace`]. Requires
+//!   `PATHREP_OBS=1`.
+//! * `PATHREP_OBS_PROM=<path>` — write the snapshot at [`report`] in the
+//!   Prometheus text exposition format; see [`prom`].
 //!
 //! ## Example
 //!
@@ -44,10 +50,12 @@
 
 #![deny(missing_docs)]
 
-mod json;
+pub mod json;
+pub mod prom;
 mod registry;
 mod snapshot;
 mod span;
+pub mod trace;
 
 pub use registry::{registry, Event, Level, Registry, MAX_EVENTS};
 pub use snapshot::{
@@ -148,16 +156,21 @@ pub fn info(name: &'static str, message: impl FnOnce() -> String) {
     }
 }
 
-/// Clears every metric in the global registry (tests and long-lived
-/// embedders).
+/// Clears every metric in the global registry and the trace buffer (tests
+/// and long-lived embedders).
 pub fn reset() {
     registry().reset();
+    trace::reset();
 }
 
 /// Emits the standard end-of-run telemetry report for an experiment
 /// labelled `label`: when collection is enabled, prints the text tree to
-/// stdout and — if `PATHREP_OBS_JSON=<path>` is set — appends one JSON
-/// line `{"label": …, "snapshot": …}` to `<path>`.
+/// stdout and honours the export environment variables —
+/// `PATHREP_OBS_JSON=<path>` appends one JSON line
+/// `{"label": …, "snapshot": …}`, `PATHREP_OBS_TRACE=<path>` writes the
+/// buffered spans as Chrome Trace Event JSON, and
+/// `PATHREP_OBS_PROM=<path>` writes the snapshot in the Prometheus text
+/// exposition format.
 pub fn report(label: &str) {
     if !enabled() {
         return;
@@ -168,6 +181,20 @@ pub fn report(label: &str) {
     if let Ok(path) = std::env::var("PATHREP_OBS_JSON") {
         if !path.is_empty() {
             if let Err(e) = append_json_line(&path, label, &snap) {
+                eprintln!("pathrep-obs: failed to write {path}: {e}");
+            }
+        }
+    }
+    if let Ok(path) = std::env::var("PATHREP_OBS_TRACE") {
+        if !path.trim().is_empty() {
+            if let Err(e) = trace::write_chrome_trace(&path) {
+                eprintln!("pathrep-obs: failed to write trace {path}: {e}");
+            }
+        }
+    }
+    if let Ok(path) = std::env::var("PATHREP_OBS_PROM") {
+        if !path.is_empty() {
+            if let Err(e) = prom::write_prometheus(&path, &snap) {
                 eprintln!("pathrep-obs: failed to write {path}: {e}");
             }
         }

@@ -64,6 +64,44 @@ pub struct HistogramSnapshot {
     pub max: f64,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation within the fixed bucket edges: the target rank is
+    /// located in the cumulative bucket counts and interpolated between
+    /// the bucket's bounds (clamped to the observed `min`/`max`, which
+    /// also bound the open-ended first and overflow buckets). Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upto = below + c;
+            if upto as f64 >= target {
+                let lower = if i == 0 {
+                    self.min
+                } else {
+                    self.edges[i - 1].max(self.min)
+                };
+                let upper = if i < self.edges.len() {
+                    self.edges[i].min(self.max)
+                } else {
+                    self.max
+                };
+                let frac = ((target - below as f64) / c as f64).clamp(0.0, 1.0);
+                return lower + frac * (upper - lower);
+            }
+            below = upto;
+        }
+        self.max
+    }
+}
+
 /// A recorded event.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EventSnapshot {
@@ -177,12 +215,16 @@ impl Snapshot {
             for h in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {:<44} n={} min={:.3e} max={:.3e} mean={:.3e}",
+                    "  {:<44} n={} min={:.3e} max={:.3e} mean={:.3e} \
+                     p50={:.3e} p95={:.3e} p99={:.3e}",
                     h.name,
                     h.count,
                     h.min,
                     h.max,
                     if h.count > 0 { h.sum / h.count as f64 } else { 0.0 },
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
                 );
             }
         }
@@ -191,9 +233,16 @@ impl Snapshot {
             for e in &self.events {
                 let _ = writeln!(out, "  [{}] {}: {}", e.level, e.name, e.message);
             }
-            if self.events_dropped > 0 {
-                let _ = writeln!(out, "  … {} more dropped", self.events_dropped);
-            }
+        }
+        if self.events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "events_dropped: {}\n  [warn] obs.events.dropped: event buffer \
+                 saturated (cap {}) — {} later events were discarded",
+                self.events_dropped,
+                crate::MAX_EVENTS,
+                self.events_dropped,
+            );
         }
         out
     }
@@ -273,6 +322,11 @@ impl Snapshot {
                                 ("sum".into(), JsonValue::Number(h.sum)),
                                 ("min".into(), JsonValue::Number(h.min)),
                                 ("max".into(), JsonValue::Number(h.max)),
+                                // Derived quantile estimates; from_json
+                                // recomputes nothing and ignores them.
+                                ("p50".into(), JsonValue::Number(h.quantile(0.50))),
+                                ("p95".into(), JsonValue::Number(h.quantile(0.95))),
+                                ("p99".into(), JsonValue::Number(h.quantile(0.99))),
                             ])
                         })
                         .collect(),

@@ -15,13 +15,21 @@ thread_local! {
 pub struct SpanGuard {
     /// `None` when telemetry was disabled at entry — drop is then free.
     started: Option<Instant>,
+    /// Leaf name, kept for the trace end event.
+    name: &'static str,
+    /// Whether a trace begin event was buffered (its end slot is reserved).
+    traced: bool,
 }
 
 impl SpanGuard {
     #[inline]
     pub(crate) fn enter(name: &'static str) -> SpanGuard {
         if !crate::enabled() {
-            return SpanGuard { started: None };
+            return SpanGuard {
+                started: None,
+                name,
+                traced: false,
+            };
         }
         SPAN_PATHS.with(|stack| {
             let mut stack = stack.borrow_mut();
@@ -37,8 +45,11 @@ impl SpanGuard {
             };
             stack.push(path);
         });
+        let traced = crate::trace::collecting() && crate::trace::record_begin(name);
         SpanGuard {
             started: Some(Instant::now()),
+            name,
+            traced,
         }
     }
 }
@@ -49,6 +60,9 @@ impl Drop for SpanGuard {
             return;
         };
         let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if self.traced {
+            crate::trace::record_end(self.name);
+        }
         let path = SPAN_PATHS.with(|stack| stack.borrow_mut().pop());
         if let Some(path) = path {
             crate::registry().span_record(&path, duration_ns);

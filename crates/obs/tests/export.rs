@@ -1,0 +1,307 @@
+//! Integration tests for the export backends: Prometheus text exposition
+//! and Chrome Trace Event JSON.
+//!
+//! Like `telemetry.rs`, every test serializes on [`guard`] because the
+//! registry, the enabled flag and the trace buffer are process-global.
+
+use pathrep_obs::trace::{Phase, TraceEvent};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition format
+// ---------------------------------------------------------------------
+
+/// One parsed sample line: name, sorted labels, value.
+#[derive(Debug, PartialEq)]
+struct Sample {
+    name: String,
+    labels: BTreeMap<String, String>,
+    value: f64,
+}
+
+/// A minimal hand parser for the exposition format: validates the syntax
+/// the exporter is allowed to emit and returns (`# TYPE` map, samples).
+fn parse_exposition(text: &str) -> (BTreeMap<String, String>, Vec<Sample>) {
+    let name_ok = |s: &str| {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    };
+    let mut types = BTreeMap::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE has name and kind");
+            assert!(name_ok(name), "bad metric name in TYPE: {name:?}");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped"),
+                "bad metric kind {kind:?}"
+            );
+            assert!(
+                types.insert(name.to_owned(), kind.to_owned()).is_none(),
+                "duplicate TYPE for {name}"
+            );
+            continue;
+        }
+        assert!(!line.starts_with('#'), "only TYPE comments expected: {line}");
+        // name[{labels}] value
+        let (head, value) = line.rsplit_once(' ').expect("sample has a value");
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v.parse().unwrap_or_else(|_| panic!("bad value {v:?}")),
+        };
+        let (name, labels) = match head.split_once('{') {
+            None => (head.to_owned(), BTreeMap::new()),
+            Some((n, rest)) => {
+                let body = rest.strip_suffix('}').expect("labels close with `}`");
+                let mut labels = BTreeMap::new();
+                for pair in body.split("\",") {
+                    let pair = pair.strip_suffix('"').unwrap_or(pair);
+                    let (k, v) = pair.split_once("=\"").expect("label is k=\"v\"");
+                    assert!(name_ok(k), "bad label name {k:?}");
+                    labels.insert(k.to_owned(), v.to_owned());
+                }
+                (n.to_owned(), labels)
+            }
+        };
+        assert!(name_ok(&name), "bad sample name {name:?}");
+        samples.push(Sample { name, labels, value });
+    }
+    (types, samples)
+}
+
+#[test]
+fn prometheus_round_trips_a_synthetic_snapshot() {
+    let _l = guard();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    {
+        let _outer = pathrep_obs::span!("stage");
+        let _inner = pathrep_obs::span!("kernel");
+    }
+    pathrep_obs::counter_add("linalg.svd.qr_sweeps", 42);
+    pathrep_obs::gauge_set("eval.pipeline.target_paths", 137.0);
+    let edges = [1.0, 2.0, 4.0];
+    for v in [0.5, 1.5, 1.5, 3.0, 9.0] {
+        pathrep_obs::histogram_record_with("convopt.admm.residual", &edges, v);
+    }
+    let snap = pathrep_obs::registry().snapshot();
+    let text = pathrep_obs::prom::render_prometheus(&snap);
+    let (types, samples) = parse_exposition(&text);
+
+    assert_eq!(
+        types.get("pathrep_linalg_svd_qr_sweeps").map(String::as_str),
+        Some("counter")
+    );
+    assert_eq!(
+        types.get("pathrep_eval_pipeline_target_paths").map(String::as_str),
+        Some("gauge")
+    );
+    assert_eq!(
+        types.get("pathrep_convopt_admm_residual").map(String::as_str),
+        Some("histogram")
+    );
+
+    let by_name = |n: &str| -> Vec<&Sample> { samples.iter().filter(|s| s.name == n).collect() };
+    assert_eq!(by_name("pathrep_linalg_svd_qr_sweeps")[0].value, 42.0);
+    assert_eq!(by_name("pathrep_eval_pipeline_target_paths")[0].value, 137.0);
+
+    // Histogram: cumulative buckets with `le` labels from the edges, then
+    // the +Inf bucket equal to _count.
+    let buckets = by_name("pathrep_convopt_admm_residual_bucket");
+    assert_eq!(buckets.len(), 4);
+    let le = |s: &Sample| s.labels.get("le").cloned().expect("bucket has le");
+    assert_eq!(
+        buckets.iter().map(|s| le(s)).collect::<Vec<_>>(),
+        ["1", "2", "4", "+Inf"]
+    );
+    assert_eq!(
+        buckets.iter().map(|s| s.value).collect::<Vec<_>>(),
+        [1.0, 3.0, 4.0, 5.0],
+        "buckets must be cumulative"
+    );
+    assert_eq!(by_name("pathrep_convopt_admm_residual_count")[0].value, 5.0);
+    assert!((by_name("pathrep_convopt_admm_residual_sum")[0].value - 15.5).abs() < 1e-12);
+
+    // Spans appear as labelled counters for both recorded paths.
+    let calls = by_name("pathrep_span_calls_total");
+    let paths: Vec<String> = calls
+        .iter()
+        .map(|s| s.labels.get("path").cloned().unwrap())
+        .collect();
+    assert_eq!(paths, ["stage", "stage/kernel"]);
+
+    // Every sample's family is typed.
+    for s in &samples {
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| s.name.strip_suffix(suf))
+            .filter(|base| types.contains_key(*base))
+            .unwrap_or(&s.name);
+        assert!(types.contains_key(family), "untyped family for {}", s.name);
+    }
+}
+
+#[test]
+fn histogram_quantiles_interpolate_within_buckets() {
+    let _l = guard();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    let edges = [10.0, 20.0, 40.0];
+    // 10 values ≤ 10 (exactly 2..=10 step…): use uniform fill per bucket.
+    for _ in 0..10 {
+        pathrep_obs::histogram_record_with("q.hist", &edges, 5.0);
+    }
+    for _ in 0..10 {
+        pathrep_obs::histogram_record_with("q.hist", &edges, 15.0);
+    }
+    let snap = pathrep_obs::registry().snapshot();
+    let h = snap.histograms.iter().find(|h| h.name == "q.hist").unwrap();
+    // p50 sits exactly at the first bucket's upper boundary (10 of 20
+    // observations ≤ min(edge 10, max 15) interpolates to the bucket top).
+    let p50 = h.quantile(0.50);
+    assert!((p50 - 10.0).abs() < 1e-9, "p50 = {p50}");
+    // p100 clamps to the observed max, p0 to ≥ min.
+    assert_eq!(h.quantile(1.0), 15.0);
+    assert!(h.quantile(0.0) >= 5.0 - 1e-9);
+    // Quantiles are monotone in q.
+    let qs: Vec<f64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+        .iter()
+        .map(|&q| h.quantile(q))
+        .collect();
+    assert!(qs.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{qs:?}");
+    // The rendered report carries the quantile columns.
+    let text = snap.render();
+    assert!(text.contains("p50="), "missing p50 in:\n{text}");
+    assert!(text.contains("p99="), "missing p99 in:\n{text}");
+}
+
+#[test]
+fn dropped_events_are_loud_in_the_text_report() {
+    let _l = guard();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    for i in 0..pathrep_obs::MAX_EVENTS + 9 {
+        pathrep_obs::info("e.flood", || format!("event {i}"));
+    }
+    let snap = pathrep_obs::registry().snapshot();
+    let text = snap.render();
+    assert!(text.contains("events_dropped: 9"), "missing count in:\n{text}");
+    assert!(
+        text.contains("[warn] obs.events.dropped"),
+        "missing warn summary in:\n{text}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------
+
+/// Asserts every `tid`'s event stream is a balanced, properly nested B/E
+/// sequence with non-decreasing timestamps, and returns the span names
+/// seen.
+fn check_balanced(events: &[TraceEvent]) -> Vec<&'static str> {
+    let mut stacks: HashMap<u64, Vec<&'static str>> = HashMap::new();
+    let mut last_ts: HashMap<u64, u64> = HashMap::new();
+    let mut names = Vec::new();
+    for e in events {
+        let prev = last_ts.entry(e.tid).or_insert(0);
+        assert!(e.ts_ns >= *prev, "timestamps regress on tid {}", e.tid);
+        *prev = e.ts_ns;
+        let stack = stacks.entry(e.tid).or_default();
+        match e.phase {
+            Phase::Begin => {
+                stack.push(e.name);
+                names.push(e.name);
+            }
+            Phase::End => {
+                let open = stack.pop().expect("E without open B");
+                assert_eq!(open, e.name, "mismatched B/E pair");
+            }
+        }
+    }
+    for (tid, stack) in stacks {
+        assert!(stack.is_empty(), "unbalanced spans on tid {tid}: {stack:?}");
+    }
+    names
+}
+
+#[test]
+fn trace_export_is_balanced_under_nested_and_threaded_spans() {
+    let _l = guard();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    pathrep_obs::trace::set_collecting(true);
+    {
+        let _outer = pathrep_obs::span!("outer");
+        {
+            let _inner = pathrep_obs::span!("inner");
+        }
+        crossbeam::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    let _w = pathrep_obs::span!("worker");
+                    let _k = pathrep_obs::span!("kernel");
+                });
+            }
+        })
+        .expect("no worker panics");
+    }
+    let events = pathrep_obs::trace::events();
+    pathrep_obs::trace::set_collecting(false);
+    let names = check_balanced(&events);
+    assert_eq!(events.len(), 2 * names.len());
+    assert_eq!(names.iter().filter(|&&n| n == "outer").count(), 1);
+    assert_eq!(names.iter().filter(|&&n| n == "inner").count(), 1);
+    assert_eq!(names.iter().filter(|&&n| n == "worker").count(), 4);
+    assert_eq!(names.iter().filter(|&&n| n == "kernel").count(), 4);
+    // More than one thread contributed.
+    let tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+    assert!(tids.len() >= 2, "expected multiple tids, got {tids:?}");
+
+    // The JSON rendering is a well-formed Trace Event array whose entries
+    // carry exactly the expected fields.
+    let json = pathrep_obs::trace::render_chrome_trace(&events, 7);
+    let v = pathrep_obs::json::parse(&json).expect("valid JSON");
+    let items = v.array().expect("top-level array");
+    assert_eq!(items.len(), events.len());
+    let mut prev_ts = f64::NEG_INFINITY;
+    for item in items {
+        let ph = item.field("ph").unwrap().string().unwrap();
+        assert!(ph == "B" || ph == "E");
+        assert!(!item.field("name").unwrap().string().unwrap().is_empty());
+        assert_eq!(item.field("pid").unwrap().number().unwrap(), 7.0);
+        let ts = item.field("ts").unwrap().number().unwrap();
+        assert!(ts >= prev_ts, "render must preserve chronological order");
+        prev_ts = ts;
+        item.field("tid").unwrap().number().unwrap();
+    }
+}
+
+#[test]
+fn trace_buffer_saturation_drops_whole_spans() {
+    let _l = guard();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    pathrep_obs::trace::set_collecting(true);
+    for _ in 0..pathrep_obs::trace::TRACE_CAPACITY {
+        let _s = pathrep_obs::span!("flood");
+    }
+    let events = pathrep_obs::trace::events();
+    assert!(events.len() <= pathrep_obs::trace::TRACE_CAPACITY);
+    assert!(pathrep_obs::trace::dropped_spans() > 0);
+    check_balanced(&events);
+    pathrep_obs::trace::set_collecting(false);
+    pathrep_obs::reset();
+    assert_eq!(pathrep_obs::trace::dropped_spans(), 0, "reset clears drops");
+}

@@ -71,6 +71,53 @@ fn dependencies_stay_within_the_vendored_set() {
     }
 }
 
+/// Every source module — including the export backends added after the
+/// crate's founding (`trace.rs`, `prom.rs`) — must only `use` std and the
+/// vendored shims, never a crates-io crate root. This catches drift that
+/// never reaches Cargo.toml, e.g. a `serde_json::` call that would only
+/// fail once someone adds the dependency.
+#[test]
+fn source_modules_stay_on_the_vendored_set() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let allowed_roots = [
+        "std", "core", "alloc", "crate", "self", "super",
+        // The vendored shims.
+        "parking_lot", "serde",
+    ];
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&src).expect("src/ is readable") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        checked += 1;
+        let text = std::fs::read_to_string(&path).expect("module is readable");
+        for (lineno, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            let Some(rest) = trimmed.strip_prefix("use ") else {
+                continue;
+            };
+            let root: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            assert!(
+                allowed_roots.contains(&root.as_str()),
+                "{}:{}: `use {root}…` reaches outside the vendored set \
+                 (allowed roots: {allowed_roots:?})",
+                path.display(),
+                lineno + 1,
+            );
+        }
+    }
+    // The crate is lib.rs + json/prom/registry/snapshot/span/trace.
+    assert!(
+        checked >= 7,
+        "expected at least 7 source modules, scanned {checked} — \
+         did the export backends move?"
+    );
+}
+
 #[test]
 fn public_surface_denies_missing_docs() {
     let lib = std::fs::read_to_string(

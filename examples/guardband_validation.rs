@@ -74,5 +74,6 @@ fn main() -> Result<(), Box<dyn Error>> {
         outcome.uncertain,
         100.0 * outcome.decisiveness()
     );
+    pathrep::obs::report("guardband_validation");
     Ok(())
 }

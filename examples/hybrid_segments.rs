@@ -84,5 +84,6 @@ fn main() -> Result<(), Box<dyn Error>> {
         .map(|(k, &p)| (predicted[k] - d_path[p]).abs() / d_path[p])
         .fold(0.0_f64, f64::max);
     println!("simulated chip: worst relative error {:.2} %", 100.0 * worst);
+    pathrep::obs::report("hybrid_segments");
     Ok(())
 }

@@ -72,5 +72,6 @@ fn main() -> Result<(), Box<dyn Error>> {
         pb.path_count(),
         100.0 * sel.epsilon_r
     );
+    pathrep::obs::report("load_bench_netlist");
     Ok(())
 }

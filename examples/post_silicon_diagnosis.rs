@@ -82,5 +82,6 @@ fn main() -> Result<(), Box<dyn Error>> {
         Some(&(j, _)) => println!("=> top suspect is {:?}", dm.variables()[j]),
         None => println!("=> no suspects flagged"),
     }
+    pathrep::obs::report("post_silicon_diagnosis");
     Ok(())
 }

@@ -88,5 +88,6 @@ fn main() -> Result<(), Box<dyn Error>> {
     let lhs = d_all[0];
     let rhs = d_all[1] - d_all[2] + d_all[3];
     println!("identity d_p1 = d_p2 − d_p3 + d_p4: {lhs:.3} = {rhs:.3}");
+    pathrep::obs::report("quickstart");
     Ok(())
 }

@@ -66,5 +66,6 @@ fn main() -> Result<(), Box<dyn Error>> {
             100.0 * mean
         );
     }
+    pathrep::obs::report("speedpath_monitoring");
     Ok(())
 }

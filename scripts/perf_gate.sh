@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Perf-regression gate: build release, run the perf_gate workload matrix
+# against the newest BENCH_*.json baseline (if any), and write the
+# next-numbered BENCH_<k>.json at the repo root. Exits non-zero when any
+# workload's p50 regresses beyond the threshold (default 25 %).
+#
+# Usage: scripts/perf_gate.sh [extra perf_gate flags…]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p pathrep-bench --bin perf_gate
+
+latest=""
+for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    k="${f#BENCH_}"
+    k="${k%.json}"
+    case "$k" in
+        *[!0-9]*) continue ;;
+    esac
+    if [ -z "$latest" ] || [ "$k" -gt "$latest_k" ]; then
+        latest="$f"
+        latest_k="$k"
+    fi
+done
+
+if [ -n "$latest" ]; then
+    echo "perf_gate.sh: gating against $latest"
+    ./target/release/perf_gate --baseline "$latest" "$@"
+else
+    echo "perf_gate.sh: no baseline found — seeding BENCH_1.json"
+    ./target/release/perf_gate "$@"
+fi
