@@ -123,6 +123,30 @@ pub struct GroupSelectSolution {
     pub worst_row_std: f64,
     /// Whether the stopping criterion was met within the budget.
     pub converged: bool,
+    /// Primal residual after each iteration (`len == iterations`).
+    pub primal_curve: Vec<f64>,
+    /// Dual residual after each iteration (`len == iterations`).
+    pub dual_curve: Vec<f64>,
+}
+
+/// Appends a `convopt` ledger record with the solver outcome and the full
+/// per-iteration residual curves (the histograms only keep final values).
+fn record_solution(name: &str, sol: &GroupSelectSolution, radius: f64) {
+    if !pathrep_obs::ledger::collecting() {
+        return;
+    }
+    pathrep_obs::ledger::record("convopt", name, |f| {
+        f.int("iterations", sol.iterations as u64)
+            .flag("converged", sol.converged)
+            .num("primal_residual", sol.primal_residual)
+            .num("dual_residual", sol.dual_residual)
+            .num("objective", sol.objective)
+            .num("worst_row_std", sol.worst_row_std)
+            .num("radius", radius)
+            .int("selected", sol.selected.len() as u64)
+            .nums("primal_curve", &sol.primal_curve)
+            .nums("dual_curve", &sol.dual_curve);
+    });
 }
 
 fn select_columns(b: &Matrix, threshold_rel: f64) -> Vec<usize> {
@@ -228,6 +252,8 @@ pub fn solve_linearized_admm(
     const FEAS_CHECK_EVERY: usize = 10;
     let mut last_support_size = usize::MAX;
     let mut stall = 0usize;
+    let mut primal_curve: Vec<f64> = Vec::new();
+    let mut dual_curve: Vec<f64> = Vec::new();
 
     let mut iterations = 0;
     for k in 0..config.max_iters {
@@ -251,6 +277,8 @@ pub fn solve_linearized_admm(
         pathrep_obs::counter_add("convopt.admm.iterations", 1);
         pathrep_obs::histogram_record("convopt.admm.primal_residual", primal);
         pathrep_obs::histogram_record("convopt.admm.dual_residual", dual);
+        primal_curve.push(primal);
+        dual_curve.push(dual);
         b = b_new;
         e = e_new;
         let support_size = select_columns(&b, config.selection_threshold).len();
@@ -271,7 +299,7 @@ pub fn solve_linearized_admm(
                     )
                 });
                 let objective = group_linf_norm(&b);
-                return Ok(GroupSelectSolution {
+                let sol = GroupSelectSolution {
                     selected: select_columns(&b, config.selection_threshold),
                     b,
                     iterations,
@@ -280,7 +308,11 @@ pub fn solve_linearized_admm(
                     objective,
                     worst_row_std: worst,
                     converged: true,
-                });
+                    primal_curve,
+                    dual_curve,
+                };
+                record_solution("admm_linearized", &sol, problem.radius);
+                return Ok(sol);
             }
         }
         let eps_primal =
@@ -289,7 +321,7 @@ pub fn solve_linearized_admm(
         if primal < eps_primal && dual < eps_dual {
             let worst = problem.worst_row_std(&b)?;
             let objective = group_linf_norm(&b);
-            return Ok(GroupSelectSolution {
+            let sol = GroupSelectSolution {
                 selected: select_columns(&b, config.selection_threshold),
                 b,
                 iterations,
@@ -298,7 +330,11 @@ pub fn solve_linearized_admm(
                 objective,
                 worst_row_std: worst,
                 converged: true,
-            });
+                primal_curve,
+                dual_curve,
+            };
+            record_solution("admm_linearized", &sol, problem.radius);
+            return Ok(sol);
         }
     }
     let worst = problem.worst_row_std(&b)?;
@@ -310,7 +346,7 @@ pub fn solve_linearized_admm(
             problem.radius
         )
     });
-    Ok(GroupSelectSolution {
+    let sol = GroupSelectSolution {
         selected: select_columns(&b, config.selection_threshold),
         b,
         iterations,
@@ -319,7 +355,11 @@ pub fn solve_linearized_admm(
         objective,
         worst_row_std: worst,
         converged: false,
-    })
+        primal_curve,
+        dual_curve,
+    };
+    record_solution("admm_linearized", &sol, problem.radius);
+    Ok(sol)
 }
 
 /// Classic two-block ADMM with exact per-row ellipsoid projections.
@@ -353,6 +393,8 @@ pub fn solve_ellipsoid_admm(
     let mut primal;
     let mut dual;
     let scale = (r1 * ns) as f64;
+    let mut primal_curve: Vec<f64> = Vec::new();
+    let mut dual_curve: Vec<f64> = Vec::new();
 
     let mut iterations = 0;
     loop {
@@ -374,6 +416,8 @@ pub fn solve_ellipsoid_admm(
         pathrep_obs::counter_add("convopt.admm.iterations", 1);
         pathrep_obs::histogram_record("convopt.admm.primal_residual", primal);
         pathrep_obs::histogram_record("convopt.admm.dual_residual", dual);
+        primal_curve.push(primal);
+        dual_curve.push(dual);
         b = b_new;
         z = z_new;
         let eps_primal = config.tol_abs + config.tol_rel * b.norm_fro().max(z.norm_fro()) / scale.sqrt();
@@ -394,7 +438,7 @@ pub fn solve_ellipsoid_admm(
         });
     }
     let objective = group_linf_norm(&z);
-    Ok(GroupSelectSolution {
+    let sol = GroupSelectSolution {
         selected: select_columns(&z, config.selection_threshold),
         b: z,
         iterations,
@@ -403,7 +447,11 @@ pub fn solve_ellipsoid_admm(
         objective,
         worst_row_std: worst,
         converged,
-    })
+        primal_curve,
+        dual_curve,
+    };
+    record_solution("admm_ellipsoid", &sol, problem.radius);
+    Ok(sol)
 }
 
 #[cfg(test)]
@@ -532,6 +580,40 @@ mod tests {
         assert!(p.worst_row_std(&sol.b).unwrap() <= p.radius * 1.05);
         // Selecting fewer columns than segments exist.
         assert!(sol.selected.len() <= 10);
+    }
+
+    #[test]
+    fn residual_curves_are_finite_and_monotone_ish() {
+        let p = toy_problem(0.6);
+        let sols = [
+            solve_linearized_admm(&p, &AdmmConfig::default()).unwrap(),
+            solve_ellipsoid_admm(&p, &AdmmConfig::default()).unwrap(),
+        ];
+        for sol in &sols {
+            assert_eq!(sol.primal_curve.len(), sol.iterations);
+            assert_eq!(sol.dual_curve.len(), sol.iterations);
+            assert!(
+                sol.primal_curve
+                    .iter()
+                    .chain(&sol.dual_curve)
+                    .all(|v| v.is_finite()),
+                "NaN/Inf in residual curves"
+            );
+            assert_eq!(sol.primal_curve.last().copied(), Some(sol.primal_residual));
+            assert_eq!(sol.dual_curve.last().copied(), Some(sol.dual_residual));
+            // Monotone-ish: ADMM residuals oscillate locally, but over the
+            // run the tail must sit well below the head.
+            if sol.iterations >= 8 {
+                let q = sol.iterations / 4;
+                let head: f64 = sol.primal_curve[..q].iter().sum::<f64>() / q as f64;
+                let tail: f64 =
+                    sol.primal_curve[sol.iterations - q..].iter().sum::<f64>() / q as f64;
+                assert!(
+                    tail <= head,
+                    "primal residual grew: head avg {head:.3e}, tail avg {tail:.3e}"
+                );
+            }
+        }
     }
 
     #[test]

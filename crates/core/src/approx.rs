@@ -165,7 +165,7 @@ pub fn approx_select_with(
                 config.epsilon
             )
         });
-        record_outcome(rank, effective_rank, selected.len(), epsilon_r);
+        record_outcome(rank, effective_rank, selected.len(), epsilon_r, config.epsilon, &trace, false);
         return Ok(ApproxSelection {
             selected,
             remaining,
@@ -212,7 +212,7 @@ pub fn approx_select_with(
     }
 
     let (selected, predictor, remaining, epsilon_r) = best;
-    record_outcome(rank, effective_rank, selected.len(), epsilon_r);
+    record_outcome(rank, effective_rank, selected.len(), epsilon_r, config.epsilon, &trace, true);
     Ok(ApproxSelection {
         selected,
         remaining,
@@ -224,13 +224,38 @@ pub fn approx_select_with(
     })
 }
 
-/// Final Algorithm-1 telemetry, shared by both exits.
-fn record_outcome(rank: usize, effective_rank: usize, selected: usize, epsilon_r: f64) {
+/// Final Algorithm-1 telemetry, shared by both exits. `accepted` says
+/// whether the returned selection meets the pre-specified tolerance ε;
+/// `trace` is the full `r`-decrement evaluation history `(r, ε_r)`.
+fn record_outcome(
+    rank: usize,
+    effective_rank: usize,
+    selected: usize,
+    epsilon_r: f64,
+    epsilon: f64,
+    trace: &[(usize, f64)],
+    accepted: bool,
+) {
     pathrep_obs::counter_add("core.approx.selections", 1);
     pathrep_obs::gauge_set("core.approx.rank", rank as f64);
     pathrep_obs::gauge_set("core.approx.effective_rank", effective_rank as f64);
     pathrep_obs::gauge_set("core.approx.selected", selected as f64);
     pathrep_obs::gauge_set("core.approx.epsilon_r", epsilon_r);
+    if !pathrep_obs::ledger::collecting() {
+        return;
+    }
+    let r_trace: Vec<f64> = trace.iter().map(|&(r, _)| r as f64).collect();
+    let eps_trace: Vec<f64> = trace.iter().map(|&(_, e)| e).collect();
+    pathrep_obs::ledger::record("core", "approx_select", |f| {
+        f.int("rank", rank as u64)
+            .int("effective_rank", effective_rank as u64)
+            .int("selected", selected as u64)
+            .num("epsilon_r", epsilon_r)
+            .num("epsilon", epsilon)
+            .flag("accepted", accepted)
+            .nums("r_trace", &r_trace)
+            .nums("epsilon_r_trace", &eps_trace);
+    });
 }
 
 #[cfg(test)]

@@ -59,6 +59,12 @@ pub fn exact_select_with(
     let selected = select_rows_with_svd(a, factors.svd(), rank)?;
     let (predictor, remaining) =
         MeasurementPredictor::from_gram(factors.gram(), mu, &selected, kappa)?;
+    pathrep_obs::ledger::record("core", "exact_select", |f| {
+        f.int("paths", a.nrows() as u64)
+            .int("rank", rank as u64)
+            .int("selected", selected.len() as u64)
+            .int("remaining", remaining.len() as u64);
+    });
     Ok(ExactSelection {
         selected,
         remaining,

@@ -265,6 +265,17 @@ pub fn hybrid_select_with(
             pathrep_obs::counter_add("core.hybrid.paths_selected", p_r2.len() as u64);
             pathrep_obs::counter_add("core.hybrid.repair_iterations", repair as u64);
             pathrep_obs::gauge_set("core.hybrid.epsilon_r", epsilon_r);
+            pathrep_obs::ledger::record("core", "hybrid_select", |f| {
+                f.int("segments", s_r1.len() as u64)
+                    .int("paths", p_r2.len() as u64)
+                    .int("remaining", remaining.len() as u64)
+                    .int("exact_size", exact.rank as u64)
+                    .int("repair_iterations", repair as u64)
+                    .num("epsilon_r", epsilon_r)
+                    .num("epsilon", config.epsilon)
+                    .num("epsilon_prime", config.epsilon_prime)
+                    .flag("admm_converged", admm_stats.converged);
+            });
             return Ok(HybridSelection {
                 segments: s_r1,
                 paths: p_r2,

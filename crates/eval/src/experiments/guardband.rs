@@ -107,6 +107,19 @@ pub fn run_one(
             outcome.record(pred[k], d_all[path], bands[k], pb.t_cons);
         }
     }
+    pathrep_obs::ledger::record("eval", "guardband", |f| {
+        f.num("epsilon", opts.epsilon)
+            .num("t_cons", pb.t_cons)
+            .num("avg_band", avg_band)
+            .num("max_band", max_band)
+            // The guard-band in delay units: φ = ε_i·T_cons (paper §6.3).
+            .num("avg_phi", avg_band * pb.t_cons)
+            .num("max_phi", max_band * pb.t_cons)
+            .int("confident_correct", outcome.confident_correct as u64)
+            .int("confident_wrong", outcome.confident_wrong as u64)
+            .int("uncertain", outcome.uncertain as u64)
+            .num("decisiveness", outcome.decisiveness());
+    });
     Ok(GuardBandRow {
         name: spec.name.to_string(),
         epsilon: opts.epsilon,

@@ -217,6 +217,20 @@ pub fn evaluate(
     let per_path_avg: Vec<f64> = per_path_sum.iter().map(|s| s / total as f64).collect();
     let e1 = per_path_max.iter().sum::<f64>() / nr as f64;
     let e2 = per_path_avg.iter().sum::<f64>() / nr as f64;
+    if pathrep_obs::ledger::collecting() {
+        let mut sorted = per_path_max.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        pathrep_obs::ledger::record("eval", "mc_evaluate", |f| {
+            f.int("samples", config.n_samples as u64)
+                .int("predicted_paths", nr as u64)
+                .num("e1", e1)
+                .num("e2", e2)
+                .num("max_err_p50", q(0.50))
+                .num("max_err_p90", q(0.90))
+                .num("max_err_worst", sorted[sorted.len() - 1]);
+        });
+    }
     Ok(McMetrics {
         per_path_max,
         per_path_avg,

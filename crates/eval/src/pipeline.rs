@@ -180,6 +180,12 @@ pub fn prepare_circuit(
     }
     let paths: Vec<Path> = extracted.into_iter().map(|e| e.path).collect();
     pathrep_obs::gauge_set("eval.pipeline.target_paths", paths.len() as f64);
+    pathrep_obs::ledger::record("eval", "prepare", |f| {
+        f.int("target_paths", paths.len() as u64)
+            .num("t_cons", t_cons)
+            .num("circuit_yield", circuit_yield)
+            .num("yield_loss_threshold", threshold);
+    });
     let (decomposition, delay_model) = {
         let _g = pathrep_obs::span!("build_delay_model");
         let decomposition = decompose_into_segments(&paths).map_err(wrap)?;

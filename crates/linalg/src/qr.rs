@@ -155,6 +155,26 @@ impl Qr {
                 }
             }
         }
+        if pivot && pathrep_obs::ledger::collecting() {
+            // Rank-revealing diagnostics: the pivot magnitudes |r_kk| decay
+            // monotonically; their decay ratio is Algorithm 2's practical
+            // conditioning signal for the selected path subset.
+            const HEAD: usize = 16;
+            let pivots: Vec<f64> = (0..kmax.min(HEAD)).map(|k| qr[(k, k)].abs()).collect();
+            let first = (0..kmax).map(|k| qr[(k, k)].abs()).next().unwrap_or(0.0);
+            let last = (0..kmax).map(|k| qr[(k, k)].abs()).last().unwrap_or(0.0);
+            pathrep_obs::ledger::record("linalg", "qr_pivoted", |f| {
+                f.int("rows", m as u64)
+                    .int("cols", n as u64)
+                    .num("pivot_max", first)
+                    .num("pivot_min", last)
+                    .num(
+                        "pivot_decay",
+                        if first > 0.0 { last / first } else { 0.0 },
+                    )
+                    .nums("pivot_head", &pivots);
+            });
+        }
         Ok(Qr { qr, betas, perm })
     }
 

@@ -51,14 +51,44 @@ impl Svd {
             return Err(LinalgError::Empty);
         }
         pathrep_obs::counter_add("linalg.svd.calls", 1);
-        if m >= n {
+        let svd = if m >= n {
             let (u, s, v) = golub_reinsch(a)?;
-            Ok(Svd { u, s, v })
+            Svd { u, s, v }
         } else {
             // SVD(Aᵀ) = V Σ Uᵀ  ⇒  swap the factors.
             let (v, s, u) = golub_reinsch(&a.transpose())?;
-            Ok(Svd { u, s, v })
+            Svd { u, s, v }
+        };
+        svd.record_health(m, n);
+        Ok(svd)
+    }
+
+    /// Appends a `linalg/svd` numerical-health ledger record: the
+    /// condition-number estimate `s_max/s_min`, the head/tail split of the
+    /// singular-value energy and the leading spectrum values. No-op unless
+    /// `PATHREP_OBS_LEDGER` is set.
+    fn record_health(&self, m: usize, n: usize) {
+        if !pathrep_obs::ledger::collecting() {
+            return;
         }
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        let smin = self.s.last().copied().unwrap_or(0.0);
+        let total: f64 = self.s.iter().sum();
+        // Head = leading 8 values: enough to see spectrum decay without
+        // storing hundreds of entries per factorization.
+        const HEAD: usize = 8;
+        let head: f64 = self.s.iter().take(HEAD).sum();
+        let head_frac = if total > 0.0 { head / total } else { 0.0 };
+        pathrep_obs::ledger::record("linalg", "svd", |f| {
+            f.int("rows", m as u64)
+                .int("cols", n as u64)
+                .num("smax", smax)
+                .num("smin", smin)
+                .num("cond", if smin > 0.0 { smax / smin } else { f64::INFINITY })
+                .num("head_energy", head_frac)
+                .num("tail_energy", 1.0 - head_frac)
+                .nums("spectrum_head", &self.s[..self.s.len().min(HEAD * 2)]);
+        });
     }
 
     /// Left singular vectors (`m` × `k`).

@@ -1,0 +1,115 @@
+//! Centralized parsing of every `PATHREP_OBS*` environment variable.
+//!
+//! All export backends resolve their configuration through this module so
+//! the variable names, the empty-value convention ("set but blank" means
+//! "off") and the failure policy live in exactly one place. The failure
+//! policy is: **telemetry can never abort a run** — every file-system error
+//! on an export path is reported through [`warn_export`] and swallowed.
+
+/// Enables metric collection (`1`/`true`/`on`/`yes`).
+pub const ENV_OBS: &str = "PATHREP_OBS";
+/// Appends one JSON snapshot line per [`crate::report`] call.
+pub const ENV_JSON: &str = "PATHREP_OBS_JSON";
+/// Buffers span begin/end events and writes Chrome Trace Event JSON.
+pub const ENV_TRACE: &str = "PATHREP_OBS_TRACE";
+/// Writes the final snapshot in Prometheus text exposition format.
+pub const ENV_PROM: &str = "PATHREP_OBS_PROM";
+/// Appends numerical-health records as JSONL (see [`crate::ledger`]).
+pub const ENV_LEDGER: &str = "PATHREP_OBS_LEDGER";
+/// Overrides the run id stamped on every ledger record.
+pub const ENV_RUN_ID: &str = "PATHREP_OBS_RUN_ID";
+
+/// Every recognized `PATHREP_OBS*` variable, for docs and drift guards.
+pub const ALL_ENV_VARS: &[&str] = &[
+    ENV_OBS, ENV_JSON, ENV_TRACE, ENV_PROM, ENV_LEDGER, ENV_RUN_ID,
+];
+
+/// Whether `PATHREP_OBS` asks for collection (`1`/`true`/`on`/`yes`).
+pub fn obs_enabled_from_env() -> bool {
+    std::env::var(ENV_OBS)
+        .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
+        .unwrap_or(false)
+}
+
+/// The value of a path-carrying variable, or `None` when unset or blank.
+pub fn path_from_env(var: &str) -> Option<String> {
+    match std::env::var(var) {
+        Ok(v) if !v.trim().is_empty() => Some(v),
+        _ => None,
+    }
+}
+
+/// The JSON-lines snapshot export path (`PATHREP_OBS_JSON`).
+pub fn json_path() -> Option<String> {
+    path_from_env(ENV_JSON)
+}
+
+/// The Chrome-trace export path (`PATHREP_OBS_TRACE`).
+pub fn trace_path() -> Option<String> {
+    path_from_env(ENV_TRACE)
+}
+
+/// The Prometheus exposition export path (`PATHREP_OBS_PROM`).
+pub fn prom_path() -> Option<String> {
+    path_from_env(ENV_PROM)
+}
+
+/// The numerical-health ledger path (`PATHREP_OBS_LEDGER`).
+pub fn ledger_path() -> Option<String> {
+    path_from_env(ENV_LEDGER)
+}
+
+/// The run id stamped on ledger records: `PATHREP_OBS_RUN_ID` when set,
+/// otherwise `pid<process id>`.
+pub fn run_id() -> String {
+    path_from_env(ENV_RUN_ID).unwrap_or_else(|| format!("pid{}", std::process::id()))
+}
+
+/// Reports a failed telemetry export on stderr and returns — the run
+/// continues; telemetry is advisory and must never abort real work.
+pub fn warn_export(what: &str, path: &str, err: &dyn std::fmt::Display) {
+    eprintln!("pathrep-obs: [warn] {what} export to {path} failed: {err} (run continues)");
+}
+
+/// Runs `write`, funnelling any error through [`warn_export`]. Every export
+/// backend goes through this so no telemetry path can panic on I/O.
+pub fn export_or_warn(
+    what: &str,
+    path: &str,
+    write: impl FnOnce(&str) -> std::io::Result<()>,
+) {
+    if let Err(e) = write(path) {
+        warn_export(what, path, &e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_paths_count_as_unset() {
+        // Use a variable name no other test touches to stay race-free.
+        std::env::set_var("PATHREP_CONFIG_TEST_VAR", "  ");
+        assert_eq!(path_from_env("PATHREP_CONFIG_TEST_VAR"), None);
+        std::env::set_var("PATHREP_CONFIG_TEST_VAR", "out.jsonl");
+        assert_eq!(
+            path_from_env("PATHREP_CONFIG_TEST_VAR").as_deref(),
+            Some("out.jsonl")
+        );
+        std::env::remove_var("PATHREP_CONFIG_TEST_VAR");
+    }
+
+    #[test]
+    fn export_or_warn_swallows_errors() {
+        // A directory path cannot be written as a file: must not panic.
+        export_or_warn("test", "/", |p| std::fs::write(p, "x"));
+    }
+
+    #[test]
+    fn all_env_vars_lists_every_constant() {
+        for v in [ENV_OBS, ENV_JSON, ENV_TRACE, ENV_PROM, ENV_LEDGER, ENV_RUN_ID] {
+            assert!(ALL_ENV_VARS.contains(&v));
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Numerical-health run ledger: schema-versioned JSONL records of the
+//! quantities that decide whether a pathrep run is *correct*.
+//!
+//! Timing telemetry (spans/counters) says how long a run took; the ledger
+//! says how trustworthy its numbers are. Each pipeline stage appends a
+//! [`LedgerRecord`] carrying the run id, the workload seed and
+//! stage-specific facts:
+//!
+//! * `linalg` — condition-number estimates, singular-value head/tail
+//!   energy, QR pivot magnitudes;
+//! * `convopt` — the full per-iteration ADMM primal/dual residual curves;
+//! * `core` — the Algorithm-1 `r`-decrement trace with each `ε_r` and the
+//!   accept/reject decision;
+//! * `ssta` / `eval` — extraction coverage, Monte-Carlo error
+//!   distributions and the guard-band `φ = ε_i·T_cons`.
+//!
+//! Collection is gated on the `PATHREP_OBS_LEDGER=<path>` environment
+//! variable **independently of** `PATHREP_OBS`: accuracy diagnostics must
+//! not require turning on the (stdout-noisy) metrics report. When off,
+//! [`record`] costs one relaxed atomic load. The buffer is bounded
+//! ([`LEDGER_CAPACITY`] records) and drained to `<path>` as JSON Lines by
+//! [`crate::report`]; `pathrep-doctor` (in `crates/bench`) reads the file
+//! back through [`parse_jsonl`].
+//!
+//! Every line carries `"schema_version"` so downstream tooling can reject
+//! ledgers written by an incompatible library version instead of
+//! mis-reading them.
+
+use crate::json::{self, JsonValue};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Version stamped on every ledger line; bump on any incompatible change
+/// to the record layout or to the meaning of a recorded fact.
+pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+
+/// Cap on buffered records between drains; saturation drops new records
+/// and counts them in [`dropped_records`].
+pub const LEDGER_CAPACITY: usize = 1 << 14;
+
+/// One numerical-health record emitted by a pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerRecord {
+    /// Per-process record sequence number (restarts at 0 on [`crate::reset`]).
+    pub seq: u64,
+    /// Run id: `PATHREP_OBS_RUN_ID` when set, else `pid<process id>`.
+    pub run: String,
+    /// Workload seed announced via [`set_run_context`], when known.
+    pub seed: Option<u64>,
+    /// Crate-level stage name (`linalg`, `convopt`, `core`, `ssta`, `eval`).
+    pub stage: String,
+    /// Event name within the stage (e.g. `svd`, `admm_linearized`).
+    pub name: String,
+    /// Ordered stage-specific facts.
+    pub facts: Vec<(String, JsonValue)>,
+}
+
+impl LedgerRecord {
+    /// Looks up a fact by key.
+    pub fn fact(&self, key: &str) -> Option<&JsonValue> {
+        self.facts.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A numeric fact by key, when present and a number.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.fact(key).and_then(|v| v.number().ok())
+    }
+
+    /// A numeric-array fact by key, when present and an array of numbers.
+    pub fn curve(&self, key: &str) -> Option<Vec<f64>> {
+        self.fact(key).and_then(|v| v.number_array().ok())
+    }
+
+    /// A string fact by key, when present and a string.
+    pub fn text(&self, key: &str) -> Option<String> {
+        self.fact(key).and_then(|v| v.string().ok())
+    }
+
+    /// Renders this record as one JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        let seed = match self.seed {
+            Some(s) => JsonValue::Number(s as f64),
+            None => JsonValue::Null,
+        };
+        JsonValue::Object(vec![
+            (
+                "schema_version".into(),
+                JsonValue::Number(LEDGER_SCHEMA_VERSION as f64),
+            ),
+            ("seq".into(), JsonValue::Number(self.seq as f64)),
+            ("run".into(), JsonValue::String(self.run.clone())),
+            ("seed".into(), seed),
+            ("stage".into(), JsonValue::String(self.stage.clone())),
+            ("name".into(), JsonValue::String(self.name.clone())),
+            ("facts".into(), JsonValue::Object(self.facts.clone())),
+        ])
+        .render()
+    }
+}
+
+/// Builder for the `facts` object of a record, passed to the closure given
+/// to [`record`]. Methods return `&mut Self` for chaining.
+#[derive(Debug, Default)]
+pub struct Facts(Vec<(String, JsonValue)>);
+
+impl Facts {
+    /// Adds a floating-point fact (non-finite values serialize as `null`).
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.0.push((key.into(), JsonValue::Number(value)));
+        self
+    }
+
+    /// Adds an integer fact.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.0.push((key.into(), JsonValue::Number(value as f64)));
+        self
+    }
+
+    /// Adds a boolean fact.
+    pub fn flag(&mut self, key: &str, value: bool) -> &mut Self {
+        self.0.push((key.into(), JsonValue::Bool(value)));
+        self
+    }
+
+    /// Adds a string fact.
+    pub fn text(&mut self, key: &str, value: &str) -> &mut Self {
+        self.0.push((key.into(), JsonValue::String(value.into())));
+        self
+    }
+
+    /// Adds a numeric-array fact (e.g. a residual curve or spectrum).
+    pub fn nums(&mut self, key: &str, values: &[f64]) -> &mut Self {
+        self.0.push((
+            key.into(),
+            JsonValue::Array(values.iter().map(|&v| JsonValue::Number(v)).collect()),
+        ));
+        self
+    }
+}
+
+struct LedgerState {
+    records: Vec<LedgerRecord>,
+    next_seq: u64,
+    dropped: u64,
+    run: Option<String>,
+    seed: Option<u64>,
+}
+
+fn state() -> &'static Mutex<LedgerState> {
+    static STATE: OnceLock<Mutex<LedgerState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(LedgerState {
+            records: Vec::new(),
+            next_seq: 0,
+            dropped: 0,
+            run: None,
+            seed: None,
+        })
+    })
+}
+
+/// 0 = undecided (read env on first query), 1 = off, 2 = on.
+static COLLECTING: AtomicU8 = AtomicU8::new(0);
+
+/// Whether ledger records are being buffered. The first call resolves the
+/// `PATHREP_OBS_LEDGER` environment variable (any non-blank value enables
+/// collection); later calls are one relaxed atomic load. Unlike spans and
+/// counters, the ledger does **not** require `PATHREP_OBS=1`.
+#[inline]
+pub fn collecting() -> bool {
+    match COLLECTING.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_collecting(),
+    }
+}
+
+#[cold]
+fn init_collecting() -> bool {
+    let on = crate::config::ledger_path().is_some();
+    COLLECTING.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Programmatically enables or disables ledger collection, overriding the
+/// environment (used by tests and embedding applications).
+pub fn set_collecting(on: bool) {
+    COLLECTING.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Announces the run context: a short workload `label` folded into the run
+/// id and the RNG `seed` stamped on subsequent records. Also appends a
+/// `meta/run_context` record so a ledger is self-describing. Call once at
+/// the top of an experiment, before the pipeline stages run.
+pub fn set_run_context(label: &str, seed: u64) {
+    if !collecting() {
+        return;
+    }
+    {
+        let mut g = state().lock();
+        g.run = Some(format!("{}-{label}", crate::config::run_id()));
+        g.seed = Some(seed);
+    }
+    record("meta", "run_context", |f| {
+        f.text("label", label).int("seed", seed);
+    });
+}
+
+/// Appends one record for pipeline `stage` (e.g. `"linalg"`) and event
+/// `name` (e.g. `"svd"`), with facts filled in by `fill`. A no-op costing
+/// one atomic load when collection is off; `fill` only runs when on.
+pub fn record(stage: &str, name: &str, fill: impl FnOnce(&mut Facts)) {
+    if !collecting() {
+        return;
+    }
+    let mut facts = Facts::default();
+    fill(&mut facts);
+    let mut g = state().lock();
+    if g.records.len() >= LEDGER_CAPACITY {
+        g.dropped += 1;
+        return;
+    }
+    let seq = g.next_seq;
+    g.next_seq += 1;
+    let run = g
+        .run
+        .clone()
+        .unwrap_or_else(|| crate::config::run_id());
+    let seed = g.seed;
+    g.records.push(LedgerRecord {
+        seq,
+        run,
+        seed,
+        stage: stage.into(),
+        name: name.into(),
+        facts: facts.0,
+    });
+}
+
+/// A copy of the buffered records, in record order.
+pub fn records() -> Vec<LedgerRecord> {
+    state().lock().records.clone()
+}
+
+/// Number of records dropped because the buffer was saturated.
+pub fn dropped_records() -> u64 {
+    state().lock().dropped
+}
+
+/// Clears the buffer, the drop counter, the sequence counter and the run
+/// context.
+pub(crate) fn reset() {
+    let mut g = state().lock();
+    g.records.clear();
+    g.next_seq = 0;
+    g.dropped = 0;
+    g.run = None;
+    g.seed = None;
+}
+
+/// Renders records as JSON Lines (one record per line, trailing newline).
+pub fn render_jsonl(records: &[LedgerRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-Lines ledger, validating the schema version of every
+/// line. Blank lines are skipped.
+///
+/// # Errors
+///
+/// On a syntax error, a missing field or a schema-version mismatch,
+/// with the offending line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<LedgerRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("ledger line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Result<LedgerRecord, String> {
+    let v = json::parse(line)?;
+    let version = v.field("schema_version")?.number()? as u64;
+    if version != LEDGER_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} unsupported (this library reads {LEDGER_SCHEMA_VERSION})"
+        ));
+    }
+    let seed = match v.field("seed")? {
+        JsonValue::Null => None,
+        other => Some(other.number()? as u64),
+    };
+    let facts = match v.field("facts")? {
+        JsonValue::Object(fields) => fields.clone(),
+        _ => return Err("`facts` must be an object".into()),
+    };
+    Ok(LedgerRecord {
+        seq: v.field("seq")?.number()? as u64,
+        run: v.field("run")?.string()?,
+        seed,
+        stage: v.field("stage")?.string()?,
+        name: v.field("name")?.string()?,
+        facts,
+    })
+}
+
+/// Appends the buffered records to `path` as JSON Lines and drains the
+/// buffer (so repeated [`crate::report`] calls never duplicate records).
+/// When records were dropped, a warning is printed and the drop counter
+/// cleared.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; the buffer is still drained so a
+/// broken export path cannot grow memory without bound.
+pub fn append_jsonl(path: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let (records, dropped) = {
+        let mut g = state().lock();
+        let records = std::mem::take(&mut g.records);
+        let dropped = std::mem::take(&mut g.dropped);
+        (records, dropped)
+    };
+    if dropped > 0 {
+        eprintln!(
+            "pathrep-obs: [warn] ledger buffer saturated, {dropped} record(s) dropped \
+             (capacity {LEDGER_CAPACITY})"
+        );
+    }
+    if records.is_empty() {
+        return Ok(());
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(render_jsonl(&records).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_renders_and_parses() {
+        let rec = LedgerRecord {
+            seq: 3,
+            run: "pid1-quickstart".into(),
+            seed: Some(11),
+            stage: "linalg".into(),
+            name: "svd".into(),
+            facts: vec![
+                ("cond".into(), JsonValue::Number(123.5)),
+                (
+                    "spectrum".into(),
+                    JsonValue::Array(vec![JsonValue::Number(2.0), JsonValue::Number(1.0)]),
+                ),
+                ("accepted".into(), JsonValue::Bool(true)),
+            ],
+        };
+        let parsed = parse_jsonl(&render_jsonl(&[rec.clone()])).unwrap();
+        assert_eq!(parsed, vec![rec.clone()]);
+        assert_eq!(parsed[0].num("cond"), Some(123.5));
+        assert_eq!(parsed[0].curve("spectrum"), Some(vec![2.0, 1.0]));
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let line = "{\"schema_version\":999,\"seq\":0,\"run\":\"r\",\"seed\":null,\
+                    \"stage\":\"s\",\"name\":\"n\",\"facts\":{}}";
+        let err = parse_jsonl(line).unwrap_err();
+        assert!(err.contains("schema_version 999"), "{err}");
+    }
+}

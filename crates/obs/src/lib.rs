@@ -32,6 +32,15 @@
 //!   `PATHREP_OBS=1`.
 //! * `PATHREP_OBS_PROM=<path>` — write the snapshot at [`report`] in the
 //!   Prometheus text exposition format; see [`prom`].
+//! * `PATHREP_OBS_LEDGER=<path>` — append numerical-health records
+//!   (condition numbers, `ε_r` traces, ADMM residual curves, guard-bands)
+//!   as JSON Lines at [`report`]; see [`ledger`]. Works **without**
+//!   `PATHREP_OBS=1`.
+//! * `PATHREP_OBS_RUN_ID=<id>` — override the run id stamped on ledger
+//!   records (defaults to `pid<process id>`).
+//!
+//! All parsing of these variables lives in [`config`]; export failures
+//! warn on stderr and never abort the run.
 //!
 //! ## Example
 //!
@@ -50,7 +59,9 @@
 
 #![deny(missing_docs)]
 
+pub mod config;
 pub mod json;
+pub mod ledger;
 pub mod prom;
 mod registry;
 mod snapshot;
@@ -82,9 +93,7 @@ pub fn enabled() -> bool {
 
 #[cold]
 fn init_enabled() -> bool {
-    let on = std::env::var("PATHREP_OBS")
-        .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
-        .unwrap_or(false);
+    let on = config::obs_enabled_from_env();
     ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
     on
 }
@@ -156,11 +165,12 @@ pub fn info(name: &'static str, message: impl FnOnce() -> String) {
     }
 }
 
-/// Clears every metric in the global registry and the trace buffer (tests
-/// and long-lived embedders).
+/// Clears every metric in the global registry, the trace buffer and the
+/// ledger buffer (tests and long-lived embedders).
 pub fn reset() {
     registry().reset();
     trace::reset();
+    ledger::reset();
 }
 
 /// Emits the standard end-of-run telemetry report for an experiment
@@ -170,34 +180,30 @@ pub fn reset() {
 /// `{"label": …, "snapshot": …}`, `PATHREP_OBS_TRACE=<path>` writes the
 /// buffered spans as Chrome Trace Event JSON, and
 /// `PATHREP_OBS_PROM=<path>` writes the snapshot in the Prometheus text
-/// exposition format.
+/// exposition format, and `PATHREP_OBS_LEDGER=<path>` drains the
+/// numerical-health ledger as JSON Lines (this one works even when
+/// `PATHREP_OBS` is unset). Export failures warn and continue — telemetry
+/// never aborts a run.
 pub fn report(label: &str) {
+    // The ledger is gated on its own variable, not on `enabled()`:
+    // accuracy diagnostics must not require the metrics report.
+    if let Some(path) = config::ledger_path() {
+        config::export_or_warn("ledger", &path, ledger::append_jsonl);
+    }
     if !enabled() {
         return;
     }
     let snap = registry().snapshot();
     println!("\n── telemetry ({label}) ──");
     print!("{}", snap.render());
-    if let Ok(path) = std::env::var("PATHREP_OBS_JSON") {
-        if !path.is_empty() {
-            if let Err(e) = append_json_line(&path, label, &snap) {
-                eprintln!("pathrep-obs: failed to write {path}: {e}");
-            }
-        }
+    if let Some(path) = config::json_path() {
+        config::export_or_warn("snapshot", &path, |p| append_json_line(p, label, &snap));
     }
-    if let Ok(path) = std::env::var("PATHREP_OBS_TRACE") {
-        if !path.trim().is_empty() {
-            if let Err(e) = trace::write_chrome_trace(&path) {
-                eprintln!("pathrep-obs: failed to write trace {path}: {e}");
-            }
-        }
+    if let Some(path) = config::trace_path() {
+        config::export_or_warn("trace", &path, trace::write_chrome_trace);
     }
-    if let Ok(path) = std::env::var("PATHREP_OBS_PROM") {
-        if !path.is_empty() {
-            if let Err(e) = prom::write_prometheus(&path, &snap) {
-                eprintln!("pathrep-obs: failed to write {path}: {e}");
-            }
-        }
+    if let Some(path) = config::prom_path() {
+        config::export_or_warn("prometheus", &path, |p| prom::write_prometheus(p, &snap));
     }
 }
 

@@ -112,7 +112,7 @@ pub fn collecting() -> bool {
 
 #[cold]
 fn init_collecting() -> bool {
-    let on = std::env::var("PATHREP_OBS_TRACE").is_ok_and(|v| !v.trim().is_empty());
+    let on = crate::config::trace_path().is_some();
     COLLECTING.store(if on { 2 } else { 1 }, Ordering::Relaxed);
     on
 }

@@ -1,0 +1,104 @@
+//! End-to-end checks of the numerical-health ledger: records survive a
+//! render/parse round trip with their schema version, `report()` drains
+//! the buffer to the `PATHREP_OBS_LEDGER` path even when `PATHREP_OBS`
+//! collection is off, and the buffer is bounded.
+
+use pathrep_obs::ledger;
+use std::sync::Mutex;
+
+/// The registry, ledger buffer and env vars are process-global; serialize
+/// the tests in this binary.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn run_context_stamps_records_and_round_trips() {
+    let _g = lock();
+    pathrep_obs::reset();
+    ledger::set_collecting(true);
+    ledger::set_run_context("itest", 42);
+    ledger::record("linalg", "svd", |f| {
+        f.num("cond", 10.0).nums("spectrum_head", &[3.0, 1.5, 0.1]);
+    });
+    ledger::record("core", "approx_select", |f| {
+        f.int("rank", 7).flag("accepted", true);
+    });
+
+    let records = ledger::records();
+    assert_eq!(records.len(), 3, "run_context meta record plus two stages");
+    assert!(records.iter().all(|r| r.seq < 3));
+    assert!(records[1].run.ends_with("-itest"));
+    assert_eq!(records[1].seed, Some(42));
+    assert_eq!(records[0].stage, "meta");
+    assert_eq!(records[2].num("rank"), Some(7.0));
+
+    let text = ledger::render_jsonl(&records);
+    assert!(text.contains("\"schema_version\":1"));
+    let parsed = ledger::parse_jsonl(&text).expect("round trip");
+    assert_eq!(parsed, records);
+
+    ledger::set_collecting(false);
+    pathrep_obs::reset();
+}
+
+#[test]
+fn report_writes_ledger_even_with_obs_collection_off() {
+    let _g = lock();
+    pathrep_obs::reset();
+    pathrep_obs::set_enabled(false);
+    ledger::set_collecting(true);
+    ledger::record("eval", "mc_evaluate", |f| {
+        f.num("e1", 0.01).num("e2", 0.002);
+    });
+
+    let path = std::env::temp_dir().join(format!("pathrep_ledger_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var("PATHREP_OBS_LEDGER", &path);
+    pathrep_obs::report("ledger_itest");
+    std::env::remove_var("PATHREP_OBS_LEDGER");
+
+    let text = std::fs::read_to_string(&path).expect("report wrote the ledger");
+    let parsed = ledger::parse_jsonl(&text).expect("parseable");
+    assert_eq!(parsed.len(), 1);
+    assert_eq!(parsed[0].stage, "eval");
+    assert_eq!(parsed[0].num("e1"), Some(0.01));
+    // The buffer was drained: a second report appends nothing.
+    pathrep_obs::report("ledger_itest");
+    assert!(ledger::records().is_empty());
+
+    let _ = std::fs::remove_file(&path);
+    ledger::set_collecting(false);
+    pathrep_obs::reset();
+}
+
+#[test]
+fn records_are_dropped_not_grown_past_capacity() {
+    let _g = lock();
+    pathrep_obs::reset();
+    ledger::set_collecting(true);
+    for _ in 0..(ledger::LEDGER_CAPACITY + 10) {
+        ledger::record("core", "exact_select", |f| {
+            f.int("rank", 1);
+        });
+    }
+    assert_eq!(ledger::records().len(), ledger::LEDGER_CAPACITY);
+    assert_eq!(ledger::dropped_records(), 10);
+    ledger::set_collecting(false);
+    pathrep_obs::reset();
+    assert_eq!(ledger::dropped_records(), 0);
+}
+
+#[test]
+fn disabled_collection_records_nothing() {
+    let _g = lock();
+    pathrep_obs::reset();
+    ledger::set_collecting(false);
+    ledger::record("ssta", "extract", |f| {
+        f.int("paths", 5);
+    });
+    ledger::set_run_context("ignored", 7);
+    assert!(ledger::records().is_empty());
+}

@@ -110,12 +110,70 @@ fn source_modules_stay_on_the_vendored_set() {
             );
         }
     }
-    // The crate is lib.rs + json/prom/registry/snapshot/span/trace.
+    // The crate is lib.rs + config/json/ledger/prom/registry/snapshot/
+    // span/trace.
     assert!(
-        checked >= 7,
-        "expected at least 7 source modules, scanned {checked} — \
+        checked >= 9,
+        "expected at least 9 source modules, scanned {checked} — \
          did the export backends move?"
     );
+}
+
+/// Every `PATHREP_OBS*` environment variable the crate recognizes must be
+/// (a) registered in `config::ALL_ENV_VARS` and (b) documented in the
+/// repository README, so new export knobs cannot ship silently.
+#[test]
+fn env_vars_are_registered_and_documented() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut seen = BTreeSet::new();
+    for entry in std::fs::read_dir(&src).expect("src/ is readable") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("module is readable");
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while let Some(off) = text[i..].find("PATHREP_OBS") {
+            let start = i + off;
+            let mut end = start;
+            while end < bytes.len()
+                && (bytes[end].is_ascii_uppercase() || bytes[end] == b'_')
+            {
+                end += 1;
+            }
+            seen.insert(text[start..end].trim_end_matches('_').to_owned());
+            i = end;
+        }
+    }
+    assert!(
+        seen.contains("PATHREP_OBS_LEDGER"),
+        "ledger env var disappeared from the sources"
+    );
+
+    let registered: BTreeSet<String> = pathrep_obs::config::ALL_ENV_VARS
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let unregistered: Vec<_> = seen.difference(&registered).collect();
+    assert!(
+        unregistered.is_empty(),
+        "env vars referenced in sources but missing from config::ALL_ENV_VARS: \
+         {unregistered:?}"
+    );
+
+    let readme_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/obs sits two levels below the repo root")
+        .join("README.md");
+    let readme = std::fs::read_to_string(&readme_path).expect("README.md is readable");
+    for var in pathrep_obs::config::ALL_ENV_VARS {
+        assert!(
+            readme.contains(var),
+            "`{var}` is recognized by pathrep-obs but undocumented in README.md"
+        );
+    }
 }
 
 #[test]

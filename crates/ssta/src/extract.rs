@@ -275,6 +275,13 @@ impl<'a> CriticalPathExtractor<'a> {
         pathrep_obs::counter_add("ssta.extract.expansions", expansions as u64);
         pathrep_obs::counter_add("ssta.extract.paths", results.len() as u64);
         pathrep_obs::gauge_set("ssta.extract.frontier_left", heap.len() as f64);
+        pathrep_obs::ledger::record("ssta", "extract", |f| {
+            f.int("expansions", expansions as u64)
+                .int("paths", results.len() as u64)
+                .int("frontier_left", heap.len() as u64)
+                .int("max_paths", self.config.max_paths as u64)
+                .num("t_cons", self.config.t_cons);
+        });
         results
     }
 }

@@ -16,6 +16,7 @@ use pathrep::variation::sampler::VariationSampler;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    pathrep::obs::ledger::set_run_context("guardband_validation", 31337);
     let spec = Suite::by_name("s1238").expect("s1238 is in the suite");
     let pipeline = PipelineConfig {
         max_paths: 300,

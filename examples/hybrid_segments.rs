@@ -15,6 +15,7 @@ use pathrep::variation::sampler::VariationSampler;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    pathrep::obs::ledger::set_run_context("hybrid_segments", 4242);
     let spec = Suite::by_name("s1423").expect("s1423 is in the suite");
     let pipeline = PipelineConfig {
         t_cons_factor: 0.98, // tighten the constraint: more target paths

@@ -32,6 +32,7 @@ q2  = OR(n5, n4)
 ";
 
 fn main() -> Result<(), Box<dyn Error>> {
+    pathrep::obs::ledger::set_run_context("load_bench_netlist", 0);
     let text = match std::env::args().nth(1) {
         Some(path) => std::fs::read_to_string(path)?,
         None => SAMPLE.to_string(),

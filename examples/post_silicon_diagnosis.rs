@@ -17,6 +17,7 @@ use pathrep::variation::sampler::VariationSampler;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    pathrep::obs::ledger::set_run_context("post_silicon_diagnosis", 99);
     let spec = Suite::by_name("s1196").expect("s1196 is in the suite");
     let pb = prepare(
         &spec,

@@ -4,7 +4,10 @@
 //! them is an exact linear combination of the other three
 //! (`d_p1 = d_p2 − d_p3 + d_p4`). Exact selection discovers this: it keeps
 //! `rank(A) = 3` representative paths and predicts the fourth with zero
-//! error.
+//! error. The example then runs the approximate (Algorithm 1), hybrid
+//! (Algorithm 3, via the ADMM segment program) and Monte-Carlo evaluation
+//! stages on the same model, so a `PATHREP_OBS_LEDGER=out.jsonl` run
+//! produces numerical-health records for every pipeline stage.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -13,14 +16,21 @@ use pathrep::circuit::generator::PlacedCircuit;
 use pathrep::circuit::netlist::{Netlist, Signal};
 use pathrep::circuit::paths::{decompose_into_segments, Path};
 use pathrep::circuit::placement::Placement;
+use pathrep::core::approx::{approx_select, ApproxConfig};
 use pathrep::core::exact::exact_select;
+use pathrep::core::hybrid::{hybrid_select, HybridConfig, HybridInputs};
 use pathrep::core::predictor::DEFAULT_KAPPA;
+use pathrep::eval::metrics::{evaluate, McConfig, MeasurementPlan};
 use pathrep::variation::model::VariationModel;
 use pathrep::variation::sampler::VariationSampler;
 use pathrep::variation::sensitivity::DelayModel;
 use std::error::Error;
 
+const SEED: u64 = 2024;
+
 fn main() -> Result<(), Box<dyn Error>> {
+    pathrep::obs::ledger::set_run_context("quickstart", SEED);
+
     // --- Build the Figure-1 subcircuit: G1..G9, paths merging at G5 ---
     let mut nl = Netlist::new(2);
     let g1 = nl.add_gate(CellKind::Buf, vec![Signal::Input(0)])?;
@@ -70,7 +80,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // --- "Fabricate" a chip and validate the prediction ---
-    let mut sampler = VariationSampler::new(dm.variable_count(), 2024);
+    let mut sampler = VariationSampler::new(dm.variable_count(), SEED);
     let x = sampler.draw();
     let d_all = dm.path_delays(&x)?;
     let measured: Vec<f64> = sel.selected.iter().map(|&i| d_all[i]).collect();
@@ -88,6 +98,55 @@ fn main() -> Result<(), Box<dyn Error>> {
     let lhs = d_all[0];
     let rhs = d_all[1] - d_all[2] + d_all[3];
     println!("identity d_p1 = d_p2 − d_p3 + d_p4: {lhs:.3} = {rhs:.3}");
+
+    // --- Approximate selection (Algorithm 1): trade error for fewer
+    //     measurements under ε = 5 % of T_cons ---
+    let t_cons = dm.mu_paths().iter().cloned().fold(0.0_f64, f64::max) * 1.05;
+    let approx = approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(0.05, t_cons))?;
+    println!(
+        "approximate selection: |P_r| = {} (effective rank {} of {}), ε_r = {:.2e}",
+        approx.selected.len(),
+        approx.effective_rank,
+        approx.rank,
+        approx.epsilon_r
+    );
+
+    // --- Hybrid selection (Algorithm 3): the ADMM segment program on the
+    //     same model, ε′ = 3 % < ε = 5 % ---
+    let inputs = HybridInputs {
+        g: dm.g(),
+        sigma: dm.sigma(),
+        a: dm.a(),
+        mu_segments: dm.mu_segments(),
+        mu_paths: dm.mu_paths(),
+    };
+    let hybrid = hybrid_select(&inputs, &HybridConfig::new(0.05, 0.03, t_cons))?;
+    println!(
+        "hybrid plan: {} segments + {} paths predict {} paths (ADMM {} iterations, converged: {})",
+        hybrid.segments.len(),
+        hybrid.paths.len(),
+        hybrid.remaining.len(),
+        hybrid.admm_stats.iterations,
+        hybrid.admm_stats.converged
+    );
+
+    // --- Monte-Carlo evaluation of the approximate plan ---
+    let plan = MeasurementPlan::Paths {
+        selected: &approx.selected,
+        predictor: &approx.predictor,
+    };
+    let mc = McConfig {
+        n_samples: 2000,
+        seed: SEED,
+        threads: 1, // deterministic split for the accuracy gate
+    };
+    let metrics = evaluate(&dm, &plan, &approx.remaining, &mc)?;
+    println!(
+        "monte-carlo over {} chips: e1 = {:.3} %, e2 = {:.3} %",
+        mc.n_samples,
+        100.0 * metrics.e1,
+        100.0 * metrics.e2
+    );
     pathrep::obs::report("quickstart");
     Ok(())
 }

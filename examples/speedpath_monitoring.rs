@@ -17,6 +17,7 @@ use pathrep::variation::sampler::VariationSampler;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    pathrep::obs::ledger::set_run_context("speedpath_monitoring", 777);
     // --- Design stage ---
     let spec = Suite::by_name("s1423").expect("s1423 is in the suite");
     let pipeline = PipelineConfig {

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Accuracy-regression gate: run the seeded quickstart workload with a
+# fresh numerical-health ledger and doctor-diff it against the committed
+# golden ledger. Exits non-zero when any health threshold is breached
+# (ε_r growth, e1 growth, condition-number growth, effective-rank drop,
+# new ADMM stalls, or a stage that stopped writing records).
+#
+# Usage: scripts/accuracy_gate.sh [--self-test] [extra pathrep-doctor flags…]
+#   --self-test  inject a synthetic rank-drop regression and require the
+#                gate to FAIL (proves the gate trips).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN="golden/quickstart_ledger.jsonl"
+CANDIDATE="${TMPDIR:-/tmp}/pathrep_accuracy_gate_$$.jsonl"
+trap 'rm -f "$CANDIDATE"' EXIT
+
+self_test=0
+doctor_flags=()
+for arg in "$@"; do
+    if [ "$arg" = "--self-test" ]; then
+        self_test=1
+    else
+        doctor_flags+=("$arg")
+    fi
+done
+
+cargo build --release --example quickstart
+cargo build --release -p pathrep-bench --bin pathrep-doctor
+
+if [ ! -f "$GOLDEN" ]; then
+    echo "accuracy_gate.sh: no golden ledger — seeding $GOLDEN"
+    mkdir -p "$(dirname "$GOLDEN")"
+    PATHREP_OBS_LEDGER="$GOLDEN" PATHREP_OBS_RUN_ID=golden \
+        ./target/release/examples/quickstart > /dev/null
+    echo "accuracy_gate.sh: seeded; commit $GOLDEN to enable the gate"
+    exit 0
+fi
+
+echo "accuracy_gate.sh: collecting candidate ledger from the seeded quickstart workload"
+PATHREP_OBS_LEDGER="$CANDIDATE" PATHREP_OBS_RUN_ID=candidate \
+    ./target/release/examples/quickstart > /dev/null
+
+if [ "$self_test" = 1 ]; then
+    echo "accuracy_gate.sh: self-test — injecting a rank-drop regression; the gate must FAIL"
+    if ./target/release/pathrep-doctor "$GOLDEN" --diff "$CANDIDATE" \
+        --inject-rank-drop ${doctor_flags[@]+"${doctor_flags[@]}"}; then
+        echo "accuracy_gate.sh: SELF-TEST FAILED — injected regression was not caught" >&2
+        exit 1
+    fi
+    echo "accuracy_gate.sh: self-test OK — the gate trips on an injected regression"
+    exit 0
+fi
+
+./target/release/pathrep-doctor "$GOLDEN" --diff "$CANDIDATE" \
+    ${doctor_flags[@]+"${doctor_flags[@]}"}
