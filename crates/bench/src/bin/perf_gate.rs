@@ -8,13 +8,22 @@
 //!
 //! ```text
 //! perf_gate [--baseline BENCH_1.json] [--repeat N] [--threshold PCT]
-//!           [--out PATH] [--inject-slowdown WORKLOAD]
+//!           [--out PATH] [--inject-slowdown WORKLOAD] [--par-threads N]
 //! ```
 //!
 //! `--inject-slowdown` doubles the recorded wall times of one workload
 //! after measurement — a self-test hook proving the gate actually trips
 //! (`perf_gate --baseline BENCH_1.json --inject-slowdown exact_small`
 //! must exit 1).
+//!
+//! `--par-threads N` (default 4) adds a second measurement axis: after the
+//! sequential pass (pathrep-par pinned to 1 worker, recorded under the
+//! original workload names and gated against the baseline), the matrix
+//! runs again with `N` workers, recorded as `{name}@t{N}` rows —
+//! informational for the wall-time gate, but the operation counters of the
+//! two axes must match *exactly*: a counter that moves with the worker
+//! count means a kernel's work depends on scheduling, which breaks the
+//! bit-determinism contract, and the gate hard-fails.
 
 use pathrep_bench::gate::{
     diff, has_regression, render_diff, BenchReport, DEFAULT_THRESHOLD, SCHEMA_VERSION,
@@ -29,6 +38,7 @@ struct Args {
     threshold: f64,
     out: Option<String>,
     inject_slowdown: Option<String>,
+    par_threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         threshold: DEFAULT_THRESHOLD,
         out: None,
         inject_slowdown: None,
+        par_threads: 4,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -54,6 +65,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--repeat: {e}"))?;
             }
+            "--par-threads" => {
+                args.par_threads = value("--par-threads")?
+                    .parse()
+                    .map_err(|e| format!("--par-threads: {e}"))?;
+                if args.par_threads == 0 {
+                    return Err("--par-threads must be at least 1".into());
+                }
+            }
             "--threshold" => {
                 let pct: f64 = value("--threshold")?
                     .parse()
@@ -66,7 +85,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "perf_gate [--baseline BENCH_k.json] [--repeat N] \
-                     [--threshold PCT] [--out PATH] [--inject-slowdown WORKLOAD]"
+                     [--threshold PCT] [--out PATH] [--inject-slowdown WORKLOAD] \
+                     [--par-threads N]"
                 );
                 std::process::exit(0);
             }
@@ -127,11 +147,77 @@ fn main() -> ExitCode {
     eprintln!("perf_gate: preparing workload matrix (untimed)…");
     let workloads = workload_matrix();
     eprintln!(
-        "perf_gate: measuring {} workloads × {} repeats…",
+        "perf_gate: measuring {} workloads × {} repeats (1 worker)…",
         workloads.len(),
         args.repeat
     );
+    pathrep_par::set_threads(1);
     let mut results = measure(&workloads, args.repeat);
+
+    if args.par_threads > 1 {
+        eprintln!(
+            "perf_gate: measuring thread axis ({} workers)…",
+            args.par_threads
+        );
+        pathrep_par::set_threads(args.par_threads);
+        let threaded = measure(&workloads, args.repeat);
+        pathrep_par::set_threads(0);
+
+        // Determinism cross-check: identical seeds at a different worker
+        // count must do identical work. Any counter drift is a scheduling
+        // dependence in a kernel — a hard failure, not a perf question.
+        let mut counter_mismatch = false;
+        println!(
+            "\nperf_gate: thread axis t1 → t{} (wall-time informational, \
+             counters must match):",
+            args.par_threads
+        );
+        println!(
+            "  {:<20} {:>12} {:>12} {:>9}",
+            "workload", "t1 p50", "t-N p50", "speedup"
+        );
+        for (seq, par) in results.iter().zip(threaded.iter()) {
+            let speedup = if par.p50_ms > 0.0 {
+                seq.p50_ms / par.p50_ms
+            } else {
+                1.0
+            };
+            println!(
+                "  {:<20} {:>9.2} ms {:>9.2} ms {:>8.2}×",
+                seq.name, seq.p50_ms, par.p50_ms, speedup
+            );
+            if seq.counters != par.counters {
+                counter_mismatch = true;
+                eprintln!(
+                    "perf_gate: FAIL — workload `{}` counters differ between \
+                     1 and {} workers:",
+                    seq.name, args.par_threads
+                );
+                for (k, v1) in &seq.counters {
+                    let vn = par.counters.get(k).copied().unwrap_or(0);
+                    if *v1 != vn {
+                        eprintln!("  counter {k}: t1 {v1} → t{} {vn}", args.par_threads);
+                    }
+                }
+                for (k, vn) in &par.counters {
+                    if !seq.counters.contains_key(k) {
+                        eprintln!("  counter {k}: t1 0 → t{} {vn}", args.par_threads);
+                    }
+                }
+            }
+        }
+        if counter_mismatch {
+            eprintln!(
+                "perf_gate: FAIL — operation counters depend on the worker \
+                 count; a kernel broke the determinism contract"
+            );
+            return ExitCode::FAILURE;
+        }
+        results.extend(threaded.into_iter().map(|mut r| {
+            r.name = format!("{}@t{}", r.name, args.par_threads);
+            r
+        }));
+    }
 
     if let Some(victim) = &args.inject_slowdown {
         match results.iter_mut().find(|r| &r.name == victim) {

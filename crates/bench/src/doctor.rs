@@ -230,11 +230,10 @@ pub fn summarize(records: &[LedgerRecord]) -> RunSummary {
             _ => {}
         }
     }
-    s.conditioning.sort_by(|a, b| {
-        b.cond
-            .partial_cmp(&a.cond)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // NaN-total descending order (NaNs last; infinite conditioning sorts
+    // first, as it should).
+    s.conditioning
+        .sort_by(|a, b| pathrep_linalg::vecops::cmp_nan_smallest(b.cond, a.cond));
     s
 }
 

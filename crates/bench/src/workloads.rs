@@ -19,7 +19,7 @@ use pathrep_eval::metrics::{evaluate, McConfig, MeasurementPlan};
 use pathrep_eval::pipeline::{prepare, PipelineConfig, PreparedBenchmark};
 use pathrep_eval::suite::{BenchmarkSpec, Suite};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Seed shared by every workload (distinct from the unit-test seeds so the
@@ -31,11 +31,13 @@ pub const GATE_SEED: u64 = 11;
 /// dominated by real work.
 pub const GATE_MC_SAMPLES: usize = 2_000;
 
-/// One named, self-contained timed unit.
+/// One named, self-contained timed unit. `Send + Sync` so a future
+/// multi-process or multi-thread harness can shard the matrix; today it
+/// guarantees the shared [`PreparedBenchmark`]s stay thread-safe.
 pub struct Workload {
     /// Stable name — the `BENCH_*.json` diff joins on it.
     pub name: &'static str,
-    run: Box<dyn Fn()>,
+    run: Box<dyn Fn() + Send + Sync>,
 }
 
 impl Workload {
@@ -78,11 +80,11 @@ fn hybrid_config(base: &PipelineConfig) -> PipelineConfig {
     }
 }
 
-fn prepare_or_die(spec: &BenchmarkSpec, config: &PipelineConfig) -> Rc<PreparedBenchmark> {
-    Rc::new(prepare(spec, config).expect("gate workloads are deterministic and must prepare"))
+fn prepare_or_die(spec: &BenchmarkSpec, config: &PipelineConfig) -> Arc<PreparedBenchmark> {
+    Arc::new(prepare(spec, config).expect("gate workloads are deterministic and must prepare"))
 }
 
-fn exact_workload(name: &'static str, pb: Rc<PreparedBenchmark>) -> Workload {
+fn exact_workload(name: &'static str, pb: Arc<PreparedBenchmark>) -> Workload {
     Workload {
         name,
         run: Box::new(move || {
@@ -92,7 +94,7 @@ fn exact_workload(name: &'static str, pb: Rc<PreparedBenchmark>) -> Workload {
     }
 }
 
-fn approx_workload(name: &'static str, pb: Rc<PreparedBenchmark>) -> Workload {
+fn approx_workload(name: &'static str, pb: Arc<PreparedBenchmark>) -> Workload {
     Workload {
         name,
         run: Box::new(move || {
@@ -103,7 +105,7 @@ fn approx_workload(name: &'static str, pb: Rc<PreparedBenchmark>) -> Workload {
     }
 }
 
-fn hybrid_workload(name: &'static str, pb: Rc<PreparedBenchmark>) -> Workload {
+fn hybrid_workload(name: &'static str, pb: Arc<PreparedBenchmark>) -> Workload {
     Workload {
         name,
         run: Box::new(move || {
@@ -125,9 +127,26 @@ fn mc_config() -> McConfig {
     McConfig {
         n_samples: GATE_MC_SAMPLES,
         seed: 99,
-        // Fixed worker count: available_parallelism would change both the
-        // timing profile and the per-worker sample split across machines.
-        threads: 2,
+        // Use the global `PATHREP_THREADS` pool so perf_gate's thread axis
+        // also covers the MC fan-out; the chunked sample split makes the
+        // metrics identical at every worker count.
+        threads: 0,
+    }
+}
+
+fn mc_workload(name: &'static str, pb: Arc<PreparedBenchmark>) -> Workload {
+    Workload {
+        name,
+        run: Box::new(move || {
+            let dm = &pb.delay_model;
+            let sel = approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(0.05, pb.t_cons))
+                .expect("approx selection succeeds");
+            let plan = MeasurementPlan::Paths {
+                selected: &sel.selected,
+                predictor: &sel.predictor,
+            };
+            evaluate(dm, &plan, &sel.remaining, &mc_config()).expect("MC evaluation succeeds");
+        }),
     }
 }
 
@@ -153,26 +172,15 @@ pub fn workload_matrix() -> Vec<Workload> {
                 prepare(&medium_spec(), &medium_config()).expect("pipeline prepares");
             }),
         },
-        exact_workload("exact_small", Rc::clone(&small)),
-        exact_workload("exact_medium", Rc::clone(&medium)),
-        approx_workload("approx_small", Rc::clone(&small)),
-        approx_workload("approx_medium", Rc::clone(&medium)),
-        hybrid_workload("hybrid_small", Rc::clone(&small_hy)),
-        hybrid_workload("hybrid_medium", Rc::clone(&medium_hy)),
+        exact_workload("exact_small", Arc::clone(&small)),
+        exact_workload("exact_medium", Arc::clone(&medium)),
+        approx_workload("approx_small", Arc::clone(&small)),
+        approx_workload("approx_medium", Arc::clone(&medium)),
+        hybrid_workload("hybrid_small", Arc::clone(&small_hy)),
+        hybrid_workload("hybrid_medium", Arc::clone(&medium_hy)),
     ];
-    workloads.push(Workload {
-        name: "mc_eval_small",
-        run: Box::new(move || {
-            let dm = &small.delay_model;
-            let sel = approx_select(dm.a(), dm.mu_paths(), &ApproxConfig::new(0.05, small.t_cons))
-                .expect("approx selection succeeds");
-            let plan = MeasurementPlan::Paths {
-                selected: &sel.selected,
-                predictor: &sel.predictor,
-            };
-            evaluate(dm, &plan, &sel.remaining, &mc_config()).expect("MC evaluation succeeds");
-        }),
-    });
+    workloads.push(mc_workload("mc_eval_small", small));
+    workloads.push(mc_workload("mc_eval_medium", medium));
     workloads
 }
 
@@ -234,7 +242,7 @@ pub fn measure(workloads: &[Workload], repeats: usize) -> Vec<WorkloadResult> {
             }
             counters = Some(c);
         }
-        times_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times_ms.sort_by(f64::total_cmp);
         results.push(WorkloadResult {
             name: w.name.to_owned(),
             p50_ms: percentile_ms(&times_ms, 0.50),

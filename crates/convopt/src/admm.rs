@@ -401,13 +401,17 @@ pub fn solve_ellipsoid_admm(
         iterations += 1;
         // B-step: group prox of (Z − U).
         let b_new = prox_group_linf(&z.sub(&u)?, 1.0 / config.rho);
-        // Z-step: row-wise ellipsoid projection of (B + U) about g_i.
+        // Z-step: row-wise ellipsoid projection of (B + U) about g_i. Rows
+        // are independent, so blocks fan out over the `pathrep-par` pool
+        // with bit-identical results at any thread count.
         let t = b_new.add(&u)?;
         let mut z_new = Matrix::zeros(r1, ns);
-        for i in 0..r1 {
-            let zi = projector.project(t.row(i), g.row(i));
-            z_new.row_mut(i).copy_from_slice(&zi);
-        }
+        pathrep_par::for_each_unit_chunk_mut(z_new.as_mut_slice(), ns, 8, |first, block| {
+            for (di, zrow) in block.chunks_exact_mut(ns).enumerate() {
+                let i = first + di;
+                zrow.copy_from_slice(&projector.project(t.row(i), g.row(i)));
+            }
+        });
         // Dual update and residuals.
         let r = b_new.sub(&z_new)?;
         u = u.add(&r)?;

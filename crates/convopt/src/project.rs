@@ -14,26 +14,28 @@ pub fn project_rows_into_ball(m: &Matrix, centers: Option<&Matrix>, r: f64) -> M
     if let Some(c) = centers {
         assert_eq!(c.shape(), m.shape());
     }
+    let ncols = m.ncols();
     let mut out = m.clone();
-    for i in 0..m.nrows() {
-        let row = m.row(i).to_vec();
-        let center: Vec<f64> = match centers {
-            Some(c) => c.row(i).to_vec(),
-            None => vec![0.0; m.ncols()],
-        };
-        let diff = vecops::sub(&row, &center);
-        let n = vecops::norm2(&diff);
-        if n > r {
-            let scale = r / n;
-            for (o, (&c, &d)) in out
-                .row_mut(i)
-                .iter_mut()
-                .zip(center.iter().zip(diff.iter()))
-            {
-                *o = c + scale * d;
+    // Rows project independently, so blocks of rows fan out over the
+    // `pathrep-par` pool with bit-identical results at any thread count.
+    pathrep_par::for_each_unit_chunk_mut(out.as_mut_slice(), ncols, 64, |first, block| {
+        for (di, orow) in block.chunks_exact_mut(ncols).enumerate() {
+            let i = first + di;
+            let row = m.row(i);
+            let center: Vec<f64> = match centers {
+                Some(c) => c.row(i).to_vec(),
+                None => vec![0.0; ncols],
+            };
+            let diff = vecops::sub(row, &center);
+            let n = vecops::norm2(&diff);
+            if n > r {
+                let scale = r / n;
+                for (o, (&c, &d)) in orow.iter_mut().zip(center.iter().zip(diff.iter())) {
+                    *o = c + scale * d;
+                }
             }
         }
-    }
+    });
     out
 }
 

@@ -17,7 +17,9 @@ pub fn project_l1_ball(v: &[f64], tau: f64) -> Vec<f64> {
     // Find the soft-threshold level θ: sort |v| descending, take the
     // largest k with |v|_(k) − (Σ_{j≤k}|v|_(j) − tau)/k > 0.
     let mut mags: Vec<f64> = v.iter().map(|x| x.abs()).collect();
-    mags.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    // NaN-total descending order (NaNs last): a poisoned magnitude cannot
+    // scramble the threshold search.
+    mags.sort_by(|a, b| pathrep_linalg::vecops::cmp_nan_smallest(*b, *a));
     let mut cumsum = 0.0;
     let mut theta = 0.0;
     for (k, &m) in mags.iter().enumerate() {
@@ -43,13 +45,14 @@ pub fn prox_linf(v: &[f64], t: f64) -> Vec<f64> {
 }
 
 /// Column-wise prox of the `ℓ1/ℓ∞` group norm `t·Σ_j ‖col_j‖_∞` applied to a
-/// matrix: each column gets `prox_{t‖·‖_∞}` independently.
+/// matrix: each column gets `prox_{t‖·‖_∞}` independently, fanned out over
+/// the `pathrep-par` pool (columns are independent, so the result is
+/// bit-identical at any thread count).
 pub fn prox_group_linf(m: &Matrix, t: f64) -> Matrix {
     let mut out = m.clone();
-    for j in 0..m.ncols() {
-        let col = m.col(j);
-        let p = prox_linf(&col, t);
-        out.set_col(j, &p);
+    let cols = pathrep_par::map_indexed(m.ncols(), 8, |j| prox_linf(&m.col(j), t));
+    for (j, p) in cols.iter().enumerate() {
+        out.set_col(j, p);
     }
     out
 }
@@ -162,6 +165,23 @@ mod tests {
                 assert!(obj(&q) >= base - 1e-10, "prox not optimal at coord {d}");
             }
         }
+    }
+
+    #[test]
+    fn nan_input_cannot_scramble_the_threshold_search() {
+        // Regression: the descending sort used `partial_cmp(..).unwrap_or`
+        // semantics, so a NaN magnitude made the comparator lie about order
+        // and could leave the sort arbitrarily shuffled. The total order
+        // puts NaNs last; the finite coordinates still project correctly.
+        let v = [3.0, f64::NAN, -4.0, 1.0];
+        let p = project_l1_ball(&v, 2.0);
+        assert_eq!(p.len(), 4);
+        // The NaN coordinate stays poisoned (soft-threshold of NaN), but
+        // the finite ones keep sign and shrink as usual.
+        assert!(p[0] >= 0.0 && p[0] <= 3.0);
+        assert!(p[2] <= 0.0 && p[2] >= -4.0);
+        assert!(p[3] >= 0.0 && p[3] <= 1.0);
+        let _ = prox_linf(&v, 2.0); // must not panic either
     }
 
     #[test]

@@ -182,7 +182,7 @@ pub fn clustered_select(
             .stds()
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| pathrep_linalg::vecops::cmp_nan_smallest(*a.1, *b.1))
             .map(|(k, _)| remaining[k])
             .expect("remaining non-empty");
         selected.push(worst);

@@ -118,11 +118,9 @@ impl VariationDiagnosis {
             .filter(|&(j, &v)| v.abs() > threshold && self.explained[j] >= min_observability)
             .map(|(j, &v)| (j, v))
             .collect();
-        out.sort_by(|a, b| {
-            b.1.abs()
-                .partial_cmp(&a.1.abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // NaN-total descending order (NaNs last): a poisoned estimate
+        // cannot scramble the culprit ranking.
+        out.sort_by(|a, b| pathrep_linalg::vecops::cmp_nan_smallest(b.1.abs(), a.1.abs()));
         out
     }
 }
@@ -210,6 +208,31 @@ mod tests {
         let diag = d.diagnose(&[0.0; 6]).unwrap();
         assert!(diag.suspects(3.0, 0.1).is_empty());
         assert!(diag.x_hat().iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn nan_measurements_cannot_scramble_the_suspect_ranking() {
+        // Regression: the descending |x̂| sort used a comparator that
+        // reported NaN as "equal", so one poisoned measurement channel
+        // could reorder the whole culprit list. NaN estimates are filtered
+        // by the threshold test (NaN > t is false) and the total-order sort
+        // keeps the finite ranking stable.
+        let m = meas_matrix();
+        let d = Diagnoser::new(&m, &[0.0; 6]).unwrap();
+        let mut meas = [0.5, -0.25, 1.0, 0.0, 0.75, -0.5];
+        meas[3] = f64::NAN;
+        let diag = d.diagnose(&meas).unwrap();
+        let suspects = diag.suspects(0.0, 0.0);
+        assert!(
+            suspects.iter().all(|(_, v)| !v.is_nan()),
+            "NaN estimates must never rank as suspects: {suspects:?}"
+        );
+        for pair in suspects.windows(2) {
+            assert!(
+                pair[0].1.abs() >= pair[1].1.abs(),
+                "ranking out of order: {suspects:?}"
+            );
+        }
     }
 
     #[test]

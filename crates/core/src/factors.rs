@@ -20,11 +20,16 @@ pub struct ModelFactors {
 impl ModelFactors {
     /// Computes both factorizations.
     ///
+    /// The SVD is left-only ([`Svd::compute_left`]): every selection
+    /// algorithm reads the spectrum and pivots on `U`, but none touches
+    /// `V`, so the right-hand accumulation is skipped. `U` and the
+    /// singular values are bit-identical to the full decomposition.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::Linalg`] on factorization failure.
     pub fn compute(a: &Matrix) -> Result<Self, CoreError> {
-        let svd = Svd::compute(a)?;
+        let svd = Svd::compute_left(a)?;
         let gram = a.matmul(&a.transpose())?;
         Ok(ModelFactors { svd, gram })
     }

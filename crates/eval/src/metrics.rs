@@ -17,14 +17,21 @@ use pathrep_variation::sensitivity::DelayModel;
 use std::error::Error;
 use std::fmt;
 
+/// Samples per Monte-Carlo chunk. Chunk `c` draws up to this many samples
+/// from an RNG seeded `seed + c`, so the sample stream is a pure function
+/// of the configuration — never of the worker count or scheduling.
+pub const MC_CHUNK: usize = 256;
+
 /// Monte-Carlo configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct McConfig {
     /// Number of samples (the paper uses 10 000).
     pub n_samples: usize,
-    /// Base RNG seed; worker `t` uses `seed + t`.
+    /// Base RNG seed; sample chunk `c` uses `seed + c` (see [`MC_CHUNK`]).
     pub seed: u64,
-    /// Worker threads.
+    /// Worker-count override for this evaluation; `0` uses the global
+    /// `pathrep-par` pool size (the `PATHREP_THREADS` contract). Results
+    /// are bit-identical at every setting — only wall time changes.
     pub threads: usize,
 }
 
@@ -33,9 +40,7 @@ impl Default for McConfig {
         McConfig {
             n_samples: 10_000,
             seed: 99,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads: 0,
         }
     }
 }
@@ -90,10 +95,66 @@ fn err<E: fmt::Display>(e: E) -> McError {
     }
 }
 
+/// One chunk's accumulators: per-path max error, per-path error sum, and
+/// the number of samples actually drawn.
+type McShard = (Vec<f64>, Vec<f64>, usize);
+
+/// Draws and scores chunk `c` (samples `c·MC_CHUNK .. min((c+1)·MC_CHUNK,
+/// n_samples)`) with its own RNG seeded `seed + c`. Depends only on the
+/// chunk index and the configuration, never on which worker runs it.
+fn evaluate_chunk(
+    dm: &DelayModel,
+    plan: &MeasurementPlan<'_>,
+    remaining: &[usize],
+    config: &McConfig,
+    c: usize,
+) -> Result<McShard, String> {
+    let n_here = MC_CHUNK.min(config.n_samples - c * MC_CHUNK);
+    let nr = remaining.len();
+    let mut sampler = VariationSampler::new(dm.variable_count(), config.seed + c as u64);
+    let mut max_err = vec![0.0_f64; nr];
+    let mut sum_err = vec![0.0_f64; nr];
+    for _ in 0..n_here {
+        let x = sampler.draw();
+        let d_all = dm.path_delays(&x).map_err(|e| e.to_string())?;
+        let prediction = match plan {
+            MeasurementPlan::Paths {
+                selected,
+                predictor,
+            } => {
+                let measured: Vec<f64> = selected.iter().map(|&i| d_all[i]).collect();
+                predictor.predict(&measured)
+            }
+            MeasurementPlan::Hybrid { selection } => {
+                let d_seg = dm.segment_delays(&x).map_err(|e| e.to_string())?;
+                let mut measured = Vec::with_capacity(selection.measurement_count());
+                measured.extend(selection.segments.iter().map(|&s| d_seg[s]));
+                measured.extend(selection.paths.iter().map(|&p| d_all[p]));
+                selection.predictor.predict(&measured)
+            }
+        };
+        let prediction = prediction.map_err(|e| e.to_string())?;
+        for (k, &path) in remaining.iter().enumerate() {
+            let truth = d_all[path];
+            let rel = (prediction[k] - truth).abs() / truth.abs().max(1e-12);
+            if rel > max_err[k] {
+                max_err[k] = rel;
+            }
+            sum_err[k] += rel;
+        }
+    }
+    Ok((max_err, sum_err, n_here))
+}
+
 /// Runs the Monte-Carlo evaluation of `plan` over `remaining` target paths.
 ///
 /// `remaining` must list the indices (into the delay model's target set)
 /// the plan's predictor produces, in the predictor's output order.
+///
+/// The sample stream is split into fixed [`MC_CHUNK`]-sized chunks, each
+/// with its own RNG seeded `seed + chunk`, fanned out over the
+/// `pathrep-par` pool and combined in chunk order — so the metrics are
+/// bit-identical for any `threads` setting (including sequential).
 ///
 /// # Errors
 ///
@@ -118,90 +179,20 @@ pub fn evaluate(
             e2: 0.0,
         });
     }
-    let threads = config.threads.max(1).min(config.n_samples);
-    let per_worker = config.n_samples.div_ceil(threads);
     let nr = remaining.len();
-    let results = parking_lot::Mutex::new(Vec::<(Vec<f64>, Vec<f64>, usize)>::new());
-    let first_error = parking_lot::Mutex::new(Option::<String>::None);
+    let chunks = config.n_samples.div_ceil(MC_CHUNK);
+    let shards = pathrep_par::map_indexed_with(chunks, 1, config.threads, |c| {
+        evaluate_chunk(dm, plan, remaining, config, c)
+    });
 
-    crossbeam::scope(|scope| {
-        for t in 0..threads {
-            let results = &results;
-            let first_error = &first_error;
-            let plan = *plan;
-            scope.spawn(move |_| {
-                let n_here = per_worker.min(config.n_samples.saturating_sub(t * per_worker));
-                if n_here == 0 {
-                    return;
-                }
-                let mut sampler =
-                    VariationSampler::new(dm.variable_count(), config.seed + t as u64);
-                let mut max_err = vec![0.0_f64; nr];
-                let mut sum_err = vec![0.0_f64; nr];
-                for _ in 0..n_here {
-                    let x = sampler.draw();
-                    let d_all = match dm.path_delays(&x) {
-                        Ok(d) => d,
-                        Err(e) => {
-                            *first_error.lock() = Some(e.to_string());
-                            return;
-                        }
-                    };
-                    let prediction = match plan {
-                        MeasurementPlan::Paths {
-                            selected,
-                            predictor,
-                        } => {
-                            let measured: Vec<f64> =
-                                selected.iter().map(|&i| d_all[i]).collect();
-                            predictor.predict(&measured)
-                        }
-                        MeasurementPlan::Hybrid { selection } => {
-                            let d_seg = match dm.segment_delays(&x) {
-                                Ok(d) => d,
-                                Err(e) => {
-                                    *first_error.lock() = Some(e.to_string());
-                                    return;
-                                }
-                            };
-                            let mut measured =
-                                Vec::with_capacity(selection.measurement_count());
-                            measured
-                                .extend(selection.segments.iter().map(|&s| d_seg[s]));
-                            measured.extend(selection.paths.iter().map(|&p| d_all[p]));
-                            selection.predictor.predict(&measured)
-                        }
-                    };
-                    let prediction = match prediction {
-                        Ok(p) => p,
-                        Err(e) => {
-                            *first_error.lock() = Some(e.to_string());
-                            return;
-                        }
-                    };
-                    for (k, &path) in remaining.iter().enumerate() {
-                        let truth = d_all[path];
-                        let rel = (prediction[k] - truth).abs() / truth.abs().max(1e-12);
-                        if rel > max_err[k] {
-                            max_err[k] = rel;
-                        }
-                        sum_err[k] += rel;
-                    }
-                }
-                results.lock().push((max_err, sum_err, n_here));
-            });
-        }
-    })
-    .map_err(|_| err("a monte-carlo worker panicked"))?;
-
-    if let Some(msg) = first_error.into_inner() {
-        return Err(err(msg));
-    }
-    let shards = results.into_inner();
+    // Combine in chunk-index order: the reduction never sees scheduling
+    // order, so the totals are bit-identical at any thread count. The first
+    // failing chunk (by index) also wins deterministically.
     let mut per_path_max = vec![0.0_f64; nr];
     let mut per_path_sum = vec![0.0_f64; nr];
     let mut total = 0usize;
-    for (mx, sm, n) in shards {
+    for shard in shards {
+        let (mx, sm, n) = shard.map_err(err)?;
         for k in 0..nr {
             per_path_max[k] = per_path_max[k].max(mx[k]);
             per_path_sum[k] += sm[k];
@@ -219,7 +210,9 @@ pub fn evaluate(
     let e2 = per_path_avg.iter().sum::<f64>() / nr as f64;
     if pathrep_obs::ledger::collecting() {
         let mut sorted = per_path_max.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // NaN-total ascending order (NaNs first): a poisoned error value
+        // can no longer scramble the quantile positions.
+        sorted.sort_by(|a, b| pathrep_linalg::vecops::cmp_nan_smallest(*a, *b));
         let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
         pathrep_obs::ledger::record("eval", "mc_evaluate", |f| {
             f.int("samples", config.n_samples as u64)

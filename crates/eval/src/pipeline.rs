@@ -222,6 +222,16 @@ mod tests {
     }
 
     #[test]
+    fn prepared_benchmark_is_send_and_sync() {
+        // Compile-time assertion: the bench harness shares one
+        // `Arc<PreparedBenchmark>` across workloads, and pathrep-par workers
+        // read it from pool threads. A non-Send field sneaking in (Rc, raw
+        // pointer, RefCell) must fail here, not in a downstream crate.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedBenchmark>();
+    }
+
+    #[test]
     fn prepare_produces_consistent_model() {
         let pb = prepare(&tiny_spec(), &PipelineConfig::default()).unwrap();
         assert!(pb.path_count() >= 1);

@@ -58,9 +58,10 @@ impl SymmetricEig {
         let mut e = vec![0.0; n];
         tred2(&mut z, &mut d, &mut e);
         tql2(&mut z, &mut d, &mut e)?;
-        // Sort in non-increasing order.
+        // Sort in non-increasing order (a NaN eigenvalue — possible only
+        // from non-finite input — deterministically sorts last).
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&i, &j| crate::vecops::cmp_nan_smallest(d[j], d[i]));
         let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
         let vectors = z.select_cols(&order);
         Ok(SymmetricEig { values, vectors })

@@ -42,6 +42,13 @@ pub enum LinalgError {
         /// What was wrong.
         what: &'static str,
     },
+    /// A NaN or infinity reached a comparison that steers the algorithm
+    /// (e.g. a pivot-column selection): the input data is poisoned and any
+    /// ordering decision would be arbitrary.
+    NonFinite {
+        /// The operation that hit the non-finite value.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -66,6 +73,9 @@ impl fmt::Display for LinalgError {
                 iterations,
             } => write!(f, "{routine} did not converge after {iterations} iterations"),
             LinalgError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            LinalgError::NonFinite { op } => {
+                write!(f, "non-finite value (NaN or infinity) encountered in {op}")
+            }
         }
     }
 }

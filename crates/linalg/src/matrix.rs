@@ -219,7 +219,9 @@ impl Matrix {
     /// Matrix product `self * other`.
     ///
     /// Uses an i-k-j loop order so the innermost loop walks both operands
-    /// contiguously.
+    /// contiguously, parallelized over blocks of output rows (every output
+    /// row is accumulated start-to-finish by one worker, so the result is
+    /// bit-identical at any `PATHREP_THREADS` setting).
     ///
     /// # Errors
     ///
@@ -234,24 +236,29 @@ impl Matrix {
             });
         }
         let mut c = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let c_row_start = i * other.cols;
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                let c_row = &mut c.data[c_row_start..c_row_start + other.cols];
-                for (cj, &bj) in c_row.iter_mut().zip(b_row.iter()) {
-                    *cj += aik * bj;
+        // Keep each worker busy for ~a million flops before fanning out.
+        let row_flops = 2 * self.cols * other.cols;
+        let min_rows = (1 << 20) / row_flops.max(1) + 1;
+        pathrep_par::for_each_unit_chunk_mut(&mut c.data, other.cols, min_rows, |first, block| {
+            for (di, c_row) in block.chunks_exact_mut(other.cols).enumerate() {
+                let a_row = self.row(first + di);
+                for (k, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k);
+                    for (cj, &bj) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cj += aik * bj;
+                    }
                 }
             }
-        }
+        });
         Ok(c)
     }
 
-    /// Computes `self * x` for a vector `x`.
+    /// Computes `self * x` for a vector `x`, parallelized over blocks of
+    /// rows (each `y[i]` is one independent dot product, so the result is
+    /// bit-identical at any thread count).
     ///
     /// # Errors
     ///
@@ -265,9 +272,12 @@ impl Matrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for (i, yi) in y.iter_mut().enumerate() {
-            *yi = crate::vecops::dot(self.row(i), x);
-        }
+        let min_rows = (1 << 18) / (2 * self.cols).max(1) + 1;
+        pathrep_par::for_each_unit_chunk_mut(&mut y, 1, min_rows, |first, block| {
+            for (di, yi) in block.iter_mut().enumerate() {
+                *yi = crate::vecops::dot(self.row(first + di), x);
+            }
+        });
         Ok(y)
     }
 

@@ -75,34 +75,36 @@ impl Qr {
         let mut perm: Vec<usize> = (0..n).collect();
 
         // Squared column norms for pivot choice, down-dated as we go.
-        let mut colnorm2: Vec<f64> = (0..n)
-            .map(|j| (0..m).map(|i| qr[(i, j)] * qr[(i, j)]).sum())
-            .collect();
+        // Accumulated in a row-major sweep (contiguous reads); each entry
+        // still sums rows in ascending order, so the values are bit-for-bit
+        // those of the classic per-column loop.
+        let mut colnorm2 = vec![0.0; n];
+        for i in 0..m {
+            for (c, &x) in colnorm2.iter_mut().zip(qr.row(i)) {
+                *c += x * x;
+            }
+        }
         let colnorm2_orig = colnorm2.clone();
 
         for k in 0..kmax {
             if pivot {
                 // Pick the remaining column with the largest residual norm.
-                let (pj, &max) = colnorm2[k..]
-                    .iter()
-                    .enumerate()
-                    .max_by(|x, y| x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(off, v)| (k + off, v))
-                    .expect("non-empty slice");
+                let (pj, max) = Self::select_pivot(&colnorm2, k)?;
                 // Guard against down-dating drift: recompute when the running
                 // value has decayed far below the original.
                 if max <= 1e-14 * colnorm2_orig[perm[pj]].max(1.0) {
                     pathrep_obs::counter_add("linalg.qr.norm_recomputes", 1);
-                    for j in k..n {
-                        colnorm2[j] = (k..m).map(|i| qr[(i, j)] * qr[(i, j)]).sum();
+                    for c in colnorm2[k..].iter_mut() {
+                        *c = 0.0;
+                    }
+                    for i in k..m {
+                        let row = &qr.row(i)[k..];
+                        for (c, &x) in colnorm2[k..].iter_mut().zip(row) {
+                            *c += x * x;
+                        }
                     }
                 }
-                let (pj, _) = colnorm2[k..]
-                    .iter()
-                    .enumerate()
-                    .max_by(|x, y| x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(off, v)| (k + off, v))
-                    .expect("non-empty slice");
+                let (pj, _) = Self::select_pivot(&colnorm2, k)?;
                 if pj != k {
                     pathrep_obs::counter_add("linalg.qr.pivot_swaps", 1);
                     for i in 0..m {
@@ -134,18 +136,8 @@ impl Qr {
             qr[(k, k)] = alpha;
 
             // Apply H_k to the trailing columns.
-            for j in (k + 1)..n {
-                let mut s = qr[(k, j)];
-                for i in (k + 1)..m {
-                    s += qr[(i, k)] * qr[(i, j)];
-                }
-                s *= betas[k];
-                qr[(k, j)] -= s;
-                for i in (k + 1)..m {
-                    let vik = qr[(i, k)];
-                    qr[(i, j)] -= s * vik;
-                }
-            }
+            let vtail: Vec<f64> = ((k + 1)..m).map(|i| qr[(i, k)]).collect();
+            Self::apply_householder(qr.as_mut_slice(), n, k, k + 1, n, betas[k], &vtail);
 
             if pivot {
                 // Down-date residual column norms.
@@ -178,6 +170,102 @@ impl Qr {
         Ok(Qr { qr, betas, perm })
     }
 
+    /// Index (absolute) and value of the largest entry of `colnorm2[k..]`.
+    /// Ties keep the *last* maximum, matching `Iterator::max_by`, so the
+    /// pivot sequence on finite data is unchanged from the historical
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NonFinite`] when any candidate norm is NaN or
+    /// infinite — a poisoned norm would make the pivot choice arbitrary, so
+    /// the factorization refuses to proceed.
+    fn select_pivot(colnorm2: &[f64], k: usize) -> Result<(usize, f64)> {
+        let mut best = k;
+        let mut best_v = colnorm2[k];
+        let mut finite = best_v.is_finite();
+        for (off, &v) in colnorm2[k..].iter().enumerate().skip(1) {
+            finite &= v.is_finite();
+            if vecops::cmp_nan_smallest(v, best_v) != std::cmp::Ordering::Less {
+                best = k + off;
+                best_v = v;
+            }
+        }
+        if !finite {
+            return Err(LinalgError::NonFinite {
+                op: "qr pivot selection",
+            });
+        }
+        Ok((best, best_v))
+    }
+
+    /// Applies the Householder reflector `H = I − β v vᵀ` — `v` has an
+    /// implicit 1 at row `h` and explicit tail `vtail` (rows `h+1..`) — to
+    /// columns `j0..j1` of the row-major `data` with row stride `stride`.
+    ///
+    /// Runs as two row-major sweeps (gather all coefficients
+    /// `s_j = β·(vᵀ·col_j)`, then the rank-1 update), parallel over disjoint
+    /// column ranges. Per column the accumulation order (rows ascending) is
+    /// exactly the classic per-column loop's, so results are bit-identical
+    /// at every thread count; workers write disjoint columns and only share
+    /// the read-only `vtail`.
+    fn apply_householder(
+        data: &mut [f64],
+        stride: usize,
+        h: usize,
+        j0: usize,
+        j1: usize,
+        beta: f64,
+        vtail: &[f64],
+    ) {
+        if beta == 0.0 || j0 >= j1 {
+            return;
+        }
+        let width = j1 - j0;
+        let mut s: Vec<f64> = data[h * stride + j0..h * stride + j1].to_vec();
+        // Gather pass: workers own disjoint chunks of `s` and read `data`
+        // through a shared borrow — safe slices keep the stride-1 inner
+        // loops vectorizable (raw-pointer views would force the compiler
+        // to assume `s` aliases `data`).
+        {
+            let data_ro: &[f64] = data;
+            // ~2 flops per (row, column) pair; keep ≥ 2^14 flops per worker.
+            let min_cols = (1 << 14) / (2 * (vtail.len() + 1)) + 1;
+            pathrep_par::for_each_unit_chunk_mut(&mut s, 1, min_cols, |first, schunk| {
+                let len = schunk.len();
+                for (di, &vi) in vtail.iter().enumerate() {
+                    let row = (h + 1 + di) * stride + j0 + first;
+                    for (sj, &x) in schunk.iter_mut().zip(&data_ro[row..row + len]) {
+                        *sj += vi * x;
+                    }
+                }
+                for sj in schunk.iter_mut() {
+                    *sj *= beta;
+                }
+            });
+        }
+        // Update pass: every touched row is written wholly by one worker
+        // reading the frozen `s`; per element it is the same single update
+        // as the column-partitioned original, so results are bit-identical.
+        let rows = &mut data[h * stride..(h + 1 + vtail.len()) * stride];
+        let min_rows = (1 << 14) / (2 * width) + 1;
+        pathrep_par::for_each_unit_chunk_mut(rows, stride, min_rows, |first, block| {
+            for (dk, row) in block.chunks_exact_mut(stride).enumerate() {
+                let r = first + dk;
+                if r == 0 {
+                    for (&sj, x) in s.iter().zip(&mut row[j0..j1]) {
+                        *x -= sj;
+                    }
+                } else {
+                    let vi = vtail[r - 1];
+                    for (&sj, x) in s.iter().zip(&mut row[j0..j1]) {
+                        *x -= sj * vi;
+                    }
+                }
+            }
+        });
+    }
+
     /// The upper-triangular factor `R` (`min(m,n)` × `n`).
     pub fn r(&self) -> Matrix {
         let (m, n) = self.qr.shape();
@@ -195,18 +283,8 @@ impl Qr {
             if self.betas[h] == 0.0 {
                 continue;
             }
-            for j in 0..k {
-                let mut s = q[(h, j)];
-                for i in (h + 1)..m {
-                    s += self.qr[(i, h)] * q[(i, j)];
-                }
-                s *= self.betas[h];
-                q[(h, j)] -= s;
-                for i in (h + 1)..m {
-                    let vih = self.qr[(i, h)];
-                    q[(i, j)] -= s * vih;
-                }
-            }
+            let vtail: Vec<f64> = ((h + 1)..m).map(|i| self.qr[(i, h)]).collect();
+            Self::apply_householder(q.as_mut_slice(), k, h, 0, k, self.betas[h], &vtail);
         }
         q
     }
@@ -333,6 +411,29 @@ mod tests {
         let q = Qr::compute(&a).unwrap().q_thin();
         let qtq = q.transpose().matmul(&q).unwrap();
         assert!(qtq.approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn nan_input_is_rejected_not_mispivoted() {
+        // Regression: pivot selection used to treat a NaN column norm as
+        // "equal" to everything, silently steering the factorization by
+        // whatever order the scan happened to visit. Poisoned input must
+        // now surface as an explicit error from both pivot sites (the
+        // initial selection and the recomputed-norm selection).
+        let mut a = tall();
+        a[(2, 1)] = f64::NAN;
+        match Qr::compute_pivoted(&a) {
+            Err(LinalgError::NonFinite { op }) => {
+                assert!(op.contains("pivot"), "unexpected op: {op}")
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        let mut b = tall();
+        b[(0, 0)] = f64::INFINITY;
+        assert!(matches!(
+            Qr::compute_pivoted(&b),
+            Err(LinalgError::NonFinite { .. })
+        ));
     }
 
     #[test]

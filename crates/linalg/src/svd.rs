@@ -33,7 +33,8 @@ const MAX_SWEEPS: usize = 75;
 pub struct Svd {
     u: Matrix,
     s: Vec<f64>,
-    v: Matrix,
+    /// `None` when built by [`Svd::compute_left`].
+    v: Option<Matrix>,
 }
 
 impl Svd {
@@ -52,12 +53,57 @@ impl Svd {
         }
         pathrep_obs::counter_add("linalg.svd.calls", 1);
         let svd = if m >= n {
-            let (u, s, v) = golub_reinsch(a)?;
+            let (u, s, v) = golub_reinsch(a, true)?;
             Svd { u, s, v }
         } else {
             // SVD(Aᵀ) = V Σ Uᵀ  ⇒  swap the factors.
-            let (v, s, u) = golub_reinsch(&a.transpose())?;
-            Svd { u, s, v }
+            let (v, s, u) = golub_reinsch(&a.transpose(), true)?;
+            Svd {
+                u: u.expect("golub_reinsch always returns V when asked"),
+                s,
+                v: Some(v),
+            }
+        };
+        svd.record_health(m, n);
+        Ok(svd)
+    }
+
+    /// Computes the singular values and **left** singular vectors only.
+    ///
+    /// `U` and `s` are bit-identical to [`Svd::compute`]'s — the right-hand
+    /// accumulation and the `V`-side plane rotations never feed back into
+    /// the `U`/`s` arithmetic, so skipping them changes nothing except the
+    /// cost. Subset selection (Algorithm 2) pivots on `U` and reads the
+    /// spectrum but never touches `V`, which makes this the hot-path entry
+    /// point: for a tall `m`×`n` input it skips `O(n³)` accumulation flops
+    /// plus the `V` share of every QR-iteration rotation sweep.
+    ///
+    /// [`Svd::v`] panics and [`Svd::reconstruct`] /
+    /// [`Svd::pseudo_inverse`] return an error on the result.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Svd::compute`].
+    pub fn compute_left(a: &Matrix) -> Result<Self> {
+        let _span = pathrep_obs::span!("svd");
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        pathrep_obs::counter_add("linalg.svd.calls", 1);
+        let svd = if m >= n {
+            let (u, s, _) = golub_reinsch(a, false)?;
+            Svd { u, s, v: None }
+        } else {
+            // Wide input: A's left vectors are the transpose's right
+            // vectors, so nothing can be skipped — compute and drop.
+            let (v, s, u) = golub_reinsch(&a.transpose(), true)?;
+            let _ = v;
+            Svd {
+                u: u.expect("golub_reinsch always returns V when asked"),
+                s,
+                v: None,
+            }
         };
         svd.record_health(m, n);
         Ok(svd)
@@ -102,8 +148,21 @@ impl Svd {
     }
 
     /// Right singular vectors (`n` × `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decomposition was built by [`Svd::compute_left`],
+    /// which skips the right-hand side.
     pub fn v(&self) -> &Matrix {
-        &self.v
+        self.v
+            .as_ref()
+            .expect("right singular vectors were not computed (use Svd::compute)")
+    }
+
+    fn v_checked(&self) -> Result<&Matrix> {
+        self.v.as_ref().ok_or(LinalgError::InvalidArgument {
+            what: "right singular vectors were not computed (use Svd::compute)",
+        })
     }
 
     /// Numerical rank: the number of singular values above `tol · s_max`.
@@ -156,9 +215,10 @@ impl Svd {
     ///
     /// # Errors
     ///
-    /// Shape errors cannot occur for a decomposition built by
-    /// [`Svd::compute`]; the `Result` mirrors [`Matrix::matmul`].
+    /// [`LinalgError::InvalidArgument`] for a [`Svd::compute_left`]
+    /// decomposition (no `V`); otherwise mirrors [`Matrix::matmul`].
     pub fn reconstruct(&self) -> Result<Matrix> {
+        let v = self.v_checked()?;
         let k = self.s.len();
         let mut us = self.u.clone();
         for j in 0..k {
@@ -166,7 +226,7 @@ impl Svd {
                 us[(i, j)] *= self.s[j];
             }
         }
-        us.matmul(&self.v.transpose())
+        us.matmul(&v.transpose())
     }
 
     /// Moore–Penrose pseudo-inverse with relative cutoff `tol` (singular
@@ -174,12 +234,12 @@ impl Svd {
     ///
     /// # Errors
     ///
-    /// Shape errors cannot occur for a decomposition built by
-    /// [`Svd::compute`]; the `Result` mirrors [`Matrix::matmul`].
+    /// [`LinalgError::InvalidArgument`] for a [`Svd::compute_left`]
+    /// decomposition (no `V`); otherwise mirrors [`Matrix::matmul`].
     pub fn pseudo_inverse(&self, tol: f64) -> Result<Matrix> {
         let k = self.s.len();
         let smax = self.s.first().copied().unwrap_or(0.0);
-        let mut vs = self.v.clone();
+        let mut vs = self.v_checked()?.clone();
         for j in 0..k {
             let inv = if smax > 0.0 && self.s[j] > tol * smax {
                 1.0 / self.s[j]
@@ -203,17 +263,124 @@ fn same_sign(a: f64, b: f64) -> f64 {
     }
 }
 
+/// Shared shape of the Golub–Reinsch Householder/accumulation updates: for
+/// every column `j` in `j0..j1` of the row-major `data` (row stride
+/// `stride`) forms `s_j = Σ_k wvec[k] · data[(w0+k, j)]`, maps it through
+/// `finish`, and adds `finish(s_j) · uvec[k]` to rows `u0..u0+uvec.len()`.
+///
+/// Runs as two row-major sweeps, parallel over disjoint column ranges.
+/// Per column the accumulation order (rows ascending) matches the classic
+/// per-column loops exactly, so results are bit-identical at every thread
+/// count; workers share only the read-only gathered vectors.
+fn two_pass_col_update(
+    data: &mut [f64],
+    stride: usize,
+    j0: usize,
+    j1: usize,
+    w0: usize,
+    wvec: &[f64],
+    u0: usize,
+    uvec: &[f64],
+    finish: impl Fn(f64) -> f64 + Sync,
+) {
+    if j0 >= j1 {
+        return;
+    }
+    let width = j1 - j0;
+    let mut s = vec![0.0_f64; width];
+    // Gather pass: workers own disjoint chunks of `s` and read `data`
+    // through a shared borrow — safe slices throughout, so the stride-1
+    // inner loops stay vectorizable (a shared raw-pointer view here would
+    // force the compiler to assume `s` aliases `data`).
+    {
+        let data_ro: &[f64] = data;
+        // ~2 flops per (row, column) touch; keep ≥ 2^14 flops per worker.
+        let min_cols = (1 << 14) / (2 * wvec.len().max(1)) + 1;
+        pathrep_par::for_each_unit_chunk_mut(&mut s, 1, min_cols, |first, schunk| {
+            let len = schunk.len();
+            for (dk, &wk) in wvec.iter().enumerate() {
+                let row = (w0 + dk) * stride + j0 + first;
+                for (sj, &x) in schunk.iter_mut().zip(&data_ro[row..row + len]) {
+                    *sj += wk * x;
+                }
+            }
+        });
+    }
+    for sj in s.iter_mut() {
+        *sj = finish(*sj);
+    }
+    // Update pass: each target row is written wholly by one worker, reading
+    // the now-frozen `s`; per element it is the same single fused update as
+    // the column-partitioned original, so results are bit-identical.
+    let rows = &mut data[u0 * stride..(u0 + uvec.len()) * stride];
+    let min_rows = (1 << 14) / (2 * width) + 1;
+    pathrep_par::for_each_unit_chunk_mut(rows, stride, min_rows, |first, block| {
+        for (dk, row) in block.chunks_exact_mut(stride).enumerate() {
+            let uk = uvec[first + dk];
+            for (&sj, x) in s.iter().zip(&mut row[j0..j1]) {
+                *x += sj * uk;
+            }
+        }
+    });
+}
+
+/// One plane rotation `(x, z) ← (x·c + z·s, z·c − x·s)` on columns `jx`
+/// and `jz`: `(jx, jz, c, s)`.
+type ColRotation = (usize, usize, f64, f64);
+
+/// Applies a sweep's worth of plane rotations to every row of the
+/// row-major `data` in one pass, parallel over row blocks.
+///
+/// Rotations within a sweep only interact through shared columns, and both
+/// the rotation-by-rotation original and this per-row batch apply them in
+/// the same list order to every element — so the arithmetic per element is
+/// identical bit for bit. Batching matters because each rotation touches
+/// just two elements per row: applied one by one, a sweep streams the
+/// whole matrix from memory once *per rotation*; batched, once per sweep.
+fn rotate_cols_batch(data: &mut [f64], stride: usize, rots: &[ColRotation]) {
+    if rots.is_empty() {
+        return;
+    }
+    // ~6 flops per (row, rotation) pair; keep ≥ 2^14 flops per worker.
+    let min_rows = (1 << 14) / (6 * rots.len()) + 1;
+    // Row-block size: consecutive rotations share a column, so applying
+    // them one row at a time is a serial dependency chain. A block of rows
+    // keeps ~16 independent chains in flight per rotation (pipelined FP)
+    // while the block stays cache-resident across the whole sweep.
+    let block_rows = 16 * stride;
+    pathrep_par::for_each_unit_chunk_mut(data, stride, min_rows, |_, chunk| {
+        for block in chunk.chunks_mut(block_rows) {
+            for &(jx, jz, c, s) in rots {
+                for row in block.chunks_exact_mut(stride) {
+                    let x = row[jx];
+                    let z = row[jz];
+                    row[jx] = x * c + z * s;
+                    row[jz] = z * c - x * s;
+                }
+            }
+        }
+    });
+}
+
 /// Golub–Reinsch SVD for `m ≥ n`: Householder bidiagonalization followed by
 /// implicit-shift QR on the bidiagonal form. Returns `(U, s, V)` with `U`
-/// `m`×`n`, `s` of length `n`, `V` `n`×`n`, sorted by decreasing singular
-/// value with non-negative values.
+/// `m`×`n`, `s` of length `n`, `V` `n`×`n` (`None` when `want_v` is false),
+/// sorted by decreasing singular value with non-negative values.
+///
+/// `V` is write-only throughout: its accumulation and rotations never feed
+/// the `U`/`w`/`rv1` recurrences, so `want_v = false` yields bit-identical
+/// `U` and `s` while skipping all right-hand work.
 #[allow(clippy::needless_range_loop)]
-fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
+fn golub_reinsch(a_in: &Matrix, want_v: bool) -> Result<(Matrix, Vec<f64>, Option<Matrix>)> {
     let (m, n) = a_in.shape();
     debug_assert!(m >= n);
     let mut a = a_in.clone();
     let mut w = vec![0.0_f64; n];
-    let mut v = Matrix::zeros(n, n);
+    let mut v = if want_v {
+        Some(Matrix::zeros(n, n))
+    } else {
+        None
+    };
     let mut rv1 = vec![0.0_f64; n];
 
     let (mut g, mut scale, mut anorm) = (0.0_f64, 0.0_f64, 0.0_f64);
@@ -239,17 +406,11 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
                 g = -same_sign(s.sqrt(), f);
                 let h = f * g - s;
                 a[(i, i)] = f - g;
-                for j in l..n {
-                    let mut s2 = 0.0;
-                    for k in i..m {
-                        s2 += a[(k, i)] * a[(k, j)];
-                    }
-                    let f2 = s2 / h;
-                    for k in i..m {
-                        let aki = a[(k, i)];
-                        a[(k, j)] += f2 * aki;
-                    }
-                }
+                // s2_j = Σ_k a[(k,i)]·a[(k,j)], then a[(k,j)] += (s2_j/h)·a[(k,i)];
+                // the trailing columns never touch column i, so one gather of
+                // it serves both passes.
+                let vcol: Vec<f64> = (i..m).map(|k| a[(k, i)]).collect();
+                two_pass_col_update(a.as_mut_slice(), n, l, n, i, &vcol, i, &vcol, |s2| s2 / h);
                 for k in i..m {
                     a[(k, i)] *= scale;
                 }
@@ -275,15 +436,46 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
                 for k in l..n {
                     rv1[k] = a[(i, k)] / h;
                 }
-                for j in l..m {
-                    let mut s2 = 0.0;
-                    for k in l..n {
-                        s2 += a[(j, k)] * a[(i, k)];
-                    }
-                    for k in l..n {
-                        let rk = rv1[k];
-                        a[(j, k)] += s2 * rk;
-                    }
+                // Row-space update: every row j ≥ l is independent (reads
+                // only the fixed row i and rv1), so blocks of rows go to
+                // different workers with bit-identical results.
+                if l < m {
+                    let (head, tail) = a.as_mut_slice().split_at_mut(l * n);
+                    let row_i = &head[i * n..i * n + n];
+                    let min_rows = (1 << 14) / (4 * (n - l).max(1)) + 1;
+                    // Each row's dot is a serial FP-add chain; jamming four
+                    // rows together runs four independent chains in flight
+                    // without touching any row's own summation order.
+                    pathrep_par::for_each_unit_chunk_mut(tail, n, min_rows, |_, block| {
+                        let mut quads = block.chunks_exact_mut(4 * n);
+                        for quad in &mut quads {
+                            let (r0, rest) = quad.split_at_mut(n);
+                            let (r1, rest) = rest.split_at_mut(n);
+                            let (r2, r3) = rest.split_at_mut(n);
+                            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                            for k in l..n {
+                                s0 += r0[k] * row_i[k];
+                                s1 += r1[k] * row_i[k];
+                                s2 += r2[k] * row_i[k];
+                                s3 += r3[k] * row_i[k];
+                            }
+                            for k in l..n {
+                                r0[k] += s0 * rv1[k];
+                                r1[k] += s1 * rv1[k];
+                                r2[k] += s2 * rv1[k];
+                                r3[k] += s3 * rv1[k];
+                            }
+                        }
+                        for row in quads.into_remainder().chunks_exact_mut(n) {
+                            let mut s2 = 0.0;
+                            for k in l..n {
+                                s2 += row[k] * row_i[k];
+                            }
+                            for k in l..n {
+                                row[k] += s2 * rv1[k];
+                            }
+                        }
+                    });
                 }
                 for k in l..n {
                     a[(i, k)] *= scale;
@@ -294,33 +486,30 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
     }
 
     // --- Accumulation of right-hand transformations ---
-    let mut l = n; // sentinel; set properly on the first pass below
-    for i in (0..n).rev() {
-        if i < n - 1 {
-            if g != 0.0 {
-                for j in l..n {
-                    // Double division avoids possible underflow.
-                    v[(j, i)] = (a[(i, j)] / a[(i, l)]) / g;
+    if let Some(v) = v.as_mut() {
+        let mut l = n; // sentinel; set properly on the first pass below
+        for i in (0..n).rev() {
+            if i < n - 1 {
+                if g != 0.0 {
+                    for j in l..n {
+                        // Double division avoids possible underflow.
+                        v[(j, i)] = (a[(i, j)] / a[(i, l)]) / g;
+                    }
+                    // s_j = Σ_k a[(i,k)]·v[(k,j)], then v[(k,j)] += s_j·v[(k,i)];
+                    // column i of v is never written here, so gather it once.
+                    let vcol: Vec<f64> = (l..n).map(|k| v[(k, i)]).collect();
+                    let arow = &a.row(i)[l..n];
+                    two_pass_col_update(v.as_mut_slice(), n, l, n, l, arow, l, &vcol, |s| s);
                 }
                 for j in l..n {
-                    let mut s = 0.0;
-                    for k in l..n {
-                        s += a[(i, k)] * v[(k, j)];
-                    }
-                    for k in l..n {
-                        let vki = v[(k, i)];
-                        v[(k, j)] += s * vki;
-                    }
+                    v[(i, j)] = 0.0;
+                    v[(j, i)] = 0.0;
                 }
             }
-            for j in l..n {
-                v[(i, j)] = 0.0;
-                v[(j, i)] = 0.0;
-            }
+            v[(i, i)] = 1.0;
+            g = rv1[i];
+            l = i;
         }
-        v[(i, i)] = 1.0;
-        g = rv1[i];
-        l = i;
     }
 
     // --- Accumulation of left-hand transformations ---
@@ -332,17 +521,14 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
         }
         if g != 0.0 {
             g = 1.0 / g;
-            for j in l..n {
-                let mut s = 0.0;
-                for k in l..m {
-                    s += a[(k, i)] * a[(k, j)];
-                }
-                let f = (s / a[(i, i)]) * g;
-                for k in i..m {
-                    let aki = a[(k, i)];
-                    a[(k, j)] += f * aki;
-                }
-            }
+            // s_j = Σ_{k≥l} a[(k,i)]·a[(k,j)], then
+            // a[(k,j)] += (s_j/a_ii)·g·a[(k,i)] for k ≥ i; column i is
+            // read-only during the update, so gather it once.
+            let acol: Vec<f64> = (i..m).map(|k| a[(k, i)]).collect();
+            let a_ii = a[(i, i)];
+            two_pass_col_update(a.as_mut_slice(), n, l, n, l, &acol[1..], i, &acol, |s| {
+                (s / a_ii) * g
+            });
             for j in i..m {
                 a[(j, i)] *= g;
             }
@@ -381,12 +567,16 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
                 l -= 1;
             }
             if flag {
-                // Cancellation of rv1[l] when w[l-1] is negligible.
+                // Cancellation of rv1[l] when w[l-1] is negligible. The
+                // c/s recurrence reads only rv1/w scalars, never the
+                // matrix, so the rotations are collected first and applied
+                // to `a` in one batched pass.
                 let mut c = 0.0;
                 let mut s = 1.0;
                 let nm = l - 1;
+                let mut rots: Vec<ColRotation> = Vec::with_capacity(k + 1 - l);
                 for i in l..=k {
-                    let mut f = s * rv1[i];
+                    let f = s * rv1[i];
                     rv1[i] *= c;
                     if f.abs() <= eps * anorm {
                         break;
@@ -397,24 +587,21 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
                     h = 1.0 / h;
                     c = g * h;
                     s = -f * h;
-                    for j in 0..m {
-                        let y = a[(j, nm)];
-                        let z = a[(j, i)];
-                        a[(j, nm)] = y * c + z * s;
-                        a[(j, i)] = z * c - y * s;
-                    }
-                    let _ = f; // f fully consumed above
-                    f = 0.0;
-                    let _ = f;
+                    rots.push((nm, i, c, s));
                 }
+                rotate_cols_batch(a.as_mut_slice(), n, &rots);
             }
             let z = w[k];
             if l == k {
-                // Converged; enforce non-negative singular value.
+                // Converged; enforce non-negative singular value (the
+                // compensating sign flip lands on V, so U is untouched
+                // and a V-less run stays bit-identical on U and s).
                 if z < 0.0 {
                     w[k] = -z;
-                    for j in 0..n {
-                        v[(j, k)] = -v[(j, k)];
+                    if let Some(v) = v.as_mut() {
+                        for j in 0..n {
+                            v[(j, k)] = -v[(j, k)];
+                        }
                     }
                 }
                 converged = true;
@@ -430,9 +617,13 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
             let mut f = ((y - z) * (y + z) + (g - h) * (g + h)) / (2.0 * h * y);
             g = pythag(f, 1.0);
             f = ((x - z) * (x + z) + h * ((y / (f + same_sign(g, f))) - h)) / x;
-            // Next QR transformation.
+            // Next QR transformation. As above, the Givens recurrence is
+            // pure scalar work on w/rv1 — collect the V- and U-side
+            // rotations and apply each side as one batched pass.
             let mut c = 1.0;
             let mut s = 1.0;
+            let mut rots_v: Vec<ColRotation> = Vec::with_capacity(nm + 1 - l);
+            let mut rots_a: Vec<ColRotation> = Vec::with_capacity(nm + 1 - l);
             for j in l..=nm {
                 let i = j + 1;
                 g = rv1[i];
@@ -447,12 +638,7 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
                 g = g * c - x * s;
                 h = y * s;
                 y *= c;
-                for jj in 0..n {
-                    let xv = v[(jj, j)];
-                    let zv = v[(jj, i)];
-                    v[(jj, j)] = xv * c + zv * s;
-                    v[(jj, i)] = zv * c - xv * s;
-                }
+                rots_v.push((j, i, c, s));
                 zz = pythag(f, h);
                 w[j] = zz;
                 if zz != 0.0 {
@@ -462,13 +648,12 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
                 }
                 f = c * g + s * y;
                 x = c * y - s * g;
-                for jj in 0..m {
-                    let ya = a[(jj, j)];
-                    let za = a[(jj, i)];
-                    a[(jj, j)] = ya * c + za * s;
-                    a[(jj, i)] = za * c - ya * s;
-                }
+                rots_a.push((j, i, c, s));
             }
+            if let Some(v) = v.as_mut() {
+                rotate_cols_batch(v.as_mut_slice(), n, &rots_v);
+            }
+            rotate_cols_batch(a.as_mut_slice(), n, &rots_a);
             rv1[l] = 0.0;
             rv1[k] = f;
             w[k] = x;
@@ -478,12 +663,13 @@ fn golub_reinsch(a_in: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
 
     pathrep_obs::counter_add("linalg.svd.qr_sweeps", qr_sweeps);
 
-    // --- Sort by decreasing singular value ---
+    // --- Sort by decreasing singular value (a NaN — possible only from
+    // non-finite input — deterministically sorts last) ---
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| w[j].partial_cmp(&w[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| crate::vecops::cmp_nan_smallest(w[j], w[i]));
     let s_sorted: Vec<f64> = order.iter().map(|&i| w[i]).collect();
     let u_sorted = a.select_cols(&order);
-    let v_sorted = v.select_cols(&order);
+    let v_sorted = v.map(|v| v.select_cols(&order));
     Ok((u_sorted, s_sorted, v_sorted))
 }
 
@@ -640,6 +826,48 @@ mod tests {
         assert!(ap.approx_eq(&ap.transpose(), 1e-10), "(AP)ᵀ = AP violated");
         let pa = p.matmul(&a).unwrap();
         assert!(pa.approx_eq(&pa.transpose(), 1e-10), "(PA)ᵀ = PA violated");
+    }
+
+    #[test]
+    fn compute_left_matches_full_bit_for_bit() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for &(m, n) in &[(40usize, 17usize), (17, 40), (25, 25)] {
+            let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0));
+            let full = Svd::compute(&a).unwrap();
+            let left = Svd::compute_left(&a).unwrap();
+            for (x, y) in full
+                .singular_values()
+                .iter()
+                .zip(left.singular_values())
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "singular values diverged");
+            }
+            assert_eq!(full.u().shape(), left.u().shape());
+            for i in 0..full.u().nrows() {
+                for j in 0..full.u().ncols() {
+                    assert_eq!(
+                        full.u()[(i, j)].to_bits(),
+                        left.u()[(i, j)].to_bits(),
+                        "U diverged at ({i}, {j}) for {m}x{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_left_has_no_right_vectors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let left = Svd::compute_left(&a).unwrap();
+        assert!(matches!(
+            left.reconstruct(),
+            Err(LinalgError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            left.pseudo_inverse(1e-12),
+            Err(LinalgError::InvalidArgument { .. })
+        ));
     }
 
     #[test]

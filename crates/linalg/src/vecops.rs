@@ -73,6 +73,25 @@ pub fn scale(a: &mut [f64], s: f64) {
     }
 }
 
+/// Total order on `f64` that treats every NaN as **smaller than** every
+/// real number (and NaNs as equal to each other).
+///
+/// `partial_cmp(..).unwrap_or(Equal)` silently treats NaN as equal to its
+/// neighbour, which poisons `max_by`/`sort_by`: a single NaN can win a
+/// pivot selection or scramble a descending sort. With this comparator a
+/// NaN deterministically *loses* every max-selection and sorts *last* in
+/// descending order, and for all-finite data the order is identical to
+/// `partial_cmp`.
+#[inline]
+pub fn cmp_nan_smallest(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.partial_cmp(&b).expect("both operands are non-NaN"),
+    }
+}
+
 /// Stable two-norm of `(a, b)` — `hypot` without the libm call overhead
 /// differences across platforms.
 #[inline]
@@ -126,6 +145,22 @@ mod tests {
         for (a, b) in [(3.0, 4.0), (0.0, 0.0), (-5.0, 12.0), (1e-300, 1e-300)] {
             assert!((pythag(a, b) - f64::hypot(a, b)).abs() <= 1e-12 * f64::hypot(a, b).max(1.0));
         }
+    }
+
+    #[test]
+    fn cmp_nan_smallest_totally_orders() {
+        use std::cmp::Ordering::*;
+        assert_eq!(cmp_nan_smallest(f64::NAN, f64::NAN), Equal);
+        assert_eq!(cmp_nan_smallest(f64::NAN, -f64::INFINITY), Less);
+        assert_eq!(cmp_nan_smallest(1.0, f64::NAN), Greater);
+        assert_eq!(cmp_nan_smallest(1.0, 2.0), Less);
+        assert_eq!(cmp_nan_smallest(2.0, 2.0), Equal);
+        // A NaN can never win a max-selection.
+        let max = [1.0, f64::NAN, 3.0, 2.0]
+            .into_iter()
+            .max_by(|a, b| cmp_nan_smallest(*a, *b))
+            .unwrap();
+        assert_eq!(max, 3.0);
     }
 
     #[test]

@@ -18,10 +18,16 @@ pub const ENV_PROM: &str = "PATHREP_OBS_PROM";
 pub const ENV_LEDGER: &str = "PATHREP_OBS_LEDGER";
 /// Overrides the run id stamped on every ledger record.
 pub const ENV_RUN_ID: &str = "PATHREP_OBS_RUN_ID";
+/// Worker-thread count for the parallel kernels (read by `pathrep-par`,
+/// registered here so the env-drift guard covers it): unset or `0` means
+/// available parallelism, `1` forces exact sequential execution. Results
+/// are bit-identical at any setting; only wall time changes.
+pub const ENV_THREADS: &str = "PATHREP_THREADS";
 
-/// Every recognized `PATHREP_OBS*` variable, for docs and drift guards.
+/// Every recognized pathrep environment variable, for docs and drift
+/// guards.
 pub const ALL_ENV_VARS: &[&str] = &[
-    ENV_OBS, ENV_JSON, ENV_TRACE, ENV_PROM, ENV_LEDGER, ENV_RUN_ID,
+    ENV_OBS, ENV_JSON, ENV_TRACE, ENV_PROM, ENV_LEDGER, ENV_RUN_ID, ENV_THREADS,
 ];
 
 /// Whether `PATHREP_OBS` asks for collection (`1`/`true`/`on`/`yes`).
@@ -108,7 +114,9 @@ mod tests {
 
     #[test]
     fn all_env_vars_lists_every_constant() {
-        for v in [ENV_OBS, ENV_JSON, ENV_TRACE, ENV_PROM, ENV_LEDGER, ENV_RUN_ID] {
+        for v in [
+            ENV_OBS, ENV_JSON, ENV_TRACE, ENV_PROM, ENV_LEDGER, ENV_RUN_ID, ENV_THREADS,
+        ] {
             assert!(ALL_ENV_VARS.contains(&v));
         }
     }

@@ -38,6 +38,10 @@
 //!   `PATHREP_OBS=1`.
 //! * `PATHREP_OBS_RUN_ID=<id>` — override the run id stamped on ledger
 //!   records (defaults to `pid<process id>`).
+//! * `PATHREP_THREADS=<n>` — worker count for the `pathrep-par` kernel
+//!   pool (registered in [`config::ALL_ENV_VARS`] so the drift guard
+//!   covers it); `1` = sequential, unset or `0` = available parallelism.
+//!   Results are bit-identical at any setting.
 //!
 //! All parsing of these variables lives in [`config`]; export failures
 //! warn on stderr and never abort the run.
@@ -72,7 +76,7 @@ pub use registry::{registry, Event, Level, Registry, MAX_EVENTS};
 pub use snapshot::{
     CounterSnapshot, EventSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot, SpanNode,
 };
-pub use span::SpanGuard;
+pub use span::{adopt_span_parent, current_span_path, ParentSpanGuard, SpanGuard};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

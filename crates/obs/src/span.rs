@@ -54,6 +54,53 @@ impl SpanGuard {
     }
 }
 
+/// The slash-separated path of the innermost span currently open on this
+/// thread, or `None` when telemetry is disabled or no span is open.
+///
+/// Worker pools capture this on the submitting thread and hand it to
+/// [`adopt_span_parent`] on each worker, so spans opened inside pool tasks
+/// nest under the caller's span instead of starting a fresh root — the
+/// span stack itself is `thread_local!` and does not cross threads.
+pub fn current_span_path() -> Option<String> {
+    if !crate::enabled() {
+        return None;
+    }
+    SPAN_PATHS.with(|stack| stack.borrow().last().cloned())
+}
+
+/// RAII guard for an adopted parent span path; created by
+/// [`adopt_span_parent`]. Dropping pops the adopted path without recording
+/// anything — the originating thread's own [`SpanGuard`] does the timing.
+#[derive(Debug)]
+#[must_use = "the parent path is adopted only while the guard lives"]
+pub struct ParentSpanGuard {
+    adopted: bool,
+}
+
+/// Pushes `path` (a value from [`current_span_path`], captured on the
+/// submitting thread) as the parent for spans subsequently opened on this
+/// thread. No-op when `path` is `None` or telemetry is disabled.
+pub fn adopt_span_parent(path: Option<String>) -> ParentSpanGuard {
+    let Some(path) = path else {
+        return ParentSpanGuard { adopted: false };
+    };
+    if !crate::enabled() {
+        return ParentSpanGuard { adopted: false };
+    }
+    SPAN_PATHS.with(|stack| stack.borrow_mut().push(path));
+    ParentSpanGuard { adopted: true }
+}
+
+impl Drop for ParentSpanGuard {
+    fn drop(&mut self) {
+        if self.adopted {
+            SPAN_PATHS.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(started) = self.started else {

@@ -86,7 +86,73 @@ fn now_ns() -> u64 {
     epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
+/// Sentinel in [`TID_OVERRIDE`]: no pooled worker tid is active.
+const NO_OVERRIDE: u64 = u64::MAX;
+
+/// First tid of the pooled worker range — far above any realistic count of
+/// sequentially numbered real threads, so the two ranges never collide.
+const WORKER_TID_BASE: u64 = 1_000_000;
+
+thread_local! {
+    /// Pooled worker tid temporarily assigned to this thread, if any.
+    static TID_OVERRIDE: std::cell::Cell<u64> = const { std::cell::Cell::new(NO_OVERRIDE) };
+}
+
+fn worker_tid_pool() -> &'static Mutex<Vec<u64>> {
+    static POOL: OnceLock<Mutex<Vec<u64>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_WORKER_TID: AtomicU64 = AtomicU64::new(WORKER_TID_BASE);
+
+/// RAII guard for a pooled worker trace tid; created by [`worker_tid`].
+/// Dropping returns the id to the pool and restores the thread's previous
+/// tid (nested guards compose).
+#[derive(Debug)]
+#[must_use = "the pooled tid is assigned only while the guard lives"]
+pub struct WorkerTidGuard {
+    tid: Option<u64>,
+    prev: u64,
+}
+
+/// Assigns this thread a trace tid from the worker pool for the guard's
+/// lifetime. Scoped worker pools spawn fresh OS threads per parallel
+/// region; without pooling, each would burn a brand-new sequential tid and
+/// a trace viewer would show thousands of one-shot rows. Pool ids start at
+/// [`WORKER_TID_BASE`] and are reused, so all pool work lands on a small
+/// stable set of rows. No-op when trace collection is off.
+pub fn worker_tid() -> WorkerTidGuard {
+    if !collecting() {
+        return WorkerTidGuard {
+            tid: None,
+            prev: NO_OVERRIDE,
+        };
+    }
+    let tid = worker_tid_pool()
+        .lock()
+        .pop()
+        .unwrap_or_else(|| NEXT_WORKER_TID.fetch_add(1, Ordering::Relaxed));
+    let prev = TID_OVERRIDE.with(|c| c.replace(tid));
+    WorkerTidGuard {
+        tid: Some(tid),
+        prev,
+    }
+}
+
+impl Drop for WorkerTidGuard {
+    fn drop(&mut self) {
+        if let Some(tid) = self.tid {
+            TID_OVERRIDE.with(|c| c.set(self.prev));
+            worker_tid_pool().lock().push(tid);
+        }
+    }
+}
+
 fn thread_id() -> u64 {
+    let overridden = TID_OVERRIDE.with(|c| c.get());
+    if overridden != NO_OVERRIDE {
+        return overridden;
+    }
     static NEXT_TID: AtomicU64 = AtomicU64::new(0);
     thread_local! {
         static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);

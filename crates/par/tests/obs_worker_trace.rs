@@ -1,0 +1,117 @@
+//! Observability contract of the worker pool: spans opened inside pool
+//! tasks nest under the submitting thread's span, and Chrome-trace events
+//! emitted from workers stay balanced on a small pooled set of tids.
+//!
+//! The obs registry, the trace buffer and the pool size are all
+//! process-global, so the tests serialize on one mutex and reset the
+//! telemetry state at entry.
+
+use pathrep_obs::trace::{Phase, TraceEvent};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// First tid of the pooled worker range (see `pathrep-obs`'s trace module);
+/// real threads count up from 0, pooled workers from here.
+const WORKER_TID_BASE: u64 = 1_000_000;
+
+fn setup() -> std::sync::MutexGuard<'static, ()> {
+    let guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::trace::set_collecting(true);
+    pathrep_obs::reset();
+    pathrep_par::set_threads(4);
+    guard
+}
+
+fn teardown() {
+    pathrep_par::set_threads(0);
+    pathrep_obs::trace::set_collecting(false);
+}
+
+#[test]
+fn worker_spans_nest_under_the_submitting_span() {
+    let _guard = setup();
+    {
+        let _outer = pathrep_obs::span!("pool_outer");
+        let out = pathrep_par::map_indexed(16, 1, |i| {
+            let _inner = pathrep_obs::span!("pool_task");
+            i * 3
+        });
+        assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+    let snap = pathrep_obs::registry().snapshot();
+    let outer = snap
+        .spans
+        .iter()
+        .find(|s| s.path == "pool_outer")
+        .expect("outer span is a root");
+    let task = outer
+        .children
+        .iter()
+        .find(|s| s.path == "pool_outer/pool_task")
+        .expect("worker spans must adopt the submitting thread's path");
+    assert_eq!(task.count, 16, "every task execution is recorded");
+    assert!(
+        !snap.spans.iter().any(|s| s.path == "pool_task"),
+        "no task span may escape to the root: {:?}",
+        snap.spans.iter().map(|s| &s.path).collect::<Vec<_>>()
+    );
+    teardown();
+}
+
+#[test]
+fn worker_trace_events_are_balanced_on_pooled_tids() {
+    let _guard = setup();
+    {
+        let _outer = pathrep_obs::span!("trace_outer");
+        pathrep_par::for_each_subrange(32, 1, |r| {
+            for _ in r {
+                let _s = pathrep_obs::span!("trace_unit");
+            }
+        });
+    }
+    let events = pathrep_obs::trace::events();
+    assert_eq!(
+        pathrep_obs::trace::dropped_spans(),
+        0,
+        "this tiny workload must not saturate the buffer"
+    );
+
+    // Stack discipline per tid: depth never goes negative and every begin
+    // is closed — an unbalanced stream renders as garbage in a viewer.
+    let mut depth: BTreeMap<u64, i64> = BTreeMap::new();
+    for TraceEvent { phase, tid, .. } in &events {
+        let d = depth.entry(*tid).or_insert(0);
+        match phase {
+            Phase::Begin => *d += 1,
+            Phase::End => {
+                *d -= 1;
+                assert!(*d >= 0, "tid {tid}: end without a matching begin");
+            }
+        }
+    }
+    for (tid, d) in &depth {
+        assert_eq!(*d, 0, "tid {tid}: {d} span(s) left open");
+    }
+
+    // Worker events land on pooled tids; the submitting thread keeps its
+    // own small sequential tid. 4 workers = at most 3 spawned threads, and
+    // tid reuse across parallel regions must keep the pooled set small.
+    let worker_tids: Vec<u64> = depth
+        .keys()
+        .copied()
+        .filter(|&t| t >= WORKER_TID_BASE)
+        .collect();
+    assert!(
+        worker_tids.len() <= 3,
+        "pooled tids must be reused, got {worker_tids:?}"
+    );
+    let unit_begins = events
+        .iter()
+        .filter(|e| e.name == "trace_unit" && e.phase == Phase::Begin)
+        .count();
+    assert_eq!(unit_begins, 32, "every unit span is traced exactly once");
+    teardown();
+}

@@ -26,10 +26,10 @@ impl Criticality {
     /// Paths ordered by decreasing criticality probability.
     pub fn ranking(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.probability.len()).collect();
+        // NaN-total descending order (NaNs last): a poisoned probability
+        // cannot scramble the ranking.
         order.sort_by(|&i, &j| {
-            self.probability[j]
-                .partial_cmp(&self.probability[i])
-                .unwrap_or(std::cmp::Ordering::Equal)
+            pathrep_linalg::vecops::cmp_nan_smallest(self.probability[j], self.probability[i])
         });
         order
     }

@@ -86,7 +86,7 @@ struct State {
 
 impl PartialEq for State {
     fn eq(&self, other: &Self) -> bool {
-        self.z_lb == other.z_lb
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for State {}
@@ -98,10 +98,10 @@ impl PartialOrd for State {
 impl Ord for State {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the smallest bound pops first.
-        other
-            .z_lb
-            .partial_cmp(&self.z_lb)
-            .unwrap_or(Ordering::Equal)
+        // NaN-is-smallest keeps the order total (a NaN bound — possible only
+        // from poisoned timing data — pops first instead of corrupting the
+        // heap invariant) and keeps Eq consistent with Ord.
+        pathrep_linalg::vecops::cmp_nan_smallest(other.z_lb, self.z_lb)
     }
 }
 
@@ -266,11 +266,9 @@ impl<'a> CriticalPathExtractor<'a> {
                 }
             }
         }
-        results.sort_by(|a, b| {
-            b.yield_loss
-                .partial_cmp(&a.yield_loss)
-                .unwrap_or(Ordering::Equal)
-        });
+        // NaN-total descending order (NaNs last): a poisoned yield loss
+        // cannot scramble the ranking.
+        results.sort_by(|a, b| pathrep_linalg::vecops::cmp_nan_smallest(b.yield_loss, a.yield_loss));
         results.truncate(self.config.max_paths);
         pathrep_obs::counter_add("ssta.extract.expansions", expansions as u64);
         pathrep_obs::counter_add("ssta.extract.paths", results.len() as u64);
@@ -301,6 +299,36 @@ mod tests {
     use super::*;
     use pathrep_circuit::generator::{CircuitGenerator, GeneratorConfig};
     use crate::yield_est::nominal_circuit_delay;
+
+    #[test]
+    fn nan_bound_keeps_the_heap_order_total() {
+        // Regression: `State::cmp` used to report a NaN bound as "equal" to
+        // everything, a non-transitive comparator that silently corrupts
+        // BinaryHeap's invariants. With the total order a NaN bound is the
+        // maximum in the inverted order (pops first) and Eq stays
+        // consistent with Ord.
+        let gate = small_circuit().graph().sinks()[0];
+        let state = |z_lb: f64| State {
+            z_lb,
+            gate,
+            gates: Vec::new(),
+            mean: 0.0,
+            variance: 0.0,
+            coeffs: HashMap::new(),
+        };
+        let (poisoned, small, big) = (state(f64::NAN), state(1.0), state(2.0));
+        assert_eq!(poisoned.cmp(&poisoned), Ordering::Equal);
+        assert_eq!(poisoned.cmp(&small), Ordering::Greater);
+        assert_eq!(small.cmp(&big), Ordering::Greater);
+        assert!(poisoned == poisoned, "Eq must match Ord for NaN bounds");
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(state(2.0));
+        heap.push(state(f64::NAN));
+        heap.push(state(1.0));
+        assert!(heap.pop().unwrap().z_lb.is_nan(), "NaN bound pops first");
+        assert_eq!(heap.pop().unwrap().z_lb, 1.0);
+        assert_eq!(heap.pop().unwrap().z_lb, 2.0);
+    }
 
     fn small_circuit() -> PlacedCircuit {
         CircuitGenerator::new(GeneratorConfig::new(250, 20, 12).with_seed(11))

@@ -5,6 +5,11 @@
 # (ε_r growth, e1 growth, condition-number growth, effective-rank drop,
 # new ADMM stalls, or a stage that stopped writing records).
 #
+# The workload runs twice — PATHREP_THREADS=1 and PATHREP_THREADS=4 —
+# and both candidate ledgers are doctor-diffed against the golden, then
+# byte-compared against each other: the pathrep-par kernels must produce
+# bit-identical numbers at every worker count.
+#
 # Usage: scripts/accuracy_gate.sh [--self-test] [extra pathrep-doctor flags…]
 #   --self-test  inject a synthetic rank-drop regression and require the
 #                gate to FAIL (proves the gate trips).
@@ -13,7 +18,8 @@ cd "$(dirname "$0")/.."
 
 GOLDEN="golden/quickstart_ledger.jsonl"
 CANDIDATE="${TMPDIR:-/tmp}/pathrep_accuracy_gate_$$.jsonl"
-trap 'rm -f "$CANDIDATE"' EXIT
+CANDIDATE_T4="${TMPDIR:-/tmp}/pathrep_accuracy_gate_t4_$$.jsonl"
+trap 'rm -f "$CANDIDATE" "$CANDIDATE_T4"' EXIT
 
 self_test=0
 doctor_flags=()
@@ -31,15 +37,27 @@ cargo build --release -p pathrep-bench --bin pathrep-doctor
 if [ ! -f "$GOLDEN" ]; then
     echo "accuracy_gate.sh: no golden ledger — seeding $GOLDEN"
     mkdir -p "$(dirname "$GOLDEN")"
-    PATHREP_OBS_LEDGER="$GOLDEN" PATHREP_OBS_RUN_ID=golden \
+    PATHREP_THREADS=1 PATHREP_OBS_LEDGER="$GOLDEN" PATHREP_OBS_RUN_ID=golden \
         ./target/release/examples/quickstart > /dev/null
     echo "accuracy_gate.sh: seeded; commit $GOLDEN to enable the gate"
     exit 0
 fi
 
-echo "accuracy_gate.sh: collecting candidate ledger from the seeded quickstart workload"
-PATHREP_OBS_LEDGER="$CANDIDATE" PATHREP_OBS_RUN_ID=candidate \
+echo "accuracy_gate.sh: collecting candidate ledger (PATHREP_THREADS=1)"
+PATHREP_THREADS=1 PATHREP_OBS_LEDGER="$CANDIDATE" PATHREP_OBS_RUN_ID=candidate \
     ./target/release/examples/quickstart > /dev/null
+
+echo "accuracy_gate.sh: collecting candidate ledger (PATHREP_THREADS=4)"
+PATHREP_THREADS=4 PATHREP_OBS_LEDGER="$CANDIDATE_T4" PATHREP_OBS_RUN_ID=candidate \
+    ./target/release/examples/quickstart > /dev/null
+
+if ! cmp -s "$CANDIDATE" "$CANDIDATE_T4"; then
+    echo "accuracy_gate.sh: FAIL — ledgers differ between PATHREP_THREADS=1 and 4;" >&2
+    echo "a pathrep-par kernel broke the bit-determinism contract:" >&2
+    diff "$CANDIDATE" "$CANDIDATE_T4" | head -20 >&2 || true
+    exit 1
+fi
+echo "accuracy_gate.sh: thread-count determinism OK (ledgers byte-identical at 1 and 4 workers)"
 
 if [ "$self_test" = 1 ]; then
     echo "accuracy_gate.sh: self-test — injecting a rank-drop regression; the gate must FAIL"
@@ -53,4 +71,6 @@ if [ "$self_test" = 1 ]; then
 fi
 
 ./target/release/pathrep-doctor "$GOLDEN" --diff "$CANDIDATE" \
+    ${doctor_flags[@]+"${doctor_flags[@]}"}
+./target/release/pathrep-doctor "$GOLDEN" --diff "$CANDIDATE_T4" \
     ${doctor_flags[@]+"${doctor_flags[@]}"}

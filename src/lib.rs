@@ -14,5 +14,6 @@ pub use pathrep_core as core;
 pub use pathrep_eval as eval;
 pub use pathrep_linalg as linalg;
 pub use pathrep_obs as obs;
+pub use pathrep_par as par;
 pub use pathrep_ssta as ssta;
 pub use pathrep_variation as variation;
