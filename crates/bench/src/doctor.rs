@@ -12,7 +12,7 @@
 
 use pathrep_obs::json::JsonValue;
 use pathrep_obs::ledger::LedgerRecord;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Relative-change limits between a baseline run and a candidate run.
 /// All are ratios, so cross-machine floating-point jitter stays below
@@ -113,6 +113,11 @@ pub struct RunSummary {
     pub avg_phi: Option<f64>,
     /// Guard-band decisiveness (fraction of confident verdicts).
     pub decisiveness: Option<f64>,
+    /// Record kinds (`stage/name`) the doctor has no analysis for, with
+    /// counts. Newer library versions (e.g. `pathrep-serve`'s
+    /// `serve/model_load`) may write kinds this doctor predates; they are
+    /// surfaced here — never silently dropped, never a failure.
+    pub unknown_kinds: BTreeMap<String, usize>,
 }
 
 fn cond_of(rec: &LedgerRecord) -> Option<f64> {
@@ -227,7 +232,18 @@ pub fn summarize(records: &[LedgerRecord]) -> RunSummary {
                 s.avg_phi = rec.num("avg_phi");
                 s.decisiveness = rec.num("decisiveness");
             }
-            _ => {}
+            // Kinds with no extracted metric but known provenance; they
+            // contribute stage coverage only.
+            ("ssta", "extract") | ("eval", "prepare") => {}
+            // Anything else was written by a library newer than this
+            // doctor (e.g. `serve/model_load`). Count and report it —
+            // silently dropping records would hide coverage, and failing
+            // would make every ledger-schema addition a breaking change.
+            (stage, name) => {
+                *s.unknown_kinds
+                    .entry(format!("{stage}/{name}"))
+                    .or_insert(0) += 1;
+            }
         }
     }
     // NaN-total descending order (NaNs last; infinite conditioning sorts
@@ -337,6 +353,13 @@ pub fn render_summary(s: &RunSummary, top_k: usize) -> String {
                 if q.converged { "" } else { " [UNCONVERGED]" },
                 if q.stalled { " [STALLED]" } else { "" },
             ));
+        }
+    }
+
+    if !s.unknown_kinds.is_empty() {
+        out.push_str("\nrecord kinds this doctor has no analysis for (informational):\n");
+        for (kind, n) in &s.unknown_kinds {
+            out.push_str(&format!("  {kind} x{n}\n"));
         }
     }
     out
@@ -549,6 +572,34 @@ mod tests {
         let text = render_summary(&s, 3);
         assert!(text.contains("error budget"));
         assert!(text.contains("admm_linearized"));
+    }
+
+    #[test]
+    fn unknown_record_kinds_are_reported_not_fatal() {
+        // A ledger written by a newer library (pathrep-serve) carries a
+        // `serve/model_load` record the doctor has no analysis for. It
+        // must be surfaced — never silently skipped, never a failure.
+        let mut ledger = sample_ledger();
+        ledger.push('\n');
+        ledger.push_str(
+            "{\"schema_version\":1,\"seq\":7,\"run\":\"pid1-t\",\"seed\":11,\
+             \"stage\":\"serve\",\"name\":\"model_load\",\
+             \"facts\":{\"model\":\"1fb78fd0563c16f0\",\"label\":\"quickstart\",\
+             \"targets\":3,\"measurements\":1}}",
+        );
+        let s = summarize(&parse_jsonl(&ledger).unwrap());
+        assert_eq!(s.records, 8, "the unknown record still counts");
+        assert_eq!(s.unknown_kinds.get("serve/model_load"), Some(&1));
+        assert!(s.stages.contains("serve"), "stage coverage includes serve");
+        // Known metrics are untouched by the extra record.
+        assert_eq!(s.epsilon_r, Some(0.03));
+        assert_eq!(s.e1, Some(0.012));
+        // Rendering mentions it, and diffing two such runs never breaches
+        // on it — unknown kinds are informational by construction.
+        let text = render_summary(&s, 3);
+        assert!(text.contains("serve/model_load x1"), "{text}");
+        let findings = diff(&s, &s.clone(), &HealthThresholds::default());
+        assert!(!has_breach(&findings), "{findings:?}");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use pathrep_core::predictor::DEFAULT_KAPPA;
 use pathrep_eval::metrics::{evaluate, McConfig, MeasurementPlan};
 use pathrep_eval::pipeline::{prepare, PipelineConfig, PreparedBenchmark};
 use pathrep_eval::suite::{BenchmarkSpec, Suite};
+use pathrep_serve::{Client, ModelArtifact, SelectionMeta, Server, ServerConfig};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -150,6 +151,95 @@ fn mc_workload(name: &'static str, pb: Arc<PreparedBenchmark>) -> Workload {
     }
 }
 
+/// Builds a deterministic serving artifact: an MMSE predictor with
+/// `measurements → targets` smooth synthetic coefficients (no RNG, so the
+/// serve workloads pin their operation counters exactly).
+fn serve_artifact(measurements: usize, targets: usize) -> ModelArtifact {
+    let coef = pathrep_linalg::matrix::Matrix::from_fn(targets, measurements, |i, j| {
+        (((i * 31 + j * 7) as f64) * 0.23).sin() * 0.4
+    });
+    let meas_mu: Vec<f64> = (0..measurements)
+        .map(|j| 180.0 + (j as f64) * 1.5)
+        .collect();
+    let target_mu: Vec<f64> = (0..targets).map(|i| 170.0 + (i as f64) * 0.9).collect();
+    let stds: Vec<f64> = (0..targets)
+        .map(|i| 2.0 + ((i as f64) * 0.11).sin().abs())
+        .collect();
+    let predictor =
+        pathrep_core::predictor::MeasurementPredictor::from_parts(coef, meas_mu, target_mu, stds, DEFAULT_KAPPA)
+            .expect("synthetic serve predictor is valid");
+    ModelArtifact {
+        label: format!("gate_{measurements}x{targets}"),
+        selection: SelectionMeta {
+            epsilon: 0.05,
+            epsilon_r: 0.03,
+            eta: 0.99,
+            rank: measurements,
+            effective_rank: measurements,
+            t_cons: 250.0,
+            selected: (0..measurements).collect(),
+            remaining: (0..targets).collect(),
+        },
+        guard_band_phi: 7.5,
+        predictor,
+    }
+}
+
+/// A full daemon round per run: bind an ephemeral port, load the artifact
+/// over the wire, stream a fixed sequence of `predict` / `predict_batch`
+/// requests from one sequential client, then drain via `shutdown`. The
+/// request sequence is fixed, so the `serve.*` counters are exactly
+/// reproducible at any `PATHREP_THREADS` (nondeterministic quantities —
+/// batch composition, queue depth, latency — live in histograms/gauges,
+/// which the gate does not compare).
+fn serve_workload(
+    name: &'static str,
+    measurements: usize,
+    targets: usize,
+    requests: usize,
+) -> Workload {
+    let artifact = serve_artifact(measurements, targets);
+    let mut path = std::env::temp_dir();
+    path.push(format!("pathrep_gate_{}_{name}.artifact", std::process::id()));
+    let path = path.to_string_lossy().into_owned();
+    artifact.save(&path).expect("gate artifact saves");
+    let meas_mu = artifact.predictor.meas_mu().to_vec();
+    Workload {
+        name,
+        run: Box::new(move || {
+            let config = ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                ..ServerConfig::default()
+            };
+            let handle = Server::bind(config)
+                .expect("gate server binds an ephemeral port")
+                .spawn()
+                .expect("gate server spawns");
+            let addr = handle.addr();
+            let mut client = Client::connect(addr).expect("gate client connects");
+            let model = client.load_model(&path).expect("daemon loads artifact").model;
+            let measured = |k: usize| -> Vec<f64> {
+                meas_mu
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &mu)| mu + (((k * 131 + j * 17) as f64) * 0.37).sin() * 3.0)
+                    .collect()
+            };
+            for k in 0..requests {
+                if k % 8 == 0 {
+                    let rows: Vec<Vec<f64>> = (0..8).map(|r| measured(k * 8 + r)).collect();
+                    client.predict_batch(&model, &rows).expect("gate batch predicts");
+                } else {
+                    client.predict(&model, &measured(k)).expect("gate predicts");
+                }
+            }
+            client.shutdown().expect("gate shutdown");
+            let stats = handle.join();
+            assert_eq!(stats.errors, 0, "gate serving must be error-free");
+        }),
+    }
+}
+
 /// Builds the full workload matrix. Preparation (circuit generation, path
 /// extraction, delay-model construction for the shared instances) happens
 /// here, untimed; the returned workloads are pure timed regions.
@@ -181,6 +271,8 @@ pub fn workload_matrix() -> Vec<Workload> {
     ];
     workloads.push(mc_workload("mc_eval_small", small));
     workloads.push(mc_workload("mc_eval_medium", medium));
+    workloads.push(serve_workload("serve_small", 16, 64, 64));
+    workloads.push(serve_workload("serve_medium", 48, 256, 256));
     workloads
 }
 
@@ -194,6 +286,8 @@ const COUNTER_ALIASES: &[(&str, &str)] = &[
     ("linalg.qr.pivot_swaps", "qr_pivots"),
     ("linalg.svd.calls", "svd_calls"),
     ("linalg.svd.qr_sweeps", "svd_sweeps"),
+    ("serve.predictions", "serve_predictions"),
+    ("serve.requests", "serve_requests"),
     ("ssta.extract.paths", "extract_paths"),
 ];
 

@@ -245,6 +245,80 @@ impl MeasurementPredictor {
         ))
     }
 
+    /// Reassembles a predictor from previously serialized parts (the
+    /// model-artifact store in `pathrep-serve`). The inverse of reading
+    /// [`MeasurementPredictor::coef`] / [`MeasurementPredictor::meas_mu`] /
+    /// [`MeasurementPredictor::target_mu`] / [`MeasurementPredictor::stds`]
+    /// back out; no factorization is repeated.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] on inconsistent dimensions, κ ≤ 0, or
+    /// a non-finite/negative prediction std.
+    pub fn from_parts(
+        coef: Matrix,
+        meas_mu: Vec<f64>,
+        target_mu: Vec<f64>,
+        stds: Vec<f64>,
+        kappa: f64,
+    ) -> Result<Self, CoreError> {
+        if kappa <= 0.0 || !kappa.is_finite() {
+            return Err(CoreError::InvalidArgument {
+                what: "kappa must be positive and finite".into(),
+            });
+        }
+        if coef.nrows() != target_mu.len() || coef.ncols() != meas_mu.len() {
+            return Err(CoreError::InvalidArgument {
+                what: format!(
+                    "coefficient matrix is {}×{} but there are {} targets and {} measurements",
+                    coef.nrows(),
+                    coef.ncols(),
+                    target_mu.len(),
+                    meas_mu.len()
+                ),
+            });
+        }
+        if stds.len() != target_mu.len() {
+            return Err(CoreError::InvalidArgument {
+                what: "per-target stds must match the target count".into(),
+            });
+        }
+        if stds.iter().any(|s| !s.is_finite() || *s < 0.0) {
+            return Err(CoreError::InvalidArgument {
+                what: "prediction stds must be finite and non-negative".into(),
+            });
+        }
+        if coef.as_slice().iter().any(|c| !c.is_finite())
+            || meas_mu.iter().chain(target_mu.iter()).any(|m| !m.is_finite())
+        {
+            return Err(CoreError::InvalidArgument {
+                what: "predictor coefficients and means must be finite".into(),
+            });
+        }
+        Ok(MeasurementPredictor {
+            coef,
+            meas_mu,
+            target_mu,
+            stds,
+            kappa,
+        })
+    }
+
+    /// The MMSE coefficient matrix (targets × measurements).
+    pub fn coef(&self) -> &Matrix {
+        &self.coef
+    }
+
+    /// Mean delays of the measured paths (ps), in measurement order.
+    pub fn meas_mu(&self) -> &[f64] {
+        &self.meas_mu
+    }
+
+    /// Mean delays of the target paths (ps), in target order.
+    pub fn target_mu(&self) -> &[f64] {
+        &self.target_mu
+    }
+
     /// Predicts the target delays from measured delays (same order as the
     /// measurement set the predictor was built with).
     ///
@@ -266,6 +340,54 @@ impl MeasurementPredictor {
         for (o, mu) in out.iter_mut().zip(self.target_mu.iter()) {
             *o += mu;
         }
+        Ok(out)
+    }
+
+    /// Predicts a whole batch of measurement vectors in one fused kernel:
+    /// row `q` of `measured` is one request, row `q` of the result its
+    /// predicted target delays.
+    ///
+    /// The batch is fanned across the `pathrep-par` pool, but every output
+    /// element is computed by **exactly** the floating-point operation
+    /// sequence of [`MeasurementPredictor::predict`] (one centered
+    /// subtraction, one `vecops::dot` per target, one mean addition), so
+    /// the result rows are bit-identical to per-request `predict` calls at
+    /// any worker count and any batch grouping. `pathrep-serve` relies on
+    /// this to micro-batch concurrent requests without changing a single
+    /// answer byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] when the batch width does not
+    /// match the measurement count.
+    pub fn predict_batch(&self, measured: &Matrix) -> Result<Matrix, CoreError> {
+        if measured.ncols() != self.meas_mu.len() {
+            return Err(CoreError::InvalidArgument {
+                what: format!(
+                    "expected {} measurements per request, got {}",
+                    self.meas_mu.len(),
+                    measured.ncols()
+                ),
+            });
+        }
+        let k = measured.nrows();
+        let t = self.target_mu.len();
+        if k == 0 || t == 0 {
+            return Ok(Matrix::zeros(k, t));
+        }
+        let mut out = Matrix::zeros(k, t);
+        // Keep each worker busy for ~a quarter-million flops before fanning
+        // out; below that the batch stays inline on the calling thread.
+        let row_flops = 2 * t * self.meas_mu.len();
+        let min_rows = (1 << 18) / row_flops.max(1) + 1;
+        pathrep_par::for_each_unit_chunk_mut(out.as_mut_slice(), t, min_rows, |first, block| {
+            for (dq, out_row) in block.chunks_exact_mut(t).enumerate() {
+                let centered = vecops::sub(measured.row(first + dq), &self.meas_mu);
+                for (i, (o, mu)) in out_row.iter_mut().zip(self.target_mu.iter()).enumerate() {
+                    *o = vecops::dot(self.coef.row(i), &centered) + mu;
+                }
+            }
+        });
         Ok(out)
     }
 
@@ -540,6 +662,81 @@ mod tests {
             &mu[1..2],
             3.0,
             -1.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn predict_batch_is_bitwise_identical_to_predict() {
+        let (a, mu) = figure1_a();
+        let meas = a.select_rows(&[1, 2]);
+        let tgt = a.select_rows(&[0, 3]);
+        let p = MeasurementPredictor::new(&tgt, &[mu[0], mu[3]], &meas, &mu[1..3], 3.0).unwrap();
+        // A batch with enough rows that the pool actually splits it.
+        let batch = Matrix::from_fn(37, 2, |q, j| {
+            mu[1 + j] + ((q * 2 + j) as f64 * 0.37).sin() * 4.0
+        });
+        for threads in [1, 4] {
+            pathrep_par::set_threads(threads);
+            let out = p.predict_batch(&batch).unwrap();
+            for q in 0..batch.nrows() {
+                let single = p.predict(batch.row(q)).unwrap();
+                for (x, y) in out.row(q).iter().zip(single.iter()) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "batch row {q} differs from predict at threads={threads}"
+                    );
+                }
+            }
+        }
+        pathrep_par::set_threads(0);
+        // Shape errors surface, and degenerate batches stay well-formed.
+        assert!(p.predict_batch(&Matrix::zeros(3, 5)).is_err());
+        let empty = p.predict_batch(&Matrix::zeros(0, 2)).unwrap();
+        assert_eq!(empty.shape(), (0, 2));
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let (a, mu) = figure1_a();
+        let meas = a.select_rows(&[1, 2]);
+        let tgt = a.select_rows(&[0, 3]);
+        let p = MeasurementPredictor::new(&tgt, &[mu[0], mu[3]], &meas, &mu[1..3], 3.0).unwrap();
+        let back = MeasurementPredictor::from_parts(
+            p.coef().clone(),
+            p.meas_mu().to_vec(),
+            p.target_mu().to_vec(),
+            p.stds().to_vec(),
+            p.kappa(),
+        )
+        .unwrap();
+        let m = [mu[1] + 0.7, mu[2] - 1.1];
+        assert_eq!(p.predict(&m).unwrap(), back.predict(&m).unwrap());
+        assert_eq!(p.stds(), back.stds());
+        // Validation: dimension mismatch, bad kappa, non-finite std.
+        assert!(MeasurementPredictor::from_parts(
+            p.coef().clone(),
+            vec![0.0; 3],
+            p.target_mu().to_vec(),
+            p.stds().to_vec(),
+            3.0
+        )
+        .is_err());
+        assert!(MeasurementPredictor::from_parts(
+            p.coef().clone(),
+            p.meas_mu().to_vec(),
+            p.target_mu().to_vec(),
+            p.stds().to_vec(),
+            0.0
+        )
+        .is_err());
+        assert!(MeasurementPredictor::from_parts(
+            p.coef().clone(),
+            p.meas_mu().to_vec(),
+            p.target_mu().to_vec(),
+            vec![f64::NAN, 1.0],
+            3.0
         )
         .is_err());
     }

@@ -24,10 +24,33 @@ pub const ENV_RUN_ID: &str = "PATHREP_OBS_RUN_ID";
 /// are bit-identical at any setting; only wall time changes.
 pub const ENV_THREADS: &str = "PATHREP_THREADS";
 
+/// Listen address of the `pathrep-serve` daemon (read by `pathrep-serve`,
+/// registered here so the env-drift guard covers it). Default
+/// `127.0.0.1:7878`; `…:0` binds an ephemeral port.
+pub const ENV_SERVE_ADDR: &str = "PATHREP_SERVE_ADDR";
+/// Maximum prediction requests coalesced into one batched kernel call by
+/// the `pathrep-serve` micro-batcher (default 32).
+pub const ENV_SERVE_BATCH: &str = "PATHREP_SERVE_BATCH";
+/// Bound on the `pathrep-serve` prediction queue; connections block
+/// (backpressure) once it is full (default 256).
+pub const ENV_SERVE_QUEUE: &str = "PATHREP_SERVE_QUEUE";
+/// Capacity of the `pathrep-serve` LRU model-artifact cache (default 8).
+pub const ENV_SERVE_CACHE: &str = "PATHREP_SERVE_CACHE";
+
 /// Every recognized pathrep environment variable, for docs and drift
 /// guards.
 pub const ALL_ENV_VARS: &[&str] = &[
-    ENV_OBS, ENV_JSON, ENV_TRACE, ENV_PROM, ENV_LEDGER, ENV_RUN_ID, ENV_THREADS,
+    ENV_OBS,
+    ENV_JSON,
+    ENV_TRACE,
+    ENV_PROM,
+    ENV_LEDGER,
+    ENV_RUN_ID,
+    ENV_THREADS,
+    ENV_SERVE_ADDR,
+    ENV_SERVE_BATCH,
+    ENV_SERVE_QUEUE,
+    ENV_SERVE_CACHE,
 ];
 
 /// Whether `PATHREP_OBS` asks for collection (`1`/`true`/`on`/`yes`).
@@ -116,6 +139,7 @@ mod tests {
     fn all_env_vars_lists_every_constant() {
         for v in [
             ENV_OBS, ENV_JSON, ENV_TRACE, ENV_PROM, ENV_LEDGER, ENV_RUN_ID, ENV_THREADS,
+            ENV_SERVE_ADDR, ENV_SERVE_BATCH, ENV_SERVE_QUEUE, ENV_SERVE_CACHE,
         ] {
             assert!(ALL_ENV_VARS.contains(&v));
         }

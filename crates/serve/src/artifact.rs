@@ -1,0 +1,519 @@
+//! Versioned, checksummed model artifacts: the persistence format that
+//! turns a one-shot selection run into a servable asset.
+//!
+//! An artifact file is a single header line followed by a canonical JSON
+//! body:
+//!
+//! ```text
+//! PATHREP-ARTIFACT v1 len:<body bytes> fnv1a64:<16 hex digits>\n
+//! {"schema_version":1,"label":…,"selection":…,"guard_band_phi":…,"predictor":…}
+//! ```
+//!
+//! The body is rendered through [`pathrep_obs::json`], whose number
+//! formatter round-trips every finite `f64` exactly (17 significant
+//! digits), so save → load → predict is bit-identical to predicting with
+//! the in-memory model. Rendering is fully deterministic — same model,
+//! same bytes — which is what the committed golden artifact's
+//! byte-stability test pins down.
+//!
+//! The FNV-1a 64 digest of the body doubles as the **model id**: clients
+//! address models by content, so a daemon can never silently serve a
+//! different model under a stale name. Every failure mode is a typed
+//! [`ArtifactError`]; version skew, truncation and corruption are told
+//! apart instead of collapsing into a generic parse error.
+
+use pathrep_core::predictor::MeasurementPredictor;
+use pathrep_linalg::Matrix;
+use pathrep_obs::json::{self, JsonValue};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Version stamped in both the header line and the body; bump on any
+/// incompatible change to the layout or the meaning of a stored field.
+pub const ARTIFACT_SCHEMA_VERSION: u64 = 1;
+
+/// Leading magic of the header line.
+pub const ARTIFACT_MAGIC: &str = "PATHREP-ARTIFACT";
+
+/// Everything that can go wrong reading or writing an artifact.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Underlying file-system failure.
+    Io(std::io::Error),
+    /// The file ends before the declared body length.
+    Truncated {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The header or body is not well-formed.
+    Corrupt(String),
+    /// The artifact was written by an incompatible schema version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u64,
+        /// Version this library reads.
+        supported: u64,
+    },
+    /// The body does not hash to the id in the header — bit rot or a
+    /// hand-edited file.
+    ChecksumMismatch {
+        /// Digest declared in the header.
+        expected: String,
+        /// Digest of the bytes actually read.
+        computed: String,
+    },
+    /// The stored numbers do not assemble into a valid predictor.
+    InvalidModel(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::Truncated { expected, got } => write!(
+                f,
+                "artifact truncated: header declares {expected} body bytes, found {got}"
+            ),
+            ArtifactError::Corrupt(what) => write!(f, "artifact corrupt: {what}"),
+            ArtifactError::VersionMismatch { found, supported } => write!(
+                f,
+                "artifact schema version {found} unsupported (this library reads {supported})"
+            ),
+            ArtifactError::ChecksumMismatch { expected, computed } => write!(
+                f,
+                "artifact checksum mismatch: header says {expected}, body hashes to {computed}"
+            ),
+            ArtifactError::InvalidModel(what) => write!(f, "artifact holds an invalid model: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit digest — tiny, dependency-free, and plenty for
+/// content-addressing artifacts against accidental corruption (this is an
+/// integrity check, not a cryptographic seal).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How the representative set was chosen — the paper-side provenance a
+/// post-silicon flow needs next to the raw coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionMeta {
+    /// Requested tolerance ε (fraction of `T_cons`).
+    pub epsilon: f64,
+    /// Achieved worst-case error `ε_r`.
+    pub epsilon_r: f64,
+    /// Effective-rank energy threshold η.
+    pub eta: f64,
+    /// Numerical rank of the sensitivity matrix.
+    pub rank: usize,
+    /// Effective rank at η.
+    pub effective_rank: usize,
+    /// Timing constraint `T_cons` (ps).
+    pub t_cons: f64,
+    /// Indices of the representative (measured) paths.
+    pub selected: Vec<usize>,
+    /// Indices of the predicted paths, in predictor target order.
+    pub remaining: Vec<usize>,
+}
+
+/// One servable model: the Theorem-2 predictor plus its selection
+/// provenance and the guard-band `φ = ε_r·T_cons`.
+#[derive(Debug, Clone)]
+pub struct ModelArtifact {
+    /// Human-readable workload label (e.g. `"quickstart"`).
+    pub label: String,
+    /// Selection provenance.
+    pub selection: SelectionMeta,
+    /// Guard-band `φ` in ps to add to predicted delays before a
+    /// pass/fail verdict.
+    pub guard_band_phi: f64,
+    /// The predictor itself.
+    pub predictor: MeasurementPredictor,
+}
+
+fn num(v: f64) -> JsonValue {
+    JsonValue::Number(v)
+}
+
+fn nums(v: &[f64]) -> JsonValue {
+    JsonValue::Array(v.iter().map(|&x| JsonValue::Number(x)).collect())
+}
+
+fn indices(v: &[usize]) -> JsonValue {
+    JsonValue::Array(v.iter().map(|&x| JsonValue::Number(x as f64)).collect())
+}
+
+fn usize_field(v: &JsonValue, name: &str) -> Result<usize, ArtifactError> {
+    let n = v
+        .field(name)
+        .and_then(|f| f.number())
+        .map_err(ArtifactError::Corrupt)?;
+    if n < 0.0 || n != n.trunc() {
+        return Err(ArtifactError::Corrupt(format!(
+            "field `{name}` must be a non-negative integer, got {n}"
+        )));
+    }
+    Ok(n as usize)
+}
+
+fn num_field(v: &JsonValue, name: &str) -> Result<f64, ArtifactError> {
+    v.field(name)
+        .and_then(|f| f.number())
+        .map_err(ArtifactError::Corrupt)
+}
+
+fn nums_field(v: &JsonValue, name: &str) -> Result<Vec<f64>, ArtifactError> {
+    v.field(name)
+        .and_then(|f| f.number_array())
+        .map_err(ArtifactError::Corrupt)
+}
+
+fn index_field(v: &JsonValue, name: &str) -> Result<Vec<usize>, ArtifactError> {
+    let raw = nums_field(v, name)?;
+    raw.iter()
+        .map(|&n| {
+            if n < 0.0 || n != n.trunc() {
+                Err(ArtifactError::Corrupt(format!(
+                    "`{name}` entries must be non-negative integers, got {n}"
+                )))
+            } else {
+                Ok(n as usize)
+            }
+        })
+        .collect()
+}
+
+impl ModelArtifact {
+    /// Renders the canonical JSON body (no header). Deterministic: field
+    /// order is fixed and every number round-trips exactly.
+    fn body_json(&self) -> String {
+        let p = &self.predictor;
+        let sel = &self.selection;
+        JsonValue::Object(vec![
+            (
+                "schema_version".into(),
+                JsonValue::Number(ARTIFACT_SCHEMA_VERSION as f64),
+            ),
+            ("label".into(), JsonValue::String(self.label.clone())),
+            (
+                "selection".into(),
+                JsonValue::Object(vec![
+                    ("epsilon".into(), num(sel.epsilon)),
+                    ("epsilon_r".into(), num(sel.epsilon_r)),
+                    ("eta".into(), num(sel.eta)),
+                    ("rank".into(), num(sel.rank as f64)),
+                    ("effective_rank".into(), num(sel.effective_rank as f64)),
+                    ("t_cons".into(), num(sel.t_cons)),
+                    ("selected".into(), indices(&sel.selected)),
+                    ("remaining".into(), indices(&sel.remaining)),
+                ]),
+            ),
+            ("guard_band_phi".into(), num(self.guard_band_phi)),
+            (
+                "predictor".into(),
+                JsonValue::Object(vec![
+                    ("kappa".into(), num(p.kappa())),
+                    ("targets".into(), num(p.target_count() as f64)),
+                    ("measurements".into(), num(p.measurement_count() as f64)),
+                    ("meas_mu".into(), nums(p.meas_mu())),
+                    ("target_mu".into(), nums(p.target_mu())),
+                    ("stds".into(), nums(p.stds())),
+                    ("coef".into(), nums(p.coef().as_slice())),
+                ]),
+            ),
+        ])
+        .render()
+    }
+
+    /// Serializes to the on-disk byte format (header line + body).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body = self.body_json();
+        let mut out = format!(
+            "{ARTIFACT_MAGIC} v{ARTIFACT_SCHEMA_VERSION} len:{} fnv1a64:{:016x}\n",
+            body.len(),
+            fnv1a64(body.as_bytes())
+        )
+        .into_bytes();
+        out.extend_from_slice(body.as_bytes());
+        out
+    }
+
+    /// The content hash serving as the model id (16 lowercase hex digits).
+    pub fn model_id(&self) -> String {
+        format!("{:016x}", fnv1a64(self.body_json().as_bytes()))
+    }
+
+    /// Parses the byte format, verifying length, checksum, schema version
+    /// and model validity. Returns the artifact and its model id.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ArtifactError`] naming the exact failure mode.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(Self, String), ArtifactError> {
+        let newline = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| ArtifactError::Corrupt("missing header line".into()))?;
+        let header = std::str::from_utf8(&bytes[..newline])
+            .map_err(|_| ArtifactError::Corrupt("header is not UTF-8".into()))?;
+        let mut parts = header.split(' ');
+        let magic = parts.next().unwrap_or("");
+        if magic != ARTIFACT_MAGIC {
+            return Err(ArtifactError::Corrupt(format!(
+                "bad magic `{magic}` (expected `{ARTIFACT_MAGIC}`)"
+            )));
+        }
+        let version = parts
+            .next()
+            .and_then(|v| v.strip_prefix('v'))
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| ArtifactError::Corrupt("unreadable version field".into()))?;
+        if version != ARTIFACT_SCHEMA_VERSION {
+            return Err(ArtifactError::VersionMismatch {
+                found: version,
+                supported: ARTIFACT_SCHEMA_VERSION,
+            });
+        }
+        let len = parts
+            .next()
+            .and_then(|v| v.strip_prefix("len:"))
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| ArtifactError::Corrupt("unreadable length field".into()))?;
+        let declared = parts
+            .next()
+            .and_then(|v| v.strip_prefix("fnv1a64:"))
+            .ok_or_else(|| ArtifactError::Corrupt("unreadable checksum field".into()))?
+            .to_owned();
+        let body = &bytes[newline + 1..];
+        if body.len() < len {
+            return Err(ArtifactError::Truncated {
+                expected: len,
+                got: body.len(),
+            });
+        }
+        if body.len() > len {
+            return Err(ArtifactError::Corrupt(format!(
+                "{} trailing bytes after the declared body",
+                body.len() - len
+            )));
+        }
+        let computed = format!("{:016x}", fnv1a64(body));
+        if computed != declared {
+            return Err(ArtifactError::ChecksumMismatch {
+                expected: declared,
+                computed,
+            });
+        }
+        let body = std::str::from_utf8(body)
+            .map_err(|_| ArtifactError::Corrupt("body is not UTF-8".into()))?;
+        let v = json::parse(body).map_err(ArtifactError::Corrupt)?;
+        let body_version = usize_field(&v, "schema_version")? as u64;
+        if body_version != ARTIFACT_SCHEMA_VERSION {
+            return Err(ArtifactError::VersionMismatch {
+                found: body_version,
+                supported: ARTIFACT_SCHEMA_VERSION,
+            });
+        }
+        let label = v
+            .field("label")
+            .and_then(|f| f.string())
+            .map_err(ArtifactError::Corrupt)?;
+        let sel = v.field("selection").map_err(ArtifactError::Corrupt)?;
+        let selection = SelectionMeta {
+            epsilon: num_field(sel, "epsilon")?,
+            epsilon_r: num_field(sel, "epsilon_r")?,
+            eta: num_field(sel, "eta")?,
+            rank: usize_field(sel, "rank")?,
+            effective_rank: usize_field(sel, "effective_rank")?,
+            t_cons: num_field(sel, "t_cons")?,
+            selected: index_field(sel, "selected")?,
+            remaining: index_field(sel, "remaining")?,
+        };
+        let guard_band_phi = num_field(&v, "guard_band_phi")?;
+        let p = v.field("predictor").map_err(ArtifactError::Corrupt)?;
+        let targets = usize_field(p, "targets")?;
+        let measurements = usize_field(p, "measurements")?;
+        let coef_data = nums_field(p, "coef")?;
+        if coef_data.len() != targets * measurements {
+            return Err(ArtifactError::Corrupt(format!(
+                "coef has {} entries, expected {targets}×{measurements}",
+                coef_data.len()
+            )));
+        }
+        let coef = Matrix::from_vec(targets, measurements, coef_data)
+            .map_err(|e| ArtifactError::Corrupt(format!("coef matrix: {e}")))?;
+        let predictor = MeasurementPredictor::from_parts(
+            coef,
+            nums_field(p, "meas_mu")?,
+            nums_field(p, "target_mu")?,
+            nums_field(p, "stds")?,
+            num_field(p, "kappa")?,
+        )
+        .map_err(|e| ArtifactError::InvalidModel(e.to_string()))?;
+        let artifact = ModelArtifact {
+            label,
+            selection,
+            guard_band_phi,
+            predictor,
+        };
+        Ok((artifact, computed))
+    }
+
+    /// Writes the artifact to `path`, returning its model id.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on any file-system failure.
+    pub fn save(&self, path: &str) -> Result<String, ArtifactError> {
+        let bytes = self.to_bytes();
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&bytes)?;
+        Ok(self.model_id())
+    }
+
+    /// Reads and validates the artifact at `path`, returning it and its
+    /// model id.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ArtifactError`] naming the exact failure mode.
+    pub fn load(path: &str) -> Result<(Self, String), ArtifactError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathrep_linalg::Matrix;
+
+    fn sample_artifact() -> ModelArtifact {
+        let coef = Matrix::from_fn(3, 2, |i, j| ((i * 2 + j) as f64 * 0.3).sin() * 2.0);
+        let predictor = MeasurementPredictor::from_parts(
+            coef,
+            vec![101.25, 99.5],
+            vec![100.0, 102.5, 98.75],
+            vec![0.5, 0.25, 1.0 / 3.0],
+            3.0,
+        )
+        .unwrap();
+        ModelArtifact {
+            label: "unit".into(),
+            selection: SelectionMeta {
+                epsilon: 0.05,
+                epsilon_r: 0.03,
+                eta: 0.05,
+                rank: 3,
+                effective_rank: 2,
+                t_cons: 110.0,
+                selected: vec![1, 4],
+                remaining: vec![0, 2, 3],
+            },
+            guard_band_phi: 3.3,
+            predictor,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact_and_deterministic() {
+        let art = sample_artifact();
+        let bytes = art.to_bytes();
+        assert_eq!(bytes, art.to_bytes(), "serialization must be deterministic");
+        let (back, id) = ModelArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(id, art.model_id());
+        assert_eq!(back.label, art.label);
+        assert_eq!(back.selection, art.selection);
+        assert_eq!(back.guard_band_phi.to_bits(), art.guard_band_phi.to_bits());
+        let m = [101.5, 99.0];
+        let a = art.predictor.predict(&m).unwrap();
+        let b = back.predictor.predict(&m).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "load must not perturb a bit");
+        }
+    }
+
+    #[test]
+    fn corruption_modes_are_told_apart() {
+        let art = sample_artifact();
+        let bytes = art.to_bytes();
+        // Truncation.
+        let cut = &bytes[..bytes.len() - 5];
+        assert!(matches!(
+            ModelArtifact::from_bytes(cut),
+            Err(ArtifactError::Truncated { .. })
+        ));
+        // Bit rot in the body.
+        let mut rotten = bytes.clone();
+        let last = rotten.len() - 1;
+        rotten[last] ^= 0x01;
+        assert!(matches!(
+            ModelArtifact::from_bytes(&rotten),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        // Version skew (header).
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let skewed = text.replacen("v1 ", "v9 ", 1);
+        assert!(matches!(
+            ModelArtifact::from_bytes(skewed.as_bytes()),
+            Err(ArtifactError::VersionMismatch { found: 9, .. })
+        ));
+        // Not an artifact at all.
+        assert!(matches!(
+            ModelArtifact::from_bytes(b"GARBAGE v1\n{}"),
+            Err(ArtifactError::Corrupt(_))
+        ));
+        assert!(matches!(
+            ModelArtifact::from_bytes(b"no newline at all"),
+            Err(ArtifactError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_model_is_rejected_after_checksum_passes() {
+        let art = sample_artifact();
+        // Rewrite kappa to an invalid value and re-seal the checksum, so
+        // only the model validation can catch it.
+        let body = String::from_utf8(art.to_bytes()).unwrap();
+        let body = body.split_once('\n').unwrap().1.replace(
+            "\"kappa\":3",
+            "\"kappa\":0",
+        );
+        let resealed = format!(
+            "{ARTIFACT_MAGIC} v{ARTIFACT_SCHEMA_VERSION} len:{} fnv1a64:{:016x}\n{}",
+            body.len(),
+            fnv1a64(body.as_bytes()),
+            body
+        );
+        assert!(matches!(
+            ModelArtifact::from_bytes(resealed.as_bytes()),
+            Err(ArtifactError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn model_id_tracks_content() {
+        let a = sample_artifact();
+        let mut b = sample_artifact();
+        assert_eq!(a.model_id(), b.model_id());
+        b.guard_band_phi += 0.5;
+        assert_ne!(a.model_id(), b.model_id());
+    }
+}

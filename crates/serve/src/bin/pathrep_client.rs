@@ -1,0 +1,278 @@
+//! The `pathrep-client` CLI: build/save artifacts, query a running
+//! daemon, and load-generate for the soak gate.
+//!
+//! ```text
+//! pathrep-client build-artifact <out-path>
+//! pathrep-client load     <addr> <artifact-path>
+//! pathrep-client predict  <addr> <model-id> <v1,v2,...>
+//! pathrep-client stats    <addr>
+//! pathrep-client shutdown <addr>
+//! pathrep-client loadgen  <addr> <artifact-path> [--clients N] [--requests M]
+//!                         [--inject-mismatch]
+//! ```
+//!
+//! `loadgen` is the soak driver: N concurrent connections each send M
+//! `predict` requests plus one `predict_batch`, and every reply is
+//! bit-compared against the offline `MeasurementPredictor::predict` on
+//! the locally-loaded artifact. `--inject-mismatch` corrupts one expected
+//! value on purpose so `serve_gate.sh --self-test` can prove the check
+//! trips.
+
+use pathrep_serve::{Client, ModelArtifact};
+use std::process::exit;
+
+fn die(msg: &str) -> ! {
+    eprintln!("pathrep-client: {msg}");
+    exit(1)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pathrep-client <build-artifact|load|predict|stats|shutdown|loadgen> …\n\
+         (see the crate docs for per-command arguments)"
+    );
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("build-artifact") => build_artifact(args.get(1).unwrap_or_else(|| usage())),
+        Some("load") => load(&args),
+        Some("predict") => predict(&args),
+        Some("stats") => stats(&args),
+        Some("shutdown") => shutdown(&args),
+        Some("loadgen") => loadgen(&args),
+        _ => usage(),
+    }
+}
+
+fn build_artifact(out: &str) {
+    let demo = pathrep_serve::demo::build_quickstart_model()
+        .unwrap_or_else(|e| die(&format!("building the quickstart model failed: {e}")));
+    let id = demo
+        .artifact
+        .save(out)
+        .unwrap_or_else(|e| die(&format!("saving {out} failed: {e}")));
+    println!(
+        "pathrep-client: wrote {out} (model {id}, {} measurements -> {} targets, phi {:.3} ps)",
+        demo.artifact.predictor.measurement_count(),
+        demo.artifact.predictor.target_count(),
+        demo.artifact.guard_band_phi
+    );
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")))
+}
+
+fn load(args: &[String]) {
+    let (addr, path) = match (args.get(1), args.get(2)) {
+        (Some(a), Some(p)) => (a, p),
+        _ => usage(),
+    };
+    let loaded = connect(addr)
+        .load_model(path)
+        .unwrap_or_else(|e| die(&format!("load_model failed: {e}")));
+    println!(
+        "pathrep-client: loaded {} ({}, {} measurements -> {} targets)",
+        loaded.model, loaded.label, loaded.measurements, loaded.targets
+    );
+}
+
+fn predict(args: &[String]) {
+    let (addr, model, csv) = match (args.get(1), args.get(2), args.get(3)) {
+        (Some(a), Some(m), Some(c)) => (a, m, c),
+        _ => usage(),
+    };
+    let measured: Vec<f64> = csv
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .unwrap_or_else(|_| die(&format!("`{t}` is not a number")))
+        })
+        .collect();
+    let predicted = connect(addr)
+        .predict(model, &measured)
+        .unwrap_or_else(|e| die(&format!("predict failed: {e}")));
+    let rendered: Vec<String> = predicted.iter().map(|v| format!("{v:.6}")).collect();
+    println!("pathrep-client: predicted [{}]", rendered.join(", "));
+}
+
+fn stats(args: &[String]) {
+    let addr = args.get(1).unwrap_or_else(|| usage());
+    let s = connect(addr)
+        .stats()
+        .unwrap_or_else(|e| die(&format!("stats failed: {e}")));
+    println!(
+        "requests={} predictions={} batches={} max_batch={} model_loads={} \
+         cache_hits={} cache_misses={} errors={} queue_high_water={} models_cached={}",
+        s.requests,
+        s.predictions,
+        s.batches,
+        s.max_batch,
+        s.model_loads,
+        s.cache_hits,
+        s.cache_misses,
+        s.errors,
+        s.queue_high_water,
+        s.models_cached
+    );
+}
+
+fn shutdown(args: &[String]) {
+    let addr = args.get(1).unwrap_or_else(|| usage());
+    connect(addr)
+        .shutdown()
+        .unwrap_or_else(|e| die(&format!("shutdown failed: {e}")));
+    println!("pathrep-client: daemon acknowledged shutdown");
+}
+
+/// Deterministic synthetic measurement for (client, request, coordinate):
+/// the artifact's mean, displaced by a smooth ±3 ps excursion.
+fn synthetic_measurement(meas_mu: &[f64], client: usize, request: usize) -> Vec<f64> {
+    meas_mu
+        .iter()
+        .enumerate()
+        .map(|(j, &mu)| mu + (((client * 977 + request * 131 + j * 17) as f64) * 0.37).sin() * 3.0)
+        .collect()
+}
+
+fn loadgen(args: &[String]) {
+    let (addr, path) = match (args.get(1), args.get(2)) {
+        (Some(a), Some(p)) => (a.clone(), p.clone()),
+        _ => usage(),
+    };
+    let mut clients = 4usize;
+    let mut requests = 25usize;
+    let mut inject = false;
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--clients" => {
+                clients = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--clients needs a positive integer"));
+                i += 2;
+            }
+            "--requests" => {
+                requests = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--requests needs a positive integer"));
+                i += 2;
+            }
+            "--inject-mismatch" => {
+                inject = true;
+                i += 1;
+            }
+            other => die(&format!("unknown loadgen flag `{other}`")),
+        }
+    }
+
+    // The offline reference: the same artifact the daemon will serve.
+    let (artifact, local_id) =
+        ModelArtifact::load(&path).unwrap_or_else(|e| die(&format!("cannot load {path}: {e}")));
+    let loaded = connect(&addr)
+        .load_model(&path)
+        .unwrap_or_else(|e| die(&format!("daemon rejected the artifact: {e}")));
+    if loaded.model != local_id {
+        die(&format!(
+            "model id mismatch: daemon says {}, local file hashes to {local_id}",
+            loaded.model
+        ));
+    }
+
+    let artifact = std::sync::Arc::new(artifact);
+    let model_id = loaded.model;
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let artifact = std::sync::Arc::clone(&artifact);
+            let model_id = model_id.clone();
+            std::thread::spawn(move || -> (u64, u64) {
+                let mut client = match Client::connect(&addr) {
+                    Ok(cl) => cl,
+                    Err(e) => {
+                        eprintln!("loadgen client {c}: connect failed: {e}");
+                        return (0, 1);
+                    }
+                };
+                let mut mismatches = 0u64;
+                let mut errors = 0u64;
+                for k in 0..requests {
+                    let measured = synthetic_measurement(artifact.predictor.meas_mu(), c, k);
+                    let mut expected = artifact
+                        .predictor
+                        .predict(&measured)
+                        .expect("offline prediction succeeds");
+                    if inject && k == requests / 2 {
+                        // Self-test: provably detectable corruption.
+                        expected[0] += 1.0;
+                    }
+                    match client.predict(&model_id, &measured) {
+                        Ok(got) => {
+                            let same = got.len() == expected.len()
+                                && got
+                                    .iter()
+                                    .zip(expected.iter())
+                                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                            if !same {
+                                mismatches += 1;
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("loadgen client {c} request {k}: {e}");
+                            errors += 1;
+                        }
+                    }
+                }
+                // One batched request per client, same byte-identity bar.
+                let rows: Vec<Vec<f64>> = (0..4)
+                    .map(|k| synthetic_measurement(artifact.predictor.meas_mu(), c, 10_000 + k))
+                    .collect();
+                match client.predict_batch(&model_id, &rows) {
+                    Ok(got) => {
+                        for (row, m) in got.iter().zip(rows.iter()) {
+                            let expected =
+                                artifact.predictor.predict(m).expect("offline prediction");
+                            if row.len() != expected.len()
+                                || row
+                                    .iter()
+                                    .zip(expected.iter())
+                                    .any(|(a, b)| a.to_bits() != b.to_bits())
+                            {
+                                mismatches += 1;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("loadgen client {c} batch: {e}");
+                        errors += 1;
+                    }
+                }
+                (mismatches, errors)
+            })
+        })
+        .collect();
+
+    let mut mismatches = 0u64;
+    let mut errors = 0u64;
+    for w in workers {
+        let (m, e) = w.join().expect("loadgen worker panicked");
+        mismatches += m;
+        errors += e;
+    }
+    let total = clients * (requests + 4);
+    println!(
+        "pathrep-client: loadgen {clients} clients x {requests} predicts (+1 batch each): \
+         {total} rows, {mismatches} mismatches, {errors} errors"
+    );
+    if mismatches > 0 || errors > 0 {
+        eprintln!("pathrep-client: loadgen FAILED — served predictions must be byte-identical");
+        exit(1);
+    }
+    println!("pathrep-client: loadgen OK — all replies byte-identical to offline predictions");
+}

@@ -1,0 +1,65 @@
+//! The `pathrep-serve` daemon: binds, prints its address, serves until a
+//! `shutdown` request drains it, then emits the telemetry report (which
+//! honours `PATHREP_OBS_PROM` / `PATHREP_OBS_LEDGER` / … exports).
+//!
+//! Usage: `pathrep-serve [--addr HOST:PORT]`
+//! Environment: `PATHREP_SERVE_ADDR`, `PATHREP_SERVE_BATCH`,
+//! `PATHREP_SERVE_QUEUE`, `PATHREP_SERVE_CACHE` (see the README env
+//! table). `--addr` overrides the environment.
+
+use pathrep_serve::{Server, ServerConfig};
+use std::io::Write;
+
+fn main() {
+    let mut config = ServerConfig::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(addr) => config.addr = addr,
+                None => {
+                    eprintln!("pathrep-serve: --addr needs a HOST:PORT value");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: pathrep-serve [--addr HOST:PORT]");
+                return;
+            }
+            other => {
+                eprintln!("pathrep-serve: unknown flag `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    pathrep_obs::ledger::set_run_context("pathrep-serve", 0);
+    let server = match Server::bind(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pathrep-serve: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    // The gate scripts parse this exact line to learn the ephemeral port.
+    println!("pathrep-serve: listening on {addr} (batch={} queue={} cache={})",
+        config.batch_max, config.queue_cap, config.cache_cap);
+    let _ = std::io::stdout().flush();
+
+    match server.run() {
+        Ok(stats) => {
+            println!(
+                "pathrep-serve: drained — {} requests, {} predictions in {} batches \
+                 (max batch {}), {} errors",
+                stats.requests, stats.predictions, stats.batches, stats.max_batch, stats.errors
+            );
+            pathrep_obs::report("pathrep-serve");
+        }
+        Err(e) => {
+            eprintln!("pathrep-serve: fatal listener error: {e}");
+            pathrep_obs::report("pathrep-serve");
+            std::process::exit(1);
+        }
+    }
+}

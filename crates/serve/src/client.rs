@@ -1,0 +1,169 @@
+//! Blocking client for the `pathrep-serve` daemon: one request, one
+//! response, over a persistent connection.
+
+use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response, ServerStats};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Any client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket or framing failure.
+    Protocol(ProtocolError),
+    /// The daemon answered with an error response.
+    Server(String),
+    /// The daemon answered with a response of the wrong kind.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// Identity of a model resident on the daemon, echoed by `load_model`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedModel {
+    /// Content-hash model id to use in predict requests.
+    pub model: String,
+    /// Artifact label.
+    pub label: String,
+    /// Number of predicted targets.
+    pub targets: usize,
+    /// Number of required measurements.
+    pub measurements: usize,
+}
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// The underlying connection failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response ping-pong: Nagle-delaying the small request
+        // frames would cost ~40 ms per round trip.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Protocol(ProtocolError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before responding",
+            )))
+        })?;
+        match Response::decode(&payload)? {
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Ok(other),
+        }
+    }
+
+    /// Asks the daemon to load the artifact at `path` (a path on the
+    /// daemon's host).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with the daemon's typed artifact error
+    /// message, or a protocol failure.
+    pub fn load_model(&mut self, path: &str) -> Result<LoadedModel, ClientError> {
+        match self.round_trip(&Request::LoadModel { path: path.into() })? {
+            Response::Loaded {
+                model,
+                label,
+                targets,
+                measurements,
+            } => Ok(LoadedModel {
+                model,
+                label,
+                targets,
+                measurements,
+            }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Predicts target delays for one measurement vector.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] on an unknown model or wrong-length vector.
+    pub fn predict(&mut self, model: &str, measured: &[f64]) -> Result<Vec<f64>, ClientError> {
+        match self.round_trip(&Request::Predict {
+            model: model.into(),
+            measured: measured.to_vec(),
+        })? {
+            Response::Predicted { predicted } => Ok(predicted),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Predicts target delays for a batch of measurement vectors.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] on an unknown model or wrong-length rows.
+    pub fn predict_batch(
+        &mut self,
+        model: &str,
+        measured: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, ClientError> {
+        match self.round_trip(&Request::PredictBatch {
+            model: model.into(),
+            measured: measured.to_vec(),
+        })? {
+            Response::PredictedBatch { predicted } => Ok(predicted),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the daemon's lifetime statistics.
+    ///
+    /// # Errors
+    ///
+    /// Protocol failures only.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit; returns once acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Protocol failures only.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

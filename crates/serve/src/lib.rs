@@ -1,0 +1,43 @@
+//! # pathrep-serve — batching prediction server + versioned artifact store
+//!
+//! The paper selects a small representative path set at design time so
+//! that, post-silicon, *every* fabricated die's full timing can be
+//! predicted from a handful of measurements — an inherently online,
+//! high-fan-out workload. This crate turns the batch pipeline into that
+//! online system:
+//!
+//! * [`artifact`] — schema-versioned, checksummed persistence of a
+//!   [`pathrep_core::predictor::MeasurementPredictor`] plus its selection
+//!   provenance (ε, η, r, selected path ids) and guard-band φ; the FNV-1a
+//!   content hash is the model id.
+//! * [`protocol`] — a length-prefixed JSON wire protocol (`load_model`,
+//!   `predict`, `predict_batch`, `stats`, `shutdown`) with exact `f64`
+//!   round-trips, so wire results are bit-identical to in-memory ones.
+//! * [`server`] — the daemon: thread-per-connection over `std::net`, a
+//!   bounded micro-batch queue that coalesces concurrent predictions for
+//!   the same model into one fused kernel (deterministic per-request
+//!   output regardless of batching), an LRU artifact cache, condvar
+//!   backpressure, and a clean drain on shutdown. No async runtime; the
+//!   numeric fan-out is the existing `pathrep-par` pool.
+//! * [`client`] — a blocking client used by `pathrep-client` and tests.
+//! * [`demo`] — the quickstart (Figure-1) model as a servable artifact.
+//!
+//! Configuration comes from `PATHREP_SERVE_ADDR` / `PATHREP_SERVE_BATCH` /
+//! `PATHREP_SERVE_QUEUE` / `PATHREP_SERVE_CACHE`, all registered in
+//! [`pathrep_obs::config::ALL_ENV_VARS`]. Telemetry: per-request spans,
+//! `serve.*` counters/gauges/histograms (exported as `pathrep_serve_*`
+//! Prometheus families), and a `serve/model_load` ledger record per
+//! artifact load.
+
+#![deny(missing_docs)]
+
+pub mod artifact;
+pub mod client;
+pub mod demo;
+pub mod protocol;
+pub mod server;
+
+pub use artifact::{ArtifactError, ModelArtifact, SelectionMeta, ARTIFACT_SCHEMA_VERSION};
+pub use client::{Client, ClientError, LoadedModel};
+pub use protocol::{Request, Response, ServerStats};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,515 @@
+//! The length-prefixed JSON wire protocol between `pathrep-client` and the
+//! `pathrep-serve` daemon.
+//!
+//! Every frame is a 4-byte big-endian length followed by that many bytes
+//! of UTF-8 JSON — trivially parseable from any language, no async
+//! machinery required. Numbers travel through [`pathrep_obs::json`], whose
+//! formatter round-trips every finite `f64` exactly; predictions received
+//! over the wire are therefore byte-identical to the server's in-memory
+//! results, which the soak gate and the determinism tests rely on.
+//!
+//! Requests carry a `"type"` tag (`load_model`, `predict`,
+//! `predict_batch`, `stats`, `shutdown`); responses mirror it (`loaded`,
+//! `predicted`, `predicted_batch`, `stats`, `shutting_down`, `error`).
+
+use pathrep_obs::json::{self, JsonValue};
+use std::io::{Read, Write};
+
+/// Upper bound on a single frame; anything larger is a protocol error,
+/// not an allocation request (protects the daemon from garbage bytes).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A client → server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Load (or re-validate) the artifact at `path` on the server host.
+    LoadModel {
+        /// Artifact path as seen by the daemon.
+        path: String,
+    },
+    /// Predict target delays from one measurement vector.
+    Predict {
+        /// Content-hash model id returned by `LoadModel`.
+        model: String,
+        /// Measured delays, in the artifact's `selected` order.
+        measured: Vec<f64>,
+    },
+    /// Predict for several measurement vectors in one request.
+    PredictBatch {
+        /// Content-hash model id returned by `LoadModel`.
+        model: String,
+        /// One measurement vector per row.
+        measured: Vec<Vec<f64>>,
+    },
+    /// Fetch the daemon's lifetime statistics.
+    Stats,
+    /// Drain the queue, stop accepting connections and exit.
+    Shutdown,
+}
+
+/// Lifetime statistics reported by [`Response::Stats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerStats {
+    /// Requests received (all kinds).
+    pub requests: u64,
+    /// Individual prediction rows computed.
+    pub predictions: u64,
+    /// Batched kernel invocations (≤ predictions; smaller when
+    /// micro-batching coalesced concurrent requests).
+    pub batches: u64,
+    /// Largest batch coalesced so far.
+    pub max_batch: u64,
+    /// Successful artifact loads.
+    pub model_loads: u64,
+    /// Predict requests served from the LRU cache.
+    pub cache_hits: u64,
+    /// Predict requests that missed the cache.
+    pub cache_misses: u64,
+    /// Requests answered with [`Response::Error`].
+    pub errors: u64,
+    /// High-water mark of the prediction queue depth.
+    pub queue_high_water: u64,
+    /// Models currently resident in the cache.
+    pub models_cached: u64,
+}
+
+/// A server → client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Artifact loaded (or already resident); echoes its identity.
+    Loaded {
+        /// Content-hash model id.
+        model: String,
+        /// Artifact label.
+        label: String,
+        /// Number of predicted targets.
+        targets: usize,
+        /// Number of required measurements.
+        measurements: usize,
+    },
+    /// Predicted target delays for one measurement vector.
+    Predicted {
+        /// One delay per target, in artifact `remaining` order.
+        predicted: Vec<f64>,
+    },
+    /// Predicted target delays for a batch.
+    PredictedBatch {
+        /// One row per request row.
+        predicted: Vec<Vec<f64>>,
+    },
+    /// Daemon statistics.
+    Stats(ServerStats),
+    /// Shutdown acknowledged; the daemon drains and exits.
+    ShuttingDown,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// Any protocol-layer failure.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Socket failure.
+    Io(std::io::Error),
+    /// A frame that is not valid UTF-8 JSON of the expected shape.
+    Malformed(String),
+    /// A frame larger than [`MAX_FRAME_BYTES`].
+    Oversized(usize),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "protocol I/O error: {e}"),
+            ProtocolError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            ProtocolError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// [`ProtocolError::Io`] on socket failure, [`ProtocolError::Oversized`]
+/// if the payload exceeds [`MAX_FRAME_BYTES`].
+pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), ProtocolError> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized(bytes.len()));
+    }
+    // One write per frame: a separate 4-byte prefix write would interact
+    // with Nagle's algorithm + delayed ACK into ~40 ms stalls per request
+    // on a request/response workload.
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    frame.extend_from_slice(bytes);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection).
+///
+/// # Errors
+///
+/// [`ProtocolError::Io`] on socket failure or mid-frame EOF,
+/// [`ProtocolError::Oversized`] on an over-limit length prefix,
+/// [`ProtocolError::Malformed`] on non-UTF-8 payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, ProtocolError> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf)? {
+        0 => return Ok(None),
+        mut n => {
+            while n < 4 {
+                let got = r.read(&mut len_buf[n..])?;
+                if got == 0 {
+                    return Err(ProtocolError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "EOF inside a frame length prefix",
+                    )));
+                }
+                n += got;
+            }
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| ProtocolError::Malformed("frame payload is not UTF-8".into()))
+}
+
+fn floats(v: &[f64]) -> JsonValue {
+    JsonValue::Array(v.iter().map(|&x| JsonValue::Number(x)).collect())
+}
+
+fn str_field(v: &JsonValue, name: &str) -> Result<String, ProtocolError> {
+    v.field(name)
+        .and_then(|f| f.string())
+        .map_err(ProtocolError::Malformed)
+}
+
+fn floats_field(v: &JsonValue, name: &str) -> Result<Vec<f64>, ProtocolError> {
+    v.field(name)
+        .and_then(|f| f.number_array())
+        .map_err(ProtocolError::Malformed)
+}
+
+fn u64_field(v: &JsonValue, name: &str) -> Result<u64, ProtocolError> {
+    v.field(name)
+        .and_then(|f| f.number())
+        .map(|n| n as u64)
+        .map_err(ProtocolError::Malformed)
+}
+
+impl Request {
+    /// Renders the request as one JSON frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::LoadModel { path } => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("load_model".into())),
+                ("path".into(), JsonValue::String(path.clone())),
+            ]),
+            Request::Predict { model, measured } => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("predict".into())),
+                ("model".into(), JsonValue::String(model.clone())),
+                ("measured".into(), floats(measured)),
+            ]),
+            Request::PredictBatch { model, measured } => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("predict_batch".into())),
+                ("model".into(), JsonValue::String(model.clone())),
+                (
+                    "measured".into(),
+                    JsonValue::Array(measured.iter().map(|row| floats(row)).collect()),
+                ),
+            ]),
+            Request::Stats => JsonValue::Object(vec![(
+                "type".into(),
+                JsonValue::String("stats".into()),
+            )]),
+            Request::Shutdown => JsonValue::Object(vec![(
+                "type".into(),
+                JsonValue::String("shutdown".into()),
+            )]),
+        }
+        .render()
+    }
+
+    /// Parses a request frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on unknown type or missing fields.
+    pub fn decode(payload: &str) -> Result<Self, ProtocolError> {
+        let v = json::parse(payload).map_err(ProtocolError::Malformed)?;
+        let kind = str_field(&v, "type")?;
+        match kind.as_str() {
+            "load_model" => Ok(Request::LoadModel {
+                path: str_field(&v, "path")?,
+            }),
+            "predict" => Ok(Request::Predict {
+                model: str_field(&v, "model")?,
+                measured: floats_field(&v, "measured")?,
+            }),
+            "predict_batch" => {
+                let rows = v
+                    .field("measured")
+                    .and_then(|f| f.array().map(<[JsonValue]>::to_vec))
+                    .map_err(ProtocolError::Malformed)?;
+                let measured = rows
+                    .iter()
+                    .map(|row| row.number_array().map_err(ProtocolError::Malformed))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::PredictBatch {
+                    model: str_field(&v, "model")?,
+                    measured,
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtocolError::Malformed(format!(
+                "unknown request type `{other}`"
+            ))),
+        }
+    }
+}
+
+impl ServerStats {
+    fn to_json(&self) -> JsonValue {
+        let int = |v: u64| JsonValue::Number(v as f64);
+        JsonValue::Object(vec![
+            ("requests".into(), int(self.requests)),
+            ("predictions".into(), int(self.predictions)),
+            ("batches".into(), int(self.batches)),
+            ("max_batch".into(), int(self.max_batch)),
+            ("model_loads".into(), int(self.model_loads)),
+            ("cache_hits".into(), int(self.cache_hits)),
+            ("cache_misses".into(), int(self.cache_misses)),
+            ("errors".into(), int(self.errors)),
+            ("queue_high_water".into(), int(self.queue_high_water)),
+            ("models_cached".into(), int(self.models_cached)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, ProtocolError> {
+        Ok(ServerStats {
+            requests: u64_field(v, "requests")?,
+            predictions: u64_field(v, "predictions")?,
+            batches: u64_field(v, "batches")?,
+            max_batch: u64_field(v, "max_batch")?,
+            model_loads: u64_field(v, "model_loads")?,
+            cache_hits: u64_field(v, "cache_hits")?,
+            cache_misses: u64_field(v, "cache_misses")?,
+            errors: u64_field(v, "errors")?,
+            queue_high_water: u64_field(v, "queue_high_water")?,
+            models_cached: u64_field(v, "models_cached")?,
+        })
+    }
+}
+
+impl Response {
+    /// Renders the response as one JSON frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Loaded {
+                model,
+                label,
+                targets,
+                measurements,
+            } => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("loaded".into())),
+                ("model".into(), JsonValue::String(model.clone())),
+                ("label".into(), JsonValue::String(label.clone())),
+                ("targets".into(), JsonValue::Number(*targets as f64)),
+                (
+                    "measurements".into(),
+                    JsonValue::Number(*measurements as f64),
+                ),
+            ]),
+            Response::Predicted { predicted } => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("predicted".into())),
+                ("predicted".into(), floats(predicted)),
+            ]),
+            Response::PredictedBatch { predicted } => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("predicted_batch".into())),
+                (
+                    "predicted".into(),
+                    JsonValue::Array(predicted.iter().map(|row| floats(row)).collect()),
+                ),
+            ]),
+            Response::Stats(stats) => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("stats".into())),
+                ("stats".into(), stats.to_json()),
+            ]),
+            Response::ShuttingDown => JsonValue::Object(vec![(
+                "type".into(),
+                JsonValue::String("shutting_down".into()),
+            )]),
+            Response::Error { message } => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("error".into())),
+                ("message".into(), JsonValue::String(message.clone())),
+            ]),
+        }
+        .render()
+    }
+
+    /// Parses a response frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on unknown type or missing fields.
+    pub fn decode(payload: &str) -> Result<Self, ProtocolError> {
+        let v = json::parse(payload).map_err(ProtocolError::Malformed)?;
+        let kind = str_field(&v, "type")?;
+        match kind.as_str() {
+            "loaded" => Ok(Response::Loaded {
+                model: str_field(&v, "model")?,
+                label: str_field(&v, "label")?,
+                targets: u64_field(&v, "targets")? as usize,
+                measurements: u64_field(&v, "measurements")? as usize,
+            }),
+            "predicted" => Ok(Response::Predicted {
+                predicted: floats_field(&v, "predicted")?,
+            }),
+            "predicted_batch" => {
+                let rows = v
+                    .field("predicted")
+                    .and_then(|f| f.array().map(<[JsonValue]>::to_vec))
+                    .map_err(ProtocolError::Malformed)?;
+                let predicted = rows
+                    .iter()
+                    .map(|row| row.number_array().map_err(ProtocolError::Malformed))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::PredictedBatch { predicted })
+            }
+            "stats" => Ok(Response::Stats(ServerStats::from_json(
+                v.field("stats").map_err(ProtocolError::Malformed)?,
+            )?)),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                message: str_field(&v, "message")?,
+            }),
+            other => Err(ProtocolError::Malformed(format!(
+                "unknown response type `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::LoadModel {
+                path: "/tmp/m.artifact".into(),
+            },
+            Request::Predict {
+                model: "deadbeef00112233".into(),
+                measured: vec![101.5, 1.0 / 3.0, -2.25],
+            },
+            Request::PredictBatch {
+                model: "deadbeef00112233".into(),
+                measured: vec![vec![1.0, 2.0], vec![0.1, 0.2]],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_with_exact_floats() {
+        let tricky = vec![1.0 / 3.0, 6.02214076e23, -1.25e-12, 98.7654321];
+        let cases = [
+            Response::Loaded {
+                model: "a".repeat(16),
+                label: "quickstart".into(),
+                targets: 3,
+                measurements: 2,
+            },
+            Response::Predicted {
+                predicted: tricky.clone(),
+            },
+            Response::PredictedBatch {
+                predicted: vec![tricky, vec![0.0]],
+            },
+            Response::Stats(ServerStats {
+                requests: 10,
+                predictions: 9,
+                batches: 3,
+                max_batch: 4,
+                model_loads: 1,
+                cache_hits: 8,
+                cache_misses: 1,
+                errors: 0,
+                queue_high_water: 5,
+                models_cached: 1,
+            }),
+            Response::ShuttingDown,
+            Response::Error {
+                message: "no such model".into(),
+            },
+        ];
+        for resp in cases {
+            let back = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(back, resp);
+            if let (Response::Predicted { predicted: a }, Response::Predicted { predicted: b }) =
+                (&resp, &back)
+            {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "wire transport must be bit-exact");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_byte_pipe() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "first").unwrap();
+        write_frame(&mut buf, "second frame").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("first"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("second frame"));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        // Mid-frame EOF is an error, not a silent None.
+        let mut cut = &buf[..6];
+        assert!(matches!(read_frame(&mut cut), Err(ProtocolError::Io(_))));
+        // Oversized length prefix is rejected before allocation.
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut &huge[..]),
+            Err(ProtocolError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        assert!(Request::decode("{}").is_err());
+        assert!(Request::decode("{\"type\":\"nope\"}").is_err());
+        assert!(Response::decode("not json").is_err());
+    }
+}

@@ -1,0 +1,712 @@
+//! The batching prediction daemon.
+//!
+//! Architecture (all std::net + OS threads; the numeric fan-out reuses the
+//! `pathrep-par` pool inside [`MeasurementPredictor::predict_batch`]):
+//!
+//! ```text
+//! accept loop ──> one handler thread per connection ──┐ push (blocks when full)
+//!                                                     v
+//!                        bounded micro-batch queue (Mutex + Condvar)
+//!                                                     │ drain ≤ batch_max,
+//!                                                     v grouped by model id
+//!                        batcher thread ── predict_batch ── per-request reply slots
+//! ```
+//!
+//! **Determinism.** The batcher may coalesce any subset of concurrent
+//! requests, but `predict_batch` computes every output row by exactly the
+//! floating-point sequence of a solo `predict` call, so each client's
+//! answer is bit-identical regardless of which requests happened to share
+//! a kernel invocation. `PredictBatch` enqueues one pending row per
+//! measurement vector — structurally the same as that many concurrent
+//! `Predict`s — so the two paths cannot diverge.
+//!
+//! **Backpressure.** The queue is bounded (`queue_cap`); handler threads
+//! block on a condvar until the batcher drains, so a flood of clients
+//! slows down instead of ballooning memory. **Shutdown** stops the accept
+//! loop, shuts down every live connection socket, drains the queue to
+//! empty and joins all threads — no request that was accepted is dropped.
+
+use crate::artifact::{ArtifactError, ModelArtifact};
+use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response, ServerStats};
+use pathrep_core::predictor::MeasurementPredictor;
+use pathrep_linalg::Matrix;
+use pathrep_obs::{config as obs_config, ledger};
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Latency histogram bucket edges in seconds (100 µs … 10 s, log-spaced).
+const LATENCY_EDGES: &[f64] = &[1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 10.0];
+
+/// Batch-size histogram bucket edges (rows per kernel invocation).
+const BATCH_EDGES: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// Runtime knobs, resolved from `PATHREP_SERVE_*` (all registered in
+/// [`pathrep_obs::config::ALL_ENV_VARS`]).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`PATHREP_SERVE_ADDR`, default `127.0.0.1:7878`;
+    /// port 0 binds an ephemeral port).
+    pub addr: String,
+    /// Micro-batch flush size (`PATHREP_SERVE_BATCH`, default 32).
+    pub batch_max: usize,
+    /// Bounded queue capacity (`PATHREP_SERVE_QUEUE`, default 256).
+    pub queue_cap: usize,
+    /// LRU model-cache capacity (`PATHREP_SERVE_CACHE`, default 8).
+    pub cache_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            batch_max: 32,
+            queue_cap: 256,
+            cache_cap: 8,
+        }
+    }
+}
+
+fn env_usize(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Ok(v) if !v.trim().is_empty() => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("pathrep-serve: [warn] ignoring invalid {var}={v:?} (using {default})");
+                default
+            }
+        },
+        _ => default,
+    }
+}
+
+impl ServerConfig {
+    /// Resolves the configuration from the environment, falling back to
+    /// the defaults above. Invalid values warn and fall back rather than
+    /// aborting the daemon.
+    pub fn from_env() -> Self {
+        let d = ServerConfig::default();
+        ServerConfig {
+            addr: std::env::var(obs_config::ENV_SERVE_ADDR)
+                .ok()
+                .filter(|v| !v.trim().is_empty())
+                .unwrap_or(d.addr),
+            batch_max: env_usize(obs_config::ENV_SERVE_BATCH, d.batch_max),
+            queue_cap: env_usize(obs_config::ENV_SERVE_QUEUE, d.queue_cap),
+            cache_cap: env_usize(obs_config::ENV_SERVE_CACHE, d.cache_cap),
+        }
+    }
+}
+
+/// One queued prediction row awaiting the batcher.
+struct Pending {
+    model_id: String,
+    predictor: Arc<MeasurementPredictor>,
+    measured: Vec<f64>,
+    /// Span path of the requesting handler, adopted by the batch kernel
+    /// so pool time attributes under the request that triggered it.
+    parent_span: Option<String>,
+    reply: mpsc::Sender<Result<Vec<f64>, String>>,
+}
+
+/// Bounded MPSC queue with condvar backpressure on both ends.
+struct BatchQueue {
+    inner: Mutex<VecDeque<Pending>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl BatchQueue {
+    fn new(cap: usize) -> Self {
+        BatchQueue {
+            inner: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Blocks while the queue is full (backpressure), then enqueues.
+    /// Returns the post-push depth.
+    fn push(&self, p: Pending) -> usize {
+        let mut q = self.inner.lock().unwrap();
+        while q.len() >= self.cap {
+            q = self.not_full.wait(q).unwrap();
+        }
+        q.push_back(p);
+        let depth = q.len();
+        drop(q);
+        self.not_empty.notify_one();
+        depth
+    }
+
+    /// Pops the front row plus every queued row for the same model (up to
+    /// `batch_max` total, preserving arrival order of the rest). Blocks
+    /// while empty; returns `None` once `stopped` is set *and* the queue
+    /// has fully drained, so shutdown never drops an accepted request.
+    fn pop_batch(&self, batch_max: usize, stopped: &AtomicBool) -> Option<Vec<Pending>> {
+        let mut q = self.inner.lock().unwrap();
+        loop {
+            if let Some(front) = q.pop_front() {
+                let mut batch = vec![front];
+                let mut i = 0;
+                while batch.len() < batch_max && i < q.len() {
+                    if q[i].model_id == batch[0].model_id
+                        && q[i].measured.len() == batch[0].measured.len()
+                    {
+                        batch.push(q.remove(i).expect("index i is in bounds"));
+                    } else {
+                        i += 1;
+                    }
+                }
+                drop(q);
+                self.not_full.notify_all();
+                return Some(batch);
+            }
+            if stopped.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.not_empty.wait(q).unwrap();
+        }
+    }
+
+    /// Wakes the batcher so it can observe the stop flag.
+    fn wake_all(&self) {
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Move-to-front LRU of loaded artifacts, keyed by model id.
+struct ModelCache {
+    entries: Mutex<Vec<(String, Arc<ModelArtifact>)>>,
+    cap: usize,
+}
+
+impl ModelCache {
+    fn new(cap: usize) -> Self {
+        ModelCache {
+            entries: Mutex::new(Vec::new()),
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&self, id: &str) -> Option<Arc<ModelArtifact>> {
+        let mut e = self.entries.lock().unwrap();
+        let pos = e.iter().position(|(k, _)| k == id)?;
+        let entry = e.remove(pos);
+        let art = Arc::clone(&entry.1);
+        e.insert(0, entry);
+        Some(art)
+    }
+
+    fn insert(&self, id: String, art: Arc<ModelArtifact>) -> usize {
+        let mut e = self.entries.lock().unwrap();
+        e.retain(|(k, _)| *k != id);
+        e.insert(0, (id, art));
+        e.truncate(self.cap);
+        e.len()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+}
+
+/// Monotonic daemon statistics (lifetime, lock-free).
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    predictions: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    model_loads: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    errors: AtomicU64,
+    queue_high_water: AtomicU64,
+}
+
+impl Stats {
+    fn bump_max(cell: &AtomicU64, value: u64) {
+        cell.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, models_cached: u64) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            predictions: self.predictions.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            model_loads: self.model_loads.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            models_cached,
+        }
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    queue: BatchQueue,
+    cache: ModelCache,
+    stats: Stats,
+    stopping: AtomicBool,
+    /// Live connection sockets, shut down on drain so blocked reads wake.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A bound, not-yet-running server. Binding is separate from running so
+/// callers (tests, the daemon binary) can learn the ephemeral port first.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    join: std::thread::JoinHandle<ServerStats>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port even when 0 was requested).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the daemon to drain and exit, returning its final
+    /// lifetime statistics.
+    pub fn join(self) -> ServerStats {
+        self.join.join().expect("server thread must not panic")
+    }
+}
+
+impl Server {
+    /// Binds the listener described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying bind failure (address in use, permission, …).
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let shared = Arc::new(Shared {
+            queue: BatchQueue::new(config.queue_cap),
+            cache: ModelCache::new(config.cache_cap),
+            stats: Stats::default(),
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            config,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (with the real port even when 0 was requested).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS failure to report the local address.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the daemon on the calling thread until a `Shutdown` request
+    /// drains it; returns the final lifetime statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener failures only; per-connection errors are handled
+    /// and counted, never fatal.
+    pub fn run(self) -> std::io::Result<ServerStats> {
+        let Server { listener, shared } = self;
+        let addr = listener.local_addr()?;
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-batcher".into())
+                .spawn(move || batcher_loop(&shared))
+                .expect("spawning the batcher thread")
+        };
+
+        let mut handlers = Vec::new();
+        for stream in listener.incoming() {
+            if shared.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("pathrep-serve: [warn] accept failed: {e}");
+                    continue;
+                }
+            };
+            // Request/response ping-pong: Nagle-delaying the small reply
+            // frames would cost ~40 ms per round trip.
+            let _ = stream.set_nodelay(true);
+            if let Ok(clone) = stream.try_clone() {
+                shared.conns.lock().unwrap().push(clone);
+            }
+            let shared = Arc::clone(&shared);
+            handlers.push(
+                std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || handle_connection(stream, &shared))
+                    .expect("spawning a connection handler"),
+            );
+        }
+
+        // Drain: wake everything blocked on the socket or the queue.
+        for conn in shared.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        shared.queue.wake_all();
+        let _ = batcher.join();
+        pathrep_obs::gauge_set("serve.queue_depth", 0.0);
+        let stats = shared.stats.snapshot(shared.cache.len() as u64);
+        ledger::record("serve", "drained", |f| {
+            f.text("addr", &addr.to_string())
+                .int("requests", stats.requests)
+                .int("predictions", stats.predictions)
+                .int("errors", stats.errors);
+        });
+        Ok(stats)
+    }
+
+    /// Spawns [`Server::run`] on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS failure to report the local address.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let join = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || self.run().expect("server run loop"))?;
+        Ok(ServerHandle { addr, join })
+    }
+}
+
+fn batcher_loop(shared: &Shared) {
+    while let Some(batch) = shared
+        .queue
+        .pop_batch(shared.config.batch_max, &shared.stopping)
+    {
+        let rows = batch.len();
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        Stats::bump_max(&shared.stats.max_batch, rows as u64);
+        pathrep_obs::histogram_record_with("serve.batch_rows", BATCH_EDGES, rows as f64);
+        // Attribute the kernel under the span of the request that opened
+        // the batch; the coalesced rows ride along.
+        let _parent = pathrep_obs::adopt_span_parent(batch[0].parent_span.clone());
+        let _span = pathrep_obs::span!("serve.batch");
+        let predictor = Arc::clone(&batch[0].predictor);
+        let width = batch[0].measured.len();
+        let mut data = Vec::with_capacity(rows * width);
+        for p in &batch {
+            data.extend_from_slice(&p.measured);
+        }
+        let result = Matrix::from_vec(rows, width, data)
+            .map_err(|e| e.to_string())
+            .and_then(|m| predictor.predict_batch(&m).map_err(|e| e.to_string()));
+        match result {
+            Ok(out) => {
+                for (i, p) in batch.iter().enumerate() {
+                    let _ = p.reply.send(Ok(out.row(i).to_vec()));
+                }
+            }
+            Err(e) => {
+                for p in &batch {
+                    let _ = p.reply.send(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+fn load_artifact(shared: &Shared, path: &str) -> Result<(Arc<ModelArtifact>, String), ArtifactError> {
+    let _span = pathrep_obs::span!("serve.load_model");
+    let (artifact, id) = ModelArtifact::load(path)?;
+    let artifact = Arc::new(artifact);
+    let cached = shared.cache.insert(id.clone(), Arc::clone(&artifact));
+    shared.stats.model_loads.fetch_add(1, Ordering::Relaxed);
+    pathrep_obs::counter_add("serve.model_loads", 1);
+    pathrep_obs::gauge_set("serve.cache_size", cached as f64);
+    ledger::record("serve", "model_load", |f| {
+        f.text("model", &id)
+            .text("label", &artifact.label)
+            .text("path", path)
+            .int("targets", artifact.predictor.target_count() as u64)
+            .int("measurements", artifact.predictor.measurement_count() as u64)
+            .num("epsilon_r", artifact.selection.epsilon_r)
+            .num("guard_band_phi", artifact.guard_band_phi);
+    });
+    Ok((artifact, id))
+}
+
+/// Resolves a model id against the cache, counting the hit or miss.
+fn resolve_model(shared: &Shared, id: &str) -> Result<Arc<ModelArtifact>, String> {
+    match shared.cache.get(id) {
+        Some(art) => {
+            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            pathrep_obs::counter_add("serve.cache_hits", 1);
+            Ok(art)
+        }
+        None => {
+            shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            pathrep_obs::counter_add("serve.cache_misses", 1);
+            Err(format!(
+                "model `{id}` is not loaded (send load_model first; the LRU cache holds {} models)",
+                shared.config.cache_cap
+            ))
+        }
+    }
+}
+
+/// Enqueues `rows` prediction rows for one model and waits for all
+/// replies, preserving row order.
+fn predict_rows(
+    shared: &Shared,
+    model_id: &str,
+    rows: Vec<Vec<f64>>,
+) -> Result<Vec<Vec<f64>>, String> {
+    let artifact = resolve_model(shared, model_id)?;
+    let want = artifact.predictor.measurement_count();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != want {
+            return Err(format!(
+                "row {i}: expected {want} measurements, got {}",
+                row.len()
+            ));
+        }
+    }
+    let parent_span = pathrep_obs::current_span_path();
+    let predictor = Arc::new(artifact.predictor.clone());
+    let receivers: Vec<_> = rows
+        .into_iter()
+        .map(|measured| {
+            let (tx, rx) = mpsc::channel();
+            let depth = shared.queue.push(Pending {
+                model_id: model_id.to_owned(),
+                predictor: Arc::clone(&predictor),
+                measured,
+                parent_span: parent_span.clone(),
+                reply: tx,
+            });
+            Stats::bump_max(&shared.stats.queue_high_water, depth as u64);
+            pathrep_obs::gauge_set("serve.queue_depth", depth as f64);
+            rx
+        })
+        .collect();
+    let mut out = Vec::with_capacity(receivers.len());
+    for rx in receivers {
+        let row = rx
+            .recv()
+            .map_err(|_| "batcher dropped the request during shutdown".to_owned())??;
+        shared.stats.predictions.fetch_add(1, Ordering::Relaxed);
+        pathrep_obs::counter_add("serve.predictions", 1);
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn respond_to(shared: &Shared, req: Request) -> Response {
+    match req {
+        Request::LoadModel { path } => match load_artifact(shared, &path) {
+            Ok((artifact, model)) => Response::Loaded {
+                model,
+                label: artifact.label.clone(),
+                targets: artifact.predictor.target_count(),
+                measurements: artifact.predictor.measurement_count(),
+            },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Predict { model, measured } => {
+            match predict_rows(shared, &model, vec![measured]) {
+                Ok(mut rows) => Response::Predicted {
+                    predicted: rows.pop().expect("one row in, one row out"),
+                },
+                Err(message) => Response::Error { message },
+            }
+        }
+        Request::PredictBatch { model, measured } => {
+            if measured.is_empty() {
+                return Response::PredictedBatch { predicted: vec![] };
+            }
+            match predict_rows(shared, &model, measured) {
+                Ok(predicted) => Response::PredictedBatch { predicted },
+                Err(message) => Response::Error { message },
+            }
+        }
+        Request::Stats => Response::Stats(
+            shared
+                .stats
+                .snapshot(shared.cache.len() as u64),
+        ),
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            // Clean EOF, or the socket was shut down during drain.
+            Ok(None) | Err(ProtocolError::Io(_)) => return,
+            Err(e) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                pathrep_obs::counter_add("serve.errors", 1);
+                let resp = Response::Error {
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &resp.encode());
+                return;
+            }
+        };
+        let _span = pathrep_obs::span!("serve.request");
+        let t0 = Instant::now();
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        pathrep_obs::counter_add("serve.requests", 1);
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                pathrep_obs::counter_add("serve.errors", 1);
+                let resp = Response::Error {
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &resp.encode());
+                continue;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let resp = respond_to(shared, req);
+        if matches!(resp, Response::Error { .. }) {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            pathrep_obs::counter_add("serve.errors", 1);
+        }
+        let ok = write_frame(&mut stream, &resp.encode()).is_ok();
+        pathrep_obs::histogram_record_with(
+            "serve.request_seconds",
+            LATENCY_EDGES,
+            t0.elapsed().as_secs_f64(),
+        );
+        if is_shutdown {
+            // Flip the flag, then nudge the accept loop awake with a
+            // throwaway connection so it observes the flag and drains.
+            shared.stopping.store(true, Ordering::SeqCst);
+            if let Ok(listener_addr) = stream.local_addr() {
+                let _ = TcpStream::connect(listener_addr);
+            }
+            return;
+        }
+        if !ok {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_from_env_falls_back_on_garbage() {
+        // Use the real vars briefly; restore to avoid cross-test leakage.
+        std::env::set_var(obs_config::ENV_SERVE_BATCH, "not-a-number");
+        std::env::set_var(obs_config::ENV_SERVE_QUEUE, "0");
+        let c = ServerConfig::from_env();
+        assert_eq!(c.batch_max, ServerConfig::default().batch_max);
+        assert_eq!(c.queue_cap, ServerConfig::default().queue_cap);
+        std::env::remove_var(obs_config::ENV_SERVE_BATCH);
+        std::env::remove_var(obs_config::ENV_SERVE_QUEUE);
+    }
+
+    #[test]
+    fn lru_cache_evicts_least_recently_used() {
+        let cache = ModelCache::new(2);
+        let art = |label: &str| {
+            let (a, _) = ModelArtifact::from_bytes(&demo_artifact(label).to_bytes()).unwrap();
+            Arc::new(a)
+        };
+        cache.insert("a".into(), art("a"));
+        cache.insert("b".into(), art("b"));
+        assert!(cache.get("a").is_some(), "touch `a` so `b` becomes LRU");
+        cache.insert("c".into(), art("c"));
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert!(cache.get("b").is_none(), "`b` was least recently used");
+        assert_eq!(cache.len(), 2);
+    }
+
+    fn demo_artifact(label: &str) -> ModelArtifact {
+        let coef = Matrix::from_fn(2, 2, |i, j| (i + j) as f64 * 0.5 + 0.25);
+        ModelArtifact {
+            label: label.into(),
+            selection: crate::artifact::SelectionMeta {
+                epsilon: 0.05,
+                epsilon_r: 0.01,
+                eta: 0.05,
+                rank: 2,
+                effective_rank: 2,
+                t_cons: 100.0,
+                selected: vec![0, 1],
+                remaining: vec![2, 3],
+            },
+            guard_band_phi: 1.0,
+            predictor: MeasurementPredictor::from_parts(
+                coef,
+                vec![10.0, 11.0],
+                vec![12.0, 13.0],
+                vec![0.1, 0.2],
+                3.0,
+            )
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn queue_batches_same_model_and_respects_flush_size() {
+        let q = BatchQueue::new(16);
+        let stopped = AtomicBool::new(false);
+        let art = Arc::new(demo_artifact("q").predictor);
+        let mk = |model: &str| {
+            let (tx, _rx) = mpsc::channel();
+            // Leak the receiver: these pendings are only inspected, never
+            // replied to.
+            std::mem::forget(_rx);
+            Pending {
+                model_id: model.into(),
+                predictor: Arc::clone(&art),
+                measured: vec![0.0, 0.0],
+                parent_span: None,
+                reply: tx,
+            }
+        };
+        for model in ["m1", "m1", "m2", "m1", "m1", "m1"] {
+            q.push(mk(model));
+        }
+        let b1 = q.pop_batch(3, &stopped).unwrap();
+        assert_eq!(b1.len(), 3, "flush-on-size caps the batch");
+        assert!(b1.iter().all(|p| p.model_id == "m1"));
+        let b2 = q.pop_batch(3, &stopped).unwrap();
+        assert_eq!(b2.len(), 1, "the m2 row runs alone, order preserved");
+        assert_eq!(b2[0].model_id, "m2");
+        let b3 = q.pop_batch(3, &stopped).unwrap();
+        assert_eq!(b3.len(), 2);
+        assert!(b3.iter().all(|p| p.model_id == "m1"));
+        stopped.store(true, Ordering::SeqCst);
+        assert!(q.pop_batch(3, &stopped).is_none(), "drained + stopped ends the loop");
+    }
+}

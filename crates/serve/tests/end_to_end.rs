@@ -1,0 +1,191 @@
+//! End-to-end serving: a real daemon on an ephemeral port, concurrent
+//! clients over TCP, byte-identity against the offline predictor, obs
+//! families in the Prometheus export, and byte-stability of the committed
+//! golden artifact.
+
+use pathrep_serve::demo::build_quickstart_model;
+use pathrep_serve::{Client, ModelArtifact, Server, ServerConfig};
+use std::sync::{Arc, Mutex};
+
+/// Both daemon tests mutate the global obs registry; serialize them.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_path(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("pathrep_serve_{}_{name}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch_max: 8,
+        queue_cap: 32,
+        cache_cap: 4,
+    }
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_predictions() {
+    let _obs = OBS_LOCK.lock().unwrap();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::ledger::set_collecting(true);
+    pathrep_obs::reset();
+
+    let demo = build_quickstart_model().expect("quickstart model builds");
+    let path = temp_path("e2e.artifact");
+    let model_id = demo.artifact.save(&path).expect("artifact saves");
+
+    let handle = Server::bind(test_config())
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("server spawns");
+    let addr = handle.addr();
+
+    let loaded = Client::connect(addr)
+        .expect("connect")
+        .load_model(&path)
+        .expect("daemon loads the artifact");
+    assert_eq!(loaded.model, model_id, "content hash is the model id");
+    assert_eq!(loaded.label, "quickstart");
+
+    // ≥ 4 concurrent clients, each predicting several fabricated chips.
+    let chips = demo.measure_chips(20, 7).expect("chips fabricate");
+    let artifact = Arc::new(demo.artifact);
+    let workers: Vec<_> = (0..5)
+        .map(|c| {
+            let chips = chips.clone();
+            let artifact = Arc::clone(&artifact);
+            let model_id = model_id.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("worker connects");
+                for (k, measured) in chips.iter().enumerate().skip(c % 3) {
+                    let got = client.predict(&model_id, measured).expect("predict");
+                    let want = artifact.predictor.predict(measured).expect("offline");
+                    assert_eq!(got.len(), want.len());
+                    for (a, b) in got.iter().zip(want.iter()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "client {c} chip {k}: served != offline"
+                        );
+                    }
+                }
+                // The batched endpoint must agree too.
+                let got = client.predict_batch(&model_id, &chips).expect("batch");
+                for (row, measured) in got.iter().zip(chips.iter()) {
+                    let want = artifact.predictor.predict(measured).expect("offline");
+                    for (a, b) in row.iter().zip(want.iter()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "client {c}: batch != offline");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker threads succeed");
+    }
+
+    let stats = Client::connect(addr).expect("connect").stats().expect("stats");
+    assert_eq!(stats.errors, 0, "soak must be error-free: {stats:?}");
+    assert_eq!(stats.model_loads, 1);
+    assert!(stats.predictions >= 5 * 20, "all rows predicted");
+    assert!(stats.batches >= 1);
+    assert_eq!(stats.models_cached, 1);
+
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown acknowledged");
+    let final_stats = handle.join();
+    assert_eq!(final_stats.errors, 0);
+
+    // The Prometheus export carries the serve families.
+    let prom = pathrep_obs::prom::render_prometheus(&pathrep_obs::registry().snapshot());
+    for family in [
+        "pathrep_serve_requests",
+        "pathrep_serve_predictions",
+        "pathrep_serve_model_loads",
+        "pathrep_serve_batch_rows",
+        "pathrep_serve_request_seconds",
+        "pathrep_serve_queue_depth",
+    ] {
+        assert!(prom.contains(family), "prometheus export lacks {family}:\n{prom}");
+    }
+    // The ledger recorded the model load.
+    let records = pathrep_obs::ledger::records();
+    assert!(
+        records
+            .iter()
+            .any(|r| r.stage == "serve" && r.name == "model_load"),
+        "ledger must carry a serve/model_load record"
+    );
+
+    pathrep_obs::ledger::set_collecting(false);
+    pathrep_obs::set_enabled(false);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unknown_model_and_bad_rows_are_typed_server_errors() {
+    let _obs = OBS_LOCK.lock().unwrap();
+    let demo = build_quickstart_model().expect("quickstart model builds");
+    let path = temp_path("errors.artifact");
+    demo.artifact.save(&path).expect("artifact saves");
+
+    let handle = Server::bind(test_config())
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("server spawns");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Predict against a model that was never loaded.
+    let err = client.predict("0000000000000000", &[1.0]).unwrap_err();
+    assert!(err.to_string().contains("not loaded"), "{err}");
+
+    // Wrong measurement arity after a successful load.
+    let loaded = client.load_model(&path).expect("load");
+    let err = client.predict(&loaded.model, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]).unwrap_err();
+    assert!(err.to_string().contains("measurements"), "{err}");
+
+    // Loading a nonexistent path is an error, not a crash.
+    let err = client.load_model("/nonexistent/nope.artifact").unwrap_err();
+    assert!(err.to_string().contains("I/O"), "{err}");
+
+    // The connection survived all three errors.
+    let stats = client.stats().expect("stats still works");
+    assert_eq!(stats.errors, 3);
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn golden_artifact_is_byte_stable() {
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../golden/quickstart_model.artifact"
+    );
+    let committed = std::fs::read(golden).expect(
+        "golden/quickstart_model.artifact must be committed \
+         (generate with `pathrep-client build-artifact`)",
+    );
+    let demo = build_quickstart_model().expect("quickstart model builds");
+    let rebuilt = demo.artifact.to_bytes();
+    assert_eq!(
+        committed, rebuilt,
+        "the quickstart artifact drifted from the committed golden bytes — \
+         an algorithm or serialization change altered the model"
+    );
+    // And the committed bytes parse back into a valid, usable model.
+    let (art, id) = ModelArtifact::from_bytes(&committed).expect("golden parses");
+    assert_eq!(id, demo.artifact.model_id());
+    let chips = demo.measure_chips(2, 3).expect("chips");
+    for m in &chips {
+        let a = art.predictor.predict(m).expect("golden predicts");
+        let b = demo.artifact.predictor.predict(m).expect("fresh predicts");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,83 @@
+//! Serving: the quickstart model as a live prediction daemon, in-process.
+//!
+//! The paper's end product is an *online* capability: once ~r
+//! representative paths are chosen at design time, every fabricated die's
+//! full timing is predicted from a handful of tester measurements. This
+//! example runs that loop — build the quickstart predictor, persist it as
+//! a versioned artifact, start the batching daemon on an ephemeral port,
+//! and query it like a production tester would: load the model by path,
+//! predict a few fabricated chips one at a time and as a batch, read the
+//! server stats, then shut the daemon down cleanly.
+//!
+//! Every served prediction is bit-identical to the offline
+//! `MeasurementPredictor::predict` — the micro-batcher never changes a
+//! result, only amortizes it.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use pathrep::serve::demo::build_quickstart_model;
+use pathrep::serve::{Client, Server, ServerConfig};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // --- Train offline: Figure-1 circuit → approx selection → artifact ---
+    let demo = build_quickstart_model()?;
+    let mut path = std::env::temp_dir();
+    path.push(format!("pathrep_serving_example_{}.artifact", std::process::id()));
+    let path = path.to_string_lossy().into_owned();
+    let model_id = demo.artifact.save(&path)?;
+    println!(
+        "artifact: {path}\n  model {model_id}, {} measurement(s) -> {} target(s), phi {:.3} ps",
+        demo.artifact.predictor.measurement_count(),
+        demo.artifact.predictor.target_count(),
+        demo.artifact.guard_band_phi,
+    );
+
+    // --- Start the daemon on an ephemeral port ---
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(config)?.spawn()?;
+    let addr = handle.addr();
+    println!("daemon:   listening on {addr}");
+
+    // --- The tester side: load the model, predict fabricated chips ---
+    let mut client = Client::connect(addr)?;
+    let loaded = client.load_model(&path)?;
+    println!("loaded:   {} ({})", loaded.model, loaded.label);
+
+    let chips = demo.measure_chips(6, 42)?;
+    for (k, measured) in chips.iter().enumerate() {
+        let served = client.predict(&loaded.model, measured)?;
+        let offline = demo.artifact.predictor.predict(measured)?;
+        assert_eq!(served, offline, "served must equal offline bit-for-bit");
+        let worst = served.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "chip {k}:   measured {:7.3} ps -> worst predicted target {:.3} ps \
+             (+{:.3} ps guard-band)",
+            measured[0],
+            worst,
+            demo.artifact.guard_band_phi,
+        );
+    }
+
+    // The same chips as one batched request — same bits, one kernel call.
+    let batched = client.predict_batch(&loaded.model, &chips)?;
+    for (row, measured) in batched.iter().zip(chips.iter()) {
+        assert_eq!(row, &demo.artifact.predictor.predict(measured)?);
+    }
+    println!("batch:    {} chips served batched, bit-identical to offline", batched.len());
+
+    let stats = client.stats()?;
+    println!(
+        "stats:    {} requests, {} predictions, {} batches (max {}), {} errors",
+        stats.requests, stats.predictions, stats.batches, stats.max_batch, stats.errors,
+    );
+
+    client.shutdown()?;
+    let final_stats = handle.join();
+    println!("drained:  daemon exited with {} errors", final_stats.errors);
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -6,7 +6,8 @@
 //!
 //! Start with [`core`] for the selection algorithms, [`circuit`] +
 //! [`variation`] + [`ssta`] for the substrates that produce the linear delay
-//! model, and [`eval`] to rerun the paper's experiments.
+//! model, [`eval`] to rerun the paper's experiments, and [`serve`] to run
+//! the trained predictor as a batching prediction daemon.
 
 pub use pathrep_circuit as circuit;
 pub use pathrep_convopt as convopt;
@@ -15,5 +16,6 @@ pub use pathrep_eval as eval;
 pub use pathrep_linalg as linalg;
 pub use pathrep_obs as obs;
 pub use pathrep_par as par;
+pub use pathrep_serve as serve;
 pub use pathrep_ssta as ssta;
 pub use pathrep_variation as variation;

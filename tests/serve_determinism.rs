@@ -1,0 +1,155 @@
+//! The serving determinism contract: predictions served by the daemon —
+//! whether micro-batched (`predict_batch`) or coalesced from interleaved
+//! concurrent `predict` requests — must be byte-identical to the offline
+//! [`MeasurementPredictor::predict`], at any `PATHREP_THREADS` setting.
+//! The batcher may group requests arbitrarily, so this is a real property:
+//! grouping must never change a single output bit.
+//!
+//! The pool size is process-global state; every case serializes on one
+//! mutex and restores the environment-resolved default before returning.
+
+use pathrep::serve::demo::{build_quickstart_model, DemoModel};
+use pathrep::serve::{Client, Server, ServerConfig};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, OnceLock};
+
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn demo() -> &'static DemoModel {
+    static DEMO: OnceLock<DemoModel> = OnceLock::new();
+    DEMO.get_or_init(|| build_quickstart_model().expect("quickstart model builds"))
+}
+
+fn artifact_path() -> &'static str {
+    static PATH: OnceLock<String> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pathrep_serve_det_{}.artifact", std::process::id()));
+        let p = p.to_string_lossy().into_owned();
+        demo().artifact.save(&p).expect("artifact saves");
+        p
+    })
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch_max: 4, // small, so multi-request batches actually form
+        queue_cap: 16,
+        cache_cap: 2,
+    }
+}
+
+/// Serves `chips` through a fresh daemon — once batched, once as
+/// interleaved concurrent predicts from `workers` clients — and returns
+/// (batched rows, per-worker predict rows).
+fn serve_round(chips: &[Vec<f64>], workers: usize) -> (Vec<Vec<f64>>, Vec<Vec<Vec<f64>>>) {
+    let handle = Server::bind(test_config())
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("server spawns");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let model = client
+        .load_model(artifact_path())
+        .expect("daemon loads artifact")
+        .model;
+
+    let batched = client.predict_batch(&model, chips).expect("batch predicts");
+
+    let chips: Arc<Vec<Vec<f64>>> = Arc::new(chips.to_vec());
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let chips = Arc::clone(&chips);
+            let model = model.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("worker connects");
+                chips
+                    .iter()
+                    .map(|m| client.predict(&model, m).expect("predict"))
+                    .collect::<Vec<Vec<f64>>>()
+            })
+        })
+        .collect();
+    let per_worker: Vec<Vec<Vec<f64>>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread succeeds"))
+        .collect();
+
+    client.shutdown().expect("shutdown");
+    let stats = handle.join();
+    assert_eq!(stats.errors, 0, "serving must be error-free: {stats:?}");
+    (batched, per_worker)
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}[{i}]: {x:?} != {y:?}");
+    }
+}
+
+/// The property, checked at one pool size: served == offline, bit for bit.
+fn check_at_current_threads(offsets: &[f64], workers: usize) {
+    let demo = demo();
+    let mu = demo.artifact.predictor.meas_mu().to_vec();
+    let chips: Vec<Vec<f64>> = offsets
+        .iter()
+        .map(|&d| mu.iter().map(|&m| m + d).collect())
+        .collect();
+    let offline: Vec<Vec<f64>> = chips
+        .iter()
+        .map(|m| demo.artifact.predictor.predict(m).expect("offline predicts"))
+        .collect();
+
+    let (batched, per_worker) = serve_round(&chips, workers);
+    for (k, (got, want)) in batched.iter().zip(offline.iter()).enumerate() {
+        assert_bits_eq(got, want, &format!("batched chip {k}"));
+    }
+    for (w, rows) in per_worker.iter().enumerate() {
+        for (k, (got, want)) in rows.iter().zip(offline.iter()).enumerate() {
+            assert_bits_eq(got, want, &format!("worker {w} chip {k}"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn served_predictions_match_offline_at_1_and_4_threads(
+        offsets in proptest::collection::vec(-12.0..12.0f64, 3..9),
+    ) {
+        let _guard = POOL_LOCK.lock().unwrap();
+        pathrep::par::set_threads(1);
+        check_at_current_threads(&offsets, 4);
+        pathrep::par::set_threads(4);
+        check_at_current_threads(&offsets, 4);
+        pathrep::par::set_threads(0);
+    }
+}
+
+/// Non-property smoke: real measured chips (correlated process draws, not
+/// uniform offsets) through the same bar, once per pool size.
+#[test]
+fn measured_chips_serve_bit_identically() {
+    let chips = demo().measure_chips(10, 5).expect("chips fabricate");
+    let offline: Vec<Vec<f64>> = chips
+        .iter()
+        .map(|m| demo().artifact.predictor.predict(m).expect("offline"))
+        .collect();
+    let _guard = POOL_LOCK.lock().unwrap();
+    for threads in [1, 4] {
+        pathrep::par::set_threads(threads);
+        let (batched, per_worker) = serve_round(&chips, 5);
+        for (k, (got, want)) in batched.iter().zip(offline.iter()).enumerate() {
+            assert_bits_eq(got, want, &format!("t{threads} batched chip {k}"));
+        }
+        for (w, rows) in per_worker.iter().enumerate() {
+            for (k, (got, want)) in rows.iter().zip(offline.iter()).enumerate() {
+                assert_bits_eq(got, want, &format!("t{threads} worker {w} chip {k}"));
+            }
+        }
+    }
+    pathrep::par::set_threads(0);
+}
