@@ -250,8 +250,12 @@ fn main() -> ExitCode {
     }
     println!("perf_gate: wrote {}", out_path.display());
     for w in &report.workloads {
+        let p999 = match w.p999_ms {
+            Some(v) => format!("   p999 {v:>9.2} ms"),
+            None => String::new(),
+        };
         println!(
-            "  {:<20} p50 {:>9.2} ms   p95 {:>9.2} ms",
+            "  {:<20} p50 {:>9.2} ms   p95 {:>9.2} ms{p999}",
             w.name, w.p50_ms, w.p95_ms
         );
     }

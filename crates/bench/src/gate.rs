@@ -27,6 +27,10 @@ pub struct WorkloadResult {
     pub p50_ms: f64,
     /// 95th-percentile wall time, in milliseconds.
     pub p95_ms: f64,
+    /// 99.9th-percentile wall time in milliseconds, from the HDR latency
+    /// machinery. `None` in baselines written before the field existed —
+    /// the parse is lenient so old `BENCH_*.json` files stay loadable.
+    pub p999_ms: Option<f64>,
     /// Deterministic operation counters from the obs registry.
     pub counters: BTreeMap<String, u64>,
 }
@@ -57,22 +61,24 @@ impl BenchReport {
                     self.workloads
                         .iter()
                         .map(|w| {
-                            JsonValue::Object(vec![
+                            let mut fields = vec![
                                 ("name".into(), JsonValue::String(w.name.clone())),
                                 ("p50_ms".into(), JsonValue::Number(w.p50_ms)),
                                 ("p95_ms".into(), JsonValue::Number(w.p95_ms)),
-                                (
-                                    "counters".into(),
-                                    JsonValue::Object(
-                                        w.counters
-                                            .iter()
-                                            .map(|(k, &v)| {
-                                                (k.clone(), JsonValue::Number(v as f64))
-                                            })
-                                            .collect(),
-                                    ),
+                            ];
+                            if let Some(p999) = w.p999_ms {
+                                fields.push(("p999_ms".into(), JsonValue::Number(p999)));
+                            }
+                            fields.push((
+                                "counters".into(),
+                                JsonValue::Object(
+                                    w.counters
+                                        .iter()
+                                        .map(|(k, &v)| (k.clone(), JsonValue::Number(v as f64)))
+                                        .collect(),
                                 ),
-                            ])
+                            ));
+                            JsonValue::Object(fields)
                         })
                         .collect(),
                 ),
@@ -112,6 +118,8 @@ impl BenchReport {
                     name: w.field("name")?.string()?,
                     p50_ms: w.field("p50_ms")?.number()?,
                     p95_ms: w.field("p95_ms")?.number()?,
+                    // Lenient: absent in pre-p999 baselines.
+                    p999_ms: w.field("p999_ms").ok().and_then(|f| f.number().ok()),
                     counters,
                 })
             })
@@ -307,6 +315,7 @@ mod tests {
             name: name.to_owned(),
             p50_ms: p50,
             p95_ms: p50 * 1.2,
+            p999_ms: Some(p50 * 1.5),
             counters: counters
                 .iter()
                 .map(|&(k, v)| (k.to_owned(), v))
@@ -330,6 +339,19 @@ mod tests {
         ]);
         let back = BenchReport::from_json(&r.to_json()).expect("valid JSON");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn baselines_without_p999_still_parse() {
+        // The exact shape BENCH_1..4 were written in, before p999_ms.
+        let text = r#"{"schema_version":1,"commit":"x","workloads":[
+            {"name":"exact_small","p50_ms":12.5,"p95_ms":15.0,
+             "counters":{"svd_sweeps":9}}]}"#;
+        let r = BenchReport::from_json(text).expect("lenient parse");
+        assert_eq!(r.workloads[0].p999_ms, None);
+        assert_eq!(r.workloads[0].p50_ms, 12.5);
+        // Re-serializing a p999-less workload emits no p999_ms field.
+        assert!(!r.to_json().contains("p999_ms"));
     }
 
     #[test]

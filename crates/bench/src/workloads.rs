@@ -240,6 +240,34 @@ fn serve_workload(
     }
 }
 
+/// Values recorded by the `hdr_record` workload — enough that the timed
+/// region is dominated by [`pathrep_obs::HdrHistogram::record`] itself.
+const HDR_RECORD_VALUES: usize = 200_000;
+
+/// Measures the HDR-histogram recording hot path: the per-request cost the
+/// serving plane pays for `serve.request_ns`. A deterministic LCG drives
+/// the values (seeded, so the `hdr_records` counter is exactly stable) and
+/// the resulting quantiles feed `black_box` so the loop cannot fold away.
+fn hdr_record_workload(name: &'static str) -> Workload {
+    Workload {
+        name,
+        run: Box::new(move || {
+            let mut h = pathrep_obs::HdrHistogram::new();
+            let mut state = GATE_SEED;
+            for _ in 0..HDR_RECORD_VALUES {
+                // LCG (Numerical Recipes constants): spans ~6 decades once
+                // folded into a latency-like range below.
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let ns = 1_000.0 + (state >> 11) as f64 % 1.0e9;
+                h.record(ns);
+            }
+            std::hint::black_box(h.quantile(0.999));
+            assert_eq!(h.count(), HDR_RECORD_VALUES as u64);
+            pathrep_obs::counter_add("obs.hdr.records", HDR_RECORD_VALUES as u64);
+        }),
+    }
+}
+
 /// Builds the full workload matrix. Preparation (circuit generation, path
 /// extraction, delay-model construction for the shared instances) happens
 /// here, untimed; the returned workloads are pure timed regions.
@@ -273,6 +301,7 @@ pub fn workload_matrix() -> Vec<Workload> {
     workloads.push(mc_workload("mc_eval_medium", medium));
     workloads.push(serve_workload("serve_small", 16, 64, 64));
     workloads.push(serve_workload("serve_medium", 48, 256, 256));
+    workloads.push(hdr_record_workload("hdr_record"));
     workloads
 }
 
@@ -286,6 +315,7 @@ const COUNTER_ALIASES: &[(&str, &str)] = &[
     ("linalg.qr.pivot_swaps", "qr_pivots"),
     ("linalg.svd.calls", "svd_calls"),
     ("linalg.svd.qr_sweeps", "svd_sweeps"),
+    ("obs.hdr.records", "hdr_records"),
     ("serve.predictions", "serve_predictions"),
     ("serve.requests", "serve_requests"),
     ("ssta.extract.paths", "extract_paths"),
@@ -341,6 +371,7 @@ pub fn measure(workloads: &[Workload], repeats: usize) -> Vec<WorkloadResult> {
             name: w.name.to_owned(),
             p50_ms: percentile_ms(&times_ms, 0.50),
             p95_ms: percentile_ms(&times_ms, 0.95),
+            p999_ms: Some(percentile_ms(&times_ms, 0.999)),
             counters: counters.unwrap_or_default(),
         });
     }

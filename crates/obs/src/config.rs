@@ -18,6 +18,17 @@ pub const ENV_PROM: &str = "PATHREP_OBS_PROM";
 pub const ENV_LEDGER: &str = "PATHREP_OBS_LEDGER";
 /// Overrides the run id stamped on every ledger record.
 pub const ENV_RUN_ID: &str = "PATHREP_OBS_RUN_ID";
+/// Bind address of the live telemetry HTTP plane (`GET /metrics`,
+/// `/healthz`, `/snapshot.json`); unset or blank disables it. `…:0`
+/// binds an ephemeral port (see [`crate::http`]).
+pub const ENV_HTTP: &str = "PATHREP_OBS_HTTP";
+/// Output path for folded-stack flamegraph lines written at
+/// [`crate::report`] when the span-stack profiler ran (see
+/// [`crate::profile`]); defaults to stdout when unset.
+pub const ENV_PROFILE: &str = "PATHREP_OBS_PROFILE";
+/// Sampling frequency (Hz, integer) of the span-stack profiler; unset or
+/// `0` disables sampling.
+pub const ENV_PROFILE_HZ: &str = "PATHREP_OBS_PROFILE_HZ";
 /// Worker-thread count for the parallel kernels (read by `pathrep-par`,
 /// registered here so the env-drift guard covers it): unset or `0` means
 /// available parallelism, `1` forces exact sequential execution. Results
@@ -46,6 +57,9 @@ pub const ALL_ENV_VARS: &[&str] = &[
     ENV_PROM,
     ENV_LEDGER,
     ENV_RUN_ID,
+    ENV_HTTP,
+    ENV_PROFILE,
+    ENV_PROFILE_HZ,
     ENV_THREADS,
     ENV_SERVE_ADDR,
     ENV_SERVE_BATCH,
@@ -86,6 +100,25 @@ pub fn prom_path() -> Option<String> {
 /// The numerical-health ledger path (`PATHREP_OBS_LEDGER`).
 pub fn ledger_path() -> Option<String> {
     path_from_env(ENV_LEDGER)
+}
+
+/// The live-telemetry HTTP bind address (`PATHREP_OBS_HTTP`).
+pub fn http_addr() -> Option<String> {
+    path_from_env(ENV_HTTP)
+}
+
+/// The folded-stack profile output path (`PATHREP_OBS_PROFILE`).
+pub fn profile_path() -> Option<String> {
+    path_from_env(ENV_PROFILE)
+}
+
+/// The span-stack profiler sampling frequency in Hz
+/// (`PATHREP_OBS_PROFILE_HZ`): `None` when unset, blank, unparsable, or
+/// zero — sampling is then off.
+pub fn profile_hz() -> Option<u64> {
+    path_from_env(ENV_PROFILE_HZ)
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&hz| hz > 0)
 }
 
 /// The run id stamped on ledger records: `PATHREP_OBS_RUN_ID` when set,
@@ -138,8 +171,9 @@ mod tests {
     #[test]
     fn all_env_vars_lists_every_constant() {
         for v in [
-            ENV_OBS, ENV_JSON, ENV_TRACE, ENV_PROM, ENV_LEDGER, ENV_RUN_ID, ENV_THREADS,
-            ENV_SERVE_ADDR, ENV_SERVE_BATCH, ENV_SERVE_QUEUE, ENV_SERVE_CACHE,
+            ENV_OBS, ENV_JSON, ENV_TRACE, ENV_PROM, ENV_LEDGER, ENV_RUN_ID, ENV_HTTP,
+            ENV_PROFILE, ENV_PROFILE_HZ, ENV_THREADS, ENV_SERVE_ADDR, ENV_SERVE_BATCH,
+            ENV_SERVE_QUEUE, ENV_SERVE_CACHE,
         ] {
             assert!(ALL_ENV_VARS.contains(&v));
         }

@@ -216,6 +216,13 @@ pub fn record(stage: &str, name: &str, fill: impl FnOnce(&mut Facts)) {
     }
     let mut facts = Facts::default();
     fill(&mut facts);
+    // A live trace context (a serve request being handled on this thread)
+    // stamps its correlation ids onto the record; offline runs have no
+    // context, so their golden ledgers stay byte-identical.
+    if let Some(ctx) = crate::trace::current_context() {
+        facts.int("trace_id", ctx.trace_id);
+        facts.int("request_seq", ctx.request_seq);
+    }
     let mut g = state().lock();
     if g.records.len() >= LEDGER_CAPACITY {
         g.dropped += 1;

@@ -38,6 +38,14 @@
 //!   `PATHREP_OBS=1`.
 //! * `PATHREP_OBS_RUN_ID=<id>` — override the run id stamped on ledger
 //!   records (defaults to `pid<process id>`).
+//! * `PATHREP_OBS_HTTP=<addr>` — serve `GET /metrics`, `/healthz` and
+//!   `/snapshot.json` from a background listener scraping the **live**
+//!   registry; see [`http`]. `…:0` binds an ephemeral port.
+//! * `PATHREP_OBS_PROFILE_HZ=<hz>` — sample every thread's live span
+//!   stack `<hz>` times per second and emit folded-stack flamegraph
+//!   lines at [`report`]; see [`profile`].
+//! * `PATHREP_OBS_PROFILE=<path>` — write the folded-stack lines to
+//!   `<path>` instead of stdout.
 //! * `PATHREP_THREADS=<n>` — worker count for the `pathrep-par` kernel
 //!   pool (registered in [`config::ALL_ENV_VARS`] so the drift guard
 //!   covers it); `1` = sequential, unset or `0` = available parallelism.
@@ -64,14 +72,18 @@
 #![deny(missing_docs)]
 
 pub mod config;
+pub mod hdr;
+pub mod http;
 pub mod json;
 pub mod ledger;
 pub mod prom;
+pub mod profile;
 mod registry;
 mod snapshot;
 mod span;
 pub mod trace;
 
+pub use hdr::HdrHistogram;
 pub use registry::{registry, Event, Level, Registry, MAX_EVENTS};
 pub use snapshot::{
     CounterSnapshot, EventSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot, SpanNode,
@@ -152,6 +164,18 @@ pub fn histogram_record_with(name: &'static str, edges: &[f64], value: f64) {
     }
 }
 
+/// Records `value` into the log-bucketed HDR histogram `name`
+/// (~2 % relative-error buckets at any scale; see [`hdr`]) — the right
+/// variant for latencies, where tail quantiles (p999/p9999) must resolve
+/// without preconfigured edges. The first recording call decides whether
+/// a name is fixed-edge or HDR.
+#[inline]
+pub fn histogram_record_hdr(name: &'static str, value: f64) {
+    if enabled() {
+        registry().histogram_record_hdr_slow(name, value);
+    }
+}
+
 /// Records a warning event (e.g. an unconverged solver), keeping the
 /// first [`registry::MAX_EVENTS`] events.
 #[inline]
@@ -175,6 +199,7 @@ pub fn reset() {
     registry().reset();
     trace::reset();
     ledger::reset();
+    profile::reset();
 }
 
 /// Emits the standard end-of-run telemetry report for an experiment
@@ -208,6 +233,24 @@ pub fn report(label: &str) {
     }
     if let Some(path) = config::prom_path() {
         config::export_or_warn("prometheus", &path, |p| prom::write_prometheus(p, &snap));
+    }
+    if profile::collecting() && profile::samples_taken() > 0 {
+        match config::profile_path() {
+            Some(path) => {
+                println!(
+                    "profile: {} folded-stack samples -> {path}",
+                    profile::samples_taken()
+                );
+                config::export_or_warn("profile", &path, profile::write_folded);
+            }
+            None => {
+                println!(
+                    "profile: {} folded-stack samples",
+                    profile::samples_taken()
+                );
+                print!("{}", profile::render_folded());
+            }
+        }
     }
 }
 

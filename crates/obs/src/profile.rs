@@ -1,0 +1,275 @@
+//! Span-stack sampling profiler with folded-stack (flamegraph) output.
+//!
+//! When sampling is on (`PATHREP_OBS_PROFILE_HZ=<hz>`, or
+//! [`set_collecting`] + [`sample_once`] in tests), every [`crate::span!`]
+//! guard additionally pushes its leaf name onto a per-thread *shadow
+//! stack* shared with a background sampler thread; pool workers adopting
+//! a parent path through [`crate::adopt_span_parent`] push the adopted
+//! path, so sampled worker stacks nest under the submitting caller
+//! exactly like the aggregated span tree does.
+//!
+//! The sampler wakes `hz` times per second, snapshots every live
+//! thread's shadow stack, and folds it into a `stack → sample-count`
+//! map. [`crate::report`] renders the map as classic folded-stack lines
+//!
+//! ```text
+//! serve.request;serve.batch;predict 42
+//! ```
+//!
+//! loadable by any flamegraph tool (`flamegraph.pl`, speedscope,
+//! inferno). Output goes to `PATHREP_OBS_PROFILE=<path>` or stdout.
+//!
+//! Sampling is wall-clock driven and therefore *not* deterministic — the
+//! folded counts live outside the registry so the deterministic counter
+//! contract and golden-ledger byte identity are untouched.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+/// One shadow-stack frame: a span leaf name, or a full adopted parent
+/// path (slash-separated, split into components when folding).
+#[derive(Debug, Clone)]
+enum Frame {
+    Name(&'static str),
+    Adopted(String),
+}
+
+/// A thread's shadow span stack, shared between the owning thread (push
+/// and pop on span enter and exit) and the sampler (brief lock per
+/// sample).
+#[derive(Default)]
+struct ThreadStack {
+    frames: Mutex<Vec<Frame>>,
+}
+
+/// All live thread stacks. Weak so an exited thread's stack is reclaimed;
+/// the sampler prunes dead entries as it walks the list.
+fn threads() -> &'static Mutex<Vec<Weak<ThreadStack>>> {
+    static THREADS: OnceLock<Mutex<Vec<Weak<ThreadStack>>>> = OnceLock::new();
+    THREADS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    /// This thread's registered shadow stack (created on first push).
+    static MY_STACK: RefCell<Option<Arc<ThreadStack>>> = const { RefCell::new(None) };
+}
+
+/// Folded `stack-key → samples` accumulator.
+fn folded() -> &'static Mutex<BTreeMap<String, u64>> {
+    static FOLDED: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+    FOLDED.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Total stack samples folded in (threads with an empty stack are idle
+/// and not counted).
+static SAMPLES: AtomicU64 = AtomicU64::new(0);
+
+/// 0 = undecided (read env on first query), 1 = off, 2 = on.
+static COLLECTING: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the shadow stacks are being maintained. The first call
+/// resolves `PATHREP_OBS_PROFILE_HZ` (a positive integer enables
+/// sampling and spawns the sampler thread); later calls are one relaxed
+/// atomic load. Spans only fire at all when [`crate::enabled`] is true.
+#[inline]
+pub fn collecting() -> bool {
+    match COLLECTING.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_collecting(),
+    }
+}
+
+#[cold]
+fn init_collecting() -> bool {
+    let hz = crate::config::profile_hz();
+    COLLECTING.store(if hz.is_some() { 2 } else { 1 }, Ordering::Relaxed);
+    if let Some(hz) = hz {
+        spawn_sampler(hz);
+    }
+    hz.is_some()
+}
+
+/// Programmatically enables or disables shadow-stack maintenance without
+/// spawning the sampler thread — tests drive sampling explicitly through
+/// [`sample_once`] for determinism.
+pub fn set_collecting(on: bool) {
+    COLLECTING.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Spawns the detached background sampler at `hz` samples per second; it
+/// runs for the remaining process lifetime (sampling an idle process
+/// costs one list walk per tick).
+fn spawn_sampler(hz: u64) {
+    let interval = std::time::Duration::from_nanos(1_000_000_000 / hz.max(1));
+    std::thread::Builder::new()
+        .name("pathrep-obs-profiler".into())
+        .spawn(move || loop {
+            std::thread::sleep(interval);
+            if collecting() {
+                sample_once();
+            }
+        })
+        .map(drop)
+        .unwrap_or_else(|e| {
+            crate::config::warn_export("profiler", "<thread spawn>", &e);
+        });
+}
+
+/// With this thread's stack registered, runs `f` on the frame vector.
+fn with_my_frames(f: impl FnOnce(&mut Vec<Frame>)) {
+    MY_STACK.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let stack = slot.get_or_insert_with(|| {
+            let stack = Arc::new(ThreadStack::default());
+            threads().lock().push(Arc::downgrade(&stack));
+            stack
+        });
+        f(&mut stack.frames.lock());
+    });
+}
+
+/// Pushes a span leaf name onto this thread's shadow stack. Returns
+/// whether a frame was pushed (the caller must then [`pop_frame`] on
+/// span exit, even if collection toggles off in between).
+pub(crate) fn push_frame(name: &'static str) -> bool {
+    if !collecting() {
+        return false;
+    }
+    with_my_frames(|frames| frames.push(Frame::Name(name)));
+    true
+}
+
+/// Pushes an adopted parent path (see [`crate::adopt_span_parent`]);
+/// same contract as [`push_frame`].
+pub(crate) fn push_adopted(path: &str) -> bool {
+    if !collecting() {
+        return false;
+    }
+    with_my_frames(|frames| frames.push(Frame::Adopted(path.to_owned())));
+    true
+}
+
+/// Pops the frame pushed by a matching [`push_frame`]/[`push_adopted`].
+pub(crate) fn pop_frame() {
+    with_my_frames(|frames| {
+        frames.pop();
+    });
+}
+
+/// Takes one sample: folds every live thread's current shadow stack into
+/// the accumulator and prunes stacks of exited threads. Called by the
+/// background sampler, and directly by tests.
+pub fn sample_once() {
+    let mut keys: Vec<String> = Vec::new();
+    {
+        let mut list = threads().lock();
+        list.retain(|weak| {
+            let Some(stack) = weak.upgrade() else {
+                return false;
+            };
+            let frames = stack.frames.lock();
+            if !frames.is_empty() {
+                let mut key = String::new();
+                for frame in frames.iter() {
+                    let part: &str = match frame {
+                        Frame::Name(n) => n,
+                        Frame::Adopted(p) => p,
+                    };
+                    // Adopted paths are slash-separated; folded stacks
+                    // use `;` between frames.
+                    for comp in part.split('/') {
+                        if !key.is_empty() {
+                            key.push(';');
+                        }
+                        key.push_str(comp);
+                    }
+                }
+                keys.push(key);
+            }
+            true
+        });
+    }
+    if !keys.is_empty() {
+        let mut map = folded().lock();
+        for key in keys {
+            *map.entry(key).or_insert(0) += 1;
+        }
+        SAMPLES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Total sampling passes that captured at least one non-empty stack.
+pub fn samples_taken() -> u64 {
+    SAMPLES.load(Ordering::Relaxed)
+}
+
+/// The folded accumulator as `stack-key → samples` pairs, sorted by key.
+pub fn folded_counts() -> Vec<(String, u64)> {
+    folded().lock().iter().map(|(k, &v)| (k.clone(), v)).collect()
+}
+
+/// Renders the accumulator as folded-stack lines (`a;b;c 42`), one per
+/// stack, sorted by stack key — directly consumable by flamegraph tools.
+pub fn render_folded() -> String {
+    let mut out = String::new();
+    for (key, count) in folded_counts() {
+        out.push_str(&key);
+        out.push(' ');
+        out.push_str(&count.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`render_folded`] output to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_folded(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, render_folded())
+}
+
+/// Clears the folded accumulator and the sample counter (shadow stacks
+/// themselves live with their threads and are left alone).
+pub(crate) fn reset() {
+    folded().lock().clear();
+    SAMPLES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_nested_and_adopted_stacks() {
+        // Serialize against any other test toggling the global flags.
+        set_collecting(true);
+        reset();
+        assert!(push_frame("outer"));
+        assert!(push_frame("inner"));
+        sample_once();
+        sample_once();
+        pop_frame();
+        // Adopted paths expand into their components.
+        assert!(push_adopted("outer/pool"));
+        assert!(push_frame("task"));
+        sample_once();
+        pop_frame();
+        pop_frame();
+        pop_frame();
+        sample_once(); // empty stack: not counted
+        set_collecting(false);
+
+        let text = render_folded();
+        assert!(text.contains("outer;inner 2\n"), "got:\n{text}");
+        assert!(text.contains("outer;pool;task 1\n"), "got:\n{text}");
+        assert_eq!(samples_taken(), 3);
+        reset();
+        assert_eq!(render_folded(), "");
+    }
+}

@@ -79,6 +79,13 @@ fn render_histogram(out: &mut String, h: &HistogramSnapshot) {
     }
     let _ = writeln!(out, "{name}_sum {}", fmt_value(h.sum));
     let _ = writeln!(out, "{name}_count {}", h.count);
+    // Observed extremes as companion gauges: the cumulative buckets bound
+    // quantiles but cannot recover the exact min/max a scrape-side alert
+    // on "worst request so far" needs.
+    let _ = writeln!(out, "# TYPE {name}_min gauge");
+    let _ = writeln!(out, "{name}_min {}", fmt_value(h.min));
+    let _ = writeln!(out, "# TYPE {name}_max gauge");
+    let _ = writeln!(out, "{name}_max {}", fmt_value(h.max));
 }
 
 fn collect_spans<'a>(nodes: &'a [SpanNode], into: &mut Vec<&'a SpanNode>) {
@@ -128,12 +135,8 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
             );
         }
     }
-    let _ = writeln!(out, "# TYPE pathrep_obs_events_dropped_total counter");
-    let _ = writeln!(
-        out,
-        "pathrep_obs_events_dropped_total {}",
-        snap.events_dropped
-    );
+    let _ = writeln!(out, "# TYPE pathrep_events_dropped_total counter");
+    let _ = writeln!(out, "pathrep_events_dropped_total {}", snap.events_dropped);
     out
 }
 

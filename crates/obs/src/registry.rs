@@ -1,5 +1,6 @@
 //! The global metric store.
 
+use crate::hdr::HdrHistogram;
 use crate::snapshot::{
     CounterSnapshot, EventSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot,
 };
@@ -95,6 +96,10 @@ struct Inner {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, HistogramData>,
+    /// Log-bucketed HDR histograms (see [`crate::hdr`]); a name lives in
+    /// either this map or `histograms`, decided by the first recording
+    /// call, exactly like first-touch bucket edges.
+    hdr_histograms: BTreeMap<&'static str, HdrHistogram>,
     /// Aggregated span statistics keyed by full slash path.
     spans: BTreeMap<String, SpanStats>,
     events: Vec<Event>,
@@ -141,6 +146,14 @@ impl Registry {
             .or_insert_with(|| {
                 HistogramData::new(edges.map(<[f64]>::to_vec).unwrap_or_else(default_edges))
             })
+            .record(value);
+    }
+
+    pub(crate) fn histogram_record_hdr_slow(&self, name: &'static str, value: f64) {
+        let mut g = self.inner.lock();
+        g.hdr_histograms
+            .entry(name)
+            .or_insert_with(HdrHistogram::new)
             .record(value);
     }
 
@@ -206,7 +219,7 @@ impl Registry {
                 value,
             })
             .collect();
-        let histograms = g
+        let mut histograms: Vec<HistogramSnapshot> = g
             .histograms
             .iter()
             .map(|(&name, h)| {
@@ -222,6 +235,10 @@ impl Registry {
                 }
             })
             .collect();
+        // HDR histograms materialize to the same snapshot shape; merge
+        // and re-sort so the combined list stays ordered by name.
+        histograms.extend(g.hdr_histograms.iter().map(|(&name, h)| h.snapshot(name)));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
         let events = g
             .events
             .iter()

@@ -69,13 +69,28 @@ impl HistogramSnapshot {
     /// interpolation within the fixed bucket edges: the target rank is
     /// located in the cumulative bucket counts and interpolated between
     /// the bucket's bounds (clamped to the observed `min`/`max`, which
-    /// also bound the open-ended first and overflow buckets). Returns 0
-    /// for an empty histogram.
+    /// also bound the open-ended first bucket). Exact extremes short-cut
+    /// interpolation: `q = 0` is `min`, `q = 1` is `max`, and a
+    /// single-value or constant histogram returns that value. A quantile
+    /// landing in the unbounded overflow bucket returns the bucket's
+    /// lower bound rather than interpolating toward `max` — one outlier
+    /// must not drag every tail quantile up with it. Returns 0 for an
+    /// empty histogram.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        if self.count == 1 || self.min == self.max {
+            return self.min;
+        }
+        let target = q * self.count as f64;
         let mut below = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             if c == 0 {
@@ -88,11 +103,14 @@ impl HistogramSnapshot {
                 } else {
                     self.edges[i - 1].max(self.min)
                 };
-                let upper = if i < self.edges.len() {
-                    self.edges[i].min(self.max)
-                } else {
-                    self.max
-                };
+                if i >= self.edges.len() {
+                    // Overflow bucket `(last_edge, +inf)`: its only known
+                    // upper bound is `max`, so interpolating would let a
+                    // single outlier skew every quantile landing here.
+                    // Report the conservative lower bound instead.
+                    return lower.min(self.max);
+                }
+                let upper = self.edges[i].min(self.max);
                 let frac = ((target - below as f64) / c as f64).clamp(0.0, 1.0);
                 return lower + frac * (upper - lower);
             }

@@ -19,6 +19,8 @@ pub struct SpanGuard {
     name: &'static str,
     /// Whether a trace begin event was buffered (its end slot is reserved).
     traced: bool,
+    /// Whether a profiler shadow-stack frame was pushed (pop on drop).
+    profiled: bool,
 }
 
 impl SpanGuard {
@@ -29,6 +31,7 @@ impl SpanGuard {
                 started: None,
                 name,
                 traced: false,
+                profiled: false,
             };
         }
         SPAN_PATHS.with(|stack| {
@@ -46,10 +49,12 @@ impl SpanGuard {
             stack.push(path);
         });
         let traced = crate::trace::collecting() && crate::trace::record_begin(name);
+        let profiled = crate::profile::push_frame(name);
         SpanGuard {
             started: Some(Instant::now()),
             name,
             traced,
+            profiled,
         }
     }
 }
@@ -75,6 +80,9 @@ pub fn current_span_path() -> Option<String> {
 #[must_use = "the parent path is adopted only while the guard lives"]
 pub struct ParentSpanGuard {
     adopted: bool,
+    /// Whether a profiler shadow-stack frame was pushed for the adopted
+    /// path (pop on drop).
+    profiled: bool,
 }
 
 /// Pushes `path` (a value from [`current_span_path`], captured on the
@@ -82,13 +90,23 @@ pub struct ParentSpanGuard {
 /// thread. No-op when `path` is `None` or telemetry is disabled.
 pub fn adopt_span_parent(path: Option<String>) -> ParentSpanGuard {
     let Some(path) = path else {
-        return ParentSpanGuard { adopted: false };
+        return ParentSpanGuard {
+            adopted: false,
+            profiled: false,
+        };
     };
     if !crate::enabled() {
-        return ParentSpanGuard { adopted: false };
+        return ParentSpanGuard {
+            adopted: false,
+            profiled: false,
+        };
     }
+    let profiled = crate::profile::push_adopted(&path);
     SPAN_PATHS.with(|stack| stack.borrow_mut().push(path));
-    ParentSpanGuard { adopted: true }
+    ParentSpanGuard {
+        adopted: true,
+        profiled,
+    }
 }
 
 impl Drop for ParentSpanGuard {
@@ -97,6 +115,9 @@ impl Drop for ParentSpanGuard {
             SPAN_PATHS.with(|stack| {
                 stack.borrow_mut().pop();
             });
+        }
+        if self.profiled {
+            crate::profile::pop_frame();
         }
     }
 }
@@ -109,6 +130,9 @@ impl Drop for SpanGuard {
         let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         if self.traced {
             crate::trace::record_end(self.name);
+        }
+        if self.profiled {
+            crate::profile::pop_frame();
         }
         let path = SPAN_PATHS.with(|stack| stack.borrow_mut().pop());
         if let Some(path) = path {

@@ -45,6 +45,55 @@ impl Phase {
     }
 }
 
+/// Cross-process trace correlation ids, propagated over the serve wire
+/// protocol and stamped on every span event recorded while a
+/// [`TraceContextGuard`] is live on the recording thread. `trace_id`
+/// identifies one logical request end-to-end (client pick or
+/// server-generated); `request_seq` is the client's own sequence number
+/// within its run. Both render as Chrome-trace `args`, so a stitched
+/// client+server trace can be filtered to one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// End-to-end request id shared by client and server events.
+    pub trace_id: u64,
+    /// Request sequence number within the originating client.
+    pub request_seq: u64,
+}
+
+thread_local! {
+    /// Trace context active on this thread, if any.
+    static TRACE_CTX: std::cell::Cell<Option<TraceContext>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// RAII guard restoring the previous thread trace context on drop;
+/// created by [`set_context`]. Nested guards compose.
+#[derive(Debug)]
+#[must_use = "the trace context is active only while the guard lives"]
+pub struct TraceContextGuard {
+    prev: Option<TraceContext>,
+}
+
+/// Installs `ctx` as this thread's trace context for the guard's
+/// lifetime: span events recorded meanwhile carry it as Chrome-trace
+/// `args`, and ledger records stamp it as `trace_id`/`request_seq` facts.
+pub fn set_context(ctx: TraceContext) -> TraceContextGuard {
+    TraceContextGuard {
+        prev: TRACE_CTX.with(|c| c.replace(Some(ctx))),
+    }
+}
+
+impl Drop for TraceContextGuard {
+    fn drop(&mut self) {
+        TRACE_CTX.with(|c| c.set(self.prev));
+    }
+}
+
+/// The trace context currently active on this thread, if any.
+pub fn current_context() -> Option<TraceContext> {
+    TRACE_CTX.with(|c| c.get())
+}
+
 /// One recorded begin or end event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -56,6 +105,8 @@ pub struct TraceEvent {
     pub ts_ns: u64,
     /// Small sequential per-thread id (first traced thread = 0).
     pub tid: u64,
+    /// Trace context active on the recording thread, if any.
+    pub ctx: Option<TraceContext>,
 }
 
 struct TraceBuf {
@@ -209,6 +260,7 @@ pub(crate) fn record_begin(name: &'static str) -> bool {
         phase: Phase::Begin,
         ts_ns,
         tid,
+        ctx: current_context(),
     });
     true
 }
@@ -225,6 +277,7 @@ pub(crate) fn record_end(name: &'static str) {
         phase: Phase::End,
         ts_ns,
         tid,
+        ctx: current_context(),
     });
 }
 
@@ -262,8 +315,15 @@ pub fn render_chrome_trace(events: &[TraceEvent], pid: u32) -> String {
         // precision in the fraction.
         let micros = e.ts_ns / 1_000;
         let frac = e.ts_ns % 1_000;
+        let args = match e.ctx {
+            Some(ctx) => format!(
+                ",\"args\":{{\"trace_id\":{},\"request_seq\":{}}}",
+                ctx.trace_id, ctx.request_seq
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "{{\"name\":{},\"ph\":\"{}\",\"ts\":{micros}.{frac:03},\"pid\":{pid},\"tid\":{}}}",
+            "{{\"name\":{},\"ph\":\"{}\",\"ts\":{micros}.{frac:03},\"pid\":{pid},\"tid\":{}{args}}}",
             crate::json::escape_string(e.name),
             e.phase.as_str(),
             e.tid,
@@ -295,12 +355,14 @@ mod tests {
                 phase: Phase::Begin,
                 ts_ns: 1_500,
                 tid: 0,
+                ctx: None,
             },
             TraceEvent {
                 name: "a",
                 phase: Phase::End,
                 ts_ns: 2_000,
                 tid: 0,
+                ctx: None,
             },
         ];
         let json = render_chrome_trace(&evts, 42);
@@ -309,5 +371,46 @@ mod tests {
             "[{\"name\":\"a\",\"ph\":\"B\",\"ts\":1.500,\"pid\":42,\"tid\":0},\
              {\"name\":\"a\",\"ph\":\"E\",\"ts\":2.000,\"pid\":42,\"tid\":0}]"
         );
+    }
+
+    #[test]
+    fn render_stamps_trace_context_as_args() {
+        let evts = [TraceEvent {
+            name: "req",
+            phase: Phase::Begin,
+            ts_ns: 1_000,
+            tid: 3,
+            ctx: Some(TraceContext {
+                trace_id: 77,
+                request_seq: 5,
+            }),
+        }];
+        let json = render_chrome_trace(&evts, 9);
+        assert_eq!(
+            json,
+            "[{\"name\":\"req\",\"ph\":\"B\",\"ts\":1.000,\"pid\":9,\"tid\":3,\
+             \"args\":{\"trace_id\":77,\"request_seq\":5}}]"
+        );
+    }
+
+    #[test]
+    fn context_guard_nests_and_restores() {
+        assert_eq!(current_context(), None);
+        {
+            let _outer = set_context(TraceContext {
+                trace_id: 1,
+                request_seq: 0,
+            });
+            assert_eq!(current_context().map(|c| c.trace_id), Some(1));
+            {
+                let _inner = set_context(TraceContext {
+                    trace_id: 2,
+                    request_seq: 9,
+                });
+                assert_eq!(current_context().map(|c| c.trace_id), Some(2));
+            }
+            assert_eq!(current_context().map(|c| c.trace_id), Some(1));
+        }
+        assert_eq!(current_context(), None);
     }
 }

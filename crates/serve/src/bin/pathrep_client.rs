@@ -7,8 +7,10 @@
 //! pathrep-client predict  <addr> <model-id> <v1,v2,...>
 //! pathrep-client stats    <addr>
 //! pathrep-client shutdown <addr>
+//! pathrep-client scrape   <addr> </metrics|/healthz|/snapshot.json>
+//! pathrep-client stitch-trace <out.json> <trace.json>...
 //! pathrep-client loadgen  <addr> <artifact-path> [--clients N] [--requests M]
-//!                         [--inject-mismatch]
+//!                         [--rate R] [--inject-mismatch]
 //! ```
 //!
 //! `loadgen` is the soak driver: N concurrent connections each send M
@@ -17,9 +19,25 @@
 //! the locally-loaded artifact. `--inject-mismatch` corrupts one expected
 //! value on purpose so `serve_gate.sh --self-test` can prove the check
 //! trips.
+//!
+//! With `--rate R` the workers follow a fixed arrival schedule of R
+//! requests/second (aggregate) and measure each latency from the request's
+//! *intended* send time — the coordinated-omission-safe convention, so a
+//! daemon stall inflates the tail instead of silently pausing the load.
+//! p50/p99/p999 come from the same ~2 %-error HDR histogram the daemon
+//! uses for `serve.request_ns`.
+//!
+//! `scrape` is a dependency-free `curl` stand-in for the daemon's live
+//! telemetry endpoints (`PATHREP_OBS_HTTP`); `stitch-trace` merges Chrome
+//! traces from both processes into one file correlated by the shared
+//! `trace_id`s the wire protocol propagates.
 
-use pathrep_serve::{Client, ModelArtifact};
+use pathrep_obs::trace;
+use pathrep_obs::HdrHistogram;
+use pathrep_serve::{Client, ModelArtifact, TraceContext};
+use std::io::{Read, Write};
 use std::process::exit;
+use std::time::{Duration, Instant};
 
 fn die(msg: &str) -> ! {
     eprintln!("pathrep-client: {msg}");
@@ -28,7 +46,8 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pathrep-client <build-artifact|load|predict|stats|shutdown|loadgen> …\n\
+        "usage: pathrep-client \
+         <build-artifact|load|predict|stats|shutdown|scrape|stitch-trace|loadgen> …\n\
          (see the crate docs for per-command arguments)"
     );
     exit(2)
@@ -42,6 +61,8 @@ fn main() {
         Some("predict") => predict(&args),
         Some("stats") => stats(&args),
         Some("shutdown") => shutdown(&args),
+        Some("scrape") => scrape(&args),
+        Some("stitch-trace") => stitch_trace(&args),
         Some("loadgen") => loadgen(&args),
         _ => usage(),
     }
@@ -129,6 +150,61 @@ fn shutdown(args: &[String]) {
     println!("pathrep-client: daemon acknowledged shutdown");
 }
 
+/// GETs one of the daemon's live telemetry endpoints and prints the body,
+/// so gate scripts can scrape without `curl` on the host.
+fn scrape(args: &[String]) {
+    let (addr, path) = match (args.get(1), args.get(2)) {
+        (Some(a), Some(p)) => (a, p),
+        _ => usage(),
+    };
+    let mut stream = std::net::TcpStream::connect(addr)
+        .unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(5))))
+        .unwrap_or_else(|e| die(&format!("cannot set socket timeouts: {e}")));
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+        .unwrap_or_else(|e| die(&format!("request failed: {e}")));
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .unwrap_or_else(|e| die(&format!("reading the response failed: {e}")));
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| die("malformed HTTP response"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    print!("{body}");
+    if status != 200 {
+        die(&format!("GET {path} returned HTTP {status}"));
+    }
+}
+
+/// Merges Chrome trace files (client + daemon) into one, correlated by
+/// the shared `trace_id` args. See [`pathrep_serve::stitch`].
+fn stitch_trace(args: &[String]) {
+    let out = args.get(1).unwrap_or_else(|| usage());
+    if args.len() < 3 {
+        usage();
+    }
+    let inputs: Vec<(String, String)> = args[2..]
+        .iter()
+        .map(|p| {
+            let content = std::fs::read_to_string(p)
+                .unwrap_or_else(|e| die(&format!("cannot read {p}: {e}")));
+            (p.clone(), content)
+        })
+        .collect();
+    let merged =
+        pathrep_serve::stitch_traces(&inputs).unwrap_or_else(|e| die(&format!("stitch failed: {e}")));
+    std::fs::write(out, &merged).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    println!(
+        "pathrep-client: stitched {} trace files into {out}",
+        inputs.len()
+    );
+}
+
 /// Deterministic synthetic measurement for (client, request, coordinate):
 /// the artifact's mean, displaced by a smooth ±3 ps excursion.
 fn synthetic_measurement(meas_mu: &[f64], client: usize, request: usize) -> Vec<f64> {
@@ -146,6 +222,7 @@ fn loadgen(args: &[String]) {
     };
     let mut clients = 4usize;
     let mut requests = 25usize;
+    let mut rate = 0.0f64;
     let mut inject = false;
     let mut i = 3;
     while i < args.len() {
@@ -162,6 +239,14 @@ fn loadgen(args: &[String]) {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--requests needs a positive integer"));
+                i += 2;
+            }
+            "--rate" => {
+                rate = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r: &f64| *r > 0.0)
+                    .unwrap_or_else(|| die("--rate needs a positive requests/second"));
                 i += 2;
             }
             "--inject-mismatch" => {
@@ -187,17 +272,23 @@ fn loadgen(args: &[String]) {
 
     let artifact = std::sync::Arc::new(artifact);
     let model_id = loaded.model;
+    // One shared epoch: with --rate, request g = k*clients + c is *due* at
+    // epoch + g/rate, and its latency is measured from that intended time
+    // (coordinated-omission-safe) — a stalled daemon shows up as tail
+    // latency rather than as a silently paused arrival schedule.
+    let epoch = Instant::now();
     let workers: Vec<_> = (0..clients)
         .map(|c| {
             let addr = addr.clone();
             let artifact = std::sync::Arc::clone(&artifact);
             let model_id = model_id.clone();
-            std::thread::spawn(move || -> (u64, u64) {
+            std::thread::spawn(move || -> (u64, u64, HdrHistogram) {
+                let mut latency = HdrHistogram::new();
                 let mut client = match Client::connect(&addr) {
                     Ok(cl) => cl,
                     Err(e) => {
                         eprintln!("loadgen client {c}: connect failed: {e}");
-                        return (0, 1);
+                        return (0, 1, latency);
                     }
                 };
                 let mut mismatches = 0u64;
@@ -212,8 +303,26 @@ fn loadgen(args: &[String]) {
                         // Self-test: provably detectable corruption.
                         expected[0] += 1.0;
                     }
+                    // Every request carries a unique trace context: the
+                    // daemon stamps it on its spans and echoes it back, so
+                    // client and server traces stitch into one timeline.
+                    let _ctx = trace::set_context(TraceContext {
+                        trace_id: ((c as u64 + 1) << 20) | k as u64,
+                        request_seq: k as u64,
+                    });
+                    let _span = pathrep_obs::span!("client.predict");
+                    let intended = if rate > 0.0 {
+                        let due = Duration::from_secs_f64((k * clients + c) as f64 / rate);
+                        while epoch.elapsed() < due {
+                            std::thread::sleep(due - epoch.elapsed());
+                        }
+                        due
+                    } else {
+                        epoch.elapsed()
+                    };
                     match client.predict(&model_id, &measured) {
                         Ok(got) => {
+                            latency.record((epoch.elapsed() - intended).as_nanos() as f64);
                             let same = got.len() == expected.len()
                                 && got
                                     .iter()
@@ -253,23 +362,42 @@ fn loadgen(args: &[String]) {
                         errors += 1;
                     }
                 }
-                (mismatches, errors)
+                (mismatches, errors, latency)
             })
         })
         .collect();
 
     let mut mismatches = 0u64;
     let mut errors = 0u64;
+    let mut latency = HdrHistogram::new();
     for w in workers {
-        let (m, e) = w.join().expect("loadgen worker panicked");
+        let (m, e, h) = w.join().expect("loadgen worker panicked");
         mismatches += m;
         errors += e;
+        latency.merge(&h);
     }
     let total = clients * (requests + 4);
     println!(
         "pathrep-client: loadgen {clients} clients x {requests} predicts (+1 batch each): \
          {total} rows, {mismatches} mismatches, {errors} errors"
     );
+    if latency.count() > 0 {
+        let us = |q: f64| latency.quantile(q) / 1_000.0;
+        let basis = if rate > 0.0 {
+            format!("intended-start @ {rate}/s, coordinated-omission-safe")
+        } else {
+            "service-time".to_owned()
+        };
+        println!(
+            "pathrep-client: loadgen latency p50={:.1}us p99={:.1}us p999={:.1}us ({basis})",
+            us(0.50),
+            us(0.99),
+            us(0.999)
+        );
+    }
+    // Honour PATHREP_OBS_TRACE etc. so the client-side Chrome trace (with
+    // the per-request trace ids) is exported for stitch-trace.
+    pathrep_obs::report("pathrep-client");
     if mismatches > 0 || errors > 0 {
         eprintln!("pathrep-client: loadgen FAILED — served predictions must be byte-identical");
         exit(1);

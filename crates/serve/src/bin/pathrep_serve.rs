@@ -45,6 +45,18 @@ fn main() {
     // The gate scripts parse this exact line to learn the ephemeral port.
     println!("pathrep-serve: listening on {addr} (batch={} queue={} cache={})",
         config.batch_max, config.queue_cap, config.cache_cap);
+    // Live telemetry plane (PATHREP_OBS_HTTP): scrape-only HTTP endpoints
+    // over the in-process registry. Gate scripts parse this line too.
+    match pathrep_obs::http::start_from_env() {
+        Some(Ok(obs_http)) => {
+            println!("pathrep-serve: obs http listening on {}", obs_http.addr());
+        }
+        Some(Err(e)) => {
+            eprintln!("pathrep-serve: cannot bind the obs http endpoint: {e}");
+            std::process::exit(1);
+        }
+        None => {}
+    }
     let _ = std::io::stdout().flush();
 
     match server.run() {

@@ -1,7 +1,10 @@
 //! Blocking client for the `pathrep-serve` daemon: one request, one
 //! response, over a persistent connection.
 
-use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response, ServerStats};
+use crate::protocol::{
+    read_frame, write_frame, ProtocolError, Request, Response, ServerStats, TraceContext,
+};
+use pathrep_obs::trace;
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// Any client-side failure.
@@ -55,6 +58,9 @@ pub struct LoadedModel {
 /// A connected client.
 pub struct Client {
     stream: TcpStream,
+    /// Trace context echoed by the daemon on the last response, if any.
+    /// An old daemon echoes nothing; that is not an error.
+    last_trace: Option<TraceContext>,
 }
 
 impl Client {
@@ -68,18 +74,33 @@ impl Client {
         // Request/response ping-pong: Nagle-delaying the small request
         // frames would cost ~40 ms per round trip.
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            last_trace: None,
+        })
     }
 
+    /// The trace context the daemon echoed on the most recent response,
+    /// or `None` when talking to a pre-trace daemon.
+    pub fn last_trace(&self) -> Option<TraceContext> {
+        self.last_trace
+    }
+
+    /// Sends the caller's active trace context (see
+    /// [`pathrep_obs::trace::set_context`]) with the request, so client
+    /// spans and daemon spans share one `trace_id`, and records whatever
+    /// context the daemon echoes back.
     fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &req.encode())?;
+        write_frame(&mut self.stream, &req.encode_with_trace(trace::current_context()))?;
         let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
             ClientError::Protocol(ProtocolError::Io(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "daemon closed the connection before responding",
             )))
         })?;
-        match Response::decode(&payload)? {
+        let (resp, echoed) = Response::decode_with_trace(&payload)?;
+        self.last_trace = echoed;
+        match resp {
             Response::Error { message } => Err(ClientError::Server(message)),
             other => Ok(other),
         }

@@ -20,6 +20,11 @@
 //!   backpressure, and a clean drain on shutdown. No async runtime; the
 //!   numeric fan-out is the existing `pathrep-par` pool.
 //! * [`client`] — a blocking client used by `pathrep-client` and tests.
+//!   Requests carry the caller's [`pathrep_obs::trace::TraceContext`]
+//!   (backward-compatibly — old peers ignore it), so client and daemon
+//!   spans share one `trace_id`.
+//! * [`stitch`] — merges the client's and daemon's Chrome traces into a
+//!   single file correlated by those shared trace ids.
 //! * [`demo`] — the quickstart (Figure-1) model as a servable artifact.
 //!
 //! Configuration comes from `PATHREP_SERVE_ADDR` / `PATHREP_SERVE_BATCH` /
@@ -36,8 +41,10 @@ pub mod client;
 pub mod demo;
 pub mod protocol;
 pub mod server;
+pub mod stitch;
 
 pub use artifact::{ArtifactError, ModelArtifact, SelectionMeta, ARTIFACT_SCHEMA_VERSION};
 pub use client::{Client, ClientError, LoadedModel};
-pub use protocol::{Request, Response, ServerStats};
+pub use protocol::{Request, Response, ServerStats, TraceContext};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use stitch::stitch_traces;

@@ -11,9 +11,23 @@
 //! Requests carry a `"type"` tag (`load_model`, `predict`,
 //! `predict_batch`, `stats`, `shutdown`); responses mirror it (`loaded`,
 //! `predicted`, `predicted_batch`, `stats`, `shutting_down`, `error`).
+//!
+//! ## Trace context (optional, backward-compatible)
+//!
+//! A frame may additionally carry top-level `trace_id` and `request_seq`
+//! fields ([`TraceContext`]) correlating client and server telemetry for
+//! one request. The fields are **additive**: decoding ignores unknown
+//! fields, so an old server accepts traced frames, and
+//! [`Request::decode_with_trace`] treats their absence as "no context"
+//! (the server then generates an id). [`Request::encode`] without a
+//! context renders byte-identically to the pre-trace protocol. Ids are
+//! carried as JSON numbers and must stay below 2⁵³ to survive the `f64`
+//! round trip; both sides allocate well under that.
 
 use pathrep_obs::json::{self, JsonValue};
 use std::io::{Read, Write};
+
+pub use pathrep_obs::trace::TraceContext;
 
 /// Upper bound on a single frame; anything larger is a protocol error,
 /// not an allocation request (protects the daemon from garbage bytes).
@@ -220,9 +234,48 @@ fn u64_field(v: &JsonValue, name: &str) -> Result<u64, ProtocolError> {
         .map_err(ProtocolError::Malformed)
 }
 
+/// Appends the optional trace-context fields to an encoded object and
+/// renders it.
+fn render_with_trace(mut v: JsonValue, trace: Option<TraceContext>) -> String {
+    if let (JsonValue::Object(fields), Some(t)) = (&mut v, trace) {
+        fields.push(("trace_id".into(), JsonValue::Number(t.trace_id as f64)));
+        fields.push((
+            "request_seq".into(),
+            JsonValue::Number(t.request_seq as f64),
+        ));
+    }
+    v.render()
+}
+
+/// Extracts the optional trace context from a parsed frame: `None` when
+/// the peer predates (or chose not to send) the trace fields. A
+/// `trace_id` without `request_seq` defaults the sequence to 0.
+fn trace_from_value(v: &JsonValue) -> Option<TraceContext> {
+    let trace_id = v.field("trace_id").ok()?.number().ok()? as u64;
+    let request_seq = v
+        .field("request_seq")
+        .ok()
+        .and_then(|f| f.number().ok())
+        .unwrap_or(0.0) as u64;
+    Some(TraceContext {
+        trace_id,
+        request_seq,
+    })
+}
+
 impl Request {
-    /// Renders the request as one JSON frame payload.
+    /// Renders the request as one JSON frame payload (no trace context;
+    /// byte-identical to the pre-trace protocol).
     pub fn encode(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// Renders the request with an optional [`TraceContext`] envelope.
+    pub fn encode_with_trace(&self, trace: Option<TraceContext>) -> String {
+        render_with_trace(self.to_value(), trace)
+    }
+
+    fn to_value(&self) -> JsonValue {
         match self {
             Request::LoadModel { path } => JsonValue::Object(vec![
                 ("type".into(), JsonValue::String("load_model".into())),
@@ -250,24 +303,40 @@ impl Request {
                 JsonValue::String("shutdown".into()),
             )]),
         }
-        .render()
     }
 
-    /// Parses a request frame payload.
+    /// Parses a request frame payload, dropping any trace context.
     ///
     /// # Errors
     ///
     /// [`ProtocolError::Malformed`] on unknown type or missing fields.
     pub fn decode(payload: &str) -> Result<Self, ProtocolError> {
+        Self::decode_with_trace(payload).map(|(req, _)| req)
+    }
+
+    /// Parses a request frame payload together with its optional
+    /// [`TraceContext`] (absent on frames from pre-trace clients).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on unknown type or missing fields.
+    pub fn decode_with_trace(
+        payload: &str,
+    ) -> Result<(Self, Option<TraceContext>), ProtocolError> {
         let v = json::parse(payload).map_err(ProtocolError::Malformed)?;
-        let kind = str_field(&v, "type")?;
+        let trace = trace_from_value(&v);
+        Self::from_value(&v).map(|req| (req, trace))
+    }
+
+    fn from_value(v: &JsonValue) -> Result<Self, ProtocolError> {
+        let kind = str_field(v, "type")?;
         match kind.as_str() {
             "load_model" => Ok(Request::LoadModel {
-                path: str_field(&v, "path")?,
+                path: str_field(v, "path")?,
             }),
             "predict" => Ok(Request::Predict {
-                model: str_field(&v, "model")?,
-                measured: floats_field(&v, "measured")?,
+                model: str_field(v, "model")?,
+                measured: floats_field(v, "measured")?,
             }),
             "predict_batch" => {
                 let rows = v
@@ -279,7 +348,7 @@ impl Request {
                     .map(|row| row.number_array().map_err(ProtocolError::Malformed))
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Request::PredictBatch {
-                    model: str_field(&v, "model")?,
+                    model: str_field(v, "model")?,
                     measured,
                 })
             }
@@ -326,8 +395,19 @@ impl ServerStats {
 }
 
 impl Response {
-    /// Renders the response as one JSON frame payload.
+    /// Renders the response as one JSON frame payload (no trace context;
+    /// byte-identical to the pre-trace protocol).
     pub fn encode(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// Renders the response with an optional [`TraceContext`] envelope
+    /// (the server echoes the request's effective context).
+    pub fn encode_with_trace(&self, trace: Option<TraceContext>) -> String {
+        render_with_trace(self.to_value(), trace)
+    }
+
+    fn to_value(&self) -> JsonValue {
         match self {
             Response::Loaded {
                 model,
@@ -368,26 +448,42 @@ impl Response {
                 ("message".into(), JsonValue::String(message.clone())),
             ]),
         }
-        .render()
     }
 
-    /// Parses a response frame payload.
+    /// Parses a response frame payload, dropping any trace context.
     ///
     /// # Errors
     ///
     /// [`ProtocolError::Malformed`] on unknown type or missing fields.
     pub fn decode(payload: &str) -> Result<Self, ProtocolError> {
+        Self::decode_with_trace(payload).map(|(resp, _)| resp)
+    }
+
+    /// Parses a response frame payload together with the server's echoed
+    /// [`TraceContext`] (absent on frames from pre-trace servers).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on unknown type or missing fields.
+    pub fn decode_with_trace(
+        payload: &str,
+    ) -> Result<(Self, Option<TraceContext>), ProtocolError> {
         let v = json::parse(payload).map_err(ProtocolError::Malformed)?;
-        let kind = str_field(&v, "type")?;
+        let trace = trace_from_value(&v);
+        Self::from_value(&v).map(|resp| (resp, trace))
+    }
+
+    fn from_value(v: &JsonValue) -> Result<Self, ProtocolError> {
+        let kind = str_field(v, "type")?;
         match kind.as_str() {
             "loaded" => Ok(Response::Loaded {
-                model: str_field(&v, "model")?,
-                label: str_field(&v, "label")?,
-                targets: u64_field(&v, "targets")? as usize,
-                measurements: u64_field(&v, "measurements")? as usize,
+                model: str_field(v, "model")?,
+                label: str_field(v, "label")?,
+                targets: u64_field(v, "targets")? as usize,
+                measurements: u64_field(v, "measurements")? as usize,
             }),
             "predicted" => Ok(Response::Predicted {
-                predicted: floats_field(&v, "predicted")?,
+                predicted: floats_field(v, "predicted")?,
             }),
             "predicted_batch" => {
                 let rows = v
@@ -405,7 +501,7 @@ impl Response {
             )?)),
             "shutting_down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error {
-                message: str_field(&v, "message")?,
+                message: str_field(v, "message")?,
             }),
             other => Err(ProtocolError::Malformed(format!(
                 "unknown response type `{other}`"
@@ -511,5 +607,53 @@ mod tests {
         assert!(Request::decode("{}").is_err());
         assert!(Request::decode("{\"type\":\"nope\"}").is_err());
         assert!(Response::decode("not json").is_err());
+    }
+
+    #[test]
+    fn untraced_frames_are_byte_identical_to_the_old_protocol() {
+        // The exact payload an old client produced and an old server
+        // expects (non-integer floats render in the 17-digit exact
+        // round-trip form): encode() must keep emitting it, and a frame
+        // without the trace fields must decode to (request, None).
+        let req = Request::Predict {
+            model: "deadbeef00112233".into(),
+            measured: vec![101.5, -2.25],
+        };
+        let old_payload = "{\"type\":\"predict\",\"model\":\"deadbeef00112233\",\
+             \"measured\":[1.01500000000000000e2,-2.25000000000000000e0]}";
+        assert_eq!(req.encode(), old_payload);
+        assert_eq!(req.encode_with_trace(None), old_payload);
+        let (back, trace) = Request::decode_with_trace(old_payload).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(trace, None, "absent trace fields mean no context");
+
+        let resp = Response::Predicted {
+            predicted: vec![1.0 / 3.0],
+        };
+        assert_eq!(resp.encode_with_trace(None), resp.encode());
+        let (rback, rtrace) = Response::decode_with_trace(&resp.encode()).unwrap();
+        assert_eq!((rback, rtrace), (resp, None));
+    }
+
+    #[test]
+    fn traced_frames_round_trip_and_old_peers_ignore_them() {
+        let ctx = TraceContext {
+            trace_id: (7 << 32) | 12,
+            request_seq: 12,
+        };
+        let req = Request::Stats;
+        let payload = req.encode_with_trace(Some(ctx));
+        // New server: request + context both recovered.
+        let (back, trace) = Request::decode_with_trace(&payload).unwrap();
+        assert_eq!((back, trace), (Request::Stats, Some(ctx)));
+        // Old server (pre-trace decode path): unknown fields are ignored
+        // and the request parses exactly as before.
+        assert_eq!(Request::decode(&payload).unwrap(), Request::Stats);
+
+        let resp = Response::ShuttingDown;
+        let echoed = resp.encode_with_trace(Some(ctx));
+        let (rback, rtrace) = Response::decode_with_trace(&echoed).unwrap();
+        assert_eq!((rback, rtrace), (Response::ShuttingDown, Some(ctx)));
+        assert_eq!(Response::decode(&echoed).unwrap(), Response::ShuttingDown);
     }
 }

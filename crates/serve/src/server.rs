@@ -27,10 +27,12 @@
 //! empty and joins all threads — no request that was accepted is dropped.
 
 use crate::artifact::{ArtifactError, ModelArtifact};
-use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response, ServerStats};
+use crate::protocol::{
+    read_frame, write_frame, ProtocolError, Request, Response, ServerStats, TraceContext,
+};
 use pathrep_core::predictor::MeasurementPredictor;
 use pathrep_linalg::Matrix;
-use pathrep_obs::{config as obs_config, ledger};
+use pathrep_obs::{config as obs_config, ledger, trace};
 use std::collections::VecDeque;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -38,8 +40,25 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// Latency histogram bucket edges in seconds (100 µs … 10 s, log-spaced).
-const LATENCY_EDGES: &[f64] = &[1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 10.0];
+/// Trace ids the server mints for untraced (pre-trace-protocol) requests
+/// start here: far above any client-chosen id in practice, and well
+/// below 2⁵³ so the id survives the JSON `f64` round trip.
+const SERVER_TRACE_BASE: u64 = 1 << 48;
+
+/// Sequence for server-minted trace ids.
+static SERVER_TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The effective trace context for a request: the client's, or a freshly
+/// minted server-side one when the frame carried none.
+fn effective_trace(wire: Option<TraceContext>) -> TraceContext {
+    wire.unwrap_or_else(|| {
+        let seq = SERVER_TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+        TraceContext {
+            trace_id: SERVER_TRACE_BASE + seq,
+            request_seq: seq,
+        }
+    })
+}
 
 /// Batch-size histogram bucket edges (rows per kernel invocation).
 const BATCH_EDGES: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
@@ -109,6 +128,9 @@ struct Pending {
     /// Span path of the requesting handler, adopted by the batch kernel
     /// so pool time attributes under the request that triggered it.
     parent_span: Option<String>,
+    /// Trace context of the requesting handler; the batch span inherits
+    /// the context of the request that opened the batch.
+    trace_ctx: Option<TraceContext>,
     reply: mpsc::Sender<Result<Vec<f64>, String>>,
 }
 
@@ -408,6 +430,7 @@ fn batcher_loop(shared: &Shared) {
         // Attribute the kernel under the span of the request that opened
         // the batch; the coalesced rows ride along.
         let _parent = pathrep_obs::adopt_span_parent(batch[0].parent_span.clone());
+        let _ctx = batch[0].trace_ctx.map(trace::set_context);
         let _span = pathrep_obs::span!("serve.batch");
         let predictor = Arc::clone(&batch[0].predictor);
         let width = batch[0].measured.len();
@@ -490,6 +513,7 @@ fn predict_rows(
         }
     }
     let parent_span = pathrep_obs::current_span_path();
+    let trace_ctx = trace::current_context();
     let predictor = Arc::new(artifact.predictor.clone());
     let receivers: Vec<_> = rows
         .into_iter()
@@ -500,6 +524,7 @@ fn predict_rows(
                 predictor: Arc::clone(&predictor),
                 measured,
                 parent_span: parent_span.clone(),
+                trace_ctx,
                 reply: tx,
             });
             Stats::bump_max(&shared.stats.queue_high_water, depth as u64);
@@ -574,12 +599,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
-        let _span = pathrep_obs::span!("serve.request");
         let t0 = Instant::now();
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
         pathrep_obs::counter_add("serve.requests", 1);
-        let req = match Request::decode(&payload) {
-            Ok(r) => r,
+        let (req, wire_ctx) = match Request::decode_with_trace(&payload) {
+            Ok(pair) => pair,
             Err(e) => {
                 shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                 pathrep_obs::counter_add("serve.errors", 1);
@@ -590,18 +614,20 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 continue;
             }
         };
+        // Adopt the client's trace context (or mint one) before opening
+        // the request span, so the span — and any ledger records written
+        // while handling — carry the ids the reply echoes back.
+        let ctx = effective_trace(wire_ctx);
+        let _ctx = trace::set_context(ctx);
+        let _span = pathrep_obs::span!("serve.request");
         let is_shutdown = matches!(req, Request::Shutdown);
         let resp = respond_to(shared, req);
         if matches!(resp, Response::Error { .. }) {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
             pathrep_obs::counter_add("serve.errors", 1);
         }
-        let ok = write_frame(&mut stream, &resp.encode()).is_ok();
-        pathrep_obs::histogram_record_with(
-            "serve.request_seconds",
-            LATENCY_EDGES,
-            t0.elapsed().as_secs_f64(),
-        );
+        let ok = write_frame(&mut stream, &resp.encode_with_trace(Some(ctx))).is_ok();
+        pathrep_obs::histogram_record_hdr("serve.request_ns", t0.elapsed().as_nanos() as f64);
         if is_shutdown {
             // Flip the flag, then nudge the accept loop awake with a
             // throwaway connection so it observes the flag and drains.
@@ -691,6 +717,7 @@ mod tests {
                 predictor: Arc::clone(&art),
                 measured: vec![0.0, 0.0],
                 parent_span: None,
+                trace_ctx: None,
                 reply: tx,
             }
         };

@@ -4,11 +4,16 @@
 //! golden artifact.
 
 use pathrep_serve::demo::build_quickstart_model;
-use pathrep_serve::{Client, ModelArtifact, Server, ServerConfig};
+use pathrep_serve::{stitch_traces, Client, ModelArtifact, Server, ServerConfig, TraceContext};
 use std::sync::{Arc, Mutex};
 
-/// Both daemon tests mutate the global obs registry; serialize them.
+/// The daemon tests mutate the global obs registry; serialize them (and
+/// recover the lock if an earlier test's assert poisoned it).
 static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 fn temp_path(name: &str) -> String {
     let mut p = std::env::temp_dir();
@@ -27,7 +32,7 @@ fn test_config() -> ServerConfig {
 
 #[test]
 fn concurrent_clients_get_bit_identical_predictions() {
-    let _obs = OBS_LOCK.lock().unwrap();
+    let _obs = obs_lock();
     pathrep_obs::set_enabled(true);
     pathrep_obs::ledger::set_collecting(true);
     pathrep_obs::reset();
@@ -107,7 +112,7 @@ fn concurrent_clients_get_bit_identical_predictions() {
         "pathrep_serve_predictions",
         "pathrep_serve_model_loads",
         "pathrep_serve_batch_rows",
-        "pathrep_serve_request_seconds",
+        "pathrep_serve_request_ns",
         "pathrep_serve_queue_depth",
     ] {
         assert!(prom.contains(family), "prometheus export lacks {family}:\n{prom}");
@@ -128,7 +133,7 @@ fn concurrent_clients_get_bit_identical_predictions() {
 
 #[test]
 fn unknown_model_and_bad_rows_are_typed_server_errors() {
-    let _obs = OBS_LOCK.lock().unwrap();
+    let _obs = obs_lock();
     let demo = build_quickstart_model().expect("quickstart model builds");
     let path = temp_path("errors.artifact");
     demo.artifact.save(&path).expect("artifact saves");
@@ -159,6 +164,110 @@ fn unknown_model_and_bad_rows_are_typed_server_errors() {
 
     client.shutdown().expect("shutdown");
     handle.join();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn traced_requests_stitch_into_one_chrome_trace() {
+    let _obs = obs_lock();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    pathrep_obs::trace::set_collecting(true);
+
+    let demo = build_quickstart_model().expect("quickstart model builds");
+    let path = temp_path("trace.artifact");
+    demo.artifact.save(&path).expect("artifact saves");
+    let handle = Server::bind(test_config())
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("server spawns");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // An untraced request: the daemon mints a context and echoes it.
+    let loaded = client.load_model(&path).expect("load");
+    let minted = client.last_trace().expect("daemon echoes a minted context");
+    assert!(
+        minted.trace_id >= (1 << 48),
+        "server-minted ids live above 2^48, got {}",
+        minted.trace_id
+    );
+
+    // A traced request: the caller's context is propagated and echoed.
+    let ctx = TraceContext {
+        trace_id: 0xA11CE,
+        request_seq: 1,
+    };
+    let chips = demo.measure_chips(1, 3).expect("chips");
+    {
+        let _g = pathrep_obs::trace::set_context(ctx);
+        let _span = pathrep_obs::span!("client.predict");
+        client.predict(&loaded.model, &chips[0]).expect("predict");
+    }
+    assert_eq!(client.last_trace(), Some(ctx), "daemon echoes the sent context");
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    pathrep_obs::trace::set_collecting(false);
+
+    // Client and daemon ran in one process here, so split the shared
+    // buffer by span namespace to fabricate the two per-process trace
+    // files a real deployment exports.
+    let events = pathrep_obs::trace::events();
+    let client_evts: Vec<_> = events
+        .iter()
+        .filter(|e| e.name.starts_with("client."))
+        .cloned()
+        .collect();
+    let server_evts: Vec<_> = events
+        .iter()
+        .filter(|e| !e.name.starts_with("client."))
+        .cloned()
+        .collect();
+    assert!(!client_evts.is_empty() && !server_evts.is_empty());
+    let client_trace = pathrep_obs::trace::render_chrome_trace(&client_evts, 100);
+    let server_trace = pathrep_obs::trace::render_chrome_trace(&server_evts, 200);
+
+    let merged = stitch_traces(&[
+        ("client_trace.json".to_owned(), client_trace),
+        ("server_trace.json".to_owned(), server_trace),
+    ])
+    .expect("stitch succeeds");
+    let parsed = pathrep_obs::json::parse(&merged).expect("merged trace parses");
+    let parsed = parsed.array().expect("merged trace is an array");
+
+    // Every (pid, tid) track must carry balanced, never-negative B/E
+    // nesting — stitching must not interleave files into broken stacks.
+    let mut depth: std::collections::BTreeMap<(u64, u64), i64> = std::collections::BTreeMap::new();
+    let mut traced_pids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for ev in parsed {
+        let pid = ev.field("pid").unwrap().number().unwrap() as u64;
+        let tid = ev.field("tid").unwrap().number().unwrap() as u64;
+        let d = depth.entry((pid, tid)).or_insert(0);
+        match ev.field("ph").unwrap().string().unwrap().as_str() {
+            "B" => *d += 1,
+            "E" => {
+                *d -= 1;
+                assert!(*d >= 0, "end without begin on pid {pid} tid {tid}");
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+        if let Ok(args) = ev.field("args") {
+            if args.field("trace_id").and_then(|t| t.number()) == Ok(0xA11CE as f64) {
+                traced_pids.insert(pid);
+            }
+        }
+    }
+    assert!(depth.values().all(|&d| d == 0), "unbalanced spans: {depth:?}");
+    // The propagated trace_id shows up in BOTH stitched processes — the
+    // cross-process correlation the telemetry plane exists for.
+    assert_eq!(
+        traced_pids.into_iter().collect::<Vec<_>>(),
+        vec![0, 1],
+        "trace_id 0xA11CE must appear in both the client and server files"
+    );
+
+    pathrep_obs::set_enabled(false);
+    pathrep_obs::reset();
     let _ = std::fs::remove_file(&path);
 }
 

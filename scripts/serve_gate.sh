@@ -7,6 +7,8 @@
 #   * the daemon's own error counter is zero,
 #   * the daemon exits 0 after a clean drain,
 #   * the Prometheus export carries the pathrep_serve_* families,
+#   * the live obs-http plane (PATHREP_OBS_HTTP) answers /healthz and
+#     serves the pathrep_serve_* families on /metrics DURING the soak,
 #   * the ledger carries the serve/model_load record and pathrep-doctor
 #     accepts it (unknown-kind records are reported, never fatal).
 #
@@ -56,6 +58,7 @@ DOCTOR=./target/release/pathrep-doctor
 
 echo "serve_gate.sh: starting daemon on an ephemeral port"
 PATHREP_OBS=1 PATHREP_OBS_PROM="$PROM" PATHREP_OBS_LEDGER="$LEDGER" \
+    PATHREP_OBS_HTTP=127.0.0.1:0 \
     PATHREP_SERVE_ADDR=127.0.0.1:0 "$SERVE" > "$SERVE_LOG" 2>&1 &
 serve_pid=$!
 
@@ -78,6 +81,15 @@ if [ -z "$addr" ]; then
 fi
 echo "serve_gate.sh: daemon is listening on $addr"
 
+# The live telemetry plane prints its own address on a second line.
+obs_addr="$(sed -n 's/^pathrep-serve: obs http listening on \([0-9.:]*\)$/\1/p' "$SERVE_LOG" | head -1)"
+if [ -z "$obs_addr" ]; then
+    echo "serve_gate.sh: FAIL — daemon never printed its obs http address" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+echo "serve_gate.sh: obs http plane is listening on $obs_addr"
+
 loadgen_flags=(--clients "$clients" --requests "$requests")
 if [ "$self_test" = 1 ]; then
     echo "serve_gate.sh: self-test — injecting an expected-value mismatch; loadgen must FAIL"
@@ -93,7 +105,48 @@ if [ "$self_test" = 1 ]; then
 fi
 
 echo "serve_gate.sh: soaking with $clients concurrent clients x $requests requests"
-"$CLIENT" loadgen "$addr" "$ARTIFACT" "${loadgen_flags[@]}"
+"$CLIENT" loadgen "$addr" "$ARTIFACT" "${loadgen_flags[@]}" &
+loadgen_pid=$!
+
+# Scrape the live plane MID-SOAK: the endpoints must answer while the
+# daemon is under concurrent load, and scrapes must not perturb it.
+if [ "$("$CLIENT" scrape "$obs_addr" /healthz)" != "ok" ]; then
+    echo "serve_gate.sh: FAIL — /healthz did not answer ok during the soak" >&2
+    kill "$loadgen_pid" 2>/dev/null || true
+    exit 1
+fi
+# Poll until the first request lands — the scrape races the loadgen's
+# opening load_model, and an empty registry has no serve families yet.
+scraped=0
+for _ in $(seq 1 50); do
+    if "$CLIENT" scrape "$obs_addr" /metrics | grep -q '^pathrep_serve_requests '; then
+        scraped=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$scraped" != 1 ]; then
+    echo "serve_gate.sh: FAIL — live /metrics never showed pathrep_serve_requests mid-soak" >&2
+    kill "$loadgen_pid" 2>/dev/null || true
+    exit 1
+fi
+echo "serve_gate.sh: live /healthz + /metrics answered mid-soak"
+
+if ! wait "$loadgen_pid"; then
+    echo "serve_gate.sh: FAIL — loadgen reported mismatches or errors" >&2
+    exit 1
+fi
+
+# A short fixed-rate pass: latencies measured from the intended arrival
+# schedule (coordinated-omission-safe), p50/p99/p999 from the HDR buckets.
+echo "serve_gate.sh: CO-safe fixed-rate loadgen pass"
+rate_out="$("$CLIENT" loadgen "$addr" "$ARTIFACT" --clients 2 --requests 25 --rate 400)"
+printf '%s\n' "$rate_out" | grep '^pathrep-client: loadgen latency' || true
+if ! printf '%s\n' "$rate_out" | grep -q 'coordinated-omission-safe'; then
+    echo "serve_gate.sh: FAIL — rate-mode loadgen did not report CO-safe percentiles" >&2
+    printf '%s\n' "$rate_out" >&2
+    exit 1
+fi
 
 stats="$("$CLIENT" stats "$addr")"
 echo "serve_gate.sh: daemon stats: $stats"
@@ -116,6 +169,11 @@ echo "serve_gate.sh: daemon drained and exited cleanly"
 
 if ! grep -q '^pathrep_serve_requests ' "$PROM"; then
     echo "serve_gate.sh: FAIL — Prometheus export lacks pathrep_serve_* families" >&2
+    cat "$PROM" >&2
+    exit 1
+fi
+if ! grep -q '^pathrep_serve_request_ns_count ' "$PROM"; then
+    echo "serve_gate.sh: FAIL — Prometheus export lacks the serve.request_ns HDR histogram" >&2
     cat "$PROM" >&2
     exit 1
 fi
