@@ -26,7 +26,8 @@
 //! bit-determinism contract, and the gate hard-fails.
 
 use pathrep_bench::gate::{
-    diff, has_regression, render_diff, BenchReport, DEFAULT_THRESHOLD, SCHEMA_VERSION,
+    diff, environment_fingerprint, has_regression, render_diff, render_env_diff, BenchReport,
+    DEFAULT_THRESHOLD, SCHEMA_VERSION,
 };
 use pathrep_bench::workloads::{measure, workload_matrix};
 use std::path::{Path, PathBuf};
@@ -236,6 +237,7 @@ fn main() -> ExitCode {
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,
         commit: git_commit(),
+        env: environment_fingerprint(),
         workloads: results,
     };
 
@@ -281,6 +283,10 @@ fn main() -> ExitCode {
         baseline.commit,
         args.threshold * 100.0
     );
+    // Environment fingerprint comparison: a regression measured on a
+    // loaded or differently-provisioned box should read as an environment
+    // delta, not a code problem.
+    print!("{}", render_env_diff(&baseline.env, &report.env));
     print!("{}", render_diff(&rows));
     if has_regression(&rows) {
         eprintln!("perf_gate: FAIL — at least one workload regressed");

@@ -42,20 +42,67 @@ pub struct BenchReport {
     pub schema_version: u64,
     /// Git commit the run was taken at (short hash, or `"unknown"`).
     pub commit: String,
+    /// Environment fingerprint at measurement time (cpu count, thread
+    /// setting, load average, kernel) — see [`environment_fingerprint`].
+    /// Empty in baselines written before the field existed; the parse is
+    /// lenient and serialization omits an empty map, so old
+    /// `BENCH_*.json` files stay loadable and byte-stable.
+    pub env: BTreeMap<String, String>,
     /// Per-workload results, in matrix order.
     pub workloads: Vec<WorkloadResult>,
+}
+
+/// Captures the measurement environment: `cpus` (available parallelism),
+/// `pathrep_threads` (the `PATHREP_THREADS` setting, or `default`),
+/// `loadavg` (the 1/5/15-minute triple) and `kernel` (release string).
+/// A perf diff across machines or against a loaded box is noise — the
+/// fingerprint travels with the numbers so the gate can say so.
+pub fn environment_fingerprint() -> BTreeMap<String, String> {
+    let mut env = BTreeMap::new();
+    if let Ok(n) = std::thread::available_parallelism() {
+        env.insert("cpus".to_owned(), n.get().to_string());
+    }
+    env.insert(
+        "pathrep_threads".to_owned(),
+        std::env::var("PATHREP_THREADS")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+            .unwrap_or_else(|| "default".to_owned()),
+    );
+    if let Ok(raw) = std::fs::read_to_string("/proc/loadavg") {
+        let triple: Vec<&str> = raw.split_whitespace().take(3).collect();
+        if triple.len() == 3 {
+            env.insert("loadavg".to_owned(), triple.join(" "));
+        }
+    }
+    if let Ok(release) = std::fs::read_to_string("/proc/sys/kernel/osrelease") {
+        env.insert("kernel".to_owned(), release.trim().to_owned());
+    }
+    env
 }
 
 impl BenchReport {
     /// Serializes the report as pretty-enough single-line JSON.
     pub fn to_json(&self) -> String {
-        JsonValue::Object(vec![
+        let mut top = vec![
             (
-                "schema_version".into(),
+                "schema_version".to_owned(),
                 JsonValue::Number(self.schema_version as f64),
             ),
             ("commit".into(), JsonValue::String(self.commit.clone())),
-            (
+        ];
+        if !self.env.is_empty() {
+            top.push((
+                "env".into(),
+                JsonValue::Object(
+                    self.env
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::String(v.clone())))
+                        .collect(),
+                ),
+            ));
+        }
+        top.push((
                 "workloads".into(),
                 JsonValue::Array(
                     self.workloads
@@ -82,9 +129,8 @@ impl BenchReport {
                         })
                         .collect(),
                 ),
-            ),
-        ])
-        .render()
+            ));
+        JsonValue::Object(top).render()
     }
 
     /// Parses a report written by [`BenchReport::to_json`].
@@ -124,9 +170,19 @@ impl BenchReport {
                 })
             })
             .collect::<Result<_, String>>()?;
+        // Lenient: absent in pre-fingerprint baselines.
+        let env = match v.field("env") {
+            Err(_) => BTreeMap::new(),
+            Ok(JsonValue::Object(fields)) => fields
+                .iter()
+                .filter_map(|(k, v)| v.string().ok().map(|s| (k.clone(), s)))
+                .collect(),
+            Ok(_) => return Err("env must be an object".into()),
+        };
         Ok(BenchReport {
             schema_version,
             commit: v.field("commit")?.string()?,
+            env,
             workloads,
         })
     }
@@ -294,6 +350,27 @@ pub fn render_diff(rows: &[DiffRow]) -> String {
     out
 }
 
+/// Renders a baseline-vs-current environment comparison, one line per
+/// fingerprint key, flagging every difference — so a "regression" taken
+/// on a loaded or differently-sized box announces itself in the diff
+/// output instead of masquerading as a code problem.
+pub fn render_env_diff(
+    baseline: &BTreeMap<String, String>,
+    current: &BTreeMap<String, String>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let keys: std::collections::BTreeSet<&String> =
+        baseline.keys().chain(current.keys()).collect();
+    for k in keys {
+        let b = baseline.get(k).map_or("—", String::as_str);
+        let c = current.get(k).map_or("—", String::as_str);
+        let mark = if b == c { "" } else { "  <- differs" };
+        let _ = writeln!(out, "  env {k:<16} base: {b:<24} cur: {c}{mark}");
+    }
+    out
+}
+
 /// Interpolated percentile of already-measured wall times. `q` in `[0, 1]`.
 pub fn percentile_ms(sorted_ms: &[f64], q: f64) -> f64 {
     if sorted_ms.is_empty() {
@@ -327,6 +404,7 @@ mod tests {
         BenchReport {
             schema_version: SCHEMA_VERSION,
             commit: "abc1234".into(),
+            env: BTreeMap::new(),
             workloads,
         }
     }
@@ -339,6 +417,38 @@ mod tests {
         ]);
         let back = BenchReport::from_json(&r.to_json()).expect("valid JSON");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn env_fingerprint_round_trips_and_empty_env_is_omitted() {
+        let mut r = report(vec![workload("exact_small", 12.5, &[])]);
+        // Empty fingerprint serializes exactly like the pre-env schema, so
+        // regenerating an old baseline stays byte-stable.
+        assert!(!r.to_json().contains("\"env\""));
+        r.env.insert("cpus".into(), "8".into());
+        r.env.insert("kernel".into(), "6.18.5".into());
+        let back = BenchReport::from_json(&r.to_json()).expect("valid JSON");
+        assert_eq!(back, r);
+        assert_eq!(back.env.get("cpus").map(String::as_str), Some("8"));
+    }
+
+    #[test]
+    fn env_diff_flags_differences_only() {
+        let mut base = BTreeMap::new();
+        base.insert("cpus".to_owned(), "8".to_owned());
+        base.insert("kernel".to_owned(), "6.1".to_owned());
+        let mut cur = base.clone();
+        cur.insert("cpus".to_owned(), "4".to_owned());
+        cur.insert("loadavg".to_owned(), "0.10 0.20 0.30".to_owned());
+        let rendered = render_env_diff(&base, &cur);
+        let differs: Vec<&str> =
+            rendered.lines().filter(|l| l.ends_with("<- differs")).collect();
+        assert_eq!(differs.len(), 2, "{rendered}");
+        assert!(differs.iter().any(|l| l.contains("cpus")));
+        assert!(differs.iter().any(|l| l.contains("loadavg")));
+        assert!(!rendered
+            .lines()
+            .any(|l| l.contains("kernel") && l.contains("differs")));
     }
 
     #[test]

@@ -48,6 +48,23 @@ pub const ENV_SERVE_QUEUE: &str = "PATHREP_SERVE_QUEUE";
 /// Capacity of the `pathrep-serve` LRU model-artifact cache (default 8).
 pub const ENV_SERVE_CACHE: &str = "PATHREP_SERVE_CACHE";
 
+/// Capacity of the always-on flight recorder ring (see [`crate::flight`]):
+/// unset means the default small capacity, `0` or `off` disables
+/// recording, any other integer sets the ring size in records.
+pub const ENV_FLIGHT: &str = "PATHREP_OBS_FLIGHT";
+/// Output path for flight-recorder dumps triggered by the panic hook or
+/// the serve stall watchdog; defaults to `flight_<pid>.json` in the
+/// working directory.
+pub const ENV_FLIGHT_DUMP: &str = "PATHREP_OBS_FLIGHT_DUMP";
+/// Declared latency objectives for the `/slo.json` endpoint, e.g.
+/// `serve.request_ns:p999<5ms:99.9` (comma-separated list; see
+/// [`crate::slo`]).
+pub const ENV_SLO: &str = "PATHREP_OBS_SLO";
+/// Stall-watchdog deadline in milliseconds for the `pathrep-serve`
+/// batcher heartbeat (registered here so the env-drift guard covers it):
+/// unset means the 5000 ms default, `0` disables the watchdog.
+pub const ENV_SERVE_WATCHDOG_MS: &str = "PATHREP_SERVE_WATCHDOG_MS";
+
 /// Every recognized pathrep environment variable, for docs and drift
 /// guards.
 pub const ALL_ENV_VARS: &[&str] = &[
@@ -65,6 +82,10 @@ pub const ALL_ENV_VARS: &[&str] = &[
     ENV_SERVE_BATCH,
     ENV_SERVE_QUEUE,
     ENV_SERVE_CACHE,
+    ENV_FLIGHT,
+    ENV_FLIGHT_DUMP,
+    ENV_SLO,
+    ENV_SERVE_WATCHDOG_MS,
 ];
 
 /// Whether `PATHREP_OBS` asks for collection (`1`/`true`/`on`/`yes`).
@@ -121,6 +142,50 @@ pub fn profile_hz() -> Option<u64> {
         .filter(|&hz| hz > 0)
 }
 
+/// Default flight-recorder ring capacity when `PATHREP_OBS_FLIGHT` is
+/// unset: small enough that the always-on ring is invisible in benchmarks,
+/// large enough to hold the last few hundred requests' span records.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// The flight-recorder ring capacity (`PATHREP_OBS_FLIGHT`): `None`
+/// disables recording (`0` or `off`), unset/unparsable falls back to
+/// [`DEFAULT_FLIGHT_CAPACITY`] — the recorder is on by default.
+pub fn flight_capacity() -> Option<usize> {
+    match path_from_env(ENV_FLIGHT) {
+        None => Some(DEFAULT_FLIGHT_CAPACITY),
+        Some(v) => match v.trim() {
+            "0" | "off" | "false" | "no" => None,
+            v => Some(v.parse::<usize>().unwrap_or(DEFAULT_FLIGHT_CAPACITY).max(16)),
+        },
+    }
+}
+
+/// The flight-dump output path (`PATHREP_OBS_FLIGHT_DUMP`), defaulting to
+/// `flight_<pid>.json` in the working directory.
+pub fn flight_dump_path() -> String {
+    path_from_env(ENV_FLIGHT_DUMP)
+        .unwrap_or_else(|| format!("flight_{}.json", std::process::id()))
+}
+
+/// The raw SLO declaration string (`PATHREP_OBS_SLO`), if any.
+pub fn slo_spec() -> Option<String> {
+    path_from_env(ENV_SLO)
+}
+
+/// The serve stall-watchdog deadline (`PATHREP_SERVE_WATCHDOG_MS`):
+/// `None` when disabled with `0`, unset/unparsable falls back to the
+/// 5000 ms default.
+pub fn serve_watchdog_ms() -> Option<u64> {
+    match path_from_env(ENV_SERVE_WATCHDOG_MS) {
+        None => Some(5000),
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(0) => None,
+            Ok(ms) => Some(ms),
+            Err(_) => Some(5000),
+        },
+    }
+}
+
 /// The run id stamped on ledger records: `PATHREP_OBS_RUN_ID` when set,
 /// otherwise `pid<process id>`.
 pub fn run_id() -> String {
@@ -173,9 +238,27 @@ mod tests {
         for v in [
             ENV_OBS, ENV_JSON, ENV_TRACE, ENV_PROM, ENV_LEDGER, ENV_RUN_ID, ENV_HTTP,
             ENV_PROFILE, ENV_PROFILE_HZ, ENV_THREADS, ENV_SERVE_ADDR, ENV_SERVE_BATCH,
-            ENV_SERVE_QUEUE, ENV_SERVE_CACHE,
+            ENV_SERVE_QUEUE, ENV_SERVE_CACHE, ENV_FLIGHT, ENV_FLIGHT_DUMP, ENV_SLO,
+            ENV_SERVE_WATCHDOG_MS,
         ] {
             assert!(ALL_ENV_VARS.contains(&v));
         }
+    }
+
+    #[test]
+    fn flight_capacity_defaults_on_and_zero_disables() {
+        // The default (unset) path cannot be asserted here without racing
+        // other tests over the process environment; exercise the explicit
+        // values through the parser used by `flight_capacity`.
+        std::env::set_var(ENV_FLIGHT, "0");
+        assert_eq!(flight_capacity(), None);
+        std::env::set_var(ENV_FLIGHT, "off");
+        assert_eq!(flight_capacity(), None);
+        std::env::set_var(ENV_FLIGHT, "128");
+        assert_eq!(flight_capacity(), Some(128));
+        std::env::set_var(ENV_FLIGHT, "2");
+        assert_eq!(flight_capacity(), Some(16), "tiny caps clamp up to 16");
+        std::env::remove_var(ENV_FLIGHT);
+        assert_eq!(flight_capacity(), Some(DEFAULT_FLIGHT_CAPACITY));
     }
 }

@@ -50,6 +50,14 @@
 //!   pool (registered in [`config::ALL_ENV_VARS`] so the drift guard
 //!   covers it); `1` = sequential, unset or `0` = available parallelism.
 //!   Results are bit-identical at any setting.
+//! * `PATHREP_OBS_FLIGHT=<cap>` — capacity of the always-on flight
+//!   recorder ring (see [`flight`]); unset means the default small
+//!   capacity, `0`/`off` disables it. Dumped on panic, stall, or request.
+//! * `PATHREP_OBS_FLIGHT_DUMP=<path>` — where panic-hook/watchdog flight
+//!   dumps land (default `flight_<pid>.json`).
+//! * `PATHREP_OBS_SLO=<spec>` — declared latency objectives for the
+//!   `/slo.json` endpoint, e.g. `serve.request_ns:p999<5ms:99.9`; see
+//!   [`slo`].
 //!
 //! All parsing of these variables lives in [`config`]; export failures
 //! warn on stderr and never abort the run.
@@ -72,6 +80,7 @@
 #![deny(missing_docs)]
 
 pub mod config;
+pub mod flight;
 pub mod hdr;
 pub mod http;
 pub mod json;
@@ -79,14 +88,17 @@ pub mod ledger;
 pub mod prom;
 pub mod profile;
 mod registry;
+pub mod slo;
 mod snapshot;
 mod span;
 pub mod trace;
+pub mod window;
 
 pub use hdr::HdrHistogram;
-pub use registry::{registry, Event, Level, Registry, MAX_EVENTS};
+pub use registry::{registry, Event, Level, Registry, EXEMPLAR_K, MAX_EVENTS};
 pub use snapshot::{
-    CounterSnapshot, EventSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot, SpanNode,
+    CounterSnapshot, EventSnapshot, ExemplarSnapshot, GaugeSnapshot, HistogramSnapshot,
+    Snapshot, SpanNode,
 };
 pub use span::{adopt_span_parent, current_span_path, ParentSpanGuard, SpanGuard};
 
@@ -177,29 +189,43 @@ pub fn histogram_record_hdr(name: &'static str, value: f64) {
 }
 
 /// Records a warning event (e.g. an unconverged solver), keeping the
-/// first [`registry::MAX_EVENTS`] events.
+/// first [`registry::MAX_EVENTS`] events. Events also land in the flight
+/// ring as instant marks, so a post-mortem dump shows them in-line with
+/// the spans that surrounded them.
 #[inline]
 pub fn warn(name: &'static str, message: impl FnOnce() -> String) {
     if enabled() {
-        registry().event_slow(Level::Warn, name, message());
+        let msg = message();
+        if flight::collecting() {
+            flight::instant(name, msg.clone());
+        }
+        registry().event_slow(Level::Warn, name, msg);
     }
 }
 
-/// Records an informational event.
+/// Records an informational event (also mirrored into the flight ring;
+/// see [`warn`]).
 #[inline]
 pub fn info(name: &'static str, message: impl FnOnce() -> String) {
     if enabled() {
-        registry().event_slow(Level::Info, name, message());
+        let msg = message();
+        if flight::collecting() {
+            flight::instant(name, msg.clone());
+        }
+        registry().event_slow(Level::Info, name, msg);
     }
 }
 
-/// Clears every metric in the global registry, the trace buffer and the
-/// ledger buffer (tests and long-lived embedders).
+/// Clears every metric in the global registry, the trace buffer, the
+/// ledger buffer, the flight ring and the window ring (tests and
+/// long-lived embedders).
 pub fn reset() {
     registry().reset();
     trace::reset();
     ledger::reset();
     profile::reset();
+    flight::reset();
+    window::reset();
 }
 
 /// Emits the standard end-of-run telemetry report for an experiment

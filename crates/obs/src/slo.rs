@@ -1,0 +1,325 @@
+//! Declared latency objectives and error-budget burn rates.
+//!
+//! `PATHREP_OBS_SLO` declares objectives against HDR histograms in the
+//! registry, e.g.
+//!
+//! ```text
+//! PATHREP_OBS_SLO=serve.request_ns:p999<5ms:99.9
+//! ```
+//!
+//! reads "the p999 of `serve.request_ns` must stay under 5 ms, for 99.9 %
+//! of observations" — a 0.1 % error budget. Multiple objectives separate
+//! with commas. Thresholds take `ns`/`us`/`ms`/`s` suffixes (bare numbers
+//! are nanoseconds); quantile labels are `p50`, `p99`, `p999`, … .
+//!
+//! [`render_report`] evaluates each objective against the sliding
+//! windows from [`crate::window`]: the **burn rate** per window is the
+//! fraction of windowed observations over the threshold divided by the
+//! budget fraction — burn 1.0 means the budget is being spent exactly as
+//! declared, >1 means the objective is breaching *now*. The report is
+//! served as `/slo.json` by the live HTTP plane and polled by
+//! `pathrep-client slo`.
+
+use crate::json::JsonValue;
+use crate::window::WindowRates;
+
+/// One parsed objective from `PATHREP_OBS_SLO`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloObjective {
+    /// Registry HDR histogram name (e.g. `serve.request_ns`).
+    pub metric: String,
+    /// Quantile label as declared (`"p999"`).
+    pub quantile_label: String,
+    /// The quantile in `[0, 1]` (`0.999`).
+    pub quantile: f64,
+    /// Latency threshold in nanoseconds.
+    pub threshold_ns: f64,
+    /// Fraction of observations (percent) that must meet the threshold.
+    pub target_pct: f64,
+}
+
+impl SloObjective {
+    /// The error-budget fraction: `1 - target/100`.
+    pub fn budget(&self) -> f64 {
+        (1.0 - self.target_pct / 100.0).max(0.0)
+    }
+}
+
+fn parse_threshold_ns(s: &str) -> Result<f64, String> {
+    let s = s.trim();
+    let (num, scale) = if let Some(v) = s.strip_suffix("ns") {
+        (v, 1.0)
+    } else if let Some(v) = s.strip_suffix("us") {
+        (v, 1e3)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, 1e6)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1e9)
+    } else {
+        (s, 1.0)
+    };
+    num.trim()
+        .parse::<f64>()
+        .map(|v| v * scale)
+        .map_err(|_| format!("bad threshold {s:?}"))
+}
+
+fn parse_quantile(label: &str) -> Result<f64, String> {
+    let digits = label
+        .strip_prefix('p')
+        .filter(|d| !d.is_empty() && d.chars().all(|c| c.is_ascii_digit()))
+        .ok_or_else(|| format!("bad quantile label {label:?} (want pNN…)"))?;
+    let q = digits.parse::<f64>().map_err(|e| e.to_string())?
+        / 10f64.powi(digits.len() as i32);
+    if !(0.0..=1.0).contains(&q) {
+        return Err(format!("quantile {label:?} out of range"));
+    }
+    Ok(q)
+}
+
+/// Parses a full `PATHREP_OBS_SLO` declaration:
+/// `metric:pQQQ<threshold:target[,metric:…]`.
+///
+/// # Errors
+///
+/// Describes the first malformed objective.
+pub fn parse_spec(spec: &str) -> Result<Vec<SloObjective>, String> {
+    let mut out = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (metric, rest) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("objective {entry:?} lacks `metric:`"))?;
+        let (qthr, target) = rest
+            .rsplit_once(':')
+            .ok_or_else(|| format!("objective {entry:?} lacks `:target`"))?;
+        let (qlabel, thr) = qthr
+            .split_once('<')
+            .ok_or_else(|| format!("objective {entry:?} lacks `pNN<threshold`"))?;
+        let quantile = parse_quantile(qlabel.trim())?;
+        let threshold_ns = parse_threshold_ns(thr)?;
+        let target_pct = target
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("bad target {target:?}"))?;
+        if !(0.0..=100.0).contains(&target_pct) {
+            return Err(format!("target {target:?} out of [0, 100]"));
+        }
+        out.push(SloObjective {
+            metric: metric.trim().to_owned(),
+            quantile_label: qlabel.trim().to_owned(),
+            quantile,
+            threshold_ns,
+            target_pct,
+        });
+    }
+    Ok(out)
+}
+
+/// The objectives declared in the environment; parse errors warn on
+/// stderr (telemetry never aborts a run) and yield an empty list.
+pub fn objectives_from_env() -> Vec<SloObjective> {
+    match crate::config::slo_spec() {
+        None => Vec::new(),
+        Some(spec) => match parse_spec(&spec) {
+            Ok(objectives) => objectives,
+            Err(e) => {
+                eprintln!(
+                    "pathrep-obs: [warn] {} is malformed: {e} (objectives ignored)",
+                    crate::config::ENV_SLO
+                );
+                Vec::new()
+            }
+        },
+    }
+}
+
+/// Evaluates `objectives` against `windows` and renders the `/slo.json`
+/// body. Zero-observation windows report burn 0 (an idle service cannot
+/// breach), and exemplars for the objective's metric ride along so a
+/// breach points at the offending trace_ids.
+pub fn render_report(objectives: &[SloObjective], windows: &[WindowRates]) -> String {
+    let obj_values = objectives
+        .iter()
+        .map(|o| {
+            let window_values = windows
+                .iter()
+                .map(|w| {
+                    let hist = w.histograms.iter().find(|h| h.name == o.metric);
+                    let (count, quantile_ns, breach) = match hist {
+                        Some(h) => (
+                            h.delta.count(),
+                            h.delta.quantile(o.quantile),
+                            h.delta.count_above(o.threshold_ns),
+                        ),
+                        None => (0, 0.0, 0.0),
+                    };
+                    let breach_fraction = if count > 0 {
+                        (breach / count as f64).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    let budget = o.budget();
+                    let burn_rate = if breach_fraction == 0.0 {
+                        0.0
+                    } else if budget > 0.0 {
+                        breach_fraction / budget
+                    } else {
+                        f64::MAX
+                    };
+                    JsonValue::Object(vec![
+                        ("window".into(), JsonValue::String(w.label.to_owned())),
+                        ("elapsed_s".into(), JsonValue::Number(w.elapsed_s)),
+                        ("count".into(), JsonValue::Number(count as f64)),
+                        ("quantile_ns".into(), JsonValue::Number(quantile_ns)),
+                        (
+                            "breach_fraction".into(),
+                            JsonValue::Number(breach_fraction),
+                        ),
+                        ("burn_rate".into(), JsonValue::Number(burn_rate)),
+                        ("ok".into(), JsonValue::Bool(burn_rate <= 1.0)),
+                    ])
+                })
+                .collect();
+            // Exemplars from the widest window, filtered to this metric.
+            let exemplars = windows
+                .last()
+                .map(|w| {
+                    w.exemplars
+                        .iter()
+                        .filter(|x| x.histogram == o.metric)
+                        .map(|x| {
+                            JsonValue::Object(vec![
+                                ("value_ns".into(), JsonValue::Number(x.value)),
+                                (
+                                    "trace_id".into(),
+                                    JsonValue::Number(x.trace_id as f64),
+                                ),
+                                (
+                                    "request_seq".into(),
+                                    JsonValue::Number(x.request_seq as f64),
+                                ),
+                            ])
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default();
+            JsonValue::Object(vec![
+                ("metric".into(), JsonValue::String(o.metric.clone())),
+                (
+                    "objective".into(),
+                    JsonValue::String(format!(
+                        "{}<{}ns",
+                        o.quantile_label, o.threshold_ns
+                    )),
+                ),
+                ("threshold_ns".into(), JsonValue::Number(o.threshold_ns)),
+                ("target_pct".into(), JsonValue::Number(o.target_pct)),
+                ("windows".into(), JsonValue::Array(window_values)),
+                ("exemplars".into(), JsonValue::Array(exemplars)),
+            ])
+        })
+        .collect();
+    JsonValue::Object(vec![(
+        "objectives".into(),
+        JsonValue::Array(obj_values),
+    )])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hdr::HdrHistogram;
+    use crate::window::{WindowHistogram, WindowRates};
+
+    #[test]
+    fn spec_parsing_accepts_the_documented_grammar() {
+        let objs = parse_spec("serve.request_ns:p999<5ms:99.9").unwrap();
+        assert_eq!(objs.len(), 1);
+        let o = &objs[0];
+        assert_eq!(o.metric, "serve.request_ns");
+        assert_eq!(o.quantile_label, "p999");
+        assert!((o.quantile - 0.999).abs() < 1e-12);
+        assert_eq!(o.threshold_ns, 5.0e6);
+        assert_eq!(o.target_pct, 99.9);
+        assert!((o.budget() - 0.001).abs() < 1e-12);
+
+        let multi =
+            parse_spec("a.ns:p50<250us:99, b.ns:p99<1s:95.5, c.ns:p9999<800:90").unwrap();
+        assert_eq!(multi.len(), 3);
+        assert_eq!(multi[0].threshold_ns, 250.0e3);
+        assert_eq!(multi[1].threshold_ns, 1.0e9);
+        assert_eq!(multi[2].threshold_ns, 800.0, "bare numbers are ns");
+        assert!((multi[2].quantile - 0.9999).abs() < 1e-12);
+
+        assert!(parse_spec("missing_parts").is_err());
+        assert!(parse_spec("m:q999<5ms:99").is_err(), "quantile needs p prefix");
+        assert!(parse_spec("m:p999<abc:99").is_err());
+        assert!(parse_spec("m:p999<5ms:150").is_err(), "target is a percent");
+        assert!(parse_spec("").unwrap().is_empty());
+    }
+
+    fn synthetic_window(fast: u64, slow: u64) -> WindowRates {
+        let mut h = HdrHistogram::new();
+        for _ in 0..fast {
+            h.record(1.0e6); // 1 ms
+        }
+        for _ in 0..slow {
+            h.record(20.0e6); // 20 ms — over a 5 ms threshold
+        }
+        WindowRates {
+            label: "10s",
+            secs: 10,
+            elapsed_s: 10.0,
+            counters: Vec::new(),
+            histograms: vec![WindowHistogram {
+                name: "serve.request_ns".into(),
+                rate: (fast + slow) as f64 / 10.0,
+                delta: h,
+            }],
+            exemplars: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn burn_rate_crosses_one_exactly_when_the_budget_is_exceeded() {
+        let objs = parse_spec("serve.request_ns:p999<5ms:99").unwrap();
+        // 1 % budget. 5 slow of 1000 = 0.5 % breach → burn 0.5, ok.
+        let report = render_report(&objs, &[synthetic_window(995, 5)]);
+        let v = crate::json::parse(&report).unwrap();
+        let w = &v.field("objectives").unwrap().array().unwrap()[0]
+            .field("windows")
+            .unwrap()
+            .array()
+            .unwrap()[0];
+        let burn = w.field("burn_rate").unwrap().number().unwrap();
+        assert!((burn - 0.5).abs() < 0.1, "burn = {burn}");
+        assert_eq!(w.field("ok").unwrap(), &JsonValue::Bool(true));
+
+        // 50 slow of 1000 = 5 % breach → burn 5, breaching.
+        let report = render_report(&objs, &[synthetic_window(950, 50)]);
+        let v = crate::json::parse(&report).unwrap();
+        let w = &v.field("objectives").unwrap().array().unwrap()[0]
+            .field("windows")
+            .unwrap()
+            .array()
+            .unwrap()[0];
+        let burn = w.field("burn_rate").unwrap().number().unwrap();
+        assert!(burn > 1.0, "burn = {burn}");
+        assert_eq!(w.field("ok").unwrap(), &JsonValue::Bool(false));
+
+        // An idle window burns nothing.
+        let report = render_report(&objs, &[synthetic_window(0, 0)]);
+        let v = crate::json::parse(&report).unwrap();
+        let w = &v.field("objectives").unwrap().array().unwrap()[0]
+            .field("windows")
+            .unwrap()
+            .array()
+            .unwrap()[0];
+        assert_eq!(w.field("burn_rate").unwrap().number().unwrap(), 0.0);
+    }
+}

@@ -21,6 +21,10 @@ pub struct SpanGuard {
     traced: bool,
     /// Whether a profiler shadow-stack frame was pushed (pop on drop).
     profiled: bool,
+    /// Whether a flight-recorder begin was pushed (record the end on
+    /// drop). Unlike the trace buffer the flight ring never refuses a
+    /// record, so this mirrors `flight::collecting()` at entry.
+    flight: bool,
 }
 
 impl SpanGuard {
@@ -32,6 +36,7 @@ impl SpanGuard {
                 name,
                 traced: false,
                 profiled: false,
+                flight: false,
             };
         }
         SPAN_PATHS.with(|stack| {
@@ -50,11 +55,16 @@ impl SpanGuard {
         });
         let traced = crate::trace::collecting() && crate::trace::record_begin(name);
         let profiled = crate::profile::push_frame(name);
+        let flight = crate::flight::collecting();
+        if flight {
+            crate::flight::record_begin(name);
+        }
         SpanGuard {
             started: Some(Instant::now()),
             name,
             traced,
             profiled,
+            flight,
         }
     }
 }
@@ -130,6 +140,9 @@ impl Drop for SpanGuard {
         let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         if self.traced {
             crate::trace::record_end(self.name);
+        }
+        if self.flight {
+            crate::flight::record_end(self.name);
         }
         if self.profiled {
             crate::profile::pop_frame();

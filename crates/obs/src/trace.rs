@@ -132,8 +132,9 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-/// Monotonic nanoseconds since the trace epoch.
-fn now_ns() -> u64 {
+/// Monotonic nanoseconds since the trace epoch (shared with the flight
+/// recorder so flight dumps and traces line up on one time axis).
+pub(crate) fn now_ns() -> u64 {
     epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
@@ -199,7 +200,7 @@ impl Drop for WorkerTidGuard {
     }
 }
 
-fn thread_id() -> u64 {
+pub(crate) fn thread_id() -> u64 {
     let overridden = TID_OVERRIDE.with(|c| c.get());
     if overridden != NO_OVERRIDE {
         return overridden;

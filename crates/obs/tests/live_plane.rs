@@ -68,6 +68,98 @@ fn http_plane_serves_live_registry() {
 }
 
 #[test]
+fn concurrent_scrapes_during_hdr_recording_are_never_torn() {
+    let _g = lock();
+    pathrep_obs::reset();
+    pathrep_obs::set_enabled(true);
+    let server = pathrep_obs::http::start("127.0.0.1:0").expect("bind ephemeral");
+    let addr = server.addr();
+
+    // Writer: hammer an HDR histogram + a counter while scrapers read.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut written = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                pathrep_obs::histogram_record_hdr(
+                    "scrape.race_ns",
+                    ((written % 1000) * 1_000 + 500) as f64,
+                );
+                pathrep_obs::counter_add("scrape.race.writes", 1);
+                written += 1;
+            }
+            written
+        })
+    };
+
+    // Scraper A: /metrics. Each scrape must be internally consistent —
+    // cumulative buckets monotone, +Inf bucket == _count — and counts
+    // must never go backwards between scrapes.
+    let prom_scraper = std::thread::spawn(move || {
+        let mut last_count = 0u64;
+        for _ in 0..25 {
+            let (status, body) = http_get(addr, "/metrics");
+            assert_eq!(status, 200);
+            let buckets: Vec<u64> = body
+                .lines()
+                .filter(|l| l.starts_with("pathrep_scrape_race_ns_bucket{"))
+                .map(|l| {
+                    l.rsplit(' ')
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("torn bucket line: {l}"))
+                })
+                .collect();
+            for w in buckets.windows(2) {
+                assert!(w[0] <= w[1], "non-monotone cumulative buckets: {buckets:?}");
+            }
+            let count: Option<u64> = body
+                .lines()
+                .find(|l| l.starts_with("pathrep_scrape_race_ns_count "))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok());
+            if let (Some(count), Some(last)) = (count, buckets.last()) {
+                assert_eq!(*last, count, "+Inf bucket must equal _count");
+                assert!(count >= last_count, "count went backwards");
+                last_count = count;
+            }
+        }
+    });
+
+    // Scraper B: /snapshot.json must always parse (never a half-written
+    // document) and its bucket counts must sum to the histogram count.
+    let json_scraper = std::thread::spawn(move || {
+        for _ in 0..25 {
+            let (status, json) = http_get(addr, "/snapshot.json");
+            assert_eq!(status, 200);
+            let snap = Snapshot::from_json(&json).expect("snapshot.json parses mid-write");
+            if let Some(h) = snap.histograms.iter().find(|h| h.name == "scrape.race_ns") {
+                assert_eq!(
+                    h.counts.iter().sum::<u64>(),
+                    h.count,
+                    "bucket counts must sum to the observation count"
+                );
+            }
+        }
+    });
+
+    prom_scraper.join().expect("prom scraper panicked");
+    json_scraper.join().expect("json scraper panicked");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let written = writer.join().expect("writer panicked");
+    assert!(written > 0, "writer made progress during the scrapes");
+
+    // Quiesced: the final scrape agrees exactly with what was written.
+    let (_, body) = http_get(addr, "/metrics");
+    assert!(
+        body.contains(&format!("pathrep_scrape_race_writes {written}\n")),
+        "final counter must equal total writes ({written})"
+    );
+    pathrep_obs::reset();
+}
+
+#[test]
 fn hdr_histograms_flow_through_registry_and_prom() {
     let _g = lock();
     pathrep_obs::reset();

@@ -7,7 +7,12 @@
 //! pathrep-client predict  <addr> <model-id> <v1,v2,...>
 //! pathrep-client stats    <addr>
 //! pathrep-client shutdown <addr>
-//! pathrep-client scrape   <addr> </metrics|/healthz|/snapshot.json>
+//! pathrep-client scrape   <addr> </metrics|/healthz|/snapshot.json|/slo.json>
+//!                         [--timeout-ms T]
+//! pathrep-client slo      <addr> [--timeout-ms T]
+//! pathrep-client dump-flight <addr> [out-path]
+//! pathrep-client fault    <addr> <slowdown-ms>
+//! pathrep-client check-flight <flight-dump.json>
 //! pathrep-client stitch-trace <out.json> <trace.json>...
 //! pathrep-client loadgen  <addr> <artifact-path> [--clients N] [--requests M]
 //!                         [--rate R] [--inject-mismatch]
@@ -28,9 +33,17 @@
 //! uses for `serve.request_ns`.
 //!
 //! `scrape` is a dependency-free `curl` stand-in for the daemon's live
-//! telemetry endpoints (`PATHREP_OBS_HTTP`); `stitch-trace` merges Chrome
-//! traces from both processes into one file correlated by the shared
-//! `trace_id`s the wire protocol propagates.
+//! telemetry endpoints (`PATHREP_OBS_HTTP`); both it and `slo` take
+//! `--timeout-ms` (default 5000) as connect *and* read/write deadlines,
+//! so a hung daemon fails a probe instead of wedging it. `slo` renders
+//! `/slo.json` as one line per objective×window with the error-budget
+//! burn rate. `dump-flight` asks the daemon to write its flight-recorder
+//! ring; `fault` injects a batcher slowdown (daemon must run with
+//! `--allow-fault`); `check-flight` validates a flight dump off-line —
+//! parseable Chrome JSON with balanced B/E nesting per thread — and exits
+//! nonzero otherwise, so gate scripts need no JSON tooling on the host.
+//! `stitch-trace` merges Chrome traces from both processes into one file
+//! correlated by the shared `trace_id`s the wire protocol propagates.
 
 use pathrep_obs::trace;
 use pathrep_obs::HdrHistogram;
@@ -47,7 +60,8 @@ fn die(msg: &str) -> ! {
 fn usage() -> ! {
     eprintln!(
         "usage: pathrep-client \
-         <build-artifact|load|predict|stats|shutdown|scrape|stitch-trace|loadgen> …\n\
+         <build-artifact|load|predict|stats|shutdown|scrape|slo|dump-flight|\
+         fault|check-flight|stitch-trace|loadgen> …\n\
          (see the crate docs for per-command arguments)"
     );
     exit(2)
@@ -62,6 +76,10 @@ fn main() {
         Some("stats") => stats(&args),
         Some("shutdown") => shutdown(&args),
         Some("scrape") => scrape(&args),
+        Some("slo") => slo(&args),
+        Some("dump-flight") => dump_flight(&args),
+        Some("fault") => fault(&args),
+        Some("check-flight") => check_flight(args.get(1).unwrap_or_else(|| usage())),
         Some("stitch-trace") => stitch_trace(&args),
         Some("loadgen") => loadgen(&args),
         _ => usage(),
@@ -150,18 +168,42 @@ fn shutdown(args: &[String]) {
     println!("pathrep-client: daemon acknowledged shutdown");
 }
 
-/// GETs one of the daemon's live telemetry endpoints and prints the body,
-/// so gate scripts can scrape without `curl` on the host.
-fn scrape(args: &[String]) {
-    let (addr, path) = match (args.get(1), args.get(2)) {
-        (Some(a), Some(p)) => (a, p),
-        _ => usage(),
-    };
-    let mut stream = std::net::TcpStream::connect(addr)
+/// Parses a trailing `--timeout-ms T` flag (default 5000 ms) out of
+/// `args[from..]`; anything else there is a usage error.
+fn timeout_flag(args: &[String], from: usize) -> Duration {
+    let mut timeout_ms = 5000u64;
+    let mut i = from;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout-ms" => {
+                timeout_ms = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t > 0)
+                    .unwrap_or_else(|| die("--timeout-ms needs a positive integer"));
+                i += 2;
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    Duration::from_millis(timeout_ms)
+}
+
+/// One deadline-bounded HTTP GET: `timeout` applies to the connect *and*
+/// to every socket read/write, so a hung daemon fails the probe instead
+/// of wedging the caller. Returns (status, body).
+fn http_get(addr: &str, path: &str, timeout: Duration) -> (u16, String) {
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| die(&format!("cannot resolve {addr}")));
+    let mut stream = std::net::TcpStream::connect_timeout(&sock, timeout)
         .unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
     stream
-        .set_read_timeout(Some(Duration::from_secs(5)))
-        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(5))))
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
         .unwrap_or_else(|e| die(&format!("cannot set socket timeouts: {e}")));
     write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
         .unwrap_or_else(|e| die(&format!("request failed: {e}")));
@@ -175,10 +217,179 @@ fn scrape(args: &[String]) {
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| die("malformed HTTP response"));
     let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    (status, body.to_owned())
+}
+
+/// GETs one of the daemon's live telemetry endpoints and prints the body,
+/// so gate scripts can scrape without `curl` on the host.
+fn scrape(args: &[String]) {
+    let (addr, path) = match (args.get(1), args.get(2)) {
+        (Some(a), Some(p)) => (a, p),
+        _ => usage(),
+    };
+    let timeout = timeout_flag(args, 3);
+    let (status, body) = http_get(addr, path, timeout);
     print!("{body}");
     if status != 200 {
         die(&format!("GET {path} returned HTTP {status}"));
     }
+}
+
+/// Fetches `/slo.json` and prints one line per objective×window with the
+/// error-budget burn rate, e.g.
+/// `slo serve.request_ns p999<5000000ns target=99.9% window=1s count=812
+/// quantile=1.2ms burn=0.31 ok`. Gate scripts grep the `burn=`/`BREACH`
+/// tokens; the command always exits 0 on a well-formed report.
+fn slo(args: &[String]) {
+    let addr = args.get(1).unwrap_or_else(|| usage());
+    let timeout = timeout_flag(args, 2);
+    let (status, body) = http_get(addr, "/slo.json", timeout);
+    if status != 200 {
+        die(&format!("GET /slo.json returned HTTP {status}"));
+    }
+    let v = pathrep_obs::json::parse(&body)
+        .unwrap_or_else(|e| die(&format!("/slo.json is not valid JSON: {e}")));
+    let objectives = v
+        .field("objectives")
+        .and_then(|f| f.array().map(<[pathrep_obs::json::JsonValue]>::to_vec))
+        .unwrap_or_else(|e| die(&format!("/slo.json has no objectives array: {e}")));
+    if objectives.is_empty() {
+        println!("pathrep-client: slo — no objectives declared (set PATHREP_OBS_SLO)");
+        return;
+    }
+    for obj in &objectives {
+        let s = |name: &str| {
+            obj.field(name)
+                .and_then(|f| f.string())
+                .unwrap_or_else(|e| die(&format!("malformed objective: {e}")))
+        };
+        let metric = s("metric");
+        let objective = s("objective");
+        let target = obj
+            .field("target_pct")
+            .and_then(|f| f.number())
+            .unwrap_or_else(|e| die(&format!("malformed objective: {e}")));
+        let windows = obj
+            .field("windows")
+            .and_then(|f| f.array().map(<[pathrep_obs::json::JsonValue]>::to_vec))
+            .unwrap_or_default();
+        for w in &windows {
+            let num = |name: &str| w.field(name).and_then(|f| f.number()).unwrap_or(0.0);
+            let label = w
+                .field("window")
+                .and_then(|f| f.string())
+                .unwrap_or_else(|_| "?".into());
+            let ok = match w.field("ok") {
+                Ok(pathrep_obs::json::JsonValue::Bool(b)) => *b,
+                _ => true,
+            };
+            println!(
+                "pathrep-client: slo {metric} {objective} target={target}% \
+                 window={label} count={} quantile={:.1}us burn={:.3} {}",
+                num("count") as u64,
+                num("quantile_ns") / 1_000.0,
+                num("burn_rate"),
+                if ok { "ok" } else { "BREACH" }
+            );
+        }
+    }
+}
+
+/// Asks the daemon to write its flight-recorder ring to disk.
+fn dump_flight(args: &[String]) {
+    let addr = args.get(1).unwrap_or_else(|| usage());
+    let (path, records, dropped) = connect(addr)
+        .dump_flight(args.get(2).map(String::as_str))
+        .unwrap_or_else(|e| die(&format!("dump_flight failed: {e}")));
+    println!(
+        "pathrep-client: daemon dumped {records} flight records \
+         ({dropped} overwritten) to {path}"
+    );
+}
+
+/// Injects (or clears, with 0) a batcher slowdown on the daemon.
+fn fault(args: &[String]) {
+    let (addr, ms) = match (args.get(1), args.get(2)) {
+        (Some(a), Some(m)) => (
+            a,
+            m.parse::<u64>()
+                .unwrap_or_else(|_| die("fault needs a slowdown in milliseconds")),
+        ),
+        _ => usage(),
+    };
+    let active = connect(addr)
+        .set_fault(ms)
+        .unwrap_or_else(|e| die(&format!("set_fault failed: {e}")));
+    println!("pathrep-client: daemon batcher slowdown now {active} ms");
+}
+
+/// Validates a flight dump off-line: parseable Chrome Trace JSON whose
+/// B/E events nest and balance per (pid, tid) track. Exits 1 on any
+/// violation — the obs gate's proof that panic/watchdog dumps are loadable.
+fn check_flight(path: &str) {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let v = pathrep_obs::json::parse(&raw)
+        .unwrap_or_else(|e| die(&format!("{path} is not valid JSON: {e}")));
+    let events = v
+        .array()
+        .unwrap_or_else(|e| die(&format!("{path} is not a Chrome trace array: {e}")));
+    let mut stacks: std::collections::BTreeMap<(u64, u64), Vec<String>> =
+        std::collections::BTreeMap::new();
+    let (mut begins, mut ends, mut instants, mut traced) = (0u64, 0u64, 0u64, 0u64);
+    for ev in events {
+        let ph = ev
+            .field("ph")
+            .and_then(|f| f.string())
+            .unwrap_or_else(|e| die(&format!("event without ph: {e}")));
+        let num = |name: &str| ev.field(name).and_then(|f| f.number()).unwrap_or(0.0) as u64;
+        let key = (num("pid"), num("tid"));
+        let name = ev
+            .field("name")
+            .and_then(|f| f.string())
+            .unwrap_or_default();
+        if let Ok(args) = ev.field("args") {
+            if args.field("trace_id").is_ok() {
+                traced += 1;
+            }
+        }
+        match ph.as_str() {
+            "B" => {
+                stacks.entry(key).or_default().push(name);
+                begins += 1;
+            }
+            "E" => {
+                ends += 1;
+                match stacks.entry(key).or_default().pop() {
+                    Some(open) if open == name => {}
+                    Some(open) => die(&format!(
+                        "mismatched nesting on pid {} tid {}: E `{name}` closes B `{open}`",
+                        key.0, key.1
+                    )),
+                    None => die(&format!(
+                        "unbalanced dump: E `{name}` without an open B on pid {} tid {}",
+                        key.0, key.1
+                    )),
+                }
+            }
+            "i" => instants += 1,
+            other => die(&format!("unexpected phase `{other}` in {path}")),
+        }
+    }
+    for (key, stack) in &stacks {
+        if !stack.is_empty() {
+            die(&format!(
+                "unbalanced dump: {} spans left open on pid {} tid {}: {stack:?}",
+                stack.len(),
+                key.0,
+                key.1
+            ));
+        }
+    }
+    println!(
+        "pathrep-client: {path} OK — {begins} begins / {ends} ends balanced, \
+         {instants} instants, {traced} events carry a trace_id"
+    );
 }
 
 /// Merges Chrome trace files (client + daemon) into one, correlated by

@@ -176,6 +176,43 @@ impl Client {
         }
     }
 
+    /// Asks the daemon to write its flight-recorder ring to disk (on the
+    /// daemon's host); `path: None` uses the daemon's configured dump
+    /// path. Returns `(path, records, dropped)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the daemon cannot write the file.
+    pub fn dump_flight(
+        &mut self,
+        path: Option<&str>,
+    ) -> Result<(String, u64, u64), ClientError> {
+        match self.round_trip(&Request::DumpFlight {
+            path: path.map(str::to_owned),
+        })? {
+            Response::FlightDumped {
+                path,
+                records,
+                dropped,
+            } => Ok((path, records, dropped)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Injects an artificial per-batch slowdown of `slowdown_ms`
+    /// milliseconds (`0` restores health). The daemon refuses unless it
+    /// was started with `--allow-fault`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when fault injection is disabled.
+    pub fn set_fault(&mut self, slowdown_ms: u64) -> Result<u64, ClientError> {
+        match self.round_trip(&Request::SetFault { slowdown_ms })? {
+            Response::FaultSet { slowdown_ms } => Ok(slowdown_ms),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
     /// Asks the daemon to drain and exit; returns once acknowledged.
     ///
     /// # Errors

@@ -28,11 +28,18 @@
 //! * [`demo`] — the quickstart (Figure-1) model as a servable artifact.
 //!
 //! Configuration comes from `PATHREP_SERVE_ADDR` / `PATHREP_SERVE_BATCH` /
-//! `PATHREP_SERVE_QUEUE` / `PATHREP_SERVE_CACHE`, all registered in
+//! `PATHREP_SERVE_QUEUE` / `PATHREP_SERVE_CACHE` /
+//! `PATHREP_SERVE_WATCHDOG_MS`, all registered in
 //! [`pathrep_obs::config::ALL_ENV_VARS`]. Telemetry: per-request spans,
 //! `serve.*` counters/gauges/histograms (exported as `pathrep_serve_*`
 //! Prometheus families), and a `serve/model_load` ledger record per
 //! artifact load.
+//!
+//! Failure-time forensics: the daemon binary installs the flight-recorder
+//! panic hook (dump then exit 101), the server runs a batcher-heartbeat
+//! stall watchdog, `dump_flight` requests pull the ring over the wire,
+//! and `set_fault` (behind `--allow-fault`) lets gates inject sickness —
+//! see [`pathrep_obs::flight`] and `scripts/obs_gate.sh`.
 
 #![deny(missing_docs)]
 

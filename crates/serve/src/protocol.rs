@@ -9,8 +9,14 @@
 //! results, which the soak gate and the determinism tests rely on.
 //!
 //! Requests carry a `"type"` tag (`load_model`, `predict`,
-//! `predict_batch`, `stats`, `shutdown`); responses mirror it (`loaded`,
-//! `predicted`, `predicted_batch`, `stats`, `shutting_down`, `error`).
+//! `predict_batch`, `stats`, `dump_flight`, `set_fault`, `shutdown`);
+//! responses mirror it (`loaded`, `predicted`, `predicted_batch`,
+//! `stats`, `flight_dumped`, `fault_set`, `shutting_down`, `error`).
+//! `dump_flight` asks the daemon to write its flight-recorder ring
+//! ([`pathrep_obs::flight`]) to disk for post-mortem analysis;
+//! `set_fault` injects an artificial batcher slowdown and is only
+//! honoured when the daemon was started with `--allow-fault` (it exists
+//! for the observability gate, not for production).
 //!
 //! ## Trace context (optional, backward-compatible)
 //!
@@ -57,6 +63,20 @@ pub enum Request {
     },
     /// Fetch the daemon's lifetime statistics.
     Stats,
+    /// Write the daemon's flight-recorder ring to disk as a balanced
+    /// Chrome trace (see [`pathrep_obs::flight::dump_to`]).
+    DumpFlight {
+        /// Destination path on the daemon's host; `None` uses the
+        /// daemon's configured dump path (`PATHREP_OBS_FLIGHT_DUMP`).
+        path: Option<String>,
+    },
+    /// Inject an artificial per-batch slowdown of `slowdown_ms`
+    /// milliseconds into the batcher (`0` clears it). Refused unless the
+    /// daemon runs with `--allow-fault`.
+    SetFault {
+        /// Milliseconds to sleep per drained batch; `0` restores health.
+        slowdown_ms: u64,
+    },
     /// Drain the queue, stop accepting connections and exit.
     Shutdown,
 }
@@ -113,6 +133,20 @@ pub enum Response {
     },
     /// Daemon statistics.
     Stats(ServerStats),
+    /// Flight-recorder ring written to disk.
+    FlightDumped {
+        /// Path the dump landed at (on the daemon's host).
+        path: String,
+        /// Records written (after balance repair source records).
+        records: u64,
+        /// Ring records overwritten (lost) before the dump.
+        dropped: u64,
+    },
+    /// Fault injection acknowledged.
+    FaultSet {
+        /// The now-active per-batch slowdown (0 = healthy).
+        slowdown_ms: u64,
+    },
     /// Shutdown acknowledged; the daemon drains and exits.
     ShuttingDown,
     /// The request failed; the connection stays usable.
@@ -298,6 +332,23 @@ impl Request {
                 "type".into(),
                 JsonValue::String("stats".into()),
             )]),
+            Request::DumpFlight { path } => {
+                let mut fields = vec![(
+                    "type".to_owned(),
+                    JsonValue::String("dump_flight".into()),
+                )];
+                if let Some(p) = path {
+                    fields.push(("path".into(), JsonValue::String(p.clone())));
+                }
+                JsonValue::Object(fields)
+            }
+            Request::SetFault { slowdown_ms } => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("set_fault".into())),
+                (
+                    "slowdown_ms".into(),
+                    JsonValue::Number(*slowdown_ms as f64),
+                ),
+            ]),
             Request::Shutdown => JsonValue::Object(vec![(
                 "type".into(),
                 JsonValue::String("shutdown".into()),
@@ -353,6 +404,12 @@ impl Request {
                 })
             }
             "stats" => Ok(Request::Stats),
+            "dump_flight" => Ok(Request::DumpFlight {
+                path: v.field("path").ok().and_then(|f| f.string().ok()),
+            }),
+            "set_fault" => Ok(Request::SetFault {
+                slowdown_ms: u64_field(v, "slowdown_ms")?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtocolError::Malformed(format!(
                 "unknown request type `{other}`"
@@ -439,6 +496,23 @@ impl Response {
                 ("type".into(), JsonValue::String("stats".into())),
                 ("stats".into(), stats.to_json()),
             ]),
+            Response::FlightDumped {
+                path,
+                records,
+                dropped,
+            } => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("flight_dumped".into())),
+                ("path".into(), JsonValue::String(path.clone())),
+                ("records".into(), JsonValue::Number(*records as f64)),
+                ("dropped".into(), JsonValue::Number(*dropped as f64)),
+            ]),
+            Response::FaultSet { slowdown_ms } => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("fault_set".into())),
+                (
+                    "slowdown_ms".into(),
+                    JsonValue::Number(*slowdown_ms as f64),
+                ),
+            ]),
             Response::ShuttingDown => JsonValue::Object(vec![(
                 "type".into(),
                 JsonValue::String("shutting_down".into()),
@@ -499,6 +573,14 @@ impl Response {
             "stats" => Ok(Response::Stats(ServerStats::from_json(
                 v.field("stats").map_err(ProtocolError::Malformed)?,
             )?)),
+            "flight_dumped" => Ok(Response::FlightDumped {
+                path: str_field(v, "path")?,
+                records: u64_field(v, "records")?,
+                dropped: u64_field(v, "dropped")?,
+            }),
+            "fault_set" => Ok(Response::FaultSet {
+                slowdown_ms: u64_field(v, "slowdown_ms")?,
+            }),
             "shutting_down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error {
                 message: str_field(v, "message")?,
@@ -529,6 +611,12 @@ mod tests {
                 measured: vec![vec![1.0, 2.0], vec![0.1, 0.2]],
             },
             Request::Stats,
+            Request::DumpFlight { path: None },
+            Request::DumpFlight {
+                path: Some("/tmp/flight.json".into()),
+            },
+            Request::SetFault { slowdown_ms: 25 },
+            Request::SetFault { slowdown_ms: 0 },
             Request::Shutdown,
         ];
         for req in cases {
@@ -564,6 +652,12 @@ mod tests {
                 queue_high_water: 5,
                 models_cached: 1,
             }),
+            Response::FlightDumped {
+                path: "flight_1234.json".into(),
+                records: 4096,
+                dropped: 17,
+            },
+            Response::FaultSet { slowdown_ms: 25 },
             Response::ShuttingDown,
             Response::Error {
                 message: "no such model".into(),

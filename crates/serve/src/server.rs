@@ -25,6 +25,16 @@
 //! slows down instead of ballooning memory. **Shutdown** stops the accept
 //! loop, shuts down every live connection socket, drains the queue to
 //! empty and joins all threads — no request that was accepted is dropped.
+//!
+//! **Failure forensics.** The batcher stamps a heartbeat when it picks up
+//! and when it finishes a batch; a watchdog thread
+//! (`PATHREP_SERVE_WATCHDOG_MS`, default 5 s) fires when rows are queued
+//! but the heartbeat has gone quiet past the deadline — warning, counting
+//! `serve.watchdog_fires` and dumping the always-on flight recorder
+//! ([`pathrep_obs::flight`]) so the stall's evidence is on disk while the
+//! stall is still live. `dump_flight` requests trigger the same dump on
+//! demand, and `set_fault` (gated behind `--allow-fault`) injects a
+//! per-batch slowdown so gates can provoke breaches and stalls on purpose.
 
 use crate::artifact::{ArtifactError, ModelArtifact};
 use crate::protocol::{
@@ -32,7 +42,7 @@ use crate::protocol::{
 };
 use pathrep_core::predictor::MeasurementPredictor;
 use pathrep_linalg::Matrix;
-use pathrep_obs::{config as obs_config, ledger, trace};
+use pathrep_obs::{config as obs_config, flight, ledger, trace};
 use std::collections::VecDeque;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -76,6 +86,18 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// LRU model-cache capacity (`PATHREP_SERVE_CACHE`, default 8).
     pub cache_cap: usize,
+    /// Stall-watchdog deadline in milliseconds
+    /// (`PATHREP_SERVE_WATCHDOG_MS`, default 5000; `None`/`0` disables):
+    /// when prediction rows are queued but the batcher heartbeat has been
+    /// quiet this long, the watchdog warns and dumps the flight recorder.
+    pub watchdog_ms: Option<u64>,
+    /// Whether `set_fault` requests are honoured (`--allow-fault`; the
+    /// observability gate uses it to provoke SLO breaches and stalls).
+    pub allow_fault: bool,
+    /// Panic inside the request span once this many requests have been
+    /// served (`--inject-panic N`; gate-only — proves the panic hook gets
+    /// the flight dump onto disk with the dying request's trace id).
+    pub inject_panic: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +107,9 @@ impl Default for ServerConfig {
             batch_max: 32,
             queue_cap: 256,
             cache_cap: 8,
+            watchdog_ms: Some(5000),
+            allow_fault: false,
+            inject_panic: None,
         }
     }
 }
@@ -116,6 +141,9 @@ impl ServerConfig {
             batch_max: env_usize(obs_config::ENV_SERVE_BATCH, d.batch_max),
             queue_cap: env_usize(obs_config::ENV_SERVE_QUEUE, d.queue_cap),
             cache_cap: env_usize(obs_config::ENV_SERVE_CACHE, d.cache_cap),
+            watchdog_ms: obs_config::serve_watchdog_ms(),
+            allow_fault: false,
+            inject_panic: None,
         }
     }
 }
@@ -201,6 +229,11 @@ impl BatchQueue {
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
+
+    /// Rows currently queued (the watchdog's "work is pending" signal).
+    fn depth(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
 }
 
 /// Move-to-front LRU of loaded artifacts, keyed by model id.
@@ -282,6 +315,28 @@ struct Shared {
     stopping: AtomicBool,
     /// Live connection sockets, shut down on drain so blocked reads wake.
     conns: Mutex<Vec<TcpStream>>,
+    /// Process-local epoch the heartbeat is measured against.
+    epoch: Instant,
+    /// Milliseconds since `epoch` at the batcher's last sign of life
+    /// (updated when it picks up and when it finishes a batch). The
+    /// watchdog fires when this goes stale while rows are queued.
+    heartbeat_ms: AtomicU64,
+    /// Injected per-batch slowdown in milliseconds (0 = healthy); set by
+    /// `set_fault` when the daemon allows it.
+    fault_ms: AtomicU64,
+}
+
+impl Shared {
+    fn beat(&self) {
+        self.heartbeat_ms
+            .store(self.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since the batcher last showed a sign of life.
+    fn heartbeat_age_ms(&self) -> u64 {
+        (self.epoch.elapsed().as_millis() as u64)
+            .saturating_sub(self.heartbeat_ms.load(Ordering::Relaxed))
+    }
 }
 
 /// A bound, not-yet-running server. Binding is separate from running so
@@ -324,6 +379,9 @@ impl Server {
             stats: Stats::default(),
             stopping: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+            heartbeat_ms: AtomicU64::new(0),
+            fault_ms: AtomicU64::new(0),
             config,
         });
         Ok(Server { listener, shared })
@@ -356,6 +414,14 @@ impl Server {
                 .spawn(move || batcher_loop(&shared))
                 .expect("spawning the batcher thread")
         };
+
+        let watchdog = shared.config.watchdog_ms.map(|deadline_ms| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-watchdog".into())
+                .spawn(move || watchdog_loop(&shared, deadline_ms))
+                .expect("spawning the watchdog thread")
+        });
 
         let mut handlers = Vec::new();
         for stream in listener.incoming() {
@@ -393,6 +459,9 @@ impl Server {
         }
         shared.queue.wake_all();
         let _ = batcher.join();
+        if let Some(w) = watchdog {
+            let _ = w.join();
+        }
         pathrep_obs::gauge_set("serve.queue_depth", 0.0);
         let stats = shared.stats.snapshot(shared.cache.len() as u64);
         ledger::record("serve", "drained", |f| {
@@ -418,11 +487,50 @@ impl Server {
     }
 }
 
+/// Polls the batcher heartbeat and fires once per stall: rows queued but
+/// no batcher activity for `deadline_ms`. A fire warns, counts, marks the
+/// flight ring and dumps it — the evidence lands while the stall is live,
+/// not after the process is killed. Re-arms once the heartbeat recovers.
+fn watchdog_loop(shared: &Shared, deadline_ms: u64) {
+    let poll = std::time::Duration::from_millis((deadline_ms / 4).clamp(10, 250));
+    let mut fired = false;
+    while !shared.stopping.load(Ordering::SeqCst) {
+        std::thread::sleep(poll);
+        let depth = shared.queue.depth();
+        let age = shared.heartbeat_age_ms();
+        if depth > 0 && age > deadline_ms {
+            if !fired {
+                fired = true;
+                pathrep_obs::counter_add("serve.watchdog_fires", 1);
+                let diagnosis = format!(
+                    "batcher heartbeat quiet for {age} ms (deadline {deadline_ms} ms) \
+                     with {depth} rows queued"
+                );
+                pathrep_obs::warn("serve.watchdog", || diagnosis.clone());
+                flight::instant("serve.watchdog", diagnosis.clone());
+                eprintln!("pathrep-serve: [watchdog] {diagnosis}");
+                flight::dump_default();
+            }
+        } else if age <= deadline_ms {
+            fired = false; // batcher came back; re-arm for the next stall
+        }
+    }
+}
+
 fn batcher_loop(shared: &Shared) {
     while let Some(batch) = shared
         .queue
         .pop_batch(shared.config.batch_max, &shared.stopping)
     {
+        shared.beat();
+        let fault_ms = shared.fault_ms.load(Ordering::Relaxed);
+        if fault_ms > 0 {
+            // Injected sickness (`set_fault`): stall before serving so
+            // request latency inflates (SLO breach) and, with a slowdown
+            // past the watchdog deadline, the heartbeat goes stale while
+            // rows queue behind this batch.
+            std::thread::sleep(std::time::Duration::from_millis(fault_ms));
+        }
         let rows = batch.len();
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
         Stats::bump_max(&shared.stats.max_batch, rows as u64);
@@ -453,6 +561,7 @@ fn batcher_loop(shared: &Shared) {
                 }
             }
         }
+        shared.beat();
     }
 }
 
@@ -579,6 +688,35 @@ fn respond_to(shared: &Shared, req: Request) -> Response {
                 .stats
                 .snapshot(shared.cache.len() as u64),
         ),
+        Request::DumpFlight { path } => {
+            let path = path.unwrap_or_else(obs_config::flight_dump_path);
+            match flight::dump_to(&path) {
+                Ok((records, dropped)) => Response::FlightDumped {
+                    path,
+                    records: records as u64,
+                    dropped,
+                },
+                Err(e) => Response::Error {
+                    message: format!("flight dump to {path} failed: {e}"),
+                },
+            }
+        }
+        Request::SetFault { slowdown_ms } => {
+            if !shared.config.allow_fault {
+                Response::Error {
+                    message: "fault injection is disabled \
+                              (start the daemon with --allow-fault)"
+                        .into(),
+                }
+            } else {
+                shared.fault_ms.store(slowdown_ms, Ordering::SeqCst);
+                pathrep_obs::gauge_set("serve.fault_slowdown_ms", slowdown_ms as f64);
+                pathrep_obs::warn("serve.fault", || {
+                    format!("injected batcher slowdown set to {slowdown_ms} ms")
+                });
+                Response::FaultSet { slowdown_ms }
+            }
+        }
         Request::Shutdown => Response::ShuttingDown,
     }
 }
@@ -620,6 +758,19 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         let ctx = effective_trace(wire_ctx);
         let _ctx = trace::set_context(ctx);
         let _span = pathrep_obs::span!("serve.request");
+        if let Some(n) = shared.config.inject_panic {
+            let served = shared.stats.requests.load(Ordering::Relaxed);
+            if served >= n && !matches!(req, Request::Shutdown) {
+                // Gate-only: die inside the request span, with the trace
+                // context set, so the panic-hook flight dump must carry
+                // this request's trace_id on the in-flight span.
+                panic!(
+                    "injected panic for the observability gate \
+                     (request {served}, trace_id {})",
+                    ctx.trace_id
+                );
+            }
+        }
         let is_shutdown = matches!(req, Request::Shutdown);
         let resp = respond_to(shared, req);
         if matches!(resp, Response::Error { .. }) {

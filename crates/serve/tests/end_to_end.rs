@@ -27,6 +27,7 @@ fn test_config() -> ServerConfig {
         batch_max: 8,
         queue_cap: 32,
         cache_cap: 4,
+        ..ServerConfig::default()
     }
 }
 
@@ -269,6 +270,103 @@ fn traced_requests_stitch_into_one_chrome_trace() {
     pathrep_obs::set_enabled(false);
     pathrep_obs::reset();
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn fault_injection_trips_the_watchdog_and_flight_dumps_land_on_disk() {
+    let _obs = obs_lock();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    pathrep_obs::flight::set_capacity(1024);
+    // Route watchdog dumps to the temp dir, not the crate directory.
+    let watchdog_dump = temp_path("watchdog_flight.json");
+    std::env::set_var("PATHREP_OBS_FLIGHT_DUMP", &watchdog_dump);
+
+    let demo = build_quickstart_model().expect("quickstart model builds");
+    let path = temp_path("watchdog.artifact");
+    demo.artifact.save(&path).expect("artifact saves");
+
+    // Fault injection is refused unless the daemon opted in.
+    let plain = Server::bind(test_config())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let mut refuse = Client::connect(plain.addr()).expect("connect");
+    let err = refuse.set_fault(100).unwrap_err();
+    assert!(err.to_string().contains("--allow-fault"), "{err}");
+    refuse.shutdown().expect("shutdown");
+    plain.join();
+
+    // batch_max 1 so a stalled batch leaves the other clients' rows
+    // queued — the depth>0 condition the watchdog requires.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch_max: 1,
+        queue_cap: 32,
+        cache_cap: 2,
+        watchdog_ms: Some(50),
+        allow_fault: true,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(config).expect("bind").spawn().expect("spawn");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let loaded = client.load_model(&path).expect("load");
+
+    // An on-demand dump to an explicit path works while healthy.
+    let ondemand = temp_path("ondemand_flight.json");
+    let (dumped_path, _records, _dropped) =
+        client.dump_flight(Some(&ondemand)).expect("dump_flight");
+    assert_eq!(dumped_path, ondemand);
+    let dump = std::fs::read_to_string(&ondemand).expect("dump file exists");
+    pathrep_obs::json::parse(&dump)
+        .expect("on-demand flight dump is valid JSON")
+        .array()
+        .expect("chrome trace array");
+
+    // Stall the batcher past the watchdog deadline while rows queue.
+    assert_eq!(client.set_fault(200).expect("fault accepted"), 200);
+    let chips = demo.measure_chips(2, 11).expect("chips");
+    let model_id = loaded.model.clone();
+    let workers: Vec<_> = (0..3)
+        .map(|_| {
+            let chips = chips.clone();
+            let model_id = model_id.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("worker connects");
+                for m in &chips {
+                    c.predict(&model_id, m).expect("predict under fault");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker succeeds");
+    }
+    assert_eq!(client.set_fault(0).expect("fault cleared"), 0);
+
+    let snap = pathrep_obs::registry().snapshot();
+    let fires = snap
+        .counters
+        .iter()
+        .find(|c| c.name == "serve.watchdog_fires")
+        .map_or(0, |c| c.value);
+    assert!(fires >= 1, "watchdog must fire during the stall: {snap:?}");
+    let watchdog_json = std::fs::read_to_string(&watchdog_dump)
+        .expect("watchdog wrote its flight dump");
+    assert!(
+        watchdog_json.contains("serve.watchdog"),
+        "dump carries the watchdog's instant mark"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    std::env::remove_var("PATHREP_OBS_FLIGHT_DUMP");
+    pathrep_obs::set_enabled(false);
+    pathrep_obs::reset();
+    for f in [&path, &ondemand, &watchdog_dump] {
+        let _ = std::fs::remove_file(f);
+    }
 }
 
 #[test]

@@ -1,0 +1,225 @@
+#!/usr/bin/env bash
+# Failure-forensics gate: prove the flight recorder, watchdog, and SLO
+# plane actually work when things go wrong — by making things go wrong.
+#
+# Phase A — panic forensics:
+#   start the daemon with --inject-panic N so the Nth request panics
+#   inside its span; the panic hook must dump the flight ring to
+#   PATHREP_OBS_FLIGHT_DUMP and exit 101. The dump must be loadable
+#   (pathrep-client check-flight: valid Chrome trace, B/E balanced per
+#   track) and must carry the dying request's trace_id.
+#
+# Phase B — SLO breach and recovery:
+#   start a healthy daemon with --allow-fault and a tight
+#   PATHREP_OBS_SLO objective; inject a batcher slowdown over the wire
+#   (set_fault), drive load, and require /slo.json to report burn > 1
+#   (BREACH) on the 1s window; clear the fault, drive healthy load, and
+#   require the 1s window to recover to burn < 1 (ok).
+#
+# Phase C — stall watchdog:
+#   with the fault still available, inject a slowdown longer than
+#   PATHREP_SERVE_WATCHDOG_MS and pile up concurrent requests; the
+#   watchdog thread must log `[watchdog]` on stderr and write a flight
+#   dump on its own, while the daemon keeps serving (requests still
+#   complete). An on-demand dump-flight request must also land.
+#
+# Usage: scripts/obs_gate.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="${TMPDIR:-/tmp}/pathrep_obs_gate_$$"
+mkdir -p "$WORK"
+ARTIFACT="$WORK/quickstart.artifact"
+serve_pid=""
+cleanup() {
+    if [ -n "$serve_pid" ] && kill -0 "$serve_pid" 2>/dev/null; then
+        kill "$serve_pid" 2>/dev/null || true
+        wait "$serve_pid" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cargo build --release -p pathrep-serve --bin pathrep-serve --bin pathrep-client
+
+SERVE=./target/release/pathrep-serve
+CLIENT=./target/release/pathrep-client
+
+"$CLIENT" build-artifact "$ARTIFACT"
+
+# Waits for the daemon to print its listening line into $1, echoes ADDR.
+wait_for_addr() {
+    local log="$1" pid="$2" addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^pathrep-serve: listening on \([0-9.:]*\) .*$/\1/p' "$log" | head -1)"
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "obs_gate.sh: FAIL — daemon died before binding:" >&2
+            cat "$log" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    echo "obs_gate.sh: FAIL — daemon never printed its address" >&2
+    cat "$log" >&2
+    return 1
+}
+
+obs_addr_from() {
+    sed -n 's/^pathrep-serve: obs http listening on \([0-9.:]*\)$/\1/p' "$1" | head -1
+}
+
+# ---------------------------------------------------------------- Phase A
+echo "obs_gate.sh: phase A — injected panic must flight-dump and exit 101"
+PANIC_LOG="$WORK/panic_daemon.log"
+PANIC_DUMP="$WORK/panic_flight.json"
+PATHREP_OBS=1 PATHREP_OBS_FLIGHT_DUMP="$PANIC_DUMP" \
+    PATHREP_SERVE_ADDR=127.0.0.1:0 \
+    "$SERVE" --inject-panic 3 > "$PANIC_LOG" 2>&1 &
+serve_pid=$!
+addr="$(wait_for_addr "$PANIC_LOG" "$serve_pid")"
+
+"$CLIENT" load "$addr" "$ARTIFACT" > "$WORK/load.out"
+model="$(sed -n 's/^pathrep-client: loaded \([0-9a-f]*\) .*$/\1/p' "$WORK/load.out")"
+if [ -z "$model" ]; then
+    echo "obs_gate.sh: FAIL — could not parse the model id from:" >&2
+    cat "$WORK/load.out" >&2
+    exit 1
+fi
+
+# Request 1 was load_model, 2 is this predict; request 3 panics. The
+# panicking client sees a connection error — that is the point.
+"$CLIENT" predict "$addr" "$model" "1.0" > /dev/null
+if "$CLIENT" predict "$addr" "$model" "1.0" > /dev/null 2>&1; then
+    echo "obs_gate.sh: FAIL — the injected-panic request succeeded" >&2
+    exit 1
+fi
+
+rc=0
+wait "$serve_pid" || rc=$?
+serve_pid=""
+if [ "$rc" != 101 ]; then
+    echo "obs_gate.sh: FAIL — daemon exited $rc, expected 101 from the panic hook:" >&2
+    cat "$PANIC_LOG" >&2
+    exit 1
+fi
+if [ ! -s "$PANIC_DUMP" ]; then
+    echo "obs_gate.sh: FAIL — panic hook left no flight dump at $PANIC_DUMP" >&2
+    cat "$PANIC_LOG" >&2
+    exit 1
+fi
+"$CLIENT" check-flight "$PANIC_DUMP"
+if ! grep -q 'trace_id' "$PANIC_DUMP"; then
+    echo "obs_gate.sh: FAIL — the flight dump carries no trace_id" >&2
+    exit 1
+fi
+# The dying request's span was open at panic time: the repaired dump
+# closes it synthetically, preserving its trace context.
+if ! grep -q '"synthetic_end":true' "$PANIC_DUMP"; then
+    echo "obs_gate.sh: FAIL — no synthetically closed span in the panic dump" >&2
+    exit 1
+fi
+echo "obs_gate.sh: phase A OK — exit 101, dump balanced, trace_id present"
+
+# ---------------------------------------------------------------- Phase B
+echo "obs_gate.sh: phase B — injected slowdown must breach the SLO, then recover"
+SLO_LOG="$WORK/slo_daemon.log"
+WATCH_DUMP="$WORK/watchdog_flight.json"
+PATHREP_OBS=1 PATHREP_OBS_HTTP=127.0.0.1:0 \
+    PATHREP_OBS_FLIGHT_DUMP="$WATCH_DUMP" \
+    PATHREP_OBS_SLO="serve.request_ns:p999<5ms:99.9" \
+    PATHREP_SERVE_WATCHDOG_MS=400 PATHREP_SERVE_BATCH=1 \
+    PATHREP_SERVE_ADDR=127.0.0.1:0 \
+    "$SERVE" --allow-fault > "$SLO_LOG" 2>&1 &
+serve_pid=$!
+addr="$(wait_for_addr "$SLO_LOG" "$serve_pid")"
+obs_addr="$(obs_addr_from "$SLO_LOG")"
+if [ -z "$obs_addr" ]; then
+    echo "obs_gate.sh: FAIL — no obs http address in:" >&2
+    cat "$SLO_LOG" >&2
+    exit 1
+fi
+
+# Sick phase: every batch sleeps 25 ms, far over the 5 ms objective.
+"$CLIENT" fault "$addr" 25
+"$CLIENT" loadgen "$addr" "$ARTIFACT" --clients 2 --requests 20 > /dev/null
+breached=0
+for _ in $(seq 1 30); do
+    if "$CLIENT" slo "$obs_addr" | grep '^pathrep-client: slo serve\.request_ns' \
+        | grep 'window=1s' | grep -q 'BREACH'; then
+        breached=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$breached" != 1 ]; then
+    echo "obs_gate.sh: FAIL — 1s window never reported BREACH under a 25 ms slowdown:" >&2
+    "$CLIENT" slo "$obs_addr" >&2 || true
+    exit 1
+fi
+echo "obs_gate.sh: phase B breach observed (burn > 1 on the 1s window)"
+
+# Recovery: clear the fault, drive healthy load until the slow
+# observations age out of the 1s window and burn drops below 1.
+"$CLIENT" fault "$addr" 0
+recovered=0
+for _ in $(seq 1 40); do
+    "$CLIENT" loadgen "$addr" "$ARTIFACT" --clients 2 --requests 10 > /dev/null
+    line="$("$CLIENT" slo "$obs_addr" | grep '^pathrep-client: slo serve\.request_ns' | grep 'window=1s' || true)"
+    if [ -n "$line" ] && ! printf '%s' "$line" | grep -q 'BREACH'; then
+        recovered=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$recovered" != 1 ]; then
+    echo "obs_gate.sh: FAIL — 1s window never recovered after the fault was cleared:" >&2
+    "$CLIENT" slo "$obs_addr" >&2 || true
+    exit 1
+fi
+echo "obs_gate.sh: phase B OK — breach under fault, recovery after clearing it"
+
+# ---------------------------------------------------------------- Phase C
+echo "obs_gate.sh: phase C — a stalled batcher must trip the watchdog"
+# 1500 ms per batch against a 400 ms watchdog deadline; concurrent
+# clients keep the queue non-empty during the stall.
+"$CLIENT" fault "$addr" 1500
+for i in 1 2 3; do
+    "$CLIENT" predict "$addr" "$model" "1.0" > /dev/null &
+    eval "pred_$i=$!"
+done
+wait "$pred_1" "$pred_2" "$pred_3"
+"$CLIENT" fault "$addr" 0
+fired=0
+for _ in $(seq 1 50); do
+    if grep -q '\[watchdog\]' "$SLO_LOG"; then
+        fired=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$fired" != 1 ]; then
+    echo "obs_gate.sh: FAIL — watchdog never logged during a 1500 ms stall:" >&2
+    cat "$SLO_LOG" >&2
+    exit 1
+fi
+if [ ! -s "$WATCH_DUMP" ]; then
+    echo "obs_gate.sh: FAIL — watchdog fired but wrote no flight dump" >&2
+    exit 1
+fi
+"$CLIENT" check-flight "$WATCH_DUMP"
+
+# On-demand dump over the wire, to an explicit path.
+REQ_DUMP="$WORK/requested_flight.json"
+"$CLIENT" dump-flight "$addr" "$REQ_DUMP"
+"$CLIENT" check-flight "$REQ_DUMP"
+
+"$CLIENT" shutdown "$addr"
+if ! wait "$serve_pid"; then
+    echo "obs_gate.sh: FAIL — daemon exited non-zero after the watchdog scenario:" >&2
+    cat "$SLO_LOG" >&2
+    exit 1
+fi
+serve_pid=""
+echo "obs_gate.sh: phase C OK — watchdog fired, dumps loadable, daemon survived"
+echo "obs_gate.sh: PASS — panic forensics, SLO breach/recovery, and watchdog all verified"

@@ -9,6 +9,8 @@
 #   * the Prometheus export carries the pathrep_serve_* families,
 #   * the live obs-http plane (PATHREP_OBS_HTTP) answers /healthz and
 #     serves the pathrep_serve_* families on /metrics DURING the soak,
+#   * /slo.json evaluates the PATHREP_OBS_SLO objective (burn rate per
+#     sliding window) mid-soak,
 #   * the ledger carries the serve/model_load record and pathrep-doctor
 #     accepts it (unknown-kind records are reported, never fatal).
 #
@@ -59,6 +61,7 @@ DOCTOR=./target/release/pathrep-doctor
 echo "serve_gate.sh: starting daemon on an ephemeral port"
 PATHREP_OBS=1 PATHREP_OBS_PROM="$PROM" PATHREP_OBS_LEDGER="$LEDGER" \
     PATHREP_OBS_HTTP=127.0.0.1:0 \
+    PATHREP_OBS_SLO="serve.request_ns:p999<250ms:99.9" \
     PATHREP_SERVE_ADDR=127.0.0.1:0 "$SERVE" > "$SERVE_LOG" 2>&1 &
 serve_pid=$!
 
@@ -131,6 +134,23 @@ if [ "$scraped" != 1 ]; then
     exit 1
 fi
 echo "serve_gate.sh: live /healthz + /metrics answered mid-soak"
+
+# The SLO plane must evaluate the declared objective mid-soak. The 1 Hz
+# window sampler needs a tick before the first window exists, so poll.
+slo_seen=0
+for _ in $(seq 1 50); do
+    if "$CLIENT" slo "$obs_addr" | grep -q '^pathrep-client: slo serve\.request_ns .*burn='; then
+        slo_seen=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$slo_seen" != 1 ]; then
+    echo "serve_gate.sh: FAIL — /slo.json never evaluated the declared objective mid-soak" >&2
+    "$CLIENT" slo "$obs_addr" >&2 || true
+    exit 1
+fi
+echo "serve_gate.sh: live /slo.json evaluated the declared objective mid-soak"
 
 if ! wait "$loadgen_pid"; then
     echo "serve_gate.sh: FAIL — loadgen reported mismatches or errors" >&2

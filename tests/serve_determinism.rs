@@ -37,6 +37,7 @@ fn test_config() -> ServerConfig {
         batch_max: 4, // small, so multi-request batches actually form
         queue_cap: 16,
         cache_cap: 2,
+        ..ServerConfig::default()
     }
 }
 
