@@ -4,7 +4,13 @@
 //! pathrep-doctor <ledger.jsonl> [--diff <other.jsonl>] [--bench BENCH_k.json]
 //!                [--top K] [--max-eps-growth X] [--max-e1-growth X]
 //!                [--max-cond-growth X] [--min-rank-ratio X] [--inject-rank-drop]
+//! pathrep-doctor --perf-diff <base BENCH_a.json> <current BENCH_b.json> [--top K]
 //! ```
+//!
+//! `--perf-diff` mode needs no ledger: it loads two `BENCH_*.json`
+//! reports and prints the differential performance attribution — per
+//! workload, the spans ranked by Δself-time with achieved-GFLOP/s
+//! annotations from the work counters (see `pathrep_bench::attribute`).
 //!
 //! Single-ledger mode prints the run diagnosis (error-budget attribution,
 //! top-k ill-conditioned stages, ADMM convergence quality) and exits 0.
@@ -14,6 +20,7 @@
 //! a genuine rank-collapse regression would look (self-test: the gate must
 //! trip). `--bench` adds the perf report's wall times as context.
 
+use pathrep_bench::attribute::{attribute_reports, render_attribution};
 use pathrep_bench::doctor::{
     diff, has_breach, inject_rank_drop, missing_stages, render_diff, render_summary, summarize,
     HealthThresholds, RunSummary,
@@ -28,6 +35,7 @@ struct Args {
     top: usize,
     thresholds: HealthThresholds,
     inject_rank_drop: bool,
+    perf_diff: Option<(String, String)>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         top: 5,
         thresholds: HealthThresholds::default(),
         inject_rank_drop: false,
+        perf_diff: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -70,11 +79,19 @@ fn parse_args() -> Result<Args, String> {
                 args.thresholds.min_rank_ratio = parse_f64("--min-rank-ratio", value("--min-rank-ratio")?)?;
             }
             "--inject-rank-drop" => args.inject_rank_drop = true,
+            "--perf-diff" => {
+                let base = value("--perf-diff")?;
+                let cur = it
+                    .next()
+                    .ok_or("--perf-diff requires two BENCH_*.json paths")?;
+                args.perf_diff = Some((base, cur));
+            }
             "--help" | "-h" => {
                 println!(
                     "pathrep-doctor <ledger.jsonl> [--diff other.jsonl] [--bench BENCH_k.json] \
                      [--top K] [--max-eps-growth X] [--max-e1-growth X] [--max-cond-growth X] \
-                     [--min-rank-ratio X] [--inject-rank-drop]"
+                     [--min-rank-ratio X] [--inject-rank-drop]\n\
+                     pathrep-doctor --perf-diff BENCH_a.json BENCH_b.json [--top K]"
                 );
                 std::process::exit(0);
             }
@@ -84,8 +101,47 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    args.ledger = ledger.ok_or("a ledger path is required")?;
+    if args.perf_diff.is_none() {
+        args.ledger = ledger.ok_or("a ledger path is required")?;
+    }
     Ok(args)
+}
+
+/// Runs `--perf-diff` mode: loads two bench reports, prints the env
+/// comparability banner and per-workload Δself-time attribution, and
+/// exits 0 (attribution diagnoses; the perf gate decides pass/fail).
+fn perf_diff(base_path: &str, cur_path: &str, top: usize) -> ExitCode {
+    let load = |path: &str| -> Result<BenchReport, String> {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|t| BenchReport::from_json(&t).map_err(|e| format!("{path}: {e}")))
+    };
+    let (base, cur) = match (load(base_path), load(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("pathrep-doctor: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let env_verdict = pathrep_bench::gate::assess_env(&base.env, &cur.env);
+    if env_verdict.unreliable {
+        println!("WARNING: COMPARISON UNRELIABLE — environment mismatch:");
+        for reason in &env_verdict.reasons {
+            println!("  reason: {reason}");
+        }
+        println!(
+            "pathrep-doctor: env_unreliable=true reasons={}",
+            env_verdict.reasons.join("; ")
+        );
+    }
+    println!(
+        "perf attribution: {cur_path} (commit {}) vs {base_path} (commit {}):",
+        cur.commit, base.commit
+    );
+    for a in attribute_reports(&base, &cur) {
+        print!("{}", render_attribution(&a, top));
+    }
+    ExitCode::SUCCESS
 }
 
 fn load_summary(path: &str) -> Result<RunSummary, String> {
@@ -105,6 +161,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some((base_path, cur_path)) = &args.perf_diff {
+        return perf_diff(base_path, cur_path, args.top);
+    }
 
     let baseline = match load_summary(&args.ledger) {
         Ok(s) => s,

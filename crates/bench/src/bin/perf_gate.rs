@@ -8,13 +8,22 @@
 //!
 //! ```text
 //! perf_gate [--baseline BENCH_1.json] [--repeat N] [--threshold PCT]
-//!           [--out PATH] [--inject-slowdown WORKLOAD] [--par-threads N]
+//!           [--out PATH] [--inject-slowdown WORKLOAD[:SPANPATH]]
+//!           [--par-threads N] [--attribute]
 //! ```
 //!
 //! `--inject-slowdown` doubles the recorded wall times of one workload
 //! after measurement — a self-test hook proving the gate actually trips
 //! (`perf_gate --baseline BENCH_1.json --inject-slowdown exact_small`
-//! must exit 1).
+//! must exit 1). With a `:SPANPATH` suffix it also doubles the self-time
+//! of that span subtree in the workload's profile, so
+//! `--inject-slowdown exact_medium:exact_select/qr_factor --attribute`
+//! must name exactly that span as the top Δself-time contributor — the
+//! attribution plane's self-test.
+//!
+//! `--attribute` adds a differential attribution section to the baseline
+//! diff: per changed workload, the spans ranked by self-time delta with
+//! achieved-GFLOP/s annotations (see `pathrep_bench::attribute`).
 //!
 //! `--par-threads N` (default 4) adds a second measurement axis: after the
 //! sequential pass (pathrep-par pinned to 1 worker, recorded under the
@@ -25,9 +34,10 @@
 //! count means a kernel's work depends on scheduling, which breaks the
 //! bit-determinism contract, and the gate hard-fails.
 
+use pathrep_bench::attribute::{attribute_reports, render_attribution};
 use pathrep_bench::gate::{
-    diff, environment_fingerprint, has_regression, render_diff, render_env_diff, BenchReport,
-    DEFAULT_THRESHOLD, SCHEMA_VERSION,
+    assess_env, diff, environment_fingerprint, has_regression, render_diff, render_env_diff,
+    BenchReport, DEFAULT_THRESHOLD, SCHEMA_VERSION,
 };
 use pathrep_bench::workloads::{measure, workload_matrix};
 use std::path::{Path, PathBuf};
@@ -40,6 +50,7 @@ struct Args {
     out: Option<String>,
     inject_slowdown: Option<String>,
     par_threads: usize,
+    attribute: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         inject_slowdown: None,
         par_threads: 4,
+        attribute: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => args.baseline = Some(value("--baseline")?),
             "--out" => args.out = Some(value("--out")?),
             "--inject-slowdown" => args.inject_slowdown = Some(value("--inject-slowdown")?),
+            "--attribute" => args.attribute = true,
             "--repeat" => {
                 args.repeat = value("--repeat")?
                     .parse()
@@ -86,8 +99,9 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "perf_gate [--baseline BENCH_k.json] [--repeat N] \
-                     [--threshold PCT] [--out PATH] [--inject-slowdown WORKLOAD] \
-                     [--par-threads N]"
+                     [--threshold PCT] [--out PATH] \
+                     [--inject-slowdown WORKLOAD[:SPANPATH]] \
+                     [--par-threads N] [--attribute]"
                 );
                 std::process::exit(0);
             }
@@ -221,14 +235,37 @@ fn main() -> ExitCode {
     }
 
     if let Some(victim) = &args.inject_slowdown {
-        match results.iter_mut().find(|r| &r.name == victim) {
+        let (wl_name, span_path) = match victim.split_once(':') {
+            Some((w, s)) => (w, Some(s)),
+            None => (victim.as_str(), None),
+        };
+        match results.iter_mut().find(|r| r.name == wl_name) {
             Some(r) => {
                 eprintln!("perf_gate: injecting 2× slowdown into `{victim}` (self-test)");
                 r.p50_ms *= 2.0;
                 r.p95_ms *= 2.0;
+                if let Some(span) = span_path {
+                    // Double the injected span subtree's recorded time so
+                    // attribution must finger it.
+                    let mut hits = 0;
+                    for e in &mut r.profile {
+                        if e.path == span || e.path.starts_with(&format!("{span}/")) {
+                            e.self_ns *= 2;
+                            e.total_ns *= 2;
+                            hits += 1;
+                        }
+                    }
+                    if hits == 0 {
+                        eprintln!(
+                            "perf_gate: --inject-slowdown: no span path `{span}` in \
+                             workload `{wl_name}`'s profile"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
             }
             None => {
-                eprintln!("perf_gate: --inject-slowdown: no workload named `{victim}`");
+                eprintln!("perf_gate: --inject-slowdown: no workload named `{wl_name}`");
                 return ExitCode::from(2);
             }
         }
@@ -287,7 +324,28 @@ fn main() -> ExitCode {
     // loaded or differently-provisioned box should read as an environment
     // delta, not a code problem.
     print!("{}", render_env_diff(&baseline.env, &report.env));
+    let env_verdict = assess_env(&baseline.env, &report.env);
+    if env_verdict.unreliable {
+        println!("┌──────────────────────────────────────────────────────────────┐");
+        println!("│ WARNING: COMPARISON UNRELIABLE — environment mismatch        │");
+        println!("│ wall-time verdicts below are suspect; exact counters hold    │");
+        println!("└──────────────────────────────────────────────────────────────┘");
+        for reason in &env_verdict.reasons {
+            println!("  reason: {reason}");
+        }
+        // Machine-readable: scripts grep this exact line.
+        println!(
+            "perf_gate: env_unreliable=true reasons={}",
+            env_verdict.reasons.join("; ")
+        );
+    }
     print!("{}", render_diff(&rows));
+    if args.attribute {
+        println!("\nperf_gate: differential attribution (Δself-time, biggest first):");
+        for a in attribute_reports(&baseline, &report) {
+            print!("{}", render_attribution(&a, 5));
+        }
+    }
     if has_regression(&rows) {
         eprintln!("perf_gate: FAIL — at least one workload regressed");
         ExitCode::FAILURE

@@ -9,6 +9,7 @@
 //! means the algorithm did different work, not that the machine was noisy.
 
 use pathrep_obs::json::{self, JsonValue};
+use pathrep_obs::selftime::ProfileEntry;
 use std::collections::BTreeMap;
 
 /// Version stamp of the `BENCH_*.json` layout. Bump on breaking changes so
@@ -33,6 +34,12 @@ pub struct WorkloadResult {
     pub p999_ms: Option<f64>,
     /// Deterministic operation counters from the obs registry.
     pub counters: BTreeMap<String, u64>,
+    /// Inclusive/exclusive span profile of the final measured repeat
+    /// (see [`pathrep_obs::selftime`]). Empty in baselines written before
+    /// the field existed — the parse is lenient and serialization omits
+    /// an empty profile, so old `BENCH_*.json` files stay loadable and
+    /// byte-stable.
+    pub profile: Vec<ProfileEntry>,
 }
 
 /// One `BENCH_*.json` document.
@@ -125,6 +132,36 @@ impl BenchReport {
                                         .collect(),
                                 ),
                             ));
+                            if !w.profile.is_empty() {
+                                fields.push((
+                                    "profile".into(),
+                                    JsonValue::Array(
+                                        w.profile
+                                            .iter()
+                                            .map(|e| {
+                                                JsonValue::Object(vec![
+                                                    (
+                                                        "path".into(),
+                                                        JsonValue::String(e.path.clone()),
+                                                    ),
+                                                    (
+                                                        "count".into(),
+                                                        JsonValue::Number(e.count as f64),
+                                                    ),
+                                                    (
+                                                        "total_ns".into(),
+                                                        JsonValue::Number(e.total_ns as f64),
+                                                    ),
+                                                    (
+                                                        "self_ns".into(),
+                                                        JsonValue::Number(e.self_ns as f64),
+                                                    ),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ));
+                            }
                             JsonValue::Object(fields)
                         })
                         .collect(),
@@ -160,6 +197,22 @@ impl BenchReport {
                         .collect::<Result<BTreeMap<_, _>, String>>()?,
                     _ => return Err("counters must be an object".into()),
                 };
+                // Lenient: absent in pre-profile baselines.
+                let profile = match w.field("profile") {
+                    Err(_) => Vec::new(),
+                    Ok(JsonValue::Array(rows)) => rows
+                        .iter()
+                        .map(|e| {
+                            Ok(ProfileEntry {
+                                path: e.field("path")?.string()?,
+                                count: e.field("count")?.number()? as u64,
+                                total_ns: e.field("total_ns")?.number()? as u64,
+                                self_ns: e.field("self_ns")?.number()? as u64,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                    Ok(_) => return Err("profile must be an array".into()),
+                };
                 Ok(WorkloadResult {
                     name: w.field("name")?.string()?,
                     p50_ms: w.field("p50_ms")?.number()?,
@@ -167,6 +220,7 @@ impl BenchReport {
                     // Lenient: absent in pre-p999 baselines.
                     p999_ms: w.field("p999_ms").ok().and_then(|f| f.number().ok()),
                     counters,
+                    profile,
                 })
             })
             .collect::<Result<_, String>>()?;
@@ -371,6 +425,55 @@ pub fn render_env_diff(
     out
 }
 
+/// Verdict on whether a baseline comparison can be trusted, from the two
+/// environment fingerprints (see [`assess_env`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EnvAssessment {
+    /// When `true`, wall-time verdicts in the diff are suspect: the
+    /// machine shape or its load differed between the two runs.
+    pub unreliable: bool,
+    /// Human-readable reasons, one per mismatch.
+    pub reasons: Vec<String>,
+}
+
+/// How far the 1-minute load average may drift between baseline and
+/// current before the comparison is declared unreliable.
+pub const LOADAVG_TOLERANCE: f64 = 1.0;
+
+/// Judges whether `current` was measured in an environment comparable to
+/// `baseline`: a different cpu count, kernel or `PATHREP_THREADS` setting,
+/// or a 1-minute load average drifted by more than [`LOADAVG_TOLERANCE`],
+/// makes wall-time comparisons unreliable (exact counters stay valid).
+/// Fingerprint-less sides (old baselines) compare as reliable — there is
+/// nothing to contradict.
+pub fn assess_env(
+    baseline: &BTreeMap<String, String>,
+    current: &BTreeMap<String, String>,
+) -> EnvAssessment {
+    let mut reasons = Vec::new();
+    for key in ["cpus", "pathrep_threads", "kernel"] {
+        if let (Some(b), Some(c)) = (baseline.get(key), current.get(key)) {
+            if b != c {
+                reasons.push(format!("{key} changed: {b} -> {c}"));
+            }
+        }
+    }
+    let load1 = |env: &BTreeMap<String, String>| -> Option<f64> {
+        env.get("loadavg")?.split_whitespace().next()?.parse().ok()
+    };
+    if let (Some(b), Some(c)) = (load1(baseline), load1(current)) {
+        if (b - c).abs() > LOADAVG_TOLERANCE {
+            reasons.push(format!(
+                "1-min loadavg drifted: {b:.2} -> {c:.2} (tolerance {LOADAVG_TOLERANCE:.1})"
+            ));
+        }
+    }
+    EnvAssessment {
+        unreliable: !reasons.is_empty(),
+        reasons,
+    }
+}
+
 /// Interpolated percentile of already-measured wall times. `q` in `[0, 1]`.
 pub fn percentile_ms(sorted_ms: &[f64], q: f64) -> f64 {
     if sorted_ms.is_empty() {
@@ -397,6 +500,7 @@ mod tests {
                 .iter()
                 .map(|&(k, v)| (k.to_owned(), v))
                 .collect(),
+            profile: Vec::new(),
         }
     }
 
@@ -462,6 +566,66 @@ mod tests {
         assert_eq!(r.workloads[0].p50_ms, 12.5);
         // Re-serializing a p999-less workload emits no p999_ms field.
         assert!(!r.to_json().contains("p999_ms"));
+    }
+
+    #[test]
+    fn profile_round_trips_and_empty_profile_is_omitted() {
+        let mut r = report(vec![workload("exact_small", 12.5, &[])]);
+        // Profile-less workloads serialize exactly like the pre-profile
+        // schema, so regenerated old baselines stay byte-stable.
+        assert!(!r.to_json().contains("\"profile\""));
+        r.workloads[0].profile = vec![
+            ProfileEntry {
+                path: "exact_select".into(),
+                count: 5,
+                total_ns: 10_000,
+                self_ns: 2_000,
+            },
+            ProfileEntry {
+                path: "exact_select/qr_factor".into(),
+                count: 40,
+                total_ns: 8_000,
+                self_ns: 8_000,
+            },
+        ];
+        let back = BenchReport::from_json(&r.to_json()).expect("valid JSON");
+        assert_eq!(back, r);
+        assert_eq!(back.workloads[0].profile[1].leaf(), "qr_factor");
+    }
+
+    #[test]
+    fn baselines_without_profile_still_parse() {
+        let text = r#"{"schema_version":1,"commit":"x","workloads":[
+            {"name":"exact_small","p50_ms":12.5,"p95_ms":15.0,
+             "counters":{"svd_sweeps":9}}]}"#;
+        let r = BenchReport::from_json(text).expect("lenient parse");
+        assert!(r.workloads[0].profile.is_empty());
+    }
+
+    #[test]
+    fn env_assessment_flags_shape_and_load_mismatches() {
+        let mk = |cpus: &str, load: &str| -> BTreeMap<String, String> {
+            [
+                ("cpus".to_owned(), cpus.to_owned()),
+                ("pathrep_threads".to_owned(), "default".to_owned()),
+                ("kernel".to_owned(), "6.1".to_owned()),
+                ("loadavg".to_owned(), load.to_owned()),
+            ]
+            .into_iter()
+            .collect()
+        };
+        let base = mk("8", "0.50 0.40 0.30");
+        assert!(!assess_env(&base, &base).unreliable);
+        // Load drift within tolerance stays reliable.
+        assert!(!assess_env(&base, &mk("8", "1.20 0.40 0.30")).unreliable);
+        let loaded = assess_env(&base, &mk("8", "3.50 0.40 0.30"));
+        assert!(loaded.unreliable);
+        assert!(loaded.reasons[0].contains("loadavg"), "{:?}", loaded.reasons);
+        let resized = assess_env(&base, &mk("4", "0.50 0.40 0.30"));
+        assert!(resized.unreliable);
+        assert!(resized.reasons[0].contains("cpus"));
+        // Old fingerprint-less baselines never trip the banner.
+        assert!(!assess_env(&BTreeMap::new(), &base).unreliable);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!   root and diffed against the previous baseline, failing the build on
 //!   a p50 regression beyond the threshold.
 
+pub mod attribute;
 pub mod doctor;
 pub mod gate;
 pub mod workloads;

@@ -346,12 +346,16 @@ pub fn measure(workloads: &[Workload], repeats: usize) -> Vec<WorkloadResult> {
     for w in workloads {
         let mut times_ms = Vec::with_capacity(repeats);
         let mut counters: Option<BTreeMap<String, u64>> = None;
+        let mut profile = Vec::new();
         for rep in 0..repeats {
             pathrep_obs::reset();
             let t0 = Instant::now();
             w.run();
             times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
             let snap = pathrep_obs::registry().snapshot();
+            // Self-time profile of the final repeat (same snapshot the
+            // counters come from).
+            profile = pathrep_obs::selftime::profile(&snap);
             let c = collect_counters(&snap);
             if let Some(prev) = &counters {
                 if prev != &c {
@@ -373,6 +377,7 @@ pub fn measure(workloads: &[Workload], repeats: usize) -> Vec<WorkloadResult> {
             p95_ms: percentile_ms(&times_ms, 0.95),
             p999_ms: Some(percentile_ms(&times_ms, 0.999)),
             counters: counters.unwrap_or_default(),
+            profile,
         });
     }
     results

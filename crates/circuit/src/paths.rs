@@ -177,6 +177,14 @@ pub fn decompose_into_segments(paths: &[Path]) -> Result<SegmentDecomposition> {
             what: "cannot decompose an empty path set".into(),
         });
     }
+    let _span = pathrep_obs::span!("decompose_segments");
+    {
+        // Two passes over every path edge: the degree census and the
+        // chain walk. Integer bookkeeping, so the flop model is zero —
+        // bytes/elements carry the traffic.
+        let edges: u64 = paths.iter().map(|p| p.edges().len() as u64).sum();
+        pathrep_obs::work::record("decompose_segments", 0, 2 * 16 * edges, 2 * edges);
+    }
     // Covered edge set with in/out degrees per node.
     let mut out_deg: HashMap<PathNode, usize> = HashMap::new();
     let mut in_deg: HashMap<PathNode, usize> = HashMap::new();
@@ -241,6 +249,8 @@ pub fn decompose_into_segments(paths: &[Path]) -> Result<SegmentDecomposition> {
     }
     covered.sort_unstable();
     covered.dedup();
+    pathrep_obs::counter_add("circuit.decompose.paths", paths.len() as u64);
+    pathrep_obs::counter_add("circuit.decompose.segments", segments.len() as u64);
     Ok(SegmentDecomposition {
         segments,
         path_segments,

@@ -180,6 +180,23 @@ pub fn evaluate(
         });
     }
     let nr = remaining.len();
+    // The per-sample matvecs inside `path_delays`/`predict` record their
+    // own model work under "matvec" on whichever worker runs them; this
+    // closed-form record covers the evaluation loop proper — the draw of
+    // the variation vector and the per-path error update (sub, abs, div,
+    // max/accumulate ≈ 4 flops each) — and is a pure function of the
+    // configuration, so it is bit-identical at any thread count.
+    let (wk_flops, wk_bytes) = {
+        let (ns, nrp, nv) = (
+            config.n_samples as u64,
+            nr as u64,
+            dm.variable_count() as u64,
+        );
+        let flops = ns * (4 * nrp + nv);
+        let bytes = 8 * ns * (3 * nrp + nv);
+        pathrep_obs::work::record("mc_evaluate", flops, bytes, ns * (3 * nrp + nv));
+        (flops, bytes)
+    };
     let chunks = config.n_samples.div_ceil(MC_CHUNK);
     let shards = pathrep_par::map_indexed_with(chunks, 1, config.threads, |c| {
         evaluate_chunk(dm, plan, remaining, config, c)
@@ -221,7 +238,10 @@ pub fn evaluate(
                 .num("e2", e2)
                 .num("max_err_p50", q(0.50))
                 .num("max_err_p90", q(0.90))
-                .num("max_err_worst", sorted[sorted.len() - 1]);
+                .num("max_err_worst", sorted[sorted.len() - 1])
+                .int("work_flops", wk_flops)
+                .int("work_bytes", wk_bytes)
+                .num("work_intensity", wk_flops as f64 / wk_bytes.max(1) as f64);
         });
     }
     Ok(McMetrics {

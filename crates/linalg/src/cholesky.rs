@@ -42,7 +42,19 @@ impl Cholesky {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
+        let _span = pathrep_obs::span!("cholesky");
         let n = a.nrows();
+        {
+            // Classic i/j/k factorization: n(n+1)(n+2)/3 flops over the
+            // lower triangle, reading A's triangle and writing L's.
+            let nu = n as u64;
+            pathrep_obs::work::record(
+                "cholesky",
+                nu * (nu + 1) * (nu + 2) / 3,
+                8 * nu * (nu + 1),
+                nu * (nu + 1),
+            );
+        }
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
@@ -108,6 +120,17 @@ impl Cholesky {
                 rhs: (b.len(), 1),
             });
         }
+        {
+            // Forward + backward substitution: n² flops each pass over
+            // the triangle of L, plus the right-hand-side vector.
+            let nu = n as u64;
+            pathrep_obs::work::record(
+                "cholesky",
+                2 * nu * nu,
+                8 * (nu * (nu + 1) + 2 * nu),
+                nu * (nu + 1) + 2 * nu,
+            );
+        }
         let mut y = b.to_vec();
         // L y = b
         for i in 0..n {
@@ -151,6 +174,17 @@ impl Cholesky {
             });
         }
         let mut x = Matrix::zeros(n, b.ncols());
+        {
+            // Panel substitutions do the same per-column model work as
+            // the scalar solve; remainder columns record via `solve`.
+            let (nu, panels) = (n as u64, (b.ncols() / 4) as u64);
+            pathrep_obs::work::record(
+                "cholesky",
+                panels * 4 * 2 * nu * nu,
+                panels * 8 * (nu * (nu + 1) + 8 * nu),
+                panels * (nu * (nu + 1) + 8 * nu),
+            );
+        }
         let mut j = 0;
         while j + 4 <= b.ncols() {
             // Row-major n×4 panel of the four columns.

@@ -235,6 +235,13 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        pathrep_obs::work::record(
+            "matmul",
+            (2 * m * n * k) as u64,
+            (8 * (m * k + k * n + m * n)) as u64,
+            (m * k + k * n + m * n) as u64,
+        );
         let mut c = Matrix::zeros(self.rows, other.cols);
         // Keep each worker busy for ~a million flops before fanning out.
         let row_flops = 2 * self.cols * other.cols;
@@ -271,6 +278,13 @@ impl Matrix {
                 rhs: (x.len(), 1),
             });
         }
+        let (m, n) = (self.rows, self.cols);
+        pathrep_obs::work::record(
+            "matvec",
+            (2 * m * n) as u64,
+            (8 * (m * n + n + m)) as u64,
+            (m * n + n + m) as u64,
+        );
         let mut y = vec![0.0; self.rows];
         let min_rows = (1 << 18) / (2 * self.cols).max(1) + 1;
         pathrep_par::for_each_unit_chunk_mut(&mut y, 1, min_rows, |first, block| {
@@ -294,6 +308,13 @@ impl Matrix {
                 rhs: (x.len(), 1),
             });
         }
+        let (m, n) = (self.rows, self.cols);
+        pathrep_obs::work::record(
+            "matvec",
+            (2 * m * n) as u64,
+            (8 * (m * n + n + m)) as u64,
+            (m * n + n + m) as u64,
+        );
         let mut y = vec![0.0; self.cols];
         for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {

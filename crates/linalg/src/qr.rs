@@ -8,6 +8,16 @@
 use crate::vecops;
 use crate::{LinalgError, Matrix, Result};
 
+/// Model-based work of one Householder application over a `width`-column
+/// panel with reflector length `vlen` (implicit head plus tail):
+/// `(flops, bytes, elements)`. Two passes (gather `s = β·Vᵀ·panel`, then
+/// the rank-1 update) give `4·width·vlen` flops and two panel traversals.
+fn householder_work(width: usize, vlen: usize) -> (u64, u64, u64) {
+    let panel = (width * vlen) as u64;
+    let vlen = vlen as u64;
+    (4 * panel, 16 * panel + 8 * vlen, panel + vlen)
+}
+
 /// Householder QR factorization `A·P = Q·R` (P = identity when unpivoted).
 ///
 /// # Example
@@ -74,6 +84,13 @@ impl Qr {
         let mut betas = vec![0.0; kmax];
         let mut perm: Vec<usize> = (0..n).collect();
 
+        // Work accounting: mirror the model counts streamed into
+        // `obs::work` so the ledger record can stamp this factorization's
+        // own totals (deterministic — never wall-time-derived).
+        let mut wk_flops = (2 * m * n) as u64;
+        let mut wk_bytes = (8 * m * n) as u64;
+        pathrep_obs::work::record("qr_factor", wk_flops, wk_bytes, (m * n) as u64);
+
         // Squared column norms for pivot choice, down-dated as we go.
         // Accumulated in a row-major sweep (contiguous reads); each entry
         // still sums rows in ascending order, so the values are bit-for-bit
@@ -94,6 +111,10 @@ impl Qr {
                 // value has decayed far below the original.
                 if max <= 1e-14 * colnorm2_orig[perm[pj]].max(1.0) {
                     pathrep_obs::counter_add("linalg.qr.norm_recomputes", 1);
+                    let panel = ((m - k) * (n - k)) as u64;
+                    pathrep_obs::work::record("qr_factor", 2 * panel, 8 * panel, panel);
+                    wk_flops += 2 * panel;
+                    wk_bytes += 8 * panel;
                     for c in colnorm2[k..].iter_mut() {
                         *c = 0.0;
                     }
@@ -138,6 +159,11 @@ impl Qr {
             // Apply H_k to the trailing columns.
             let vtail: Vec<f64> = ((k + 1)..m).map(|i| qr[(i, k)]).collect();
             Self::apply_householder(qr.as_mut_slice(), n, k, k + 1, n, betas[k], &vtail);
+            if k + 1 < n {
+                let (hf, hb, _) = householder_work(n - (k + 1), m - k);
+                wk_flops += hf;
+                wk_bytes += hb;
+            }
 
             if pivot {
                 // Down-date residual column norms.
@@ -164,7 +190,21 @@ impl Qr {
                         "pivot_decay",
                         if first > 0.0 { last / first } else { 0.0 },
                     )
-                    .nums("pivot_head", &pivots);
+                    .nums("pivot_head", &pivots)
+                    // Model-based work of this factorization (deterministic,
+                    // so t1/t4 ledgers stay byte-identical); achieved
+                    // GFLOP/s is wall-time-derived and lives in the
+                    // attribution report, never here.
+                    .int("work_flops", wk_flops)
+                    .int("work_bytes", wk_bytes)
+                    .num(
+                        "work_intensity",
+                        if wk_bytes > 0 {
+                            wk_flops as f64 / wk_bytes as f64
+                        } else {
+                            0.0
+                        },
+                    );
             });
         }
         Ok(Qr { qr, betas, perm })
@@ -222,6 +262,8 @@ impl Qr {
             return;
         }
         let width = j1 - j0;
+        let (wf, wb, we) = householder_work(width, vtail.len() + 1);
+        pathrep_obs::work::record("qr_factor", wf, wb, we);
         let mut s: Vec<f64> = data[h * stride + j0..h * stride + j1].to_vec();
         // Gather pass: workers own disjoint chunks of `s` and read `data`
         // through a shared borrow — safe slices keep the stride-1 inner

@@ -52,6 +52,7 @@ impl Svd {
             return Err(LinalgError::Empty);
         }
         pathrep_obs::counter_add("linalg.svd.calls", 1);
+        let wk0 = pathrep_obs::work::thread_tally("svd");
         let svd = if m >= n {
             let (u, s, v) = golub_reinsch(a, true)?;
             Svd { u, s, v }
@@ -64,7 +65,7 @@ impl Svd {
                 v: Some(v),
             }
         };
-        svd.record_health(m, n);
+        svd.record_health(m, n, pathrep_obs::work::thread_tally("svd").since(wk0));
         Ok(svd)
     }
 
@@ -91,6 +92,7 @@ impl Svd {
             return Err(LinalgError::Empty);
         }
         pathrep_obs::counter_add("linalg.svd.calls", 1);
+        let wk0 = pathrep_obs::work::thread_tally("svd");
         let svd = if m >= n {
             let (u, s, _) = golub_reinsch(a, false)?;
             Svd { u, s, v: None }
@@ -105,15 +107,17 @@ impl Svd {
                 v: None,
             }
         };
-        svd.record_health(m, n);
+        svd.record_health(m, n, pathrep_obs::work::thread_tally("svd").since(wk0));
         Ok(svd)
     }
 
     /// Appends a `linalg/svd` numerical-health ledger record: the
     /// condition-number estimate `s_max/s_min`, the head/tail split of the
-    /// singular-value energy and the leading spectrum values. No-op unless
+    /// singular-value energy, the leading spectrum values and this
+    /// invocation's model-based work (flops/bytes/intensity — all
+    /// deterministic, never wall-time-derived). No-op unless
     /// `PATHREP_OBS_LEDGER` is set.
-    fn record_health(&self, m: usize, n: usize) {
+    fn record_health(&self, m: usize, n: usize, work: pathrep_obs::work::WorkTally) {
         if !pathrep_obs::ledger::collecting() {
             return;
         }
@@ -133,7 +137,10 @@ impl Svd {
                 .num("cond", if smin > 0.0 { smax / smin } else { f64::INFINITY })
                 .num("head_energy", head_frac)
                 .num("tail_energy", 1.0 - head_frac)
-                .nums("spectrum_head", &self.s[..self.s.len().min(HEAD * 2)]);
+                .nums("spectrum_head", &self.s[..self.s.len().min(HEAD * 2)])
+                .int("work_flops", work.flops)
+                .int("work_bytes", work.bytes)
+                .num("work_intensity", work.intensity());
         });
     }
 
@@ -287,6 +294,15 @@ fn two_pass_col_update(
         return;
     }
     let width = j1 - j0;
+    {
+        let (wu, wl, ul) = (width as u64, wvec.len() as u64, uvec.len() as u64);
+        pathrep_obs::work::record(
+            "svd",
+            wu * (2 * wl + 2 * ul + 1),
+            8 * wu * (wl + 2 * ul),
+            wu * (wl + ul),
+        );
+    }
     let mut s = vec![0.0_f64; width];
     // Gather pass: workers own disjoint chunks of `s` and read `data`
     // through a shared borrow — safe slices throughout, so the stride-1
@@ -340,6 +356,11 @@ type ColRotation = (usize, usize, f64, f64);
 fn rotate_cols_batch(data: &mut [f64], stride: usize, rots: &[ColRotation]) {
     if rots.is_empty() {
         return;
+    }
+    {
+        let rows = (data.len() / stride.max(1)) as u64;
+        let nr = rots.len() as u64;
+        pathrep_obs::work::record("svd", 6 * nr * rows, 32 * nr * rows, 2 * nr * rows);
     }
     // ~6 flops per (row, rotation) pair; keep ≥ 2^14 flops per worker.
     let min_rows = (1 << 14) / (6 * rots.len()) + 1;
@@ -440,6 +461,8 @@ fn golub_reinsch(a_in: &Matrix, want_v: bool) -> Result<(Matrix, Vec<f64>, Optio
                 // only the fixed row i and rv1), so blocks of rows go to
                 // different workers with bit-identical results.
                 if l < m {
+                    let panel = ((m - l) * (n - l)) as u64;
+                    pathrep_obs::work::record("svd", 4 * panel, 16 * panel, panel);
                     let (head, tail) = a.as_mut_slice().split_at_mut(l * n);
                     let row_i = &head[i * n..i * n + n];
                     let min_rows = (1 << 14) / (4 * (n - l).max(1)) + 1;

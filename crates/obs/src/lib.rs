@@ -88,11 +88,13 @@ pub mod ledger;
 pub mod prom;
 pub mod profile;
 mod registry;
+pub mod selftime;
 pub mod slo;
 mod snapshot;
 mod span;
 pub mod trace;
 pub mod window;
+pub mod work;
 
 pub use hdr::HdrHistogram;
 pub use registry::{registry, Event, Level, Registry, EXEMPLAR_K, MAX_EVENTS};
@@ -217,8 +219,8 @@ pub fn info(name: &'static str, message: impl FnOnce() -> String) {
 }
 
 /// Clears every metric in the global registry, the trace buffer, the
-/// ledger buffer, the flight ring and the window ring (tests and
-/// long-lived embedders).
+/// ledger buffer, the flight ring, the window ring and the calling
+/// thread's pending work tallies (tests and long-lived embedders).
 pub fn reset() {
     registry().reset();
     trace::reset();
@@ -226,6 +228,7 @@ pub fn reset() {
     profile::reset();
     flight::reset();
     window::reset();
+    work::reset_thread();
 }
 
 /// Emits the standard end-of-run telemetry report for an experiment

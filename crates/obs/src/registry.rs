@@ -5,6 +5,7 @@ use crate::snapshot::{
     CounterSnapshot, EventSnapshot, ExemplarSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot,
 };
 use crate::trace::TraceContext;
+use crate::work::WorkTally;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -114,6 +115,10 @@ struct Inner {
     /// carried a trace context, sorted descending by value. Drained by
     /// the window sampler each epoch (the window ring then owns them).
     exemplars: BTreeMap<&'static str, Vec<(f64, TraceContext)>>,
+    /// Deterministic kernel work tallies (see [`crate::work`]), keyed by
+    /// kernel name; materialized as `work.<kernel>.*` counters in
+    /// snapshots.
+    work: BTreeMap<&'static str, WorkTally>,
 }
 
 fn insert_exemplar(
@@ -150,6 +155,15 @@ impl Registry {
     pub(crate) fn counter_add_slow(&self, name: &'static str, delta: u64) {
         let mut g = self.inner.lock();
         *g.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Merges a thread's drained work tallies under one lock acquisition
+    /// (the flush half of the [`crate::work`] accumulator).
+    pub(crate) fn work_merge_slow(&self, drained: &[(&'static str, WorkTally)]) {
+        let mut g = self.inner.lock();
+        for &(kernel, tally) in drained {
+            g.work.entry(kernel).or_default().add(tally);
+        }
     }
 
     pub(crate) fn gauge_set_slow(&self, name: &'static str, value: f64) {
@@ -268,8 +282,12 @@ impl Registry {
     /// Takes a consistent point-in-time copy of every metric as plain
     /// data, with spans assembled into their hierarchy.
     pub fn snapshot(&self) -> Snapshot {
+        // Flush this thread's pending work tallies first (before taking
+        // the registry lock — the flush acquires it itself), so span-less
+        // kernel calls on the snapshotting thread are not lost.
+        crate::work::flush();
         let g = self.inner.lock();
-        let counters = g
+        let mut counters: Vec<CounterSnapshot> = g
             .counters
             .iter()
             .map(|(&name, &value)| CounterSnapshot {
@@ -277,6 +295,24 @@ impl Registry {
                 value,
             })
             .collect();
+        // Work tallies materialize as three counters per kernel, merged
+        // into the sorted counter list so Prometheus export and the bench
+        // counter cross-checks pick them up with no special casing.
+        for (&kernel, tally) in &g.work {
+            counters.push(CounterSnapshot {
+                name: format!("work.{kernel}.flops"),
+                value: tally.flops,
+            });
+            counters.push(CounterSnapshot {
+                name: format!("work.{kernel}.bytes"),
+                value: tally.bytes,
+            });
+            counters.push(CounterSnapshot {
+                name: format!("work.{kernel}.elements"),
+                value: tally.elements,
+            });
+        }
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
         let gauges = g
             .gauges
             .iter()

@@ -121,6 +121,12 @@ pub fn adopt_span_parent(path: Option<String>) -> ParentSpanGuard {
 
 impl Drop for ParentSpanGuard {
     fn drop(&mut self) {
+        // Pool workers drop this guard at task end, inside the scoped
+        // worker's lifetime — the last chance to move the worker's
+        // pending work tallies into the registry before the thread dies.
+        // (Unconditional: workers record work even when no parent span
+        // was adopted. A no-op when nothing is pending.)
+        crate::work::flush();
         if self.adopted {
             SPAN_PATHS.with(|stack| {
                 stack.borrow_mut().pop();
@@ -137,6 +143,9 @@ impl Drop for SpanGuard {
         let Some(started) = self.started else {
             return;
         };
+        // Span end is the flush point of the thread-local work
+        // accumulator (a no-op when the kernels inside recorded nothing).
+        crate::work::flush();
         let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         if self.traced {
             crate::trace::record_end(self.name);

@@ -1,0 +1,130 @@
+//! The work-accounting plane's plumbing: thread-local recording, the
+//! flush points (span end, worker exit, snapshot), materialization as
+//! `work.<kernel>.*` counters, and reset semantics.
+//!
+//! The registry is process-global, so every test serializes on one mutex
+//! and resets before measuring.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn work_counters() -> BTreeMap<String, u64> {
+    pathrep_obs::registry()
+        .snapshot()
+        .counters
+        .iter()
+        .filter(|c| c.name.starts_with("work."))
+        .map(|c| (c.name.clone(), c.value))
+        .collect()
+}
+
+#[test]
+fn recorded_work_materializes_as_sorted_counters() {
+    let _g = LOCK.lock().unwrap();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    pathrep_obs::work::record("matmul", 100, 80, 10);
+    pathrep_obs::work::record("matmul", 50, 40, 5);
+    pathrep_obs::work::record("qr_factor", 7, 8, 1);
+    let snap = pathrep_obs::registry().snapshot();
+    let work = work_counters();
+    assert_eq!(work.get("work.matmul.flops"), Some(&150));
+    assert_eq!(work.get("work.matmul.bytes"), Some(&120));
+    assert_eq!(work.get("work.matmul.elements"), Some(&15));
+    assert_eq!(work.get("work.qr_factor.flops"), Some(&7));
+    // Work counters merge into the one sorted counter list — the contract
+    // Prometheus export and the BENCH collector rely on.
+    let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "snapshot counters must stay name-sorted");
+}
+
+#[test]
+fn span_end_flushes_before_a_worker_thread_exits() {
+    let _g = LOCK.lock().unwrap();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    // Record on a thread that dies before the snapshot: if the span-end
+    // flush were missing, the tally would die with its thread-local.
+    std::thread::spawn(|| {
+        let _span = pathrep_obs::span!("worker_kernel");
+        pathrep_obs::work::record("svd", 42, 16, 2);
+    })
+    .join()
+    .unwrap();
+    assert_eq!(work_counters().get("work.svd.flops"), Some(&42));
+}
+
+#[test]
+fn disabled_runs_record_nothing() {
+    let _g = LOCK.lock().unwrap();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    pathrep_obs::set_enabled(false);
+    // Ledger is not collecting in this test process, so this must be a
+    // no-op (the disabled-means-free rule).
+    pathrep_obs::work::record("matmul", 1000, 1000, 1000);
+    pathrep_obs::set_enabled(true);
+    assert!(work_counters().is_empty(), "disabled record must not land");
+}
+
+#[test]
+fn reset_clears_pending_tallies() {
+    let _g = LOCK.lock().unwrap();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    pathrep_obs::work::record("cholesky", 9, 9, 9);
+    pathrep_obs::reset(); // drops the pending tally before any flush
+    assert!(work_counters().is_empty(), "reset must clear pending work");
+}
+
+#[test]
+fn thread_tally_diff_isolates_one_invocation() {
+    let _g = LOCK.lock().unwrap();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    pathrep_obs::work::record("svd", 10, 20, 3);
+    let before = pathrep_obs::work::thread_tally("svd");
+    pathrep_obs::work::record("svd", 5, 8, 1);
+    let delta = pathrep_obs::work::thread_tally("svd").since(before);
+    assert_eq!(
+        (delta.flops, delta.bytes, delta.elements),
+        (5, 8, 1),
+        "the diff must see only the second record"
+    );
+    pathrep_obs::reset();
+}
+
+#[test]
+fn selftime_profile_of_nested_spans() {
+    let _g = LOCK.lock().unwrap();
+    pathrep_obs::set_enabled(true);
+    pathrep_obs::reset();
+    {
+        let _outer = pathrep_obs::span!("outer_stage");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let _inner = pathrep_obs::span!("inner_kernel");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let snap = pathrep_obs::registry().snapshot();
+    let prof = pathrep_obs::selftime::profile(&snap);
+    let outer = prof
+        .iter()
+        .find(|e| e.path == "outer_stage")
+        .expect("outer span profiled");
+    let inner = prof
+        .iter()
+        .find(|e| e.path == "outer_stage/inner_kernel")
+        .expect("inner span profiled");
+    assert_eq!(inner.self_ns, inner.total_ns, "leaves keep their full time");
+    assert_eq!(
+        outer.self_ns,
+        outer.total_ns - inner.total_ns,
+        "parent self-time excludes the child"
+    );
+    assert!(outer.total_ns >= inner.total_ns);
+    pathrep_obs::reset();
+}

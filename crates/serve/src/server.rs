@@ -493,9 +493,26 @@ impl Server {
 /// not after the process is killed. Re-arms once the heartbeat recovers.
 fn watchdog_loop(shared: &Shared, deadline_ms: u64) {
     let poll = std::time::Duration::from_millis((deadline_ms / 4).clamp(10, 250));
+    // Sleep in short slices so a shutdown is never stuck behind a full
+    // poll interval: `run` joins this thread, and a single 250 ms sleep
+    // here was adding a quarter second to every server drain.
+    let slice = std::time::Duration::from_millis(5);
+    let sleep_observing_stop = |total: std::time::Duration| {
+        let wake = std::time::Instant::now() + total;
+        loop {
+            let now = std::time::Instant::now();
+            if now >= wake || shared.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(slice.min(wake - now));
+        }
+    };
     let mut fired = false;
     while !shared.stopping.load(Ordering::SeqCst) {
-        std::thread::sleep(poll);
+        sleep_observing_stop(poll);
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
         let depth = shared.queue.depth();
         let age = shared.heartbeat_age_ms();
         if depth > 0 && age > deadline_ms {

@@ -224,6 +224,15 @@ impl<'a> CriticalPathExtractor<'a> {
 
         let mut results: Vec<ExtractedPath> = Vec::new();
         let mut expansions = 0usize;
+        // Variance-update terms touched by `accumulate` during the search
+        // — the branch-and-bound's dominant arithmetic, tallied for the
+        // work counters (the term count is a pure function of the visit
+        // order, which is deterministic).
+        let mut wk_terms: u64 = graph
+            .sources()
+            .iter()
+            .map(|s| terms[s.index()].len() as u64)
+            .sum();
         while let Some(state) = heap.pop() {
             if state.z_lb >= z_star
                 || results.len() >= self.config.max_paths
@@ -249,6 +258,7 @@ impl<'a> CriticalPathExtractor<'a> {
                 let fi = f.index();
                 let mut coeffs = state.coeffs.clone();
                 let mut var = state.variance;
+                wk_terms += terms[fi].len() as u64;
                 accumulate(&mut coeffs, &mut var, &terms[fi]);
                 let mean = state.mean + mean_g[fi];
                 let z_lb = bound(f, mean, var);
@@ -270,6 +280,9 @@ impl<'a> CriticalPathExtractor<'a> {
         // cannot scramble the ranking.
         results.sort_by(|a, b| pathrep_linalg::vecops::cmp_nan_smallest(b.yield_loss, a.yield_loss));
         results.truncate(self.config.max_paths);
+        // Each variance-update term costs ~6 flops (incremental variance
+        // plus the coefficient add) over a 16-byte read-modify-write.
+        pathrep_obs::work::record("extract_paths", 6 * wk_terms, 16 * wk_terms, wk_terms);
         pathrep_obs::counter_add("ssta.extract.expansions", expansions as u64);
         pathrep_obs::counter_add("ssta.extract.paths", results.len() as u64);
         pathrep_obs::gauge_set("ssta.extract.frontier_left", heap.len() as f64);
@@ -278,7 +291,9 @@ impl<'a> CriticalPathExtractor<'a> {
                 .int("paths", results.len() as u64)
                 .int("frontier_left", heap.len() as u64)
                 .int("max_paths", self.config.max_paths as u64)
-                .num("t_cons", self.config.t_cons);
+                .num("t_cons", self.config.t_cons)
+                .int("work_flops", 6 * wk_terms)
+                .int("work_bytes", 16 * wk_terms);
         });
         results
     }

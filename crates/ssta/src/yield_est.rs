@@ -45,6 +45,7 @@ pub fn monte_carlo_circuit_yield(
     n_samples: usize,
     seed: u64,
 ) -> f64 {
+    let _span = pathrep_obs::span!("circuit_yield_mc");
     let graph = circuit.graph();
     let space = VariableSpace::new(model, graph.gate_count());
     // Pre-extract per-gate terms once.
@@ -62,6 +63,23 @@ pub fn monte_carlo_circuit_yield(
         .map(|g| circuit.nominal_delay(g))
         .collect();
 
+    {
+        // Per sample: the variation draw, two flops per sensitivity term
+        // and the arrival-time sweep (one add plus the fanin max scan).
+        let (ns, nv, ng) = (
+            n_samples as u64,
+            space.len() as u64,
+            graph.gate_count() as u64,
+        );
+        let nt: u64 = terms.iter().map(|t| t.len() as u64).sum();
+        pathrep_obs::work::record(
+            "circuit_yield_mc",
+            ns * (nv + 2 * nt + 2 * ng),
+            8 * ns * (nv + 2 * nt + 2 * ng),
+            ns * (nv + nt + ng),
+        );
+        pathrep_obs::counter_add("ssta.yield.samples", ns);
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut x = vec![0.0_f64; space.len()];
     let mut arrival = vec![0.0_f64; graph.gate_count()];

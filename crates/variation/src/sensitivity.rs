@@ -124,6 +124,7 @@ impl DelayModel {
                 what: "path count differs between paths and decomposition",
             });
         }
+        let _span = pathrep_obs::span!("delay_model_build");
 
         // --- Variable catalog over the covered subcircuit ---
         let hierarchy = model.hierarchy();
@@ -181,6 +182,20 @@ impl DelayModel {
             for &s in dec.path_segments(p) {
                 g_mat[(p, s)] = 1.0;
             }
+        }
+        {
+            // Assembly work: one accumulation per (gate, contribution
+            // term) while building Σ. The G·Σ product and G·μ records
+            // come from the matmul/matvec kernels themselves.
+            let terms: u64 = dec
+                .segments()
+                .iter()
+                .map(|s| s.gates().len() as u64)
+                .sum();
+            let sig = (n_seg * n_vars) as u64;
+            pathrep_obs::work::record("delay_model_build", 7 * terms, 8 * sig, sig);
+            pathrep_obs::counter_add("variation.model.variables", n_vars as u64);
+            pathrep_obs::counter_add("variation.model.segments", n_seg as u64);
         }
         let a = g_mat.matmul(&sigma)?;
         let mu_paths = g_mat.matvec(&mu_segments)?;

@@ -59,6 +59,25 @@ if ! cmp -s "$CANDIDATE" "$CANDIDATE_T4"; then
 fi
 echo "accuracy_gate.sh: thread-count determinism OK (ledgers byte-identical at 1 and 4 workers)"
 
+# Work-accounting cross-check: the model-based work facts must be present
+# and byte-identical across worker counts on their own — a sharper error
+# than the whole-ledger cmp when only the work plane drifts, and a guard
+# against the facts silently disappearing from the ledger records.
+work_t1="$(grep -o '"work_flops":[0-9]*' "$CANDIDATE" || true)"
+work_t4="$(grep -o '"work_flops":[0-9]*' "$CANDIDATE_T4" || true)"
+if [ -z "$work_t1" ]; then
+    echo "accuracy_gate.sh: FAIL — candidate ledger carries no work_flops facts;" >&2
+    echo "kernel work accounting stopped stamping ledger records" >&2
+    exit 1
+fi
+if [ "$work_t1" != "$work_t4" ]; then
+    echo "accuracy_gate.sh: FAIL — work facts differ between PATHREP_THREADS=1 and 4" >&2
+    diff <(printf '%s\n' "$work_t1") <(printf '%s\n' "$work_t4") | head -10 >&2 || true
+    exit 1
+fi
+work_n="$(printf '%s\n' "$work_t1" | wc -l | tr -d ' ')"
+echo "accuracy_gate.sh: work accounting OK ($work_n work facts identical at 1 and 4 workers)"
+
 if [ "$self_test" = 1 ]; then
     echo "accuracy_gate.sh: self-test — injecting a rank-drop regression; the gate must FAIL"
     if ./target/release/pathrep-doctor "$GOLDEN" --diff "$CANDIDATE" \
