@@ -163,6 +163,22 @@ fn fmt_pct(rel: Option<f64>) -> String {
     }
 }
 
+/// Renders the `GFLOP/s base -> cur` annotation. A side without a
+/// throughput figure (span absent from that profile, no `work.*.flops`
+/// counter, or zero leaf self-time) reads `n/a`; only when *neither* side
+/// has one is the annotation omitted. Non-finite values (a zero-ns leaf
+/// sneaking through upstream) also read `n/a` rather than `inf`.
+fn fmt_gflops_pair(base: Option<f64>, cur: Option<f64>, prefix: &str) -> String {
+    let fmt = |g: Option<f64>| match g {
+        Some(v) if v.is_finite() => format!("{v:.2}"),
+        _ => "n/a".to_owned(),
+    };
+    match (base, cur) {
+        (None, None) => String::new(),
+        (b, c) => format!("{prefix}GFLOP/s {} -> {}", fmt(b), fmt(c)),
+    }
+}
+
 /// Renders one workload's attribution: a causal headline naming the top
 /// self-time mover, then the `top` biggest movers with their throughput
 /// annotations.
@@ -184,10 +200,7 @@ pub fn render_attribution(a: &Attribution, top: usize) -> String {
             return out;
         }
         Some(lead) => {
-            let gl = match (lead.base_gflops, lead.cur_gflops) {
-                (Some(b), Some(c)) => format!(", GFLOP/s {b:.2} -> {c:.2}"),
-                _ => String::new(),
-            };
+            let gl = fmt_gflops_pair(lead.base_gflops, lead.cur_gflops, ", ");
             let _ = writeln!(
                 out,
                 "{} {p50} <= `{}` self-time {}{gl}",
@@ -198,10 +211,7 @@ pub fn render_attribution(a: &Attribution, top: usize) -> String {
         }
     }
     for r in movers.iter().take(top) {
-        let gl = match (r.base_gflops, r.cur_gflops) {
-            (Some(b), Some(c)) => format!("   GFLOP/s {b:.2} -> {c:.2}"),
-            _ => String::new(),
-        };
+        let gl = fmt_gflops_pair(r.base_gflops, r.cur_gflops, "   ");
         let _ = writeln!(
             out,
             "    {:<44} self {:>10} -> {:>10} ({}){gl}",
@@ -294,6 +304,49 @@ mod tests {
         assert_eq!(a.rows[0].rel_change(), None, "new span has no baseline");
         assert_eq!(a.rows[1].path, "old_span");
         assert_eq!(a.rows[1].delta_ns(), -1_000);
+    }
+
+    #[test]
+    fn injected_slowdown_on_new_span_renders_na_annotation() {
+        // The `--inject-slowdown w:span` self-test shape, against a
+        // baseline that predates the span: the kernel exists only in the
+        // current profile, with its work counter. The annotation must read
+        // `n/a -> X`, not silently vanish (the pre-fix behavior).
+        let base = workload("w", 10.0, vec![entry("sel", 500_000)]);
+        let mut cur = workload(
+            "w",
+            20.0,
+            vec![entry("sel", 500_000), entry("sel/spmm", 2_000_000)],
+        );
+        cur.counters.insert("work.spmm.flops".into(), 4_200_000);
+        let a = attribute_workload(&base, &cur);
+        let row = a.rows.iter().find(|r| r.path == "sel/spmm").unwrap();
+        assert_eq!(row.base_gflops, None, "span absent from baseline profile");
+        assert_eq!(row.cur_gflops, Some(2.1));
+        let text = render_attribution(&a, 3);
+        assert!(text.contains("GFLOP/s n/a -> 2.10"), "{text}");
+        // And symmetrically for a span that disappeared: the baseline-side
+        // figure must survive with `n/a` on the current side.
+        let b = attribute_workload(&cur, &base);
+        let text = render_attribution(&b, 3);
+        assert!(text.contains("GFLOP/s 2.10 -> n/a"), "{text}");
+    }
+
+    #[test]
+    fn zero_leaf_self_time_renders_na_not_inf() {
+        // A kernel whose every occurrence recorded 0 ns of self time (all
+        // time attributed to children) has no meaningful throughput:
+        // flops/0 must render `n/a`, never `inf`.
+        let mut base = workload("w", 10.0, vec![entry("sel/svd", 1_000_000)]);
+        base.counters.insert("work.svd.flops".into(), 1_000_000);
+        let mut cur = base.clone();
+        cur.profile[0].self_ns = 0;
+        let a = attribute_workload(&base, &cur);
+        let row = &a.rows[0];
+        assert_eq!(row.cur_gflops, None, "zero self-time has no throughput");
+        let text = render_attribution(&a, 3);
+        assert!(text.contains("GFLOP/s 1.00 -> n/a"), "{text}");
+        assert!(!text.contains("inf"), "{text}");
     }
 
     #[test]

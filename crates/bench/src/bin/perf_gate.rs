@@ -39,7 +39,7 @@ use pathrep_bench::gate::{
     assess_env, diff, environment_fingerprint, has_regression, render_diff, render_env_diff,
     BenchReport, DEFAULT_THRESHOLD, SCHEMA_VERSION,
 };
-use pathrep_bench::workloads::{measure, workload_matrix};
+use pathrep_bench::workloads::{large_workload_matrix, measure, workload_matrix};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -51,6 +51,8 @@ struct Args {
     inject_slowdown: Option<String>,
     par_threads: usize,
     attribute: bool,
+    only: Option<Vec<String>>,
+    include_large: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         inject_slowdown: None,
         par_threads: 4,
         attribute: false,
+        only: None,
+        include_large: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,6 +78,18 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(value("--out")?),
             "--inject-slowdown" => args.inject_slowdown = Some(value("--inject-slowdown")?),
             "--attribute" => args.attribute = true,
+            "--include-large" => args.include_large = true,
+            "--only" => {
+                let names: Vec<String> = value("--only")?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if names.is_empty() {
+                    return Err("--only requires at least one workload name".into());
+                }
+                args.only.get_or_insert_with(Vec::new).extend(names);
+            }
             "--repeat" => {
                 args.repeat = value("--repeat")?
                     .parse()
@@ -101,7 +117,8 @@ fn parse_args() -> Result<Args, String> {
                     "perf_gate [--baseline BENCH_k.json] [--repeat N] \
                      [--threshold PCT] [--out PATH] \
                      [--inject-slowdown WORKLOAD[:SPANPATH]] \
-                     [--par-threads N] [--attribute]"
+                     [--par-threads N] [--attribute] \
+                     [--include-large] [--only NAME[,NAME…]]"
                 );
                 std::process::exit(0);
             }
@@ -159,8 +176,40 @@ fn main() -> ExitCode {
         }
     };
 
-    eprintln!("perf_gate: preparing workload matrix (untimed)…");
-    let workloads = workload_matrix();
+    // When `--only` names exclusively `*_large` rows, skip the default
+    // matrix entirely — its shared instances take seconds to prepare and
+    // none of them would be measured.
+    let skip_base = args.include_large
+        && args
+            .only
+            .as_ref()
+            .is_some_and(|o| o.iter().all(|n| n.ends_with("_large")));
+    let mut workloads = if skip_base {
+        Vec::new()
+    } else {
+        eprintln!("perf_gate: preparing workload matrix (untimed)…");
+        workload_matrix()
+    };
+    if args.include_large {
+        eprintln!("perf_gate: preparing large workload matrix (untimed)…");
+        workloads.extend(large_workload_matrix());
+    }
+    if let Some(only) = &args.only {
+        for name in only {
+            if !workloads.iter().any(|w| w.name == *name) {
+                eprintln!(
+                    "perf_gate: --only: no workload named `{name}`{}",
+                    if name.ends_with("_large") && !args.include_large {
+                        " (did you forget --include-large?)"
+                    } else {
+                        ""
+                    }
+                );
+                return ExitCode::from(2);
+            }
+        }
+        workloads.retain(|w| only.iter().any(|n| n == w.name));
+    }
     eprintln!(
         "perf_gate: measuring {} workloads × {} repeats (1 worker)…",
         workloads.len(),

@@ -15,8 +15,14 @@ use pathrep_core::approx::{approx_select, ApproxConfig};
 use pathrep_core::exact::exact_select;
 use pathrep_core::hybrid::{hybrid_select, HybridConfig, HybridInputs};
 use pathrep_core::predictor::DEFAULT_KAPPA;
+use pathrep_core::sketch::{
+    sketch_approx_select, sketch_config_from_env, sketch_exact_select, SketchApproxConfig,
+};
 use pathrep_eval::metrics::{evaluate, McConfig, MeasurementPlan};
-use pathrep_eval::pipeline::{prepare, PipelineConfig, PreparedBenchmark};
+use pathrep_eval::pipeline::{
+    prepare, prepare_sparse, PipelineConfig, PreparedBenchmark, PreparedSparseBenchmark,
+    SparsePipelineConfig,
+};
 use pathrep_eval::suite::{BenchmarkSpec, Suite};
 use pathrep_serve::{Client, ModelArtifact, SelectionMeta, Server, ServerConfig};
 use std::collections::BTreeMap;
@@ -305,6 +311,64 @@ pub fn workload_matrix() -> Vec<Workload> {
     workloads
 }
 
+fn large_spec() -> BenchmarkSpec {
+    Suite::large()
+}
+
+fn large_config() -> SparsePipelineConfig {
+    SparsePipelineConfig {
+        t_cons_factor: 1.0,
+        k_paths: 800,
+    }
+}
+
+fn sketch_exact_workload(name: &'static str, pb: Arc<PreparedSparseBenchmark>) -> Workload {
+    Workload {
+        name,
+        run: Box::new(move || {
+            let dm = &pb.delay_model;
+            let sketch = sketch_config_from_env();
+            sketch_exact_select(dm.a(), dm.mu_paths(), DEFAULT_KAPPA, &sketch)
+                .expect("sketched exact selection succeeds");
+        }),
+    }
+}
+
+fn sketch_approx_workload(name: &'static str, pb: Arc<PreparedSparseBenchmark>) -> Workload {
+    Workload {
+        name,
+        run: Box::new(move || {
+            let dm = &pb.delay_model;
+            let config = SketchApproxConfig::new(0.05, pb.t_cons);
+            sketch_approx_select(dm.a(), dm.mu_paths(), &config)
+                .expect("sketched approx selection succeeds");
+        }),
+    }
+}
+
+/// The large-instance matrix: the 100k-gate-class spec through the sparse
+/// front-end and the sketched Algorithm 1. Separate from
+/// [`workload_matrix`] so default `perf_gate` runs (and their
+/// `BENCH_*.json` baselines) are unchanged; `perf_gate --include-large`
+/// appends these rows. The shared instance is prepared here, untimed;
+/// `pipeline_large` re-runs the full sparse front-end per repeat.
+pub fn large_workload_matrix() -> Vec<Workload> {
+    let large = Arc::new(
+        prepare_sparse(&large_spec(), &large_config())
+            .expect("large instance is deterministic and must prepare"),
+    );
+    vec![
+        Workload {
+            name: "pipeline_large",
+            run: Box::new(|| {
+                prepare_sparse(&large_spec(), &large_config()).expect("sparse pipeline prepares");
+            }),
+        },
+        sketch_exact_workload("exact_large", Arc::clone(&large)),
+        sketch_approx_workload("approx_large", large),
+    ]
+}
+
 /// Dotted obs counter → short `BENCH_*.json` key for the headline
 /// operation counts; everything else keeps its dotted name.
 const COUNTER_ALIASES: &[(&str, &str)] = &[
@@ -386,6 +450,43 @@ pub fn measure(workloads: &[Workload], repeats: usize) -> Vec<WorkloadResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Manual probe for the large-instance scaling claim: wall time of the
+    /// dense exact pipeline (full SVD of the densified `A`) against the
+    /// sketched pipeline on the same instance. Ignored by default — run
+    /// with `cargo test -p pathrep-bench --release -- --ignored
+    /// dense_baseline` to reproduce the numbers quoted in DESIGN.md.
+    #[test]
+    #[ignore = "manual probe: dense-vs-sketch wall time on the large instance"]
+    fn dense_baseline_on_large_instance() {
+        use std::time::Instant;
+        let pb = prepare_sparse(&large_spec(), &large_config()).unwrap();
+        let dm = &pb.delay_model;
+        let t0 = Instant::now();
+        let sk = sketch_exact_select(dm.a(), dm.mu_paths(), DEFAULT_KAPPA, &sketch_config_from_env())
+            .unwrap();
+        let sketch_s = t0.elapsed().as_secs_f64();
+        let dense_a = dm.a().to_dense();
+        let t1 = Instant::now();
+        let dn = exact_select(&dense_a, dm.mu_paths(), DEFAULT_KAPPA).unwrap();
+        let dense_s = t1.elapsed().as_secs_f64();
+        eprintln!(
+            "large instance ({} paths × {} vars, nnz {}): sketch {:.2}s (r={}) \
+             vs dense {:.2}s (r={}) — {:.1}× speedup",
+            dm.a().nrows(),
+            dm.a().ncols(),
+            dm.a().nnz(),
+            sketch_s,
+            sk.rank,
+            dense_s,
+            dn.rank,
+            dense_s / sketch_s
+        );
+        assert!(
+            dense_s >= 10.0 * sketch_s,
+            "dense ({dense_s:.2}s) is not ≥10× slower than sketched ({sketch_s:.2}s)"
+        );
+    }
 
     #[test]
     fn measure_records_times_and_deterministic_counters() {

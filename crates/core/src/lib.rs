@@ -29,6 +29,7 @@ pub mod exact;
 pub mod guardband;
 pub mod hybrid;
 pub mod predictor;
+pub mod sketch;
 pub mod subset;
 
 pub use approx::{approx_select, ApproxSelection, Schedule};
@@ -40,3 +41,7 @@ pub use factors::ModelFactors;
 pub use exact::{exact_select, ExactSelection};
 pub use hybrid::{hybrid_select, hybrid_select_sweep, AdmmStats, HybridConfig, HybridSelection};
 pub use predictor::MeasurementPredictor;
+pub use sketch::{
+    sketch_approx_select, sketch_config_from_env, sketch_exact_select, SketchApproxConfig,
+    SketchSelection,
+};

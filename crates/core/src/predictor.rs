@@ -245,6 +245,85 @@ impl MeasurementPredictor {
         ))
     }
 
+    /// Builds the path-subset predictor from the *thin* cross-Gram block
+    /// `C = A·A_selᵀ` (`n × r`, columns in `selected` order) plus the
+    /// diagonal of the full Gram (`diag[i] = ‖row i of A‖²`). This is the
+    /// sketched-pipeline analogue of [`MeasurementPredictor::from_gram`]:
+    /// the full `n × n` Gram is never materialized, only the `n × r`
+    /// slab against the selected rows.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidArgument`] on bad indices / shapes / κ.
+    /// * [`CoreError::Linalg`] if the pseudo-inverse fails.
+    pub fn from_cross_gram(
+        cross: &Matrix,
+        diag: &[f64],
+        mu: &[f64],
+        selected: &[usize],
+        kappa: f64,
+    ) -> Result<(Self, Vec<usize>), CoreError> {
+        if kappa <= 0.0 {
+            return Err(CoreError::InvalidArgument {
+                what: "kappa must be positive".into(),
+            });
+        }
+        let n = cross.nrows();
+        if cross.ncols() != selected.len() {
+            return Err(CoreError::InvalidArgument {
+                what: format!(
+                    "cross-gram has {} columns but {} selected rows",
+                    cross.ncols(),
+                    selected.len()
+                ),
+            });
+        }
+        if mu.len() != n || diag.len() != n {
+            return Err(CoreError::InvalidArgument {
+                what: "cross-gram rows must match the mean and diagonal vectors".into(),
+            });
+        }
+        let mut is_sel = vec![false; n];
+        for &s in selected {
+            if s >= n {
+                return Err(CoreError::InvalidArgument {
+                    what: format!("selected index {s} out of range"),
+                });
+            }
+            if std::mem::replace(&mut is_sel[s], true) {
+                return Err(CoreError::InvalidArgument {
+                    what: format!("selected index {s} repeated"),
+                });
+            }
+        }
+        let remaining: Vec<usize> = (0..n).filter(|&i| !is_sel[i]).collect();
+        // G_rr and G_mr are row-slices of the thin cross block: column j of
+        // `cross` is already G[·, selected[j]].
+        let g_rr = cross.select_rows(selected);
+        let g_mr = cross.select_rows(&remaining);
+        let coef = solve_right_psd(&g_rr, &g_mr)?;
+        let stds: Vec<f64> = remaining
+            .iter()
+            .enumerate()
+            .map(|(k, &mi)| {
+                let quad = vecops::dot(coef.row(k), g_mr.row(k));
+                (diag[mi] - quad).max(0.0).sqrt()
+            })
+            .collect();
+        let meas_mu: Vec<f64> = selected.iter().map(|&i| mu[i]).collect();
+        let target_mu: Vec<f64> = remaining.iter().map(|&i| mu[i]).collect();
+        Ok((
+            MeasurementPredictor {
+                coef,
+                meas_mu,
+                target_mu,
+                stds,
+                kappa,
+            },
+            remaining,
+        ))
+    }
+
     /// Reassembles a predictor from previously serialized parts (the
     /// model-artifact store in `pathrep-serve`). The inverse of reading
     /// [`MeasurementPredictor::coef`] / [`MeasurementPredictor::meas_mu`] /
@@ -460,6 +539,59 @@ mod tests {
         let a = Matrix::from_rows(&[&rows[0], &rows[1], &rows[2], &rows[3]]).unwrap();
         let mu = vec![100.0, 101.0, 102.0, 103.0];
         (a, mu)
+    }
+
+    #[test]
+    fn from_cross_gram_matches_from_gram_bitwise() {
+        // The thin cross-Gram path must reproduce the full-Gram path
+        // exactly: same sub-blocks reach the same solver in the same
+        // order, so every output is bit-identical.
+        let (a, mu) = figure1_a();
+        let gram = a.matmul(&a.transpose()).unwrap();
+        let selected = [1usize, 3];
+        let (pg, rem_g) =
+            MeasurementPredictor::from_gram(&gram, &mu, &selected, DEFAULT_KAPPA).unwrap();
+        let cross = gram.select_cols(&selected);
+        let diag: Vec<f64> = (0..gram.nrows()).map(|i| gram[(i, i)]).collect();
+        let (pc, rem_c) =
+            MeasurementPredictor::from_cross_gram(&cross, &diag, &mu, &selected, DEFAULT_KAPPA)
+                .unwrap();
+        assert_eq!(rem_g, rem_c);
+        let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(pg.coef().as_slice()), bits(pc.coef().as_slice()));
+        assert_eq!(bits(pg.stds()), bits(pc.stds()));
+        assert_eq!(pg.meas_mu(), pc.meas_mu());
+        assert_eq!(pg.target_mu(), pc.target_mu());
+    }
+
+    #[test]
+    fn from_cross_gram_rejects_inconsistent_shapes() {
+        let (a, mu) = figure1_a();
+        let gram = a.matmul(&a.transpose()).unwrap();
+        let cross = gram.select_cols(&[1, 3]);
+        let diag: Vec<f64> = (0..gram.nrows()).map(|i| gram[(i, i)]).collect();
+        // Column count must match the selected count.
+        assert!(
+            MeasurementPredictor::from_cross_gram(&cross, &diag, &mu, &[1], DEFAULT_KAPPA).is_err()
+        );
+        // Diagonal must cover every row.
+        assert!(MeasurementPredictor::from_cross_gram(
+            &cross,
+            &diag[..2],
+            &mu,
+            &[1, 3],
+            DEFAULT_KAPPA
+        )
+        .is_err());
+        // Out-of-range and repeated indices rejected.
+        assert!(
+            MeasurementPredictor::from_cross_gram(&cross, &diag, &mu, &[1, 9], DEFAULT_KAPPA)
+                .is_err()
+        );
+        assert!(
+            MeasurementPredictor::from_cross_gram(&cross, &diag, &mu, &[1, 1], DEFAULT_KAPPA)
+                .is_err()
+        );
     }
 
     #[test]

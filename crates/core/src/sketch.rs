@@ -1,0 +1,474 @@
+//! Sketched Algorithm 1: representative-path selection on sparse models.
+//!
+//! The dense pipeline ([`crate::exact`] / [`crate::approx`]) computes a
+//! full SVD of `A` and the full Gram `G = A·Aᵀ` — both infeasible once
+//! `A` has 100k+ rows. This module replaces them with:
+//!
+//! * a seeded randomized range-finder + sketched SVD
+//!   ([`pathrep_linalg::sketch::sketched_svd`]) whose left factor stands
+//!   in for `U` in Algorithm 2's pivoted QR (the QR runs only on the
+//!   reduced `r × n` sketch, exactly as in the dense path);
+//! * the thin cross-Gram `C = A·A_selᵀ` (`n × r`) plus the Gram diagonal
+//!   instead of the full `n × n` Gram — the Theorem-2 predictor needs
+//!   nothing else ([`MeasurementPredictor::from_cross_gram`]).
+//!
+//! The sketch is deterministic (fixed seed, sequential Gaussian fill), so
+//! results are bit-identical at any `PATHREP_THREADS`, same as the dense
+//! kernels. The sketch dimension and power-iteration count come from
+//! [`SketchConfig`]; [`sketch_config_from_env`] wires in the
+//! `PATHREP_SKETCH_COLS` / `PATHREP_SKETCH_ITERS` environment knobs.
+
+use crate::exact::RANK_TOL;
+use crate::predictor::MeasurementPredictor;
+use crate::subset::select_rows_from_left;
+use crate::CoreError;
+use pathrep_linalg::sketch::{sketched_svd, SketchConfig, SketchedSvd};
+use pathrep_linalg::sparse::SparseMatrix;
+
+/// Result of sketched selection (both exact-size and tolerance modes).
+#[derive(Debug, Clone)]
+pub struct SketchSelection {
+    /// Indices of the representative paths, in pivot order.
+    pub selected: Vec<usize>,
+    /// Indices of the remaining (predicted) paths.
+    pub remaining: Vec<usize>,
+    /// Theorem-2 predictor from representative to remaining paths.
+    pub predictor: MeasurementPredictor,
+    /// Achieved worst-case error `ε_r` at the configured `t_cons`
+    /// (zero in exact mode, where no tolerance is in play).
+    pub epsilon_r: f64,
+    /// Numerical rank of the sketch (the exact-mode selection size).
+    pub rank: usize,
+    /// Sketch dimension actually used (`min(l, m, n)`).
+    pub sketch_cols: usize,
+    /// Power (subspace) iterations performed by the range-finder.
+    pub power_iters: usize,
+    /// Fraction of `‖A‖_F²` captured by the sketched spectrum.
+    pub energy_capture: f64,
+    /// `(r, ε_r)` pairs evaluated during the search, in evaluation order.
+    pub trace: Vec<(usize, f64)>,
+}
+
+/// Configuration for [`sketch_approx_select`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchApproxConfig {
+    /// Error tolerance ε (fraction of `T_cons`), e.g. 0.05.
+    pub epsilon: f64,
+    /// Timing constraint `T_cons` (ps).
+    pub t_cons: f64,
+    /// Worst-case multiplier κ.
+    pub kappa: f64,
+    /// Range-finder parameters (sketch columns, power iterations, seed).
+    pub sketch: SketchConfig,
+}
+
+impl SketchApproxConfig {
+    /// Paper-style defaults (κ = 3) with the environment-driven sketch.
+    pub fn new(epsilon: f64, t_cons: f64) -> Self {
+        SketchApproxConfig {
+            epsilon,
+            t_cons,
+            kappa: crate::predictor::DEFAULT_KAPPA,
+            sketch: sketch_config_from_env(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.epsilon <= 0.0 {
+            return Err(CoreError::InvalidArgument {
+                what: "epsilon must be positive".into(),
+            });
+        }
+        if self.t_cons <= 0.0 {
+            return Err(CoreError::InvalidArgument {
+                what: "t_cons must be positive".into(),
+            });
+        }
+        if self.kappa <= 0.0 {
+            return Err(CoreError::InvalidArgument {
+                what: "kappa must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`SketchConfig`] from the environment: `PATHREP_SKETCH_COLS`
+/// overrides the sketch dimension (unset, blank, unparsable, or zero fall
+/// back to the built-in default) and `PATHREP_SKETCH_ITERS` the power
+/// iterations (zero is a valid setting — it disables them). The seed is
+/// never environment-driven: determinism is part of the contract.
+pub fn sketch_config_from_env() -> SketchConfig {
+    let mut config = SketchConfig::default();
+    if let Some(cols) = env_usize(pathrep_obs::config::ENV_SKETCH_COLS) {
+        if cols > 0 {
+            config.sketch_cols = cols;
+        }
+    }
+    if let Some(iters) = env_usize(pathrep_obs::config::ENV_SKETCH_ITERS) {
+        config.power_iters = iters;
+    }
+    config
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Exact-mode sketched selection: `r` = numerical rank of the sketch.
+///
+/// The sketched analogue of [`crate::exact::exact_select`]: when the
+/// sketch captures the full spectrum (energy capture ≈ 1), the selection
+/// and predictor coincide with the dense exact path up to pivot ties.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidArgument`] on mismatched `mu` / bad κ.
+/// * [`CoreError::Linalg`] on factorization failure (including a
+///   non-finite input to the sketch).
+pub fn sketch_exact_select(
+    a: &SparseMatrix,
+    mu: &[f64],
+    kappa: f64,
+    sketch: &SketchConfig,
+) -> Result<SketchSelection, CoreError> {
+    let _span = pathrep_obs::span!("sketch_exact_select");
+    if mu.len() != a.nrows() {
+        return Err(CoreError::InvalidArgument {
+            what: "mean vector must match the row count of A".into(),
+        });
+    }
+    if kappa <= 0.0 {
+        return Err(CoreError::InvalidArgument {
+            what: "kappa must be positive".into(),
+        });
+    }
+    let sk = sketched_svd(a, sketch)?;
+    let diag = a.gram_diag();
+    let rank = sk.svd().rank(RANK_TOL).max(1);
+    let (selected, predictor, remaining) = evaluate_candidate(a, &sk, &diag, mu, rank, kappa)?;
+    let trace = vec![(rank, 0.0)];
+    record_outcome("sketch_exact_select", &sk, rank, selected.len(), 0.0, &trace);
+    Ok(SketchSelection {
+        selected,
+        remaining,
+        predictor,
+        epsilon_r: 0.0,
+        rank,
+        sketch_cols: sk.sketch_cols(),
+        power_iters: sk.power_iters(),
+        energy_capture: sk.energy_capture(),
+        trace,
+    })
+}
+
+/// Tolerance-mode sketched selection: Algorithm 1's bisection over `r`,
+/// evaluating each candidate with the sketched subspace and the thin
+/// cross-Gram predictor. Mirrors [`crate::approx::approx_select`] with
+/// the bisection schedule.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidArgument`] for bad configuration or mismatched
+///   inputs.
+/// * [`CoreError::Linalg`] on factorization failure.
+pub fn sketch_approx_select(
+    a: &SparseMatrix,
+    mu: &[f64],
+    config: &SketchApproxConfig,
+) -> Result<SketchSelection, CoreError> {
+    let _span = pathrep_obs::span!("sketch_approx_select");
+    config.validate()?;
+    if mu.len() != a.nrows() {
+        return Err(CoreError::InvalidArgument {
+            what: "mean vector must match the row count of A".into(),
+        });
+    }
+    let sk = sketched_svd(a, &config.sketch)?;
+    let diag = a.gram_diag();
+    let rank = sk.svd().rank(RANK_TOL).max(1);
+    let mut trace: Vec<(usize, f64)> = Vec::new();
+
+    let mut evaluate = |r: usize| -> Result<
+        (Vec<usize>, MeasurementPredictor, Vec<usize>, f64),
+        CoreError,
+    > {
+        let _span = pathrep_obs::span!("evaluate_candidate");
+        let (selected, predictor, remaining) =
+            evaluate_candidate(a, &sk, &diag, mu, r, config.kappa)?;
+        let eps = if remaining.is_empty() {
+            0.0
+        } else {
+            predictor.epsilon(config.t_cons)
+        };
+        trace.push((r, eps));
+        pathrep_obs::counter_add("core.sketch.evaluations", 1);
+        Ok((selected, predictor, remaining, eps))
+    };
+
+    let mut best = evaluate(rank)?;
+    if best.3 <= config.epsilon {
+        // Bisection on the (empirically monotone) error-vs-r curve, as in
+        // the dense Algorithm 1.
+        let mut lo = 1usize;
+        let mut hi = rank;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let cand = evaluate(mid)?;
+            if cand.3 <= config.epsilon {
+                best = cand;
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        while best.3 > config.epsilon && best.0.len() < rank {
+            best = evaluate(best.0.len() + 1)?;
+        }
+    } else {
+        pathrep_obs::warn("core.sketch.tolerance_unmet", || {
+            format!(
+                "sketch-rank selection (r={rank}) already exceeds tolerance: \
+                 epsilon_r={:.6e} > epsilon={:.6e}",
+                best.3, config.epsilon
+            )
+        });
+    }
+
+    let (selected, predictor, remaining, epsilon_r) = best;
+    record_outcome(
+        "sketch_approx_select",
+        &sk,
+        rank,
+        selected.len(),
+        epsilon_r,
+        &trace,
+    );
+    Ok(SketchSelection {
+        selected,
+        remaining,
+        predictor,
+        epsilon_r,
+        rank,
+        sketch_cols: sk.sketch_cols(),
+        power_iters: sk.power_iters(),
+        energy_capture: sk.energy_capture(),
+        trace,
+    })
+}
+
+/// One Algorithm-2 + Theorem-2 evaluation at a candidate `r`, entirely
+/// from sparse building blocks: pivoted QR on the sketched left factor,
+/// then the thin cross-Gram `C = A·A_selᵀ` for the predictor.
+fn evaluate_candidate(
+    a: &SparseMatrix,
+    sk: &SketchedSvd,
+    diag: &[f64],
+    mu: &[f64],
+    r: usize,
+    kappa: f64,
+) -> Result<(Vec<usize>, MeasurementPredictor, Vec<usize>), CoreError> {
+    let selected = select_rows_from_left(sk.svd(), a.nrows(), r)?;
+    let a_sel = a.select_rows_dense(&selected)?;
+    let cross = a.matmul_dense(&a_sel.transpose())?;
+    let (predictor, remaining) =
+        MeasurementPredictor::from_cross_gram(&cross, diag, mu, &selected, kappa)?;
+    Ok((selected, predictor, remaining))
+}
+
+fn record_outcome(
+    name: &'static str,
+    sk: &SketchedSvd,
+    rank: usize,
+    selected: usize,
+    epsilon_r: f64,
+    trace: &[(usize, f64)],
+) {
+    pathrep_obs::counter_add("core.sketch.selections", 1);
+    pathrep_obs::gauge_set("core.sketch.rank", rank as f64);
+    pathrep_obs::gauge_set("core.sketch.selected", selected as f64);
+    pathrep_obs::gauge_set("core.sketch.energy_capture", sk.energy_capture());
+    if !pathrep_obs::ledger::collecting() {
+        return;
+    }
+    let r_trace: Vec<f64> = trace.iter().map(|&(r, _)| r as f64).collect();
+    let eps_trace: Vec<f64> = trace.iter().map(|&(_, e)| e).collect();
+    pathrep_obs::ledger::record("core", name, |f| {
+        f.int("rank", rank as u64)
+            .int("selected", selected as u64)
+            .int("sketch_cols", sk.sketch_cols() as u64)
+            .int("power_iters", sk.power_iters() as u64)
+            .num("energy_capture", sk.energy_capture())
+            .num("epsilon_r", epsilon_r)
+            .nums("r_trace", &r_trace)
+            .nums("epsilon_r_trace", &eps_trace);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{approx_select, ApproxConfig};
+    use crate::exact::exact_select;
+    use crate::predictor::DEFAULT_KAPPA;
+    use pathrep_linalg::Matrix;
+    use rand::{Rng, SeedableRng};
+
+    /// Dense low-effective-rank model (same shape as the approx.rs
+    /// fixture) and its sparse mirror.
+    fn model(n: usize, noise: f64) -> (Matrix, SparseMatrix, Vec<f64>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let nx = n + 2;
+        let a = Matrix::from_fn(n, nx, |i, j| {
+            if j == 0 {
+                8.0 * ((i as f64 * 0.3).sin() + 1.5)
+            } else if j == 1 {
+                6.0 * ((i as f64 * 0.7).cos() + 1.2)
+            } else if j == i + 2 {
+                noise * rng.gen_range(0.5..1.5)
+            } else {
+                0.0
+            }
+        });
+        let sparse = SparseMatrix::from_dense(&a);
+        let mu = (0..n).map(|i| 400.0 + i as f64).collect();
+        (a, sparse, mu)
+    }
+
+    fn full_sketch(n: usize) -> SketchConfig {
+        // Sketch wide enough to capture the whole spectrum: parity with
+        // the dense path is then exact up to rounding.
+        SketchConfig {
+            sketch_cols: n,
+            ..SketchConfig::default()
+        }
+    }
+
+    #[test]
+    fn exact_mode_matches_dense_exact_selection() {
+        let (dense, sparse, mu) = model(30, 0.4);
+        let d = exact_select(&dense, &mu, DEFAULT_KAPPA).unwrap();
+        let s = sketch_exact_select(&sparse, &mu, DEFAULT_KAPPA, &full_sketch(30)).unwrap();
+        assert_eq!(s.rank, d.rank, "sketch rank disagrees with dense rank");
+        let mut ds = d.selected.clone();
+        let mut ss = s.selected.clone();
+        ds.sort_unstable();
+        ss.sort_unstable();
+        assert_eq!(ds, ss, "selection sets disagree");
+        assert!(s.energy_capture > 0.999, "capture {}", s.energy_capture);
+    }
+
+    #[test]
+    fn exact_mode_predicts_remaining_paths() {
+        use pathrep_linalg::gauss;
+        let (dense, sparse, mu) = model(20, 0.3);
+        let s = sketch_exact_select(&sparse, &mu, DEFAULT_KAPPA, &full_sketch(20)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let mut x = vec![0.0; dense.ncols()];
+            gauss::fill_standard_normal(&mut rng, &mut x);
+            let d_all: Vec<f64> = (0..dense.nrows())
+                .map(|i| mu[i] + pathrep_linalg::vecops::dot(dense.row(i), &x))
+                .collect();
+            let measured: Vec<f64> = s.selected.iter().map(|&i| d_all[i]).collect();
+            let pred = s.predictor.predict(&measured).unwrap();
+            for (k, &m) in s.remaining.iter().enumerate() {
+                assert!(
+                    (pred[k] - d_all[m]).abs() < 1e-6,
+                    "path {m} predicted {} truth {}",
+                    pred[k],
+                    d_all[m]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_mode_matches_dense_algorithm_one() {
+        let (dense, sparse, mu) = model(40, 0.2);
+        let dense_sel = approx_select(&dense, &mu, &ApproxConfig::new(0.05, 500.0)).unwrap();
+        let mut cfg = SketchApproxConfig::new(0.05, 500.0);
+        cfg.sketch = full_sketch(40);
+        let sketch_sel = sketch_approx_select(&sparse, &mu, &cfg).unwrap();
+        assert_eq!(
+            sketch_sel.selected.len(),
+            dense_sel.selected.len(),
+            "selection sizes disagree (dense eps {}, sketch eps {})",
+            dense_sel.epsilon_r,
+            sketch_sel.epsilon_r
+        );
+        assert!(sketch_sel.epsilon_r <= 0.05 + 1e-12);
+        assert!(
+            (sketch_sel.epsilon_r - dense_sel.epsilon_r).abs() < 1e-6,
+            "epsilon_r diverged: dense {} sketch {}",
+            dense_sel.epsilon_r,
+            sketch_sel.epsilon_r
+        );
+    }
+
+    #[test]
+    fn narrow_sketch_still_selects_within_tolerance() {
+        // A sketch far below n still captures the two dominant directions,
+        // so the tolerance is met with a handful of paths.
+        let (_, sparse, mu) = model(60, 0.1);
+        let mut cfg = SketchApproxConfig::new(0.05, 500.0);
+        cfg.sketch = SketchConfig {
+            sketch_cols: 12,
+            ..SketchConfig::default()
+        };
+        let sel = sketch_approx_select(&sparse, &mu, &cfg).unwrap();
+        assert!(sel.selected.len() <= 12);
+        assert!(sel.epsilon_r <= 0.05 + 1e-12, "epsilon_r {}", sel.epsilon_r);
+        assert!(sel.sketch_cols == 12);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (_, sparse, mu) = model(30, 0.3);
+        let cfg = SketchApproxConfig::new(0.05, 500.0);
+        let a = sketch_approx_select(&sparse, &mu, &cfg).unwrap();
+        let b = sketch_approx_select(&sparse, &mu, &cfg).unwrap();
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.epsilon_r.to_bits(), b.epsilon_r.to_bits());
+        assert_eq!(a.energy_capture.to_bits(), b.energy_capture.to_bits());
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let (_, sparse, mu) = model(10, 0.2);
+        assert!(sketch_approx_select(&sparse, &mu, &SketchApproxConfig::new(0.0, 500.0)).is_err());
+        assert!(sketch_approx_select(&sparse, &mu, &SketchApproxConfig::new(0.05, 0.0)).is_err());
+        let mut cfg = SketchApproxConfig::new(0.05, 500.0);
+        cfg.kappa = -1.0;
+        assert!(sketch_approx_select(&sparse, &mu, &cfg).is_err());
+        assert!(sketch_approx_select(&sparse, &mu[..2], &SketchApproxConfig::new(0.05, 500.0))
+            .is_err());
+        assert!(sketch_exact_select(&sparse, &mu, -1.0, &SketchConfig::default()).is_err());
+        assert!(sketch_exact_select(&sparse, &mu[..2], 3.0, &SketchConfig::default()).is_err());
+    }
+
+    #[test]
+    fn env_knobs_override_defaults() {
+        // Serialize against any other env-reading test via a named lock.
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK.lock().unwrap();
+        let cols_var = pathrep_obs::config::ENV_SKETCH_COLS;
+        let iters_var = pathrep_obs::config::ENV_SKETCH_ITERS;
+        std::env::remove_var(cols_var);
+        std::env::remove_var(iters_var);
+        let base = sketch_config_from_env();
+        assert_eq!(base, SketchConfig::default());
+        std::env::set_var(cols_var, "48");
+        std::env::set_var(iters_var, "0");
+        let tuned = sketch_config_from_env();
+        assert_eq!(tuned.sketch_cols, 48);
+        assert_eq!(tuned.power_iters, 0, "zero power iterations is valid");
+        // Zero / garbage sketch-cols fall back to the default.
+        std::env::set_var(cols_var, "0");
+        assert_eq!(sketch_config_from_env().sketch_cols, base.sketch_cols);
+        std::env::set_var(cols_var, "lots");
+        assert_eq!(sketch_config_from_env().sketch_cols, base.sketch_cols);
+        std::env::remove_var(cols_var);
+        std::env::remove_var(iters_var);
+    }
+}

@@ -33,9 +33,21 @@ pub fn select_rows(a: &Matrix, r: usize) -> Result<Vec<usize>, CoreError> {
 ///
 /// Same as [`select_rows`].
 pub fn select_rows_with_svd(a: &Matrix, svd: &Svd, r: usize) -> Result<Vec<usize>, CoreError> {
+    select_rows_from_left(svd, a.nrows(), r)
+}
+
+/// [`select_rows_with_svd`] from the left factor alone: pivots on the
+/// leading `r` columns of `svd.u()` without ever touching `A`. This is
+/// the entry point for the sketched pipeline, where `A` is sparse and
+/// the (approximate) left subspace comes from a randomized range-finder;
+/// `n` is the row count of the original matrix (`== svd.u().nrows()`).
+///
+/// # Errors
+///
+/// Same as [`select_rows`].
+pub fn select_rows_from_left(svd: &Svd, n: usize, r: usize) -> Result<Vec<usize>, CoreError> {
     let _span = pathrep_obs::span!("subset_select");
     pathrep_obs::counter_add("core.subset.calls", 1);
-    let n = a.nrows();
     if r == 0 || r > n {
         return Err(CoreError::InvalidArgument {
             what: format!("subset size r={r} must lie in 1..={n}"),

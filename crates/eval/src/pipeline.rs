@@ -6,6 +6,7 @@ use pathrep_circuit::generator::{CircuitGenerator, PlacedCircuit};
 use pathrep_circuit::paths::{decompose_into_segments, Path, SegmentDecomposition};
 use pathrep_ssta::extract::{CriticalPathExtractor, ExtractConfig};
 use pathrep_ssta::yield_est::{monte_carlo_circuit_yield, nominal_circuit_delay};
+use pathrep_ssta::SparseDelayModel;
 use pathrep_variation::model::VariationModel;
 use pathrep_variation::sensitivity::DelayModel;
 use std::error::Error;
@@ -204,6 +205,116 @@ pub fn prepare_circuit(
     })
 }
 
+/// Tuning knobs for the sparse (large-instance) front-end.
+///
+/// The dense pipeline sizes `P_tar` by a Monte-Carlo yield threshold;
+/// at 100k+ gates that estimate is itself a heavy dense computation, and
+/// the threshold census can explode. The sparse front-end instead asks
+/// for the `k` statistically-most-critical paths directly
+/// ([`CriticalPathExtractor::extract_k_best`]) and assembles the delay
+/// model in CSR form end-to-end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsePipelineConfig {
+    /// Timing constraint as a fraction of the nominal circuit delay.
+    pub t_cons_factor: f64,
+    /// Number of target paths to enumerate (`|P_tar| ≤ k`).
+    pub k_paths: usize,
+}
+
+impl Default for SparsePipelineConfig {
+    fn default() -> Self {
+        SparsePipelineConfig {
+            t_cons_factor: 1.0,
+            k_paths: 1_000,
+        }
+    }
+}
+
+/// A benchmark prepared for sketched-selection experiments: same shape as
+/// [`PreparedBenchmark`] minus the Monte-Carlo yield, with the delay model
+/// held in CSR form.
+#[derive(Debug)]
+pub struct PreparedSparseBenchmark {
+    /// The generated circuit.
+    pub circuit: PlacedCircuit,
+    /// The variation model in force.
+    pub model: VariationModel,
+    /// Timing constraint (ps).
+    pub t_cons: f64,
+    /// The extracted target paths (k-best order).
+    pub paths: Vec<Path>,
+    /// Their segment decomposition.
+    pub decomposition: SegmentDecomposition,
+    /// The sparse linear delay model `d = µ + A·x`.
+    pub delay_model: SparseDelayModel,
+}
+
+impl PreparedSparseBenchmark {
+    /// `|P_tar|`.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+/// Runs the sparse front-end for one benchmark: generate → k-best path
+/// enumeration → segment decomposition → CSR delay model. No Monte-Carlo
+/// yield estimate is performed (see [`SparsePipelineConfig`]).
+///
+/// # Errors
+///
+/// Returns [`PrepareError`] when generation, extraction or model
+/// construction fails.
+pub fn prepare_sparse(
+    spec: &BenchmarkSpec,
+    config: &SparsePipelineConfig,
+) -> Result<PreparedSparseBenchmark, PrepareError> {
+    declare_standard_counters();
+    let _span = pathrep_obs::span!("prepare_sparse");
+    let circuit = {
+        let _g = pathrep_obs::span!("generate_circuit");
+        CircuitGenerator::new(spec.generator_config())
+            .generate()
+            .map_err(wrap)?
+    };
+    let model = spec.variation_model();
+    let nominal = nominal_circuit_delay(&circuit);
+    let t_cons = nominal * config.t_cons_factor;
+    // The threshold is irrelevant in k-best mode; t_cons still anchors the
+    // per-path criticality scores.
+    let extract_cfg = ExtractConfig::new(t_cons, 1e-6);
+    let extracted =
+        CriticalPathExtractor::new(&circuit, &model, extract_cfg).extract_k_best(config.k_paths);
+    if extracted.is_empty() {
+        return Err(PrepareError {
+            message: format!("k-best extraction returned no paths at t_cons {t_cons:.1} ps"),
+        });
+    }
+    let paths: Vec<Path> = extracted.into_iter().map(|e| e.path).collect();
+    pathrep_obs::gauge_set("eval.pipeline.target_paths", paths.len() as f64);
+    let (decomposition, delay_model) = {
+        let _g = pathrep_obs::span!("build_delay_model");
+        let decomposition = decompose_into_segments(&paths).map_err(wrap)?;
+        let delay_model =
+            SparseDelayModel::build(&circuit, &paths, &decomposition, &model).map_err(wrap)?;
+        (decomposition, delay_model)
+    };
+    pathrep_obs::ledger::record("eval", "prepare_sparse", |f| {
+        f.int("target_paths", paths.len() as u64)
+            .int("segments", decomposition.segment_count() as u64)
+            .int("variables", delay_model.variable_count() as u64)
+            .int("nnz_a", delay_model.a().nnz() as u64)
+            .num("t_cons", t_cons);
+    });
+    Ok(PreparedSparseBenchmark {
+        circuit,
+        model,
+        t_cons,
+        paths,
+        decomposition,
+        delay_model,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +391,52 @@ mod tests {
         assert_eq!(a.path_count(), b.path_count());
         assert_eq!(a.t_cons, b.t_cons);
         assert!(a.delay_model.a().approx_eq(b.delay_model.a(), 0.0));
+    }
+
+    #[test]
+    fn prepare_sparse_produces_consistent_model() {
+        let cfg = SparsePipelineConfig {
+            k_paths: 50,
+            ..SparsePipelineConfig::default()
+        };
+        let pb = prepare_sparse(&tiny_spec(), &cfg).unwrap();
+        assert_eq!(pb.path_count(), 50, "k-best must fill the request");
+        assert_eq!(pb.delay_model.a().nrows(), pb.path_count());
+        assert_eq!(
+            pb.delay_model.g().ncols(),
+            pb.decomposition.segment_count()
+        );
+        assert!(pb.t_cons > 0.0);
+        // The model is genuinely sparse, not a dense matrix in disguise.
+        assert!(pb.delay_model.a().density() < 0.5);
+    }
+
+    #[test]
+    fn prepare_sparse_agrees_with_dense_on_shared_paths() {
+        // Same circuit, same paths ⇒ the CSR model must match the dense
+        // builder. prepare() and prepare_sparse() pick paths differently,
+        // so rebuild the dense model on the sparse pipeline's paths.
+        let cfg = SparsePipelineConfig {
+            k_paths: 40,
+            ..SparsePipelineConfig::default()
+        };
+        let pb = prepare_sparse(&tiny_spec(), &cfg).unwrap();
+        let dense =
+            DelayModel::build(&pb.circuit, &pb.paths, &pb.decomposition, &pb.model).unwrap();
+        assert!(pb.delay_model.a().to_dense().approx_eq(dense.a(), 0.0));
+        assert_eq!(pb.delay_model.mu_paths(), dense.mu_paths());
+    }
+
+    #[test]
+    fn prepare_sparse_determinism() {
+        let cfg = SparsePipelineConfig {
+            k_paths: 30,
+            ..SparsePipelineConfig::default()
+        };
+        let a = prepare_sparse(&tiny_spec(), &cfg).unwrap();
+        let b = prepare_sparse(&tiny_spec(), &cfg).unwrap();
+        assert_eq!(a.path_count(), b.path_count());
+        assert_eq!(a.t_cons.to_bits(), b.t_cons.to_bits());
+        assert!(a.delay_model.a().to_dense().approx_eq(&b.delay_model.a().to_dense(), 0.0));
     }
 }

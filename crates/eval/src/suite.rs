@@ -87,6 +87,15 @@ impl Suite {
     pub fn small() -> Vec<BenchmarkSpec> {
         Self::all().into_iter().take(3).collect()
     }
+
+    /// The 100k-gate-class instance for the sparse/sketched pipeline.
+    /// Unlike [`Suite::all`] (scaled down ≈4× to keep the dense SVD
+    /// tractable), this spec is deliberately past the dense ceiling: the
+    /// full `A` would not fit a dense SVD budget, which is exactly what
+    /// the `*_large` workloads demonstrate.
+    pub fn large() -> BenchmarkSpec {
+        spec("xl120k", 120_000, 4096, 4096, 5, 120, 24)
+    }
 }
 
 fn spec(

@@ -40,6 +40,8 @@ pub mod lstsq;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+pub mod sketch;
+pub mod sparse;
 pub mod svd;
 pub mod vecops;
 

@@ -38,6 +38,16 @@ pub struct Svd {
 }
 
 impl Svd {
+    /// Assembles a left-only decomposition from precomputed factors — the
+    /// crate-internal exit point of the sketched SVD
+    /// ([`crate::sketch::sketched_svd`]), which builds `U` and `s` from a
+    /// reduced sketch rather than a Golub–Reinsch run. Behaves exactly
+    /// like a [`Svd::compute_left`] result: [`Svd::v`] panics,
+    /// reconstruction errors.
+    pub(crate) fn from_left_parts(u: Matrix, s: Vec<f64>) -> Self {
+        Svd { u, s, v: None }
+    }
+
     /// Computes the thin SVD of `a`.
     ///
     /// # Errors

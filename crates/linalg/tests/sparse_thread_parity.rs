@@ -1,0 +1,127 @@
+//! Dense-vs-sparse parity and thread-count determinism for the kernels
+//! feeding the sketched selection pipeline.
+//!
+//! The determinism contract says every kernel is bit-identical at any
+//! `PATHREP_THREADS`, and the CSR kernels are bit-identical to their
+//! dense expansions (same accumulation order, explicit zeros skipped).
+//! These tests pin both properties together at thread counts 1 and 4,
+//! including byte identity of the numerical-health ledger the sketched
+//! SVD writes — the same evidence the accuracy gate compares.
+
+use pathrep_linalg::sketch::{sketched_svd, SketchConfig};
+use pathrep_linalg::sparse::SparseMatrix;
+use pathrep_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// `set_threads` and the ledger buffer are process-global; serialize the
+/// tests in this binary.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A seeded random matrix with `fill` expected nonzero density, returned
+/// as the dense original and its CSR compression.
+fn random_pair(rows: usize, cols: usize, fill: f64, seed: u64) -> (Matrix, SparseMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dense = Matrix::from_fn(rows, cols, |_, _| {
+        if rng.gen::<f64>() < fill {
+            rng.gen_range(-1.0..1.0)
+        } else {
+            0.0
+        }
+    });
+    let sparse = SparseMatrix::from_dense(&dense);
+    (dense, sparse)
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn spmv_matches_dense_bitwise_at_one_and_four_threads() {
+    let _g = lock();
+    let (dense, sparse) = random_pair(120, 75, 0.15, 0x51);
+    let mut rng = StdRng::seed_from_u64(0x52);
+    let x: Vec<f64> = (0..75).map(|_| rng.gen_range(-2.0..2.0)).collect();
+
+    let mut per_thread = Vec::new();
+    for threads in [1, 4] {
+        pathrep_par::set_threads(threads);
+        let ys = sparse.matvec(&x).unwrap();
+        let yd = dense.matvec(&x).unwrap();
+        for (a, b) in ys.iter().zip(&yd) {
+            assert_eq!(a.to_bits(), b.to_bits(), "spmv != dense at t{threads}");
+        }
+        per_thread.push(ys.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    }
+    pathrep_par::set_threads(0);
+    assert_eq!(per_thread[0], per_thread[1], "spmv differs across thread counts");
+}
+
+#[test]
+fn spmm_both_sides_match_dense_bitwise_at_one_and_four_threads() {
+    let _g = lock();
+    let (dense, sparse) = random_pair(90, 60, 0.2, 0x61);
+    let right = Matrix::from_fn(60, 17, |i, j| ((i * 17 + j) as f64 * 0.37).sin());
+    let left = Matrix::from_fn(13, 90, |i, j| ((i * 90 + j) as f64 * 0.29).cos());
+
+    let mut per_thread = Vec::new();
+    for threads in [1, 4] {
+        pathrep_par::set_threads(threads);
+        let cs = sparse.matmul_dense(&right).unwrap();
+        let cd = dense.matmul(&right).unwrap();
+        assert_eq!(bits(&cs), bits(&cd), "A·B != dense at t{threads}");
+        let ps = sparse.premul_dense(&left).unwrap();
+        let pd = left.matmul(&dense).unwrap();
+        assert_eq!(bits(&ps), bits(&pd), "L·A != dense at t{threads}");
+        per_thread.push((bits(&cs), bits(&ps)));
+    }
+    pathrep_par::set_threads(0);
+    assert_eq!(per_thread[0], per_thread[1], "spmm differs across thread counts");
+}
+
+#[test]
+fn sketched_svd_subspace_and_ledger_identical_across_thread_counts() {
+    let _g = lock();
+    let (_, sparse) = random_pair(140, 80, 0.12, 0x71);
+    let config = SketchConfig {
+        sketch_cols: 24,
+        ..SketchConfig::default()
+    };
+
+    let mut runs = Vec::new();
+    for threads in [1, 4] {
+        pathrep_par::set_threads(threads);
+        pathrep_obs::reset();
+        pathrep_obs::ledger::set_collecting(true);
+        pathrep_obs::ledger::set_run_context("sketch_parity", 7);
+        let sk = sketched_svd(&sparse, &config).unwrap();
+        let ledger = pathrep_obs::ledger::render_jsonl(&pathrep_obs::ledger::records());
+        pathrep_obs::ledger::set_collecting(false);
+        pathrep_obs::reset();
+        runs.push((
+            bits(sk.svd().u()),
+            sk.svd()
+                .singular_values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            sk.energy_capture().to_bits(),
+            ledger,
+        ));
+    }
+    pathrep_par::set_threads(0);
+
+    let (u1, s1, e1, l1) = &runs[0];
+    let (u4, s4, e4, l4) = &runs[1];
+    assert_eq!(u1, u4, "sketched subspace differs across thread counts");
+    assert_eq!(s1, s4, "sketched spectrum differs across thread counts");
+    assert_eq!(e1, e4, "energy capture differs across thread counts");
+    assert!(!l1.is_empty(), "sketched SVD must write ledger evidence");
+    assert_eq!(l1, l4, "ledger render is not byte-identical across thread counts");
+}

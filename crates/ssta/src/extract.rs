@@ -118,14 +118,39 @@ impl<'a> CriticalPathExtractor<'a> {
     /// Runs the extraction. Returns paths with yield-loss above the
     /// threshold, most critical first, capped at `max_paths`.
     pub fn extract(&self) -> Vec<ExtractedPath> {
+        let theta = self.config.yield_loss_threshold.clamp(1e-12, 1.0 - 1e-12);
+        // Path qualifies iff z = (T − mean)/σ < z_star.
+        let z_star = normal_quantile(1.0 - theta);
+        self.search(z_star, self.config.max_paths, false)
+    }
+
+    /// Enumerates the `k` statistically-most-critical paths with **no**
+    /// yield-loss threshold — the scalable `P_tar` producer for large
+    /// netlists, where a Monte-Carlo yield estimate (and hence a
+    /// threshold) is not affordable up front.
+    ///
+    /// Implementation: the same best-first branch-and-bound with the
+    /// prune bound `z_star` at `+∞`, stopping after `k` completed paths.
+    /// States pop in ascending optimistic-`z` order and the bound is
+    /// exact at terminal sinks (no remaining completion), so completed
+    /// paths surface most-critical-first and the first `k` completions
+    /// are the `k` best. A NaN-poisoned delay produces a NaN bound,
+    /// which fails the strict `z_lb < z_star` push test even against
+    /// `+∞` — a poisoned path can never enter the heap, let alone win
+    /// selection (see the NaN heap tests).
+    pub fn extract_k_best(&self, k: usize) -> Vec<ExtractedPath> {
+        self.search(f64::INFINITY, k, true)
+    }
+
+    /// Shared best-first search. `z_star` is the optimistic-bound prune
+    /// threshold (`+∞` disables pruning), `max_paths` the completion cap,
+    /// `k_best` toggles the k-best ledger annotation.
+    fn search(&self, z_star: f64, max_paths: usize, k_best: bool) -> Vec<ExtractedPath> {
         let _span = pathrep_obs::span!("extract_paths");
         let graph = self.circuit.graph();
         let n = graph.gate_count();
         let space = VariableSpace::new(self.model, n);
         let t_cons = self.config.t_cons;
-        let theta = self.config.yield_loss_threshold.clamp(1e-12, 1.0 - 1e-12);
-        // Path qualifies iff z = (T − mean)/σ < z_star.
-        let z_star = normal_quantile(1.0 - theta);
 
         // Per-gate data.
         let is_output: Vec<bool> = {
@@ -235,7 +260,7 @@ impl<'a> CriticalPathExtractor<'a> {
             .sum();
         while let Some(state) = heap.pop() {
             if state.z_lb >= z_star
-                || results.len() >= self.config.max_paths
+                || results.len() >= max_paths
                 || expansions >= self.config.max_expansions
             {
                 break;
@@ -279,7 +304,7 @@ impl<'a> CriticalPathExtractor<'a> {
         // NaN-total descending order (NaNs last): a poisoned yield loss
         // cannot scramble the ranking.
         results.sort_by(|a, b| pathrep_linalg::vecops::cmp_nan_smallest(b.yield_loss, a.yield_loss));
-        results.truncate(self.config.max_paths);
+        results.truncate(max_paths);
         // Each variance-update term costs ~6 flops (incremental variance
         // plus the coefficient add) over a 16-byte read-modify-write.
         pathrep_obs::work::record("extract_paths", 6 * wk_terms, 16 * wk_terms, wk_terms);
@@ -290,10 +315,15 @@ impl<'a> CriticalPathExtractor<'a> {
             f.int("expansions", expansions as u64)
                 .int("paths", results.len() as u64)
                 .int("frontier_left", heap.len() as u64)
-                .int("max_paths", self.config.max_paths as u64)
+                .int("max_paths", max_paths as u64)
                 .num("t_cons", self.config.t_cons)
                 .int("work_flops", 6 * wk_terms)
                 .int("work_bytes", 16 * wk_terms);
+            // Threshold-mode records stay byte-identical (golden-ledger
+            // contract); only the k-best mode carries the extra fact.
+            if k_best {
+                f.flag("k_best", true);
+            }
         });
         results
     }
@@ -448,6 +478,79 @@ mod tests {
         let cfg = ExtractConfig::new(t, 0.001).with_max_paths(3);
         let paths = CriticalPathExtractor::new(&c, &model, cfg).extract();
         assert!(paths.len() <= 3);
+    }
+
+    #[test]
+    fn k_best_returns_exactly_k_valid_sorted_paths() {
+        let c = small_circuit();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let cfg = ExtractConfig::new(t, 0.01);
+        let paths = CriticalPathExtractor::new(&c, &model, cfg).extract_k_best(10);
+        assert_eq!(paths.len(), 10);
+        let graph = c.graph();
+        for p in &paths {
+            let gates = p.path.gates();
+            assert!(graph.fanins(gates[0]).is_empty());
+            assert!(graph.sinks().contains(gates.last().unwrap()));
+            for w in gates.windows(2) {
+                assert!(graph.fanouts(w[0]).contains(&w[1]), "non-edge in path");
+            }
+            // A NaN-poisoned delay can never qualify: the strict
+            // `z_lb < z_star` push filter fails for NaN even against +∞.
+            assert!(p.mean.is_finite() && p.sigma.is_finite());
+            assert!(!p.yield_loss.is_nan());
+        }
+        for w in paths.windows(2) {
+            assert!(w[0].yield_loss >= w[1].yield_loss);
+        }
+        let mut seen: Vec<&[GateId]> = paths.iter().map(|p| p.path.gates()).collect();
+        seen.sort();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(before, seen.len(), "duplicate paths in k-best output");
+    }
+
+    #[test]
+    fn k_best_agrees_with_threshold_extraction_on_the_top_paths() {
+        let c = small_circuit();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let by_threshold =
+            CriticalPathExtractor::new(&c, &model, ExtractConfig::new(t, 0.001)).extract();
+        assert!(by_threshold.len() >= 5, "need enough paths to compare");
+        let k_best =
+            CriticalPathExtractor::new(&c, &model, ExtractConfig::new(t, 0.001)).extract_k_best(5);
+        assert_eq!(k_best.len(), 5);
+        // Same most-critical path, and the top-5 sets coincide (both
+        // modes rank by yield loss under the same T_cons).
+        assert_eq!(k_best[0].path.gates(), by_threshold[0].path.gates());
+        let mut a: Vec<&[GateId]> = k_best.iter().map(|p| p.path.gates()).collect();
+        let mut b: Vec<&[GateId]> = by_threshold[..5].iter().map(|p| p.path.gates()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_best_scales_past_the_threshold_census() {
+        // The threshold extractor stops at yield-loss > θ; k-best keeps
+        // enumerating into the subcritical tail, which is exactly what
+        // lets P_tar grow past the old enumeration limit.
+        let c = small_circuit();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let censused =
+            CriticalPathExtractor::new(&c, &model, ExtractConfig::new(t, 0.05)).extract();
+        let k = censused.len() + 25;
+        let k_best =
+            CriticalPathExtractor::new(&c, &model, ExtractConfig::new(t, 0.05)).extract_k_best(k);
+        assert!(
+            k_best.len() > censused.len(),
+            "k-best ({}) must outgrow the threshold census ({})",
+            k_best.len(),
+            censused.len()
+        );
     }
 
     #[test]

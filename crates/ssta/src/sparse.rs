@@ -1,9 +1,22 @@
 //! Sparse coefficient vectors over the variation-variable space.
+//!
+//! # Canonical-zero policy
+//!
+//! Stored values are dropped iff they compare equal to zero
+//! ([`pathrep_linalg::sparse::is_canonical_zero`]): both `+0.0` and
+//! `-0.0` canonicalise away (IEEE 754 compares them equal), so two
+//! algebraically equal inputs always produce the same `nnz` and the same
+//! nnz-dependent work counters. NaN never compares equal to zero and is
+//! always **kept** — a poisoned accumulation stays visible instead of
+//! silently vanishing. The policy is shared with `pathrep-linalg`'s CSR
+//! [`SparseMatrix`](pathrep_linalg::sparse::SparseMatrix) so both layers
+//! agree on structure.
 
+use pathrep_linalg::sparse::is_canonical_zero;
 use serde::{Deserialize, Serialize};
 
 /// A sparse vector: sorted `(index, value)` pairs with unique indices and no
-/// stored zeros.
+/// stored canonical zeros (see the module docs for the policy).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SparseVec {
     entries: Vec<(usize, f64)>,
@@ -17,11 +30,14 @@ impl SparseVec {
         }
     }
 
-    /// Builds from unsorted, possibly duplicated terms; duplicates are
-    /// summed, zeros dropped.
+    /// Builds from unsorted, possibly duplicated terms. Duplicates are
+    /// summed **in input order** (the sort is stable), so the
+    /// accumulation order — and therefore the exact floating-point sum —
+    /// is part of the API and matches a dense accumulator fed the same
+    /// term sequence bit-for-bit. Canonical zeros are dropped.
     pub fn from_terms<I: IntoIterator<Item = (usize, f64)>>(terms: I) -> Self {
         let mut entries: Vec<(usize, f64)> = terms.into_iter().collect();
-        entries.sort_unstable_by_key(|&(i, _)| i);
+        entries.sort_by_key(|&(i, _)| i);
         let mut out: Vec<(usize, f64)> = Vec::with_capacity(entries.len());
         for (i, v) in entries {
             match out.last_mut() {
@@ -29,7 +45,7 @@ impl SparseVec {
                 _ => out.push((i, v)),
             }
         }
-        out.retain(|&(_, v)| v != 0.0);
+        out.retain(|&(_, v)| !is_canonical_zero(v));
         SparseVec { entries: out }
     }
 
@@ -117,7 +133,7 @@ impl SparseVec {
                 }
                 (None, None) => unreachable!("loop condition guards this"),
             };
-            if next.1 != 0.0 {
+            if !is_canonical_zero(next.1) {
                 out.push(next);
             }
         }
@@ -156,6 +172,42 @@ mod tests {
         assert_eq!(v.nnz(), 2);
         assert_eq!(v.get(3), 5.0);
         assert_eq!(v.get(0), 0.0);
+    }
+
+    #[test]
+    fn canonical_zero_drops_negative_zero_and_cancellations() {
+        // -0.0 compares equal to zero and must canonicalise away exactly
+        // like +0.0 — otherwise two algebraically equal inputs diverge in
+        // nnz and every nnz-dependent work counter downstream.
+        let v = SparseVec::from_terms([(0, -0.0), (1, 0.0), (2, 1.0)]);
+        assert_eq!(v.entries(), &[(2, 1.0)]);
+        // An exact cancellation sums to a zero (sign per IEEE 754 rules)
+        // and is dropped under the same policy.
+        let c = SparseVec::from_terms([(5, 2.5), (5, -2.5)]);
+        assert!(c.is_empty());
+        let lc = SparseVec::from_terms([(0, -0.0)]);
+        assert!(lc.is_empty(), "-0.0 input must not survive construction");
+    }
+
+    #[test]
+    fn canonical_zero_keeps_nan_visible() {
+        let v = SparseVec::from_terms([(0, f64::NAN), (1, 1.0)]);
+        assert_eq!(v.nnz(), 2, "NaN is not a zero and must stay stored");
+        assert!(v.get(0).is_nan());
+        // Through linear_combination too: NaN·0 arithmetic stays visible.
+        let w = v.linear_combination(0.0, &SparseVec::new(), 0.0);
+        assert!(w.get(0).is_nan());
+    }
+
+    #[test]
+    fn duplicate_terms_sum_in_input_order() {
+        // 1e16 + 1.0 rounds to 1e16, so the accumulation order decides
+        // the result: summing in input order is the documented contract.
+        let big = 1e16;
+        let cancels = SparseVec::from_terms([(0, big), (0, 1.0), (0, -big)]);
+        assert!(cancels.is_empty(), "(big + 1) - big rounds to 0 and drops");
+        let survives = SparseVec::from_terms([(0, big), (0, -big), (0, 1.0)]);
+        assert_eq!(survives.entries(), &[(0, 1.0)], "(big - big) + 1 = 1");
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Sparse end-to-end assembly of the paper's delay model `A = G·Σ`.
+//!
+//! [`pathrep_variation::sensitivity::DelayModel`] densifies a naturally
+//! block-sparse product: a path touches only its own segments (`G` rows
+//! carry a handful of ones) and a segment's gates sit in only a few
+//! variation regions (`Σ` rows carry ~`levels × |Parameter::ALL| + 1`
+//! coefficients per gate). [`SparseDelayModel`] keeps both factors — and
+//! their product — in CSR form, which is what lets the 100k-gate pipeline
+//! hand Algorithm 1 a sketched SVD instead of a dense Golub–Reinsch run.
+//!
+//! The assembly is value-compatible with the dense builder: the variable
+//! catalog is interned in exactly the same covered-gate order, each `Σ`
+//! row accumulates its duplicate terms in the same encounter order
+//! (through [`SparseVec::from_terms`]'s stable input-order merge), and the
+//! `G·Σ` product accumulates in the dense `i-k-j` order — so `a()` equals
+//! the dense `A` bit-for-bit (modulo canonical zeros, which the sparse
+//! form drops and the dense form stores as `+0.0`).
+
+use crate::sparse::SparseVec;
+use pathrep_circuit::generator::PlacedCircuit;
+use pathrep_circuit::paths::{Path, SegmentDecomposition};
+use pathrep_linalg::sparse::SparseMatrix;
+use pathrep_variation::model::{Parameter, Variable, VariationModel};
+use pathrep_variation::sensitivity::{gate_contribution_terms, VariationError};
+use std::collections::HashMap;
+
+/// The sparse counterpart of `DelayModel`: `G`, `Σ` and `A = G·Σ` in CSR
+/// form over the same variable catalog.
+#[derive(Debug, Clone)]
+pub struct SparseDelayModel {
+    variables: Vec<Variable>,
+    /// Path/segment incidence (`n` × `n_S`, 0/1), CSR.
+    g: SparseMatrix,
+    /// Segment sensitivities (`n_S` × `|x|`), CSR.
+    sigma: SparseMatrix,
+    /// `A = G·Σ` (`n` × `|x|`), CSR.
+    a: SparseMatrix,
+    mu_segments: Vec<f64>,
+    mu_paths: Vec<f64>,
+    covered_regions: usize,
+}
+
+impl SparseDelayModel {
+    /// Builds the sparse delay model for `paths` (already decomposed into
+    /// `dec`) on `circuit` under `model`. Mirrors the dense builder's
+    /// catalog order and accumulation order exactly (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// * [`VariationError::Inconsistent`] when `paths` and `dec` disagree.
+    /// * [`VariationError::Linalg`] on (impossible in practice) shape
+    ///   errors from the sparse kernels.
+    pub fn build(
+        circuit: &PlacedCircuit,
+        paths: &[Path],
+        dec: &SegmentDecomposition,
+        model: &VariationModel,
+    ) -> Result<Self, VariationError> {
+        if paths.len() != dec.path_count() {
+            return Err(VariationError::Inconsistent {
+                what: "path count differs between paths and decomposition",
+            });
+        }
+        let _span = pathrep_obs::span!("sparse_model_build");
+
+        // --- Variable catalog: identical interning order to the dense
+        // builder (region variables per covered gate, then gate randoms).
+        let hierarchy = model.hierarchy();
+        let mut var_index: HashMap<Variable, usize> = HashMap::new();
+        let mut variables: Vec<Variable> = Vec::new();
+        let mut covered_region_flats: Vec<usize> = Vec::new();
+        let mut intern = |v: Variable, variables: &mut Vec<Variable>| -> usize {
+            *var_index.entry(v).or_insert_with(|| {
+                variables.push(v);
+                variables.len() - 1
+            })
+        };
+        for &g in dec.covered_gates() {
+            let (x, y) = circuit.placement().location(g);
+            for region in hierarchy.regions_containing(x, y) {
+                let flat = hierarchy.flat_index(region);
+                covered_region_flats.push(flat);
+                for param in Parameter::ALL {
+                    intern(
+                        Variable::Region {
+                            param,
+                            region_flat: flat,
+                        },
+                        &mut variables,
+                    );
+                }
+            }
+        }
+        covered_region_flats.sort_unstable();
+        covered_region_flats.dedup();
+        let covered_regions = covered_region_flats.len();
+        for &g in dec.covered_gates() {
+            intern(Variable::GateRandom { gate: g.index() }, &mut variables);
+        }
+        let n_vars = variables.len();
+        let n_seg = dec.segment_count();
+
+        // --- Σ rows through SparseVec: terms are pushed in the dense
+        // builder's encounter order (gate order within the segment, term
+        // order within the gate) and `from_terms` sums duplicates in that
+        // input order, so every coefficient matches the dense
+        // accumulation bit-for-bit.
+        let mut mu_segments = vec![0.0; n_seg];
+        let mut sigma_triplets: Vec<(usize, usize, f64)> = Vec::new();
+        let mut assembly_terms: u64 = 0;
+        for (si, seg) in dec.segments().iter().enumerate() {
+            let mut terms: Vec<(usize, f64)> = Vec::new();
+            for &g in seg.gates() {
+                mu_segments[si] += circuit.nominal_delay(g);
+                for (var, coeff) in gate_contribution_terms(circuit, model, g) {
+                    terms.push((var_index[&var], coeff));
+                }
+            }
+            assembly_terms += terms.len() as u64;
+            let row = SparseVec::from_terms(terms);
+            sigma_triplets.extend(row.entries().iter().map(|&(j, v)| (si, j, v)));
+        }
+        let sigma = SparseMatrix::from_triplets(n_seg, n_vars, &sigma_triplets)
+            .map_err(VariationError::Linalg)?;
+
+        // --- 0/1 incidence.
+        let mut g_triplets: Vec<(usize, usize, f64)> = Vec::new();
+        for p in 0..paths.len() {
+            for &s in dec.path_segments(p) {
+                g_triplets.push((p, s, 1.0));
+            }
+        }
+        let g_mat = SparseMatrix::from_triplets(paths.len(), n_seg, &g_triplets)
+            .map_err(VariationError::Linalg)?;
+
+        // Assembly work: one accumulation per (gate, contribution term),
+        // same flop model as the dense builder; the byte model counts the
+        // stored entries (16 bytes each: index + value) instead of the
+        // dense `n_seg × n_vars` fill. The G·Σ product and G·µ records
+        // come from the spmm/spmv kernels themselves.
+        let nnz_entries = (sigma.nnz() + g_mat.nnz()) as u64;
+        pathrep_obs::work::record(
+            "delay_model_build",
+            7 * assembly_terms,
+            16 * nnz_entries,
+            nnz_entries,
+        );
+        pathrep_obs::counter_add("variation.model.variables", n_vars as u64);
+        pathrep_obs::counter_add("variation.model.segments", n_seg as u64);
+
+        let a = g_mat.matmul_sparse(&sigma).map_err(VariationError::Linalg)?;
+        let mu_paths = g_mat.matvec(&mu_segments).map_err(VariationError::Linalg)?;
+
+        if pathrep_obs::ledger::collecting() {
+            pathrep_obs::ledger::record("ssta", "sparse_model", |f| {
+                f.int("paths", paths.len() as u64)
+                    .int("segments", n_seg as u64)
+                    .int("variables", n_vars as u64)
+                    .int("nnz_g", g_mat.nnz() as u64)
+                    .int("nnz_sigma", sigma.nnz() as u64)
+                    .int("nnz_a", a.nnz() as u64)
+                    .num("density_a", a.density());
+            });
+        }
+
+        Ok(SparseDelayModel {
+            variables,
+            g: g_mat,
+            sigma,
+            a,
+            mu_segments,
+            mu_paths,
+            covered_regions,
+        })
+    }
+
+    /// The variable catalog (columns of `Σ` and `A`).
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    /// Dimension of the variation vector `x`.
+    pub fn variable_count(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Path/segment incidence matrix `G` (CSR).
+    pub fn g(&self) -> &SparseMatrix {
+        &self.g
+    }
+
+    /// Segment sensitivity matrix `Σ` (CSR).
+    pub fn sigma(&self) -> &SparseMatrix {
+        &self.sigma
+    }
+
+    /// Path sensitivity matrix `A = G·Σ` (CSR).
+    pub fn a(&self) -> &SparseMatrix {
+        &self.a
+    }
+
+    /// Nominal segment delays `µ_S`.
+    pub fn mu_segments(&self) -> &[f64] {
+        &self.mu_segments
+    }
+
+    /// Nominal path delays `µ_Ptar = G·µ_S`.
+    pub fn mu_paths(&self) -> &[f64] {
+        &self.mu_paths
+    }
+
+    /// Number of distinct covered regions.
+    pub fn covered_region_count(&self) -> usize {
+        self.covered_regions
+    }
+
+    /// Path delays for a realization `x`: `µ + A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::Linalg`] when `x` has the wrong length.
+    pub fn path_delays(&self, x: &[f64]) -> Result<Vec<f64>, VariationError> {
+        let mut d = self.a.matvec(x).map_err(VariationError::Linalg)?;
+        for (di, mu) in d.iter_mut().zip(self.mu_paths.iter()) {
+            *di += mu;
+        }
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{CriticalPathExtractor, ExtractConfig};
+    use crate::yield_est::nominal_circuit_delay;
+    use pathrep_circuit::generator::{CircuitGenerator, GeneratorConfig};
+    use pathrep_circuit::paths::decompose_into_segments;
+    use pathrep_variation::sensitivity::DelayModel;
+
+    fn fixture() -> (PlacedCircuit, VariationModel, Vec<Path>, SegmentDecomposition) {
+        let c = CircuitGenerator::new(GeneratorConfig::new(250, 20, 12).with_seed(11))
+            .generate()
+            .unwrap();
+        let model = VariationModel::three_level();
+        let t = nominal_circuit_delay(&c);
+        let extracted = CriticalPathExtractor::new(&c, &model, ExtractConfig::new(t, 0.01))
+            .extract_k_best(40);
+        let paths: Vec<Path> = extracted.into_iter().map(|p| p.path).collect();
+        let dec = decompose_into_segments(&paths).unwrap();
+        (c, model, paths, dec)
+    }
+
+    #[test]
+    fn sparse_assembly_matches_dense_bitwise() {
+        let (c, model, paths, dec) = fixture();
+        let dense = DelayModel::build(&c, &paths, &dec, &model).unwrap();
+        let sparse = SparseDelayModel::build(&c, &paths, &dec, &model).unwrap();
+        assert_eq!(sparse.variables(), dense.variables(), "catalog order");
+        assert_eq!(sparse.covered_region_count(), dense.covered_region_count());
+        // approx_eq with zero tolerance: |a − b| ≤ 0 accepts only equal
+        // values (and ±0.0, which the canonical-zero policy collapses).
+        assert!(sparse.g().to_dense().approx_eq(dense.g(), 0.0));
+        assert!(sparse.sigma().to_dense().approx_eq(dense.sigma(), 0.0));
+        assert!(sparse.a().to_dense().approx_eq(dense.a(), 0.0));
+        for (s, d) in sparse.mu_paths().iter().zip(dense.mu_paths()) {
+            assert_eq!(s.to_bits(), d.to_bits());
+        }
+        for (s, d) in sparse.mu_segments().iter().zip(dense.mu_segments()) {
+            assert_eq!(s.to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_model_is_actually_sparse() {
+        let (c, model, paths, dec) = fixture();
+        let sparse = SparseDelayModel::build(&c, &paths, &dec, &model).unwrap();
+        assert!(
+            sparse.a().density() < 0.5,
+            "A density {} — the block structure should keep it sparse",
+            sparse.a().density()
+        );
+        assert!(sparse.g().density() < 0.5);
+    }
+
+    #[test]
+    fn path_delays_match_dense_evaluation() {
+        let (c, model, paths, dec) = fixture();
+        let dense = DelayModel::build(&c, &paths, &dec, &model).unwrap();
+        let sparse = SparseDelayModel::build(&c, &paths, &dec, &model).unwrap();
+        let x: Vec<f64> = (0..sparse.variable_count())
+            .map(|i| ((i % 7) as f64 - 3.0) / 3.0)
+            .collect();
+        let ds = sparse.path_delays(&x).unwrap();
+        let dd = dense.path_delays(&x).unwrap();
+        for (a, b) in ds.iter().zip(&dd) {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn inconsistent_inputs_are_rejected() {
+        let (c, model, paths, dec) = fixture();
+        let short = &paths[..paths.len() - 1];
+        assert!(matches!(
+            SparseDelayModel::build(&c, short, &dec, &model),
+            Err(VariationError::Inconsistent { .. })
+        ));
+    }
+}

@@ -6,6 +6,8 @@
 #                     thread-count determinism and work-fact cross-checks
 #   serve_gate.sh     prediction-server contract (batching, artifacts)
 #   obs_gate.sh       observability-plane contract (scrape, ledger, spans)
+#   large_gate.sh     sparse/sketched *_large workloads under a wall
+#                     timeout, plus sketch-vs-dense parity
 #
 # Each gate's full output is captured to a temp log and dumped only when
 # that gate fails; the summary stays one line per gate. Exits non-zero
@@ -16,7 +18,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-gates=(perf_gate accuracy_gate serve_gate obs_gate)
+gates=(perf_gate accuracy_gate serve_gate obs_gate large_gate)
 logdir="$(mktemp -d "${TMPDIR:-/tmp}/pathrep_ci.XXXXXX")"
 trap 'rm -rf "$logdir"' EXIT
 
