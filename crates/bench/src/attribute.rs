@@ -244,6 +244,7 @@ mod tests {
             p50_ms: p50,
             p95_ms: p50 * 1.2,
             p999_ms: None,
+            rows_per_sec: None,
             counters: BTreeMap::new(),
             profile,
         }

@@ -32,6 +32,13 @@ pub struct WorkloadResult {
     /// machinery. `None` in baselines written before the field existed —
     /// the parse is lenient so old `BENCH_*.json` files stay loadable.
     pub p999_ms: Option<f64>,
+    /// Sustained throughput in rows (predictions) per second, for
+    /// workloads that report it via the `bench.rows_per_sec` gauge
+    /// (median over repeats). `None` for workloads without a throughput
+    /// notion and in baselines written before the field existed — the
+    /// parse is lenient and serialization omits `None`, so old
+    /// `BENCH_*.json` files stay loadable and byte-stable.
+    pub rows_per_sec: Option<f64>,
     /// Deterministic operation counters from the obs registry.
     pub counters: BTreeMap<String, u64>,
     /// Inclusive/exclusive span profile of the final measured repeat
@@ -122,6 +129,9 @@ impl BenchReport {
                             ];
                             if let Some(p999) = w.p999_ms {
                                 fields.push(("p999_ms".into(), JsonValue::Number(p999)));
+                            }
+                            if let Some(rate) = w.rows_per_sec {
+                                fields.push(("rows_per_sec".into(), JsonValue::Number(rate)));
                             }
                             fields.push((
                                 "counters".into(),
@@ -222,6 +232,8 @@ impl BenchReport {
                     p95_ms: w.field("p95_ms")?.number()?,
                     // Lenient: absent in pre-p999 baselines.
                     p999_ms: w.field("p999_ms").ok().and_then(|f| f.number().ok()),
+                    // Lenient: absent in pre-throughput baselines.
+                    rows_per_sec: w.field("rows_per_sec").ok().and_then(|f| f.number().ok()),
                     counters,
                     profile,
                 })
@@ -505,6 +517,7 @@ mod tests {
             p50_ms: p50,
             p95_ms: p50 * 1.2,
             p999_ms: Some(p50 * 1.5),
+            rows_per_sec: None,
             counters: counters
                 .iter()
                 .map(|&(k, v)| (k.to_owned(), v))
@@ -575,6 +588,18 @@ mod tests {
         assert_eq!(r.workloads[0].p50_ms, 12.5);
         // Re-serializing a p999-less workload emits no p999_ms field.
         assert!(!r.to_json().contains("p999_ms"));
+    }
+
+    #[test]
+    fn rows_per_sec_round_trips_and_is_omitted_when_absent() {
+        let mut r = report(vec![workload("serve_small", 12.5, &[])]);
+        // Throughput-less workloads serialize exactly like the
+        // pre-throughput schema, so old baselines stay byte-stable.
+        assert!(!r.to_json().contains("rows_per_sec"));
+        r.workloads[0].rows_per_sec = Some(52_000.25);
+        let back = BenchReport::from_json(&r.to_json()).expect("valid JSON");
+        assert_eq!(back, r);
+        assert_eq!(back.workloads[0].rows_per_sec, Some(52_000.25));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use pathrep_eval::pipeline::{
     SparsePipelineConfig,
 };
 use pathrep_eval::suite::{BenchmarkSpec, Suite};
-use pathrep_serve::{Client, ModelArtifact, SelectionMeta, Server, ServerConfig};
+use pathrep_serve::{Client, ModelArtifact, SelectionMeta, Server, ServerConfig, WireProtocol};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -204,6 +204,16 @@ fn serve_workload(
     targets: usize,
     requests: usize,
 ) -> Workload {
+    serve_workload_proto(name, measurements, targets, requests, WireProtocol::Json)
+}
+
+fn serve_workload_proto(
+    name: &'static str,
+    measurements: usize,
+    targets: usize,
+    requests: usize,
+    proto: WireProtocol,
+) -> Workload {
     let artifact = serve_artifact(measurements, targets);
     let mut path = std::env::temp_dir();
     path.push(format!("pathrep_gate_{}_{name}.artifact", std::process::id()));
@@ -223,6 +233,7 @@ fn serve_workload(
                 .expect("gate server spawns");
             let addr = handle.addr();
             let mut client = Client::connect(addr).expect("gate client connects");
+            client.set_protocol(proto);
             let model = client.load_model(&path).expect("daemon loads artifact").model;
             let measured = |k: usize| -> Vec<f64> {
                 meas_mu
@@ -231,15 +242,101 @@ fn serve_workload(
                     .map(|(j, &mu)| mu + (((k * 131 + j * 17) as f64) * 0.37).sin() * 3.0)
                     .collect()
             };
+            let mut rows_served = 0usize;
+            let t0 = Instant::now();
             for k in 0..requests {
                 if k % 8 == 0 {
                     let rows: Vec<Vec<f64>> = (0..8).map(|r| measured(k * 8 + r)).collect();
                     client.predict_batch(&model, &rows).expect("gate batch predicts");
+                    rows_served += 8;
                 } else {
                     client.predict(&model, &measured(k)).expect("gate predicts");
+                    rows_served += 1;
                 }
             }
+            let elapsed = t0.elapsed().as_secs_f64();
+            // Sustained rows/sec over the request loop; a gauge, because
+            // wall-clock throughput is machine- and load-dependent (the
+            // gate never diffs gauges).
+            pathrep_obs::gauge_set("bench.rows_per_sec", rows_served as f64 / elapsed.max(1e-9));
             client.shutdown().expect("gate shutdown");
+            let stats = handle.join();
+            assert_eq!(stats.errors, 0, "gate serving must be error-free");
+        }),
+    }
+}
+
+/// Concurrency axis of the serving plane: `clients` worker threads each
+/// stream `requests` batched predictions at full tilt against one daemon,
+/// under a chosen runtime (`shards == 0` → the legacy thread-per-connection
+/// server, `shards > 0` → the sharded reactor runtime) and wire protocol.
+/// The request sequence per worker is fixed, so the deterministic `serve.*`
+/// counters are exactly reproducible; throughput lands in the
+/// `bench.rows_per_sec` gauge.
+fn serve_concurrent_workload(
+    name: &'static str,
+    shards: usize,
+    proto: WireProtocol,
+    clients: usize,
+    requests: usize,
+) -> Workload {
+    let artifact = serve_artifact(16, 64);
+    let mut path = std::env::temp_dir();
+    path.push(format!("pathrep_gate_{}_{name}.artifact", std::process::id()));
+    let path = path.to_string_lossy().into_owned();
+    artifact.save(&path).expect("gate artifact saves");
+    let meas_mu = Arc::new(artifact.predictor.meas_mu().to_vec());
+    Workload {
+        name,
+        run: Box::new(move || {
+            let config = ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                shards,
+                ..ServerConfig::default()
+            };
+            let handle = Server::bind(config)
+                .expect("gate server binds an ephemeral port")
+                .spawn()
+                .expect("gate server spawns");
+            let addr = handle.addr();
+            let mut loader = Client::connect(addr).expect("gate client connects");
+            let model = loader.load_model(&path).expect("daemon loads artifact").model;
+            let t0 = Instant::now();
+            let workers: Vec<_> = (0..clients)
+                .map(|c| {
+                    let model = model.clone();
+                    let meas_mu = Arc::clone(&meas_mu);
+                    std::thread::spawn(move || {
+                        let mut client =
+                            Client::connect(addr).expect("gate worker connects");
+                        client.set_protocol(proto);
+                        for k in 0..requests {
+                            let rows: Vec<Vec<f64>> = (0..8)
+                                .map(|r| {
+                                    meas_mu
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(j, &mu)| {
+                                            let phase = c * 7919 + (k * 8 + r) * 131 + j * 17;
+                                            mu + ((phase as f64) * 0.37).sin() * 3.0
+                                        })
+                                        .collect()
+                                })
+                                .collect();
+                            client
+                                .predict_batch(&model, &rows)
+                                .expect("gate batch predicts");
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("gate worker thread");
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            let rows_served = clients * requests * 8;
+            pathrep_obs::gauge_set("bench.rows_per_sec", rows_served as f64 / elapsed.max(1e-9));
+            loader.shutdown().expect("gate shutdown");
             let stats = handle.join();
             assert_eq!(stats.errors, 0, "gate serving must be error-free");
         }),
@@ -307,6 +404,31 @@ pub fn workload_matrix() -> Vec<Workload> {
     workloads.push(mc_workload("mc_eval_medium", medium));
     workloads.push(serve_workload("serve_small", 16, 64, 64));
     workloads.push(serve_workload("serve_medium", 48, 256, 256));
+    workloads.push(serve_workload_proto(
+        "serve_binary_small",
+        16,
+        64,
+        64,
+        WireProtocol::Binary,
+    ));
+    // The concurrency axis: identical aggregate load through the legacy
+    // thread-per-connection runtime (JSON) and the sharded reactor runtime
+    // (binary) — the sustained rows/sec comparison between these two rows
+    // is the headline number for the sharded serving plane.
+    workloads.push(serve_concurrent_workload(
+        "serve_threads",
+        0,
+        WireProtocol::Json,
+        4,
+        24,
+    ));
+    workloads.push(serve_concurrent_workload(
+        "serve_sharded",
+        4,
+        WireProtocol::Binary,
+        4,
+        24,
+    ));
     workloads.push(hdr_record_workload("hdr_record"));
     workloads
 }
@@ -411,6 +533,7 @@ pub fn measure(workloads: &[Workload], repeats: usize) -> Vec<WorkloadResult> {
         let mut times_ms = Vec::with_capacity(repeats);
         let mut counters: Option<BTreeMap<String, u64>> = None;
         let mut profile = Vec::new();
+        let mut rates: Vec<f64> = Vec::new();
         for rep in 0..repeats {
             pathrep_obs::reset();
             let t0 = Instant::now();
@@ -420,6 +543,10 @@ pub fn measure(workloads: &[Workload], repeats: usize) -> Vec<WorkloadResult> {
             // Self-time profile of the final repeat (same snapshot the
             // counters come from).
             profile = pathrep_obs::selftime::profile(&snap);
+            // Sustained throughput, for workloads that report it.
+            if let Some(g) = snap.gauges.iter().find(|g| g.name == "bench.rows_per_sec") {
+                rates.push(g.value);
+            }
             let c = collect_counters(&snap);
             if let Some(prev) = &counters {
                 if prev != &c {
@@ -435,11 +562,17 @@ pub fn measure(workloads: &[Workload], repeats: usize) -> Vec<WorkloadResult> {
             counters = Some(c);
         }
         times_ms.sort_by(f64::total_cmp);
+        rates.sort_by(f64::total_cmp);
         results.push(WorkloadResult {
             name: w.name.to_owned(),
             p50_ms: percentile_ms(&times_ms, 0.50),
             p95_ms: percentile_ms(&times_ms, 0.95),
             p999_ms: Some(percentile_ms(&times_ms, 0.999)),
+            rows_per_sec: if rates.is_empty() {
+                None
+            } else {
+                Some(percentile_ms(&rates, 0.50))
+            },
             counters: counters.unwrap_or_default(),
             profile,
         });

@@ -298,8 +298,11 @@ impl SparseMatrix {
             return Ok(y);
         }
         let avg_nnz = (self.nnz() / self.rows.max(1)).max(1);
-        // Same grain target as the dense matvec: ~2^18 flops per worker.
-        let min_rows = (1usize << 18) / (2 * avg_nnz) + 1;
+        // ~2^20 flops per chunk: sparse rows are memory-bound with an
+        // indirect gather per entry, so a finer grain spends more time
+        // parking/unparking workers than computing (the 100k-gate
+        // workloads showed t4 slower than t1 at 2^18).
+        let min_rows = (1usize << 20) / (2 * avg_nnz) + 1;
         pathrep_par::for_each_unit_chunk_mut(&mut y, 1, min_rows, |first, chunk| {
             for (i, yi) in chunk.iter_mut().enumerate() {
                 let r = first + i;
@@ -350,7 +353,9 @@ impl SparseMatrix {
         let mut c = Matrix::zeros(self.rows, bn);
         let avg_nnz = (self.nnz() / self.rows.max(1)).max(1);
         let row_flops = 2 * avg_nnz * bn;
-        let min_rows = (1usize << 20) / row_flops.max(1) + 1;
+        // ~2^22 flops per chunk (see `matvec` on why sparse kernels need a
+        // coarser grain than their dense counterparts).
+        let min_rows = (1usize << 22) / row_flops.max(1) + 1;
         pathrep_par::for_each_unit_chunk_mut(c.as_mut_slice(), bn, min_rows, |first, chunk| {
             for (local, crow) in chunk.chunks_mut(bn).enumerate() {
                 let r = first + local;
@@ -402,7 +407,9 @@ impl SparseMatrix {
         );
         let mut c = Matrix::zeros(p, self.cols);
         let row_flops = 2 * self.nnz();
-        let min_rows = (1usize << 20) / row_flops.max(1) + 1;
+        // ~2^22 flops per chunk (see `matvec` on why sparse kernels need a
+        // coarser grain than their dense counterparts).
+        let min_rows = (1usize << 22) / row_flops.max(1) + 1;
         pathrep_par::for_each_unit_chunk_mut(c.as_mut_slice(), self.cols, min_rows, |first, chunk| {
             for (local, crow) in chunk.chunks_mut(self.cols).enumerate() {
                 let i = first + local;
@@ -457,7 +464,9 @@ impl SparseMatrix {
             products,
         );
         let avg_products = (products as usize / self.rows.max(1)).max(1);
-        let min_rows = (1usize << 18) / (2 * avg_products) + 1;
+        // ~2^20 flops per chunk (see `matvec` on why sparse kernels need a
+        // coarser grain than their dense counterparts).
+        let min_rows = (1usize << 20) / (2 * avg_products) + 1;
         let built: Vec<(Vec<usize>, Vec<f64>)> =
             pathrep_par::map_indexed(self.rows, min_rows, |r| {
                 let mut pairs: Vec<(usize, f64)> = Vec::new();

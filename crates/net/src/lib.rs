@@ -1,0 +1,44 @@
+//! `pathrep-net` — a minimal readiness-loop runtime for the pathrep
+//! serving plane.
+//!
+//! The crate provides exactly the pieces a sharded, non-blocking server
+//! needs and nothing more — no external async runtime, no futures, no FFI
+//! crates; just the handful of syscalls a reactor is made of:
+//!
+//! - [`Poller`] — level-triggered readiness (epoll on Linux, `poll(2)`
+//!   elsewhere) mapping fds to caller [`Token`]s.
+//! - [`WakePipe`] — a coalescing self-pipe so other threads can interrupt
+//!   a blocked poll.
+//! - [`NbConn`] — a non-blocking `TcpStream` with inbound accumulation and
+//!   outbound queue buffers for frame I/O.
+//! - [`Registry`] — a slab mapping tokens to per-connection state.
+//! - [`Mailbox`]/[`MailboxSender`] — cross-shard message passing fused
+//!   with the wake pipe (at most one wake byte in flight).
+//! - [`Shard`] — the composite a reactor thread drives with an explicit
+//!   poll loop.
+//! - [`HashRing`] — FNV-1a consistent hashing of model ids to shards so
+//!   same-model traffic batches locally.
+//!
+//! Everything is deterministic where it can be (hashing, token
+//! assignment) and the crate holds the repo-wide line that concurrency
+//! must never change results: `pathrep-net` moves bytes and wakeups, it
+//! never touches an `f64`.
+
+#![deny(missing_docs)]
+
+mod conn;
+mod mailbox;
+mod poller;
+mod registry;
+mod ring;
+mod shard;
+mod sys;
+mod wake;
+
+pub use conn::NbConn;
+pub use mailbox::{Mailbox, MailboxSender};
+pub use poller::{Event, Interest, Poller, Token};
+pub use registry::Registry;
+pub use ring::{HashRing, DEFAULT_REPLICAS};
+pub use shard::Shard;
+pub use wake::WakePipe;

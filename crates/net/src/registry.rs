@@ -1,0 +1,110 @@
+//! Slab-style connection registry.
+//!
+//! Maps dense [`Token`] indices to per-connection state. Slots are recycled
+//! through a free list so tokens stay small and the poller's user-data word
+//! is always a valid slab index (or [`Token::WAKE`], which is reserved and
+//! never handed out).
+
+use crate::poller::Token;
+
+/// Dense token-indexed storage with O(1) insert/remove.
+pub struct Registry<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+impl<T> Registry<T> {
+    /// Empty registry.
+    pub fn new() -> Registry<T> {
+        Registry { slots: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    /// Insert a value and return its token.
+    pub fn insert(&mut self, value: T) -> Token {
+        self.len += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Some(value);
+                Token(idx)
+            }
+            None => {
+                self.slots.push(Some(value));
+                Token(self.slots.len() - 1)
+            }
+        }
+    }
+
+    /// Shared access to a slot.
+    pub fn get(&self, token: Token) -> Option<&T> {
+        self.slots.get(token.0).and_then(|s| s.as_ref())
+    }
+
+    /// Exclusive access to a slot.
+    pub fn get_mut(&mut self, token: Token) -> Option<&mut T> {
+        self.slots.get_mut(token.0).and_then(|s| s.as_mut())
+    }
+
+    /// Remove and return a slot's value, recycling the token.
+    pub fn remove(&mut self, token: Token) -> Option<T> {
+        let value = self.slots.get_mut(token.0).and_then(|s| s.take());
+        if value.is_some() {
+            self.free.push(token.0);
+            self.len -= 1;
+        }
+        value
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over `(token, value)` pairs of live entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Token, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (Token(i), v)))
+    }
+
+    /// Tokens of all live entries (snapshot, so callers can mutate while walking).
+    pub fn tokens(&self) -> Vec<Token> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| Token(i)))
+            .collect()
+    }
+}
+
+impl<T> Default for Registry<T> {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_recycled_through_the_free_list() {
+        let mut reg: Registry<&str> = Registry::new();
+        let a = reg.insert("a");
+        let b = reg.insert("b");
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.remove(a), Some("a"));
+        assert_eq!(reg.remove(a), None, "double remove is a no-op");
+        let c = reg.insert("c");
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(reg.get(b), Some(&"b"));
+        assert_eq!(reg.get(c), Some(&"c"));
+        assert_eq!(reg.tokens().len(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Consistent-hash ring for routing model ids to shards.
+//!
+//! Each shard contributes a fixed number of virtual points hashed onto a
+//! `u64` ring; a key routes to the first point clockwise from its own hash.
+//! Virtual points smooth the load split, and consistency means adding or
+//! removing a shard only remaps the keys adjacent to its points — the
+//! property that keeps same-model batches pinned to one shard's queue as
+//! the fleet resizes.
+//!
+//! Hashing is FNV-1a, matching the artifact-id hash used elsewhere in the
+//! repo: deterministic across runs and platforms, no RandomState involved.
+
+/// Default number of virtual points per shard.
+pub const DEFAULT_REPLICAS: usize = 64;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A consistent-hash ring over `shards` shards.
+pub struct HashRing {
+    /// `(point, shard)` pairs sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Build a ring with [`DEFAULT_REPLICAS`] virtual points per shard.
+    pub fn new(shards: usize) -> HashRing {
+        HashRing::with_replicas(shards, DEFAULT_REPLICAS)
+    }
+
+    /// Build a ring with an explicit virtual-point count per shard.
+    pub fn with_replicas(shards: usize, replicas: usize) -> HashRing {
+        assert!(shards > 0, "hash ring needs at least one shard");
+        let mut points = Vec::with_capacity(shards * replicas);
+        for shard in 0..shards {
+            for replica in 0..replicas {
+                let label = format!("shard-{shard}-vp-{replica}");
+                points.push((fnv1a(label.as_bytes()), shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// Number of shards the ring was built over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Route a key to its owning shard.
+    pub fn shard_for(&self, key: &str) -> usize {
+        let h = fnv1a(key.as_bytes());
+        let idx = match self.points.binary_search(&(h, usize::MAX)) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        // Walk clockwise, wrapping past the top of the ring.
+        self.points[idx % self.points.len()].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_spreads_keys() {
+        let ring = HashRing::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..4096 {
+            let key = format!("model-{i:016x}");
+            let s = ring.shard_for(&key);
+            assert_eq!(s, ring.shard_for(&key), "same key, same shard");
+            counts[s] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 4096 / 16,
+                "shard {shard} got {c}/4096 keys — virtual points failed to spread load"
+            );
+        }
+    }
+
+    #[test]
+    fn resizing_moves_only_a_fraction_of_keys() {
+        let before = HashRing::new(4);
+        let after = HashRing::new(5);
+        let moved = (0..4096)
+            .filter(|i| {
+                let key = format!("model-{i:016x}");
+                before.shard_for(&key) != after.shard_for(&key)
+            })
+            .count();
+        // Naive modulo hashing would move ~80% of keys; consistent hashing
+        // should move roughly 1/5. Allow generous slack.
+        assert!(
+            moved < 4096 / 2,
+            "adding a shard moved {moved}/4096 keys — not consistent"
+        );
+    }
+
+    #[test]
+    fn single_shard_ring_routes_everything_to_shard_zero() {
+        let ring = HashRing::new(1);
+        for i in 0..64 {
+            assert_eq!(ring.shard_for(&format!("m{i}")), 0);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Raw syscall bindings for the readiness loop.
+//!
+//! `pathrep-net` deliberately avoids external async runtimes and FFI crates:
+//! the handful of syscalls a readiness loop needs (`epoll` on Linux, `poll`
+//! elsewhere, plus a non-blocking pipe for wakeups) are declared here against
+//! the C library that `std` already links. Everything is wrapped into safe
+//! `io::Result` helpers so the rest of the crate never touches `unsafe`.
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+type c_int = i32;
+
+// ---------------------------------------------------------------------------
+// Shared: pipes, close, read, write
+// ---------------------------------------------------------------------------
+
+extern "C" {
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    #[cfg(target_os = "linux")]
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    #[cfg(not(target_os = "linux"))]
+    fn pipe(fds: *mut c_int) -> c_int;
+    #[cfg(not(target_os = "linux"))]
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+}
+
+#[cfg(target_os = "linux")]
+const O_NONBLOCK: c_int = 0o4000;
+#[cfg(target_os = "linux")]
+const O_CLOEXEC: c_int = 0o2000000;
+#[cfg(not(target_os = "linux"))]
+const O_NONBLOCK: c_int = 0x0004;
+#[cfg(not(target_os = "linux"))]
+const F_GETFL: c_int = 3;
+#[cfg(not(target_os = "linux"))]
+const F_SETFL: c_int = 4;
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Create a non-blocking pipe; returns `(read_end, write_end)`.
+pub fn nonblocking_pipe() -> io::Result<(RawFd, RawFd)> {
+    let mut fds = [0 as c_int; 2];
+    #[cfg(target_os = "linux")]
+    {
+        cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        cvt(unsafe { pipe(fds.as_mut_ptr()) })?;
+        for fd in fds {
+            let flags = cvt(unsafe { fcntl(fd, F_GETFL, 0) })?;
+            cvt(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) })?;
+        }
+    }
+    Ok((fds[0], fds[1]))
+}
+
+/// Close a raw file descriptor, ignoring errors (used on teardown paths).
+pub fn close_fd(fd: RawFd) {
+    unsafe {
+        close(fd);
+    }
+}
+
+/// Read up to `buf.len()` bytes from a raw fd.
+pub fn read_fd(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+    let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Write bytes to a raw fd, returning how many were accepted.
+pub fn write_fd(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+    let n = unsafe { write(fd, buf.as_ptr(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linux: epoll
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+pub use linux::*;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::{c_int, cvt};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+
+    /// Kernel `epoll_event`. On x86 the ABI packs the 64-bit data field
+    /// directly after the 32-bit mask, hence `repr(packed)` there.
+    #[cfg_attr(
+        any(target_arch = "x86_64", target_arch = "x86"),
+        repr(C, packed)
+    )]
+    #[cfg_attr(
+        not(any(target_arch = "x86_64", target_arch = "x86")),
+        repr(C)
+    )]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+    }
+
+    /// Create an epoll instance with close-on-exec set.
+    pub fn epoll_create() -> io::Result<RawFd> {
+        cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+    }
+
+    fn ctl(epfd: RawFd, op: c_int, fd: RawFd, mask: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events: mask, data };
+        cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` with the given readiness mask and user data word.
+    pub fn epoll_add(epfd: RawFd, fd: RawFd, mask: u32, data: u64) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_ADD, fd, mask, data)
+    }
+
+    /// Re-arm `fd` with a new readiness mask.
+    pub fn epoll_mod(epfd: RawFd, fd: RawFd, mask: u32, data: u64) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_MOD, fd, mask, data)
+    }
+
+    /// Drop `fd` from the interest set.
+    pub fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait for readiness events; `timeout_ms < 0` blocks indefinitely.
+    /// Retries on `EINTR` so callers never see spurious interrupt errors.
+    pub fn epoll_wait_events(
+        epfd: RawFd,
+        events: &mut [EpollEvent],
+        timeout_ms: c_int,
+    ) -> io::Result<usize> {
+        loop {
+            let n = unsafe {
+                epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms)
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Non-Linux unix: poll(2)
+// ---------------------------------------------------------------------------
+
+#[cfg(all(unix, not(target_os = "linux")))]
+pub use fallback::*;
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod fallback {
+    use super::c_int;
+    use std::io;
+
+    pub const POLLIN: i16 = 0x0001;
+    pub const POLLOUT: i16 = 0x0004;
+    pub const POLLERR: i16 = 0x0008;
+    pub const POLLHUP: i16 = 0x0010;
+
+    /// C `struct pollfd`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: c_int) -> c_int;
+    }
+
+    /// Wait for readiness on the given fd set; retries on `EINTR`.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+        loop {
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("pathrep-net needs a unix host: the readiness loop is built on epoll/poll");

@@ -47,6 +47,15 @@ pub const ENV_SERVE_BATCH: &str = "PATHREP_SERVE_BATCH";
 pub const ENV_SERVE_QUEUE: &str = "PATHREP_SERVE_QUEUE";
 /// Capacity of the `pathrep-serve` LRU model-artifact cache (default 8).
 pub const ENV_SERVE_CACHE: &str = "PATHREP_SERVE_CACHE";
+/// Reactor shard count of the `pathrep-serve` daemon (registered here so
+/// the env-drift guard covers it): `0` or unset keeps the original
+/// thread-per-connection runtime; `N > 0` runs N readiness-loop shards
+/// with consistent-hash model routing.
+pub const ENV_SERVE_SHARDS: &str = "PATHREP_SERVE_SHARDS";
+/// Default wire protocol of `pathrep-client` hot-path requests (`json` or
+/// `binary`; registered here so the env-drift guard covers it). The
+/// daemon auto-detects per frame, so this is purely a client-side default.
+pub const ENV_SERVE_PROTO: &str = "PATHREP_SERVE_PROTO";
 
 /// Capacity of the always-on flight recorder ring (see [`crate::flight`]):
 /// unset means the default small capacity, `0` or `off` disables
@@ -93,6 +102,8 @@ pub const ALL_ENV_VARS: &[&str] = &[
     ENV_SERVE_BATCH,
     ENV_SERVE_QUEUE,
     ENV_SERVE_CACHE,
+    ENV_SERVE_SHARDS,
+    ENV_SERVE_PROTO,
     ENV_FLIGHT,
     ENV_FLIGHT_DUMP,
     ENV_SLO,
@@ -251,7 +262,8 @@ mod tests {
         for v in [
             ENV_OBS, ENV_JSON, ENV_TRACE, ENV_PROM, ENV_LEDGER, ENV_RUN_ID, ENV_HTTP,
             ENV_PROFILE, ENV_PROFILE_HZ, ENV_THREADS, ENV_SERVE_ADDR, ENV_SERVE_BATCH,
-            ENV_SERVE_QUEUE, ENV_SERVE_CACHE, ENV_FLIGHT, ENV_FLIGHT_DUMP, ENV_SLO,
+            ENV_SERVE_QUEUE, ENV_SERVE_CACHE, ENV_SERVE_SHARDS, ENV_SERVE_PROTO,
+            ENV_FLIGHT, ENV_FLIGHT_DUMP, ENV_SLO,
             ENV_SERVE_WATCHDOG_MS, ENV_SKETCH_COLS, ENV_SKETCH_ITERS,
         ] {
             assert!(ALL_ENV_VARS.contains(&v));

@@ -71,9 +71,19 @@ fn resolve_threads() -> usize {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    // Cached: this sits on every kernel call's worker-count decision and
+    // available_parallelism() is a syscall.
+    static CORES: AtomicUsize = AtomicUsize::new(0);
+    match CORES.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            CORES.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
 }
 
 /// Overrides the worker count for the whole process (tests and the perf
@@ -103,12 +113,17 @@ fn partition(n: usize, workers: usize) -> Vec<Range<usize>> {
 
 /// How many workers to actually use for `n` units of work when each worker
 /// must own at least `min_per_worker` units. `workers_override` of 0 means
-/// the global [`threads`] setting.
+/// the global [`threads`] setting, capped at the machine's available
+/// parallelism: spawning more workers than cores only adds thread-spawn
+/// and context-switch cost on every kernel call and can never go faster
+/// (worker count is scheduling-only, so results are identical either way).
+/// An explicit `workers_override` is trusted as-is so tests can force
+/// multi-worker paths regardless of the host.
 fn effective_workers(n: usize, min_per_worker: usize, workers_override: usize) -> usize {
     let base = if workers_override > 0 {
         workers_override
     } else {
-        threads()
+        threads().min(default_threads())
     };
     base.min(n / min_per_worker.max(1)).max(1)
 }
@@ -342,11 +357,20 @@ mod tests {
     #[test]
     fn effective_workers_respects_grain() {
         let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
-        set_threads(8);
-        assert_eq!(effective_workers(1000, 100, 0), 8);
-        assert_eq!(effective_workers(1000, 400, 0), 2);
-        assert_eq!(effective_workers(10, 64, 0), 1);
+        // Explicit overrides are exact (not clamped by host core count),
+        // which keeps these grain assertions machine-independent.
+        assert_eq!(effective_workers(1000, 100, 8), 8);
+        assert_eq!(effective_workers(1000, 400, 8), 2);
+        assert_eq!(effective_workers(10, 64, 8), 1);
         assert_eq!(effective_workers(1000, 100, 3), 3);
+    }
+
+    #[test]
+    fn global_setting_is_capped_at_available_parallelism() {
+        let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let cores = default_threads();
+        set_threads(cores + 13);
+        assert_eq!(effective_workers(usize::MAX, 1, 0), cores);
         set_threads(0);
     }
 

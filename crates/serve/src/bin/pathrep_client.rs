@@ -15,13 +15,15 @@
 //! pathrep-client check-flight <flight-dump.json>
 //! pathrep-client stitch-trace <out.json> <trace.json>...
 //! pathrep-client loadgen  <addr> <artifact-path> [--clients N] [--requests M]
-//!                         [--rate R] [--inject-mismatch]
+//!                         [--rate R] [--binary] [--inject-mismatch]
 //! ```
 //!
 //! `loadgen` is the soak driver: N concurrent connections each send M
 //! `predict` requests plus one `predict_batch`, and every reply is
 //! bit-compared against the offline `MeasurementPredictor::predict` on
-//! the locally-loaded artifact. `--inject-mismatch` corrupts one expected
+//! the locally-loaded artifact. `--binary` sends the hot path over the
+//! compact binary frame protocol instead of JSON — the byte-identity bar
+//! is the same. `--inject-mismatch` corrupts one expected
 //! value on purpose so `serve_gate.sh --self-test` can prove the check
 //! trips.
 //!
@@ -47,7 +49,7 @@
 
 use pathrep_obs::trace;
 use pathrep_obs::HdrHistogram;
-use pathrep_serve::{Client, ModelArtifact, TraceContext};
+use pathrep_serve::{Client, ModelArtifact, TraceContext, WireProtocol};
 use std::io::{Read, Write};
 use std::process::exit;
 use std::time::{Duration, Instant};
@@ -435,6 +437,7 @@ fn loadgen(args: &[String]) {
     let mut requests = 25usize;
     let mut rate = 0.0f64;
     let mut inject = false;
+    let mut binary = false;
     let mut i = 3;
     while i < args.len() {
         match args[i].as_str() {
@@ -462,6 +465,10 @@ fn loadgen(args: &[String]) {
             }
             "--inject-mismatch" => {
                 inject = true;
+                i += 1;
+            }
+            "--binary" => {
+                binary = true;
                 i += 1;
             }
             other => die(&format!("unknown loadgen flag `{other}`")),
@@ -502,6 +509,9 @@ fn loadgen(args: &[String]) {
                         return (0, 1, latency);
                     }
                 };
+                if binary {
+                    client.set_protocol(WireProtocol::Binary);
+                }
                 let mut mismatches = 0u64;
                 let mut errors = 0u64;
                 for k in 0..requests {
@@ -588,9 +598,10 @@ fn loadgen(args: &[String]) {
         latency.merge(&h);
     }
     let total = clients * (requests + 4);
+    let proto = if binary { "binary" } else { "json" };
     println!(
-        "pathrep-client: loadgen {clients} clients x {requests} predicts (+1 batch each): \
-         {total} rows, {mismatches} mismatches, {errors} errors"
+        "pathrep-client: loadgen {clients} clients x {requests} predicts (+1 batch each, \
+         {proto}): {total} rows, {mismatches} mismatches, {errors} errors"
     );
     if latency.count() > 0 {
         let us = |q: f64| latency.quantile(q) / 1_000.0;

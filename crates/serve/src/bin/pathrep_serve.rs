@@ -66,12 +66,14 @@ fn main() {
     };
     let addr = server.local_addr().expect("bound listener has an address");
     // The gate scripts parse this exact line to learn the ephemeral port.
-    println!("pathrep-serve: listening on {addr} (batch={} queue={} cache={} watchdog={})",
+    println!(
+        "pathrep-serve: listening on {addr} (batch={} queue={} cache={} watchdog={} shards={})",
         config.batch_max, config.queue_cap, config.cache_cap,
         match config.watchdog_ms {
             Some(ms) => format!("{ms}ms"),
             None => "off".to_owned(),
-        });
+        },
+        config.shards);
     // Live telemetry plane (PATHREP_OBS_HTTP): scrape-only HTTP endpoints
     // over the in-process registry. Gate scripts parse this line too.
     match pathrep_obs::http::start_from_env() {

@@ -1,0 +1,662 @@
+//! Compact binary wire protocol, negotiated per-frame beside the JSON one.
+//!
+//! The JSON protocol ([`crate::protocol`]) spends most of a hot predict
+//! request rendering and parsing 17-digit float literals. This module
+//! defines a fixed-layout binary frame for the two hot request kinds
+//! (`predict`, `predict_batch`) and their replies, carrying every `f64` as
+//! its exact IEEE-754 bit pattern (`to_bits`/`from_bits`, little-endian) —
+//! the wire transport is bit-exact by construction, including NaN
+//! payloads, signed zeros, subnormals and infinities.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     magic0 = 0xB7
+//! 1       1     magic1 = 0x50 ('P')
+//! 2       1     version = 0x01
+//! 3       1     opcode
+//! 4       4     payload length, u32 little-endian
+//! 8       len   payload
+//! ```
+//!
+//! The payload begins with a `flags` byte; bit 0 announces a trace context
+//! (`trace_id` u64 LE + `request_seq` u64 LE follow immediately). The body
+//! after the optional trace context depends on the opcode:
+//!
+//! | opcode | kind                | body |
+//! |--------|---------------------|------|
+//! | `0x01` | predict             | `model_len` u16 LE, model id bytes, `n` u32 LE, `n` × f64 bits LE |
+//! | `0x02` | predict_batch       | `model_len` u16 LE, model id bytes, `rows` u32 LE, `cols` u32 LE, `rows·cols` × f64 bits LE (row-major) |
+//! | `0x81` | predicted           | `n` u32 LE, `n` × f64 bits LE |
+//! | `0x82` | predicted_batch     | `rows` u32 LE, `cols` u32 LE, `rows·cols` × f64 bits LE |
+//! | `0xEE` | error               | `msg_len` u32 LE, UTF-8 message bytes |
+//!
+//! ## Coexistence with JSON
+//!
+//! A JSON frame starts with a 4-byte big-endian length ≤
+//! [`MAX_FRAME_BYTES`] (64 MiB), so its first byte is at most `0x04`;
+//! `0xB7` can therefore never open a valid JSON frame and one peeked byte
+//! decides the protocol. Both server runtimes accept both framings on the
+//! same connection and always reply in the protocol of the request frame,
+//! so a binary client still sends control requests (`load_model`,
+//! `stats`, `shutdown`, …) as JSON on the same socket.
+//!
+//! Batch payloads decode in a single pass into one contiguous row-major
+//! `Vec<f64>` — no per-row allocations — which feeds the fused
+//! `predict_batch` kernel directly.
+
+use std::io::Read;
+
+use crate::protocol::{ProtocolError, TraceContext, MAX_FRAME_BYTES};
+
+/// First magic byte; outside the value range a JSON length prefix can open with.
+pub const MAGIC0: u8 = 0xB7;
+/// Second magic byte (`'P'` for pathrep).
+pub const MAGIC1: u8 = 0x50;
+/// Protocol version carried in every frame header.
+pub const VERSION: u8 = 0x01;
+/// Fixed header size preceding the payload.
+pub const HEADER_LEN: usize = 8;
+
+/// Opcode: predict one measurement vector.
+pub const OP_PREDICT: u8 = 0x01;
+/// Opcode: predict a batch of measurement vectors.
+pub const OP_PREDICT_BATCH: u8 = 0x02;
+/// Opcode: reply to [`OP_PREDICT`].
+pub const OP_PREDICTED: u8 = 0x81;
+/// Opcode: reply to [`OP_PREDICT_BATCH`].
+pub const OP_PREDICTED_BATCH: u8 = 0x82;
+/// Opcode: error reply.
+pub const OP_ERROR: u8 = 0xEE;
+
+/// A hot-path request decoded from a binary frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinRequest {
+    /// Predict target delays from one measurement vector.
+    Predict {
+        /// Content-hash model id.
+        model: String,
+        /// Measured delays in artifact `selected` order.
+        measured: Vec<f64>,
+    },
+    /// Predict for `rows` measurement vectors of width `cols`.
+    PredictBatch {
+        /// Content-hash model id.
+        model: String,
+        /// Number of measurement vectors.
+        rows: usize,
+        /// Width of each vector.
+        cols: usize,
+        /// Row-major `rows × cols` values, decoded in one pass.
+        data: Vec<f64>,
+    },
+}
+
+/// A hot-path reply encoded into a binary frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinResponse {
+    /// Reply to [`BinRequest::Predict`].
+    Predicted {
+        /// One delay per target.
+        predicted: Vec<f64>,
+    },
+    /// Reply to [`BinRequest::PredictBatch`].
+    PredictedBatch {
+        /// Number of rows.
+        rows: usize,
+        /// Width of each row.
+        cols: usize,
+        /// Row-major predicted values.
+        data: Vec<f64>,
+    },
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// One frame read off the wire before protocol-level decoding: either a
+/// JSON payload or a binary `(opcode, payload)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFrame {
+    /// A length-prefixed JSON frame payload.
+    Json(String),
+    /// A binary frame: opcode plus raw payload bytes.
+    Binary {
+        /// Frame opcode (`OP_*`).
+        op: u8,
+        /// Payload bytes (flags, optional trace context, body).
+        payload: Vec<u8>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+const FLAG_TRACE: u8 = 0x01;
+
+fn frame_with(op: u8, trace: Option<TraceContext>, body_len: usize, fill: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let trace_len = if trace.is_some() { 16 } else { 0 };
+    let payload_len = 1 + trace_len + body_len;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload_len);
+    out.extend_from_slice(&[MAGIC0, MAGIC1, VERSION, op]);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    match trace {
+        Some(t) => {
+            out.push(FLAG_TRACE);
+            out.extend_from_slice(&t.trace_id.to_le_bytes());
+            out.extend_from_slice(&t.request_seq.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+    fill(&mut out);
+    debug_assert_eq!(out.len(), HEADER_LEN + payload_len);
+    out
+}
+
+fn push_f64s(out: &mut Vec<u8>, values: &[f64]) {
+    out.reserve(values.len() * 8);
+    for &v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn push_model(out: &mut Vec<u8>, model: &str) {
+    out.extend_from_slice(&(model.len() as u16).to_le_bytes());
+    out.extend_from_slice(model.as_bytes());
+}
+
+impl BinRequest {
+    /// Render the request as one complete frame (header + payload).
+    pub fn encode(&self, trace: Option<TraceContext>) -> Vec<u8> {
+        match self {
+            BinRequest::Predict { model, measured } => frame_with(
+                OP_PREDICT,
+                trace,
+                2 + model.len() + 4 + measured.len() * 8,
+                |out| {
+                    push_model(out, model);
+                    out.extend_from_slice(&(measured.len() as u32).to_le_bytes());
+                    push_f64s(out, measured);
+                },
+            ),
+            BinRequest::PredictBatch { model, rows, cols, data } => frame_with(
+                OP_PREDICT_BATCH,
+                trace,
+                2 + model.len() + 8 + data.len() * 8,
+                |out| {
+                    push_model(out, model);
+                    out.extend_from_slice(&(*rows as u32).to_le_bytes());
+                    out.extend_from_slice(&(*cols as u32).to_le_bytes());
+                    push_f64s(out, data);
+                },
+            ),
+        }
+    }
+
+    /// Build a batch request from per-row vectors (client convenience).
+    ///
+    /// # Panics
+    ///
+    /// If rows have unequal widths — the binary batch layout is rectangular.
+    pub fn batch_from_rows(model: &str, rows: &[Vec<f64>]) -> BinRequest {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "binary batch rows must share one width");
+            data.extend_from_slice(row);
+        }
+        BinRequest::PredictBatch { model: model.to_owned(), rows: rows.len(), cols, data }
+    }
+}
+
+impl BinResponse {
+    /// Render the response as one complete frame (header + payload).
+    pub fn encode(&self, trace: Option<TraceContext>) -> Vec<u8> {
+        match self {
+            BinResponse::Predicted { predicted } => {
+                frame_with(OP_PREDICTED, trace, 4 + predicted.len() * 8, |out| {
+                    out.extend_from_slice(&(predicted.len() as u32).to_le_bytes());
+                    push_f64s(out, predicted);
+                })
+            }
+            BinResponse::PredictedBatch { rows, cols, data } => {
+                frame_with(OP_PREDICTED_BATCH, trace, 8 + data.len() * 8, |out| {
+                    out.extend_from_slice(&(*rows as u32).to_le_bytes());
+                    out.extend_from_slice(&(*cols as u32).to_le_bytes());
+                    push_f64s(out, data);
+                })
+            }
+            BinResponse::Error { message } => {
+                frame_with(OP_ERROR, trace, 4 + message.len(), |out| {
+                    out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                    out.extend_from_slice(message.as_bytes());
+                })
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Forward-only cursor over a frame payload; every short read maps to
+/// [`ProtocolError::Malformed`] so corrupt frames surface as typed errors.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            ProtocolError::Malformed("truncated binary frame body".into())
+        })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Decode `n` f64 bit patterns in one pass into a fresh contiguous Vec.
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, ProtocolError> {
+        let bytes = self.take(n.checked_mul(8).ok_or_else(|| {
+            ProtocolError::Malformed("binary frame float count overflows".into())
+        })?)?;
+        let mut out = Vec::with_capacity(n);
+        for chunk in bytes.chunks_exact(8) {
+            out.push(f64::from_bits(u64::from_le_bytes(chunk.try_into().unwrap())));
+        }
+        Ok(out)
+    }
+
+    fn string(&mut self, n: usize) -> Result<String, ProtocolError> {
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_owned)
+            .map_err(|_| ProtocolError::Malformed("binary frame string is not UTF-8".into()))
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed(format!(
+                "binary frame has {} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+
+    fn trace(&mut self) -> Result<Option<TraceContext>, ProtocolError> {
+        let flags = self.u8()?;
+        match flags {
+            0 => Ok(None),
+            FLAG_TRACE => Ok(Some(TraceContext { trace_id: self.u64()?, request_seq: self.u64()? })),
+            other => Err(ProtocolError::Malformed(format!(
+                "unknown binary frame flags 0x{other:02x}"
+            ))),
+        }
+    }
+}
+
+impl BinRequest {
+    /// Decode a request payload for the given opcode.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on truncation, trailing bytes, unknown
+    /// flags, non-UTF-8 model ids, or a non-request opcode.
+    pub fn decode(op: u8, payload: &[u8]) -> Result<(BinRequest, Option<TraceContext>), ProtocolError> {
+        let mut cur = Cursor::new(payload);
+        let trace = cur.trace()?;
+        let req = match op {
+            OP_PREDICT => {
+                let model_len = cur.u16()? as usize;
+                let model = cur.string(model_len)?;
+                let n = cur.u32()? as usize;
+                BinRequest::Predict { model, measured: cur.f64s(n)? }
+            }
+            OP_PREDICT_BATCH => {
+                let model_len = cur.u16()? as usize;
+                let model = cur.string(model_len)?;
+                let rows = cur.u32()? as usize;
+                let cols = cur.u32()? as usize;
+                let count = rows.checked_mul(cols).ok_or_else(|| {
+                    ProtocolError::Malformed("binary batch shape overflows".into())
+                })?;
+                BinRequest::PredictBatch { model, rows, cols, data: cur.f64s(count)? }
+            }
+            other => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown binary request opcode 0x{other:02x}"
+                )))
+            }
+        };
+        cur.finish()?;
+        Ok((req, trace))
+    }
+}
+
+impl BinResponse {
+    /// Decode a response payload for the given opcode.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on truncation, trailing bytes, unknown
+    /// flags, or a non-response opcode.
+    pub fn decode(op: u8, payload: &[u8]) -> Result<(BinResponse, Option<TraceContext>), ProtocolError> {
+        let mut cur = Cursor::new(payload);
+        let trace = cur.trace()?;
+        let resp = match op {
+            OP_PREDICTED => {
+                let n = cur.u32()? as usize;
+                BinResponse::Predicted { predicted: cur.f64s(n)? }
+            }
+            OP_PREDICTED_BATCH => {
+                let rows = cur.u32()? as usize;
+                let cols = cur.u32()? as usize;
+                let count = rows.checked_mul(cols).ok_or_else(|| {
+                    ProtocolError::Malformed("binary batch shape overflows".into())
+                })?;
+                BinResponse::PredictedBatch { rows, cols, data: cur.f64s(count)? }
+            }
+            OP_ERROR => {
+                let n = cur.u32()? as usize;
+                BinResponse::Error { message: cur.string(n)? }
+            }
+            other => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown binary response opcode 0x{other:02x}"
+                )))
+            }
+        };
+        cur.finish()?;
+        Ok((resp, trace))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mixed-protocol frame reading
+// ---------------------------------------------------------------------------
+
+/// Validate a binary frame header and return `(opcode, payload_len)`.
+///
+/// # Errors
+///
+/// [`ProtocolError::Malformed`] on bad magic or version,
+/// [`ProtocolError::Oversized`] on an over-limit payload length.
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize), ProtocolError> {
+    if header[0] != MAGIC0 || header[1] != MAGIC1 {
+        return Err(ProtocolError::Malformed("bad binary frame magic".into()));
+    }
+    if header[2] != VERSION {
+        return Err(ProtocolError::Malformed(format!(
+            "unsupported binary protocol version {}",
+            header[2]
+        )));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized(len));
+    }
+    Ok((header[3], len))
+}
+
+/// Read one frame of either protocol from a blocking reader; `Ok(None)` on
+/// a clean EOF at a frame boundary. The first byte decides the framing:
+/// [`MAGIC0`] opens a binary frame, anything else is the high byte of a
+/// JSON length prefix.
+///
+/// # Errors
+///
+/// [`ProtocolError::Io`] on socket failure or mid-frame EOF,
+/// [`ProtocolError::Oversized`] on over-limit lengths,
+/// [`ProtocolError::Malformed`] on bad magic/version or non-UTF-8 JSON.
+pub fn read_any_frame(r: &mut impl Read) -> Result<Option<WireFrame>, ProtocolError> {
+    let mut first = [0u8; 1];
+    match r.read(&mut first)? {
+        0 => return Ok(None),
+        _ => {}
+    }
+    let eof_err = || {
+        ProtocolError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "EOF inside a frame header",
+        ))
+    };
+    if first[0] == MAGIC0 {
+        let mut header = [0u8; HEADER_LEN];
+        header[0] = MAGIC0;
+        r.read_exact(&mut header[1..]).map_err(|_| eof_err())?;
+        let (op, len) = parse_header(&header)?;
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload).map_err(|_| {
+            ProtocolError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "EOF inside a binary frame payload",
+            ))
+        })?;
+        return Ok(Some(WireFrame::Binary { op, payload }));
+    }
+    let mut len_buf = [0u8; 4];
+    len_buf[0] = first[0];
+    r.read_exact(&mut len_buf[1..]).map_err(|_| eof_err())?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|_| {
+        ProtocolError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "EOF inside a frame payload",
+        ))
+    })?;
+    String::from_utf8(payload)
+        .map(|s| Some(WireFrame::Json(s)))
+        .map_err(|_| ProtocolError::Malformed("frame payload is not UTF-8".into()))
+}
+
+/// Scan an in-memory buffer (the reactor's accumulation buffer) for one
+/// complete frame of either protocol. Returns `Ok(None)` when more bytes
+/// are needed, or `Some((frame, consumed))` where `consumed` bytes should
+/// be dropped from the front of the buffer.
+///
+/// # Errors
+///
+/// Same taxonomy as [`read_any_frame`], minus `Io` (no socket involved).
+pub fn scan_frame(buf: &[u8]) -> Result<Option<(WireFrame, usize)>, ProtocolError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf[0] == MAGIC0 {
+        if buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
+        let (op, len) = parse_header(header)?;
+        if buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = buf[HEADER_LEN..HEADER_LEN + len].to_vec();
+        return Ok(Some((WireFrame::Binary { op, payload }, HEADER_LEN + len)));
+    }
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized(len));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let payload = std::str::from_utf8(&buf[4..4 + len])
+        .map_err(|_| ProtocolError::Malformed("frame payload is not UTF-8".into()))?;
+    Ok(Some((WireFrame::Json(payload.to_owned()), 4 + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::write_frame;
+
+    fn frame_of(req: &BinRequest, trace: Option<TraceContext>) -> (u8, Vec<u8>) {
+        let bytes = req.encode(trace);
+        let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().unwrap();
+        let (op, len) = parse_header(header).unwrap();
+        assert_eq!(bytes.len(), HEADER_LEN + len);
+        (op, bytes[HEADER_LEN..].to_vec())
+    }
+
+    #[test]
+    fn requests_round_trip_bit_exactly() {
+        let tricky = vec![
+            f64::from_bits(0x7ff8_0000_0000_0001), // NaN with payload
+            -0.0,
+            f64::MIN_POSITIVE / 4.0, // subnormal
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1.0 / 3.0,
+        ];
+        let ctx = TraceContext { trace_id: (9 << 32) | 4, request_seq: 4 };
+        for trace in [None, Some(ctx)] {
+            let req = BinRequest::Predict { model: "deadbeef00112233".into(), measured: tricky.clone() };
+            let (op, payload) = frame_of(&req, trace);
+            let (back, t) = BinRequest::decode(op, &payload).unwrap();
+            assert_eq!(t, trace);
+            match back {
+                BinRequest::Predict { model, measured } => {
+                    assert_eq!(model, "deadbeef00112233");
+                    for (a, b) in tricky.iter().zip(&measured) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_layout_is_rectangular_row_major() {
+        let rows = vec![vec![1.5, 2.5, 3.5], vec![-1.0, 0.0, f64::NAN]];
+        let req = BinRequest::batch_from_rows("m", &rows);
+        let (op, payload) = frame_of(&req, None);
+        let (back, _) = BinRequest::decode(op, &payload).unwrap();
+        match back {
+            BinRequest::PredictBatch { rows: r, cols: c, data, .. } => {
+                assert_eq!((r, c), (2, 3));
+                let flat: Vec<u64> = rows.iter().flatten().map(|v| v.to_bits()).collect();
+                let got: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(flat, got);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            BinResponse::Predicted { predicted: vec![0.1, -0.0, f64::INFINITY] },
+            BinResponse::PredictedBatch { rows: 2, cols: 2, data: vec![1.0, 2.0, 3.0, 4.0] },
+            BinResponse::Error { message: "no such model".into() },
+        ];
+        for resp in cases {
+            let bytes = resp.encode(None);
+            let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().unwrap();
+            let (op, _) = parse_header(header).unwrap();
+            let (back, _) = BinResponse::decode(op, &bytes[HEADER_LEN..]).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_map_to_typed_errors() {
+        // Bad magic1.
+        let bad_magic = [MAGIC0, 0x00, VERSION, OP_PREDICT, 1, 0, 0, 0];
+        assert!(matches!(parse_header(&bad_magic), Err(ProtocolError::Malformed(_))));
+        // Future version.
+        let bad_version = [MAGIC0, MAGIC1, 9, OP_PREDICT, 1, 0, 0, 0];
+        assert!(matches!(parse_header(&bad_version), Err(ProtocolError::Malformed(_))));
+        // Oversized payload length.
+        let mut oversized = [MAGIC0, MAGIC1, VERSION, OP_PREDICT, 0, 0, 0, 0];
+        oversized[4..8].copy_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+        assert!(matches!(parse_header(&oversized), Err(ProtocolError::Oversized(_))));
+        // Truncated body: count claims more floats than the payload holds.
+        let req = BinRequest::Predict { model: "m".into(), measured: vec![1.0, 2.0] };
+        let bytes = req.encode(None);
+        let cut = &bytes[HEADER_LEN..bytes.len() - 3];
+        assert!(matches!(BinRequest::decode(OP_PREDICT, cut), Err(ProtocolError::Malformed(_))));
+        // Trailing bytes are rejected, not ignored.
+        let mut padded = bytes[HEADER_LEN..].to_vec();
+        padded.push(0);
+        assert!(matches!(BinRequest::decode(OP_PREDICT, &padded), Err(ProtocolError::Malformed(_))));
+        // Unknown opcode and unknown flags.
+        assert!(matches!(BinRequest::decode(0x7f, &[0]), Err(ProtocolError::Malformed(_))));
+        assert!(matches!(BinRequest::decode(OP_PREDICT, &[0x80]), Err(ProtocolError::Malformed(_))));
+        // Mid-frame EOF through the blocking reader is an Io error.
+        let mut r = &bytes[..HEADER_LEN + 2];
+        assert!(matches!(read_any_frame(&mut r), Err(ProtocolError::Io(_))));
+    }
+
+    #[test]
+    fn mixed_protocol_frames_interleave_on_one_stream() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "{\"type\":\"stats\"}").unwrap();
+        let bin = BinRequest::Predict { model: "m".into(), measured: vec![4.25] };
+        wire.extend_from_slice(&bin.encode(None));
+        write_frame(&mut wire, "{\"type\":\"shutdown\"}").unwrap();
+
+        // Blocking reader sees all three in order.
+        let mut r = &wire[..];
+        assert_eq!(read_any_frame(&mut r).unwrap(), Some(WireFrame::Json("{\"type\":\"stats\"}".into())));
+        match read_any_frame(&mut r).unwrap() {
+            Some(WireFrame::Binary { op, payload }) => {
+                assert_eq!(op, OP_PREDICT);
+                assert_eq!(BinRequest::decode(op, &payload).unwrap().0, bin);
+            }
+            other => panic!("expected binary frame, got {other:?}"),
+        }
+        assert_eq!(read_any_frame(&mut r).unwrap(), Some(WireFrame::Json("{\"type\":\"shutdown\"}".into())));
+        assert_eq!(read_any_frame(&mut r).unwrap(), None);
+
+        // Buffer scanner agrees byte-for-byte, including partial-frame waits.
+        let mut pos = 0;
+        let mut kinds = Vec::new();
+        while pos < wire.len() {
+            match scan_frame(&wire[pos..]).unwrap() {
+                Some((frame, used)) => {
+                    kinds.push(matches!(frame, WireFrame::Binary { .. }));
+                    pos += used;
+                }
+                None => panic!("scanner stalled on a complete buffer"),
+            }
+        }
+        assert_eq!(kinds, vec![false, true, false]);
+        assert!(scan_frame(&wire[..3]).unwrap().is_none(), "partial prefix needs more bytes");
+        assert!(scan_frame(&bin.encode(None)[..HEADER_LEN - 1]).unwrap().is_none());
+    }
+}

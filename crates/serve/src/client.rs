@@ -1,11 +1,37 @@
 //! Blocking client for the `pathrep-serve` daemon: one request, one
 //! response, over a persistent connection.
 
+use crate::binproto::{read_any_frame, BinRequest, BinResponse, WireFrame};
 use crate::protocol::{
     read_frame, write_frame, ProtocolError, Request, Response, ServerStats, TraceContext,
 };
-use pathrep_obs::trace;
+use pathrep_obs::{config as obs_config, trace};
+use std::io::Write as _;
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// Which wire encoding the client uses for the prediction hot path.
+/// Control requests (`load_model`, `stats`, …) always travel as JSON; the
+/// daemon auto-detects the protocol per frame, so one connection can mix
+/// both freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireProtocol {
+    /// Length-prefixed JSON frames (the original protocol).
+    #[default]
+    Json,
+    /// Compact binary frames: exact `f64` bit patterns, no text rendering.
+    Binary,
+}
+
+impl WireProtocol {
+    /// Reads `PATHREP_SERVE_PROTO` (`"binary"` selects
+    /// [`WireProtocol::Binary`]; anything else, or unset, is JSON).
+    pub fn from_env() -> WireProtocol {
+        match std::env::var(obs_config::ENV_SERVE_PROTO) {
+            Ok(v) if v.eq_ignore_ascii_case("binary") => WireProtocol::Binary,
+            _ => WireProtocol::Json,
+        }
+    }
+}
 
 /// Any client-side failure.
 #[derive(Debug)]
@@ -58,6 +84,8 @@ pub struct LoadedModel {
 /// A connected client.
 pub struct Client {
     stream: TcpStream,
+    /// Hot-path encoding; control requests stay JSON regardless.
+    proto: WireProtocol,
     /// Trace context echoed by the daemon on the last response, if any.
     /// An old daemon echoes nothing; that is not an error.
     last_trace: Option<TraceContext>,
@@ -76,8 +104,20 @@ impl Client {
         stream.set_nodelay(true)?;
         Ok(Client {
             stream,
+            proto: WireProtocol::from_env(),
             last_trace: None,
         })
+    }
+
+    /// Selects the hot-path wire encoding (overrides the
+    /// `PATHREP_SERVE_PROTO` default picked up at connect time).
+    pub fn set_protocol(&mut self, proto: WireProtocol) {
+        self.proto = proto;
+    }
+
+    /// The hot-path wire encoding currently in use.
+    pub fn protocol(&self) -> WireProtocol {
+        self.proto
     }
 
     /// The trace context the daemon echoed on the most recent response,
@@ -102,6 +142,32 @@ impl Client {
         self.last_trace = echoed;
         match resp {
             Response::Error { message } => Err(ClientError::Server(message)),
+            other => Ok(other),
+        }
+    }
+
+    /// Binary-protocol round trip: same trace plumbing as JSON, exact
+    /// `f64` bit patterns on the wire.
+    fn binary_round_trip(&mut self, req: &BinRequest) -> Result<BinResponse, ClientError> {
+        self.stream.write_all(&req.encode(trace::current_context()))?;
+        let (op, payload) = match read_any_frame(&mut self.stream)? {
+            Some(WireFrame::Binary { op, payload }) => (op, payload),
+            Some(WireFrame::Json(payload)) => {
+                return Err(ClientError::Unexpected(format!(
+                    "JSON reply to a binary request: {payload}"
+                )))
+            }
+            None => {
+                return Err(ClientError::Protocol(ProtocolError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection before responding",
+                ))))
+            }
+        };
+        let (resp, echoed) = BinResponse::decode(op, &payload)?;
+        self.last_trace = echoed;
+        match resp {
+            BinResponse::Error { message } => Err(ClientError::Server(message)),
             other => Ok(other),
         }
     }
@@ -136,6 +202,15 @@ impl Client {
     ///
     /// [`ClientError::Server`] on an unknown model or wrong-length vector.
     pub fn predict(&mut self, model: &str, measured: &[f64]) -> Result<Vec<f64>, ClientError> {
+        if self.proto == WireProtocol::Binary {
+            return match self.binary_round_trip(&BinRequest::Predict {
+                model: model.into(),
+                measured: measured.to_vec(),
+            })? {
+                BinResponse::Predicted { predicted } => Ok(predicted),
+                other => Err(ClientError::Unexpected(format!("{other:?}"))),
+            };
+        }
         match self.round_trip(&Request::Predict {
             model: model.into(),
             measured: measured.to_vec(),
@@ -155,6 +230,20 @@ impl Client {
         model: &str,
         measured: &[Vec<f64>],
     ) -> Result<Vec<Vec<f64>>, ClientError> {
+        let width = measured.first().map_or(0, Vec::len);
+        if self.proto == WireProtocol::Binary && measured.iter().all(|r| r.len() == width) {
+            // Ragged batches (a caller error the daemon reports per-row)
+            // cannot ride the rectangular binary layout; fall through to
+            // JSON for those so the error text matches either way.
+            return match self.binary_round_trip(&BinRequest::batch_from_rows(model, measured))? {
+                BinResponse::PredictedBatch { rows, cols, data } => Ok(if cols == 0 {
+                    vec![Vec::new(); rows]
+                } else {
+                    data.chunks(cols).map(<[f64]>::to_vec).collect()
+                }),
+                other => Err(ClientError::Unexpected(format!("{other:?}"))),
+            };
+        }
         match self.round_trip(&Request::PredictBatch {
             model: model.into(),
             measured: measured.to_vec(),

@@ -13,12 +13,23 @@
 //! * [`protocol`] — a length-prefixed JSON wire protocol (`load_model`,
 //!   `predict`, `predict_batch`, `stats`, `shutdown`) with exact `f64`
 //!   round-trips, so wire results are bit-identical to in-memory ones.
+//! * [`binproto`] — a compact fixed-layout binary frame protocol beside
+//!   the JSON one (one peeked byte disambiguates, per frame, on one
+//!   socket): every `f64` travels as its raw IEEE-754 bit pattern, so
+//!   the wire is bit-exact by construction, and batch payloads decode
+//!   in one pass into the fused kernel's row-major layout.
 //! * [`server`] — the daemon: thread-per-connection over `std::net`, a
 //!   bounded micro-batch queue that coalesces concurrent predictions for
 //!   the same model into one fused kernel (deterministic per-request
 //!   output regardless of batching), an LRU artifact cache, condvar
 //!   backpressure, and a clean drain on shutdown. No async runtime; the
 //!   numeric fan-out is the existing `pathrep-par` pool.
+//! * [`shard`] — the scale-out runtime (`PATHREP_SERVE_SHARDS=N`): N
+//!   reactor shards on the `pathrep-net` readiness loop, consistent-hash
+//!   routing of model ids to per-shard bounded queues (same-model
+//!   traffic batches locally), load-shedding instead of blocking when a
+//!   queue fills, and the same graceful drain. Replies stay bit-identical
+//!   to the offline predictor at any shard count or protocol.
 //! * [`client`] — a blocking client used by `pathrep-client` and tests.
 //!   Requests carry the caller's [`pathrep_obs::trace::TraceContext`]
 //!   (backward-compatibly — old peers ignore it), so client and daemon
@@ -29,7 +40,8 @@
 //!
 //! Configuration comes from `PATHREP_SERVE_ADDR` / `PATHREP_SERVE_BATCH` /
 //! `PATHREP_SERVE_QUEUE` / `PATHREP_SERVE_CACHE` /
-//! `PATHREP_SERVE_WATCHDOG_MS`, all registered in
+//! `PATHREP_SERVE_WATCHDOG_MS` / `PATHREP_SERVE_SHARDS` /
+//! `PATHREP_SERVE_PROTO`, all registered in
 //! [`pathrep_obs::config::ALL_ENV_VARS`]. Telemetry: per-request spans,
 //! `serve.*` counters/gauges/histograms (exported as `pathrep_serve_*`
 //! Prometheus families), and a `serve/model_load` ledger record per
@@ -44,14 +56,16 @@
 #![deny(missing_docs)]
 
 pub mod artifact;
+pub mod binproto;
 pub mod client;
 pub mod demo;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 pub mod stitch;
 
 pub use artifact::{ArtifactError, ModelArtifact, SelectionMeta, ARTIFACT_SCHEMA_VERSION};
-pub use client::{Client, ClientError, LoadedModel};
+pub use client::{Client, ClientError, LoadedModel, WireProtocol};
 pub use protocol::{Request, Response, ServerStats, TraceContext};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use stitch::stitch_traces;

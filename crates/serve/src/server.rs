@@ -37,8 +37,9 @@
 //! per-batch slowdown so gates can provoke breaches and stalls on purpose.
 
 use crate::artifact::{ArtifactError, ModelArtifact};
+use crate::binproto::{read_any_frame, BinRequest, BinResponse, WireFrame};
 use crate::protocol::{
-    read_frame, write_frame, ProtocolError, Request, Response, ServerStats, TraceContext,
+    write_frame, ProtocolError, Request, Response, ServerStats, TraceContext,
 };
 use pathrep_core::predictor::MeasurementPredictor;
 use pathrep_linalg::Matrix;
@@ -60,7 +61,7 @@ static SERVER_TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// The effective trace context for a request: the client's, or a freshly
 /// minted server-side one when the frame carried none.
-fn effective_trace(wire: Option<TraceContext>) -> TraceContext {
+pub(crate) fn effective_trace(wire: Option<TraceContext>) -> TraceContext {
     wire.unwrap_or_else(|| {
         let seq = SERVER_TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
         TraceContext {
@@ -71,7 +72,7 @@ fn effective_trace(wire: Option<TraceContext>) -> TraceContext {
 }
 
 /// Batch-size histogram bucket edges (rows per kernel invocation).
-const BATCH_EDGES: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+pub(crate) const BATCH_EDGES: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
 
 /// Runtime knobs, resolved from `PATHREP_SERVE_*` (all registered in
 /// [`pathrep_obs::config::ALL_ENV_VARS`]).
@@ -98,6 +99,11 @@ pub struct ServerConfig {
     /// served (`--inject-panic N`; gate-only — proves the panic hook gets
     /// the flight dump onto disk with the dying request's trace id).
     pub inject_panic: Option<u64>,
+    /// Reactor shard count (`PATHREP_SERVE_SHARDS`, default 0). `0` keeps
+    /// the original thread-per-connection runtime; `N > 0` runs N
+    /// readiness-loop shards (see [`crate::shard`]) with consistent-hash
+    /// routing of model ids, so same-model requests batch locally.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -110,6 +116,7 @@ impl Default for ServerConfig {
             watchdog_ms: Some(5000),
             allow_fault: false,
             inject_panic: None,
+            shards: 0,
         }
     }
 }
@@ -118,6 +125,21 @@ fn env_usize(var: &str, default: usize) -> usize {
     match std::env::var(var) {
         Ok(v) if !v.trim().is_empty() => match v.trim().parse::<usize>() {
             Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("pathrep-serve: [warn] ignoring invalid {var}={v:?} (using {default})");
+                default
+            }
+        },
+        _ => default,
+    }
+}
+
+/// Like [`env_usize`] but 0 is a meaningful value (shard count 0 selects
+/// the thread-per-connection runtime).
+fn env_usize_zero_ok(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Ok(v) if !v.trim().is_empty() => match v.trim().parse::<usize>() {
+            Ok(n) => n,
             _ => {
                 eprintln!("pathrep-serve: [warn] ignoring invalid {var}={v:?} (using {default})");
                 default
@@ -144,6 +166,7 @@ impl ServerConfig {
             watchdog_ms: obs_config::serve_watchdog_ms(),
             allow_fault: false,
             inject_panic: None,
+            shards: env_usize_zero_ok(obs_config::ENV_SERVE_SHARDS, d.shards),
         }
     }
 }
@@ -274,24 +297,24 @@ impl ModelCache {
 
 /// Monotonic daemon statistics (lifetime, lock-free).
 #[derive(Default)]
-struct Stats {
-    requests: AtomicU64,
-    predictions: AtomicU64,
-    batches: AtomicU64,
-    max_batch: AtomicU64,
-    model_loads: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    errors: AtomicU64,
-    queue_high_water: AtomicU64,
+pub(crate) struct Stats {
+    pub(crate) requests: AtomicU64,
+    pub(crate) predictions: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) max_batch: AtomicU64,
+    pub(crate) model_loads: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) queue_high_water: AtomicU64,
 }
 
 impl Stats {
-    fn bump_max(cell: &AtomicU64, value: u64) {
+    pub(crate) fn bump_max(cell: &AtomicU64, value: u64) {
         cell.fetch_max(value, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, models_cached: u64) -> ServerStats {
+    pub(crate) fn snapshot(&self, models_cached: u64) -> ServerStats {
         ServerStats {
             requests: self.requests.load(Ordering::Relaxed),
             predictions: self.predictions.load(Ordering::Relaxed),
@@ -307,26 +330,30 @@ impl Stats {
     }
 }
 
-struct Shared {
-    config: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
     queue: BatchQueue,
     cache: ModelCache,
-    stats: Stats,
-    stopping: AtomicBool,
+    pub(crate) stats: Stats,
+    pub(crate) stopping: AtomicBool,
     /// Live connection sockets, shut down on drain so blocked reads wake.
     conns: Mutex<Vec<TcpStream>>,
     /// Process-local epoch the heartbeat is measured against.
-    epoch: Instant,
+    pub(crate) epoch: Instant,
     /// Milliseconds since `epoch` at the batcher's last sign of life
     /// (updated when it picks up and when it finishes a batch). The
     /// watchdog fires when this goes stale while rows are queued.
     heartbeat_ms: AtomicU64,
     /// Injected per-batch slowdown in milliseconds (0 = healthy); set by
     /// `set_fault` when the daemon allows it.
-    fault_ms: AtomicU64,
+    pub(crate) fault_ms: AtomicU64,
 }
 
 impl Shared {
+    pub(crate) fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
     fn beat(&self) {
         self.heartbeat_ms
             .store(self.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
@@ -405,6 +432,9 @@ impl Server {
     /// and counted, never fatal.
     pub fn run(self) -> std::io::Result<ServerStats> {
         let Server { listener, shared } = self;
+        if shared.config.shards > 0 {
+            return crate::shard::run_sharded(listener, shared);
+        }
         let addr = listener.local_addr()?;
 
         let batcher = {
@@ -582,7 +612,7 @@ fn batcher_loop(shared: &Shared) {
     }
 }
 
-fn load_artifact(shared: &Shared, path: &str) -> Result<(Arc<ModelArtifact>, String), ArtifactError> {
+pub(crate) fn load_artifact(shared: &Shared, path: &str) -> Result<(Arc<ModelArtifact>, String), ArtifactError> {
     let _span = pathrep_obs::span!("serve.load_model");
     let (artifact, id) = ModelArtifact::load(path)?;
     let artifact = Arc::new(artifact);
@@ -603,7 +633,7 @@ fn load_artifact(shared: &Shared, path: &str) -> Result<(Arc<ModelArtifact>, Str
 }
 
 /// Resolves a model id against the cache, counting the hit or miss.
-fn resolve_model(shared: &Shared, id: &str) -> Result<Arc<ModelArtifact>, String> {
+pub(crate) fn resolve_model(shared: &Shared, id: &str) -> Result<Arc<ModelArtifact>, String> {
     match shared.cache.get(id) {
         Some(art) => {
             shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -670,7 +700,7 @@ fn predict_rows(
     Ok(out)
 }
 
-fn respond_to(shared: &Shared, req: Request) -> Response {
+pub(crate) fn respond_to(shared: &Shared, req: Request) -> Response {
     match req {
         Request::LoadModel { path } => match load_artifact(shared, &path) {
             Ok((artifact, model)) => Response::Loaded {
@@ -738,10 +768,74 @@ fn respond_to(shared: &Shared, req: Request) -> Response {
     }
 }
 
+/// Serves one binary hot-path request on the blocking runtime and writes
+/// the reply in the same protocol. Returns `false` when the socket died.
+fn handle_binary_request(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    op: u8,
+    payload: &[u8],
+    t0: Instant,
+) -> bool {
+    use std::io::Write as _;
+    let (req, wire_ctx) = match BinRequest::decode(op, payload) {
+        Ok(pair) => pair,
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            pathrep_obs::counter_add("serve.errors", 1);
+            let resp = BinResponse::Error { message: e.to_string() };
+            return stream.write_all(&resp.encode(None)).is_ok();
+        }
+    };
+    let ctx = effective_trace(wire_ctx);
+    let _ctx = trace::set_context(ctx);
+    let _span = pathrep_obs::span!("serve.request");
+    let resp = match req {
+        BinRequest::Predict { model, measured } => {
+            match predict_rows(shared, &model, vec![measured]) {
+                Ok(mut rows) => BinResponse::Predicted {
+                    predicted: rows.pop().expect("one row in, one row out"),
+                },
+                Err(message) => BinResponse::Error { message },
+            }
+        }
+        BinRequest::PredictBatch { model, rows, cols, data } => {
+            if rows == 0 {
+                BinResponse::PredictedBatch { rows: 0, cols: 0, data: vec![] }
+            } else {
+                let row_vecs: Vec<Vec<f64>> =
+                    data.chunks(cols.max(1)).map(<[f64]>::to_vec).collect();
+                match predict_rows(shared, &model, row_vecs) {
+                    Ok(predicted) => {
+                        let out_cols = predicted.first().map_or(0, Vec::len);
+                        let mut flat = Vec::with_capacity(predicted.len() * out_cols);
+                        for r in &predicted {
+                            flat.extend_from_slice(r);
+                        }
+                        BinResponse::PredictedBatch {
+                            rows: predicted.len(),
+                            cols: out_cols,
+                            data: flat,
+                        }
+                    }
+                    Err(message) => BinResponse::Error { message },
+                }
+            }
+        }
+    };
+    if matches!(resp, BinResponse::Error { .. }) {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        pathrep_obs::counter_add("serve.errors", 1);
+    }
+    let ok = stream.write_all(&resp.encode(Some(ctx))).is_ok();
+    pathrep_obs::histogram_record_hdr("serve.request_ns", t0.elapsed().as_nanos() as f64);
+    ok
+}
+
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(p)) => p,
+        let frame = match read_any_frame(&mut stream) {
+            Ok(Some(f)) => f,
             // Clean EOF, or the socket was shut down during drain.
             Ok(None) | Err(ProtocolError::Io(_)) => return,
             Err(e) => {
@@ -755,6 +849,20 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             }
         };
         let t0 = Instant::now();
+        let payload = match frame {
+            WireFrame::Json(payload) => payload,
+            WireFrame::Binary { op, payload } => {
+                // Hot-path binary frame: same queue, same batcher, same
+                // kernel — only the framing differs. Replies stay in the
+                // request's protocol; JSON control frames interleave freely.
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                pathrep_obs::counter_add("serve.requests", 1);
+                if handle_binary_request(&mut stream, shared, op, &payload, t0) {
+                    continue;
+                }
+                return;
+            }
+        };
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
         pathrep_obs::counter_add("serve.requests", 1);
         let (req, wire_ctx) = match Request::decode_with_trace(&payload) {

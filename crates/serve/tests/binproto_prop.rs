@@ -1,0 +1,223 @@
+//! Property tests for the binary wire codec: the transport must be
+//! bit-exact for every representable `f64` — including NaN payloads,
+//! signed zeros, subnormals and infinities — and every truncated or
+//! corrupted frame must surface as the existing typed
+//! [`ProtocolError`] taxonomy, never a panic or a silently wrong decode.
+
+use pathrep_serve::binproto::{
+    parse_header, scan_frame, BinRequest, BinResponse, WireFrame, HEADER_LEN, MAGIC0, MAGIC1,
+    OP_PREDICT, VERSION,
+};
+use pathrep_serve::protocol::{ProtocolError, TraceContext, MAX_FRAME_BYTES};
+use proptest::prelude::*;
+
+/// Map a raw bit pattern plus a selector into an adversarial `f64`:
+/// selectors below the table length pick a hand-chosen special value, the
+/// rest pass the random bits straight through `from_bits` (which itself
+/// covers NaNs, subnormals and infinities with positive probability).
+fn adversarial_f64(bits: u64, sel: usize) -> f64 {
+    const SPECIALS: [u64; 8] = [
+        0x7ff8_0000_0000_0001, // quiet NaN with a payload
+        0xfff8_dead_beef_cafe, // negative NaN with a payload
+        0x8000_0000_0000_0000, // -0.0
+        0x0000_0000_0000_0000, // +0.0
+        0x0000_0000_0000_0001, // smallest subnormal
+        0x000f_ffff_ffff_ffff, // largest subnormal
+        0x7ff0_0000_0000_0000, // +inf
+        0xfff0_0000_0000_0000, // -inf
+    ];
+    match SPECIALS.get(sel) {
+        Some(&special) => f64::from_bits(special),
+        None => f64::from_bits(bits),
+    }
+}
+
+fn values_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u64..=u64::MAX, 0usize..16), 0..24)
+        .prop_map(|pairs| pairs.into_iter().map(|(b, s)| adversarial_f64(b, s)).collect())
+}
+
+fn bits_of(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Split an encoded frame into the `(op, payload)` pair the decoder takes.
+fn split_frame(bytes: &[u8]) -> (u8, &[u8]) {
+    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().unwrap();
+    let (op, len) = parse_header(header).expect("self-encoded header parses");
+    assert_eq!(bytes.len(), HEADER_LEN + len, "declared length matches frame");
+    (op, &bytes[HEADER_LEN..])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn predict_round_trips_bit_exactly(
+        model_bits in 0u64..=u64::MAX,
+        measured in values_strategy(),
+        trace_id in 0u64..=u64::MAX,
+        seq in 0u64..=u64::MAX,
+        traced in 0u8..2,
+    ) {
+        let model = format!("{model_bits:016x}");
+        let trace = (traced == 1).then_some(TraceContext { trace_id, request_seq: seq });
+        let req = BinRequest::Predict { model: model.clone(), measured: measured.clone() };
+        let (op, payload) = {
+            let bytes = req.encode(trace);
+            let (op, payload) = split_frame(&bytes);
+            (op, payload.to_vec())
+        };
+        let (back, echoed) = BinRequest::decode(op, &payload).expect("round trip decodes");
+        prop_assert_eq!(echoed, trace);
+        match back {
+            BinRequest::Predict { model: m, measured: got } => {
+                prop_assert_eq!(m, model);
+                prop_assert_eq!(bits_of(&got), bits_of(&measured));
+            }
+            other => prop_assert!(false, "wrong variant: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn predict_batch_round_trips_bit_exactly(
+        rows in 0usize..5,
+        cols in 0usize..5,
+        pool in values_strategy(),
+        trace_id in 0u64..=u64::MAX,
+    ) {
+        // Tile the generated pool into an exactly rows×cols rectangle.
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| pool.get(i % pool.len().max(1)).copied().unwrap_or(f64::NAN))
+            .collect();
+        let req = BinRequest::PredictBatch { model: "m0".into(), rows, cols, data: data.clone() };
+        let trace = Some(TraceContext { trace_id, request_seq: 0 });
+        let bytes = req.encode(trace);
+        let (op, payload) = split_frame(&bytes);
+        let (back, echoed) = BinRequest::decode(op, payload).expect("round trip decodes");
+        prop_assert_eq!(echoed, trace);
+        match back {
+            BinRequest::PredictBatch { rows: r, cols: c, data: got, .. } => {
+                prop_assert_eq!((r, c), (rows, cols));
+                prop_assert_eq!(bits_of(&got), bits_of(&data));
+            }
+            other => prop_assert!(false, "wrong variant: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly(
+        predicted in values_strategy(),
+        rows in 0usize..5,
+        cols in 0usize..5,
+    ) {
+        let single = BinResponse::Predicted { predicted: predicted.clone() };
+        let bytes = single.encode(None);
+        let (op, payload) = split_frame(&bytes);
+        let (back, _) = BinResponse::decode(op, payload).expect("decodes");
+        match back {
+            BinResponse::Predicted { predicted: got } => {
+                prop_assert_eq!(bits_of(&got), bits_of(&predicted));
+            }
+            other => prop_assert!(false, "wrong variant: {:?}", other),
+        }
+
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| predicted.get(i % predicted.len().max(1)).copied().unwrap_or(-0.0))
+            .collect();
+        let batch = BinResponse::PredictedBatch { rows, cols, data: data.clone() };
+        let bytes = batch.encode(None);
+        let (op, payload) = split_frame(&bytes);
+        let (back, _) = BinResponse::decode(op, payload).expect("decodes");
+        match back {
+            BinResponse::PredictedBatch { rows: r, cols: c, data: got } => {
+                prop_assert_eq!((r, c), (rows, cols));
+                prop_assert_eq!(bits_of(&got), bits_of(&data));
+            }
+            other => prop_assert!(false, "wrong variant: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn every_payload_truncation_is_a_typed_error(
+        measured in values_strategy(),
+        cut_seed in 0usize..1000,
+    ) {
+        let req = BinRequest::Predict { model: "feedface".into(), measured };
+        let bytes = req.encode(Some(TraceContext { trace_id: 7, request_seq: 3 }));
+        let (op, payload) = split_frame(&bytes);
+        // Any strict prefix of the payload must decode to Malformed: the
+        // cursor either hits a short read or the finish() length check.
+        let cut = cut_seed % payload.len().max(1);
+        match BinRequest::decode(op, &payload[..cut]) {
+            Err(ProtocolError::Malformed(_)) => {}
+            other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
+        }
+        // Trailing garbage is rejected too, never silently ignored.
+        let mut padded = payload.to_vec();
+        padded.push(0xAA);
+        match BinRequest::decode(op, &padded) {
+            Err(ProtocolError::Malformed(_)) => {}
+            other => prop_assert!(false, "padded decode gave {:?}", other),
+        }
+    }
+
+    #[test]
+    fn every_frame_prefix_keeps_the_scanner_waiting(
+        measured in values_strategy(),
+        cut_seed in 0usize..1000,
+    ) {
+        // A truncated buffer is "need more bytes", not an error: the
+        // reactor accumulates partial frames across readiness events.
+        let req = BinRequest::Predict { model: "0123456789abcdef".into(), measured };
+        let bytes = req.encode(None);
+        let cut = cut_seed % bytes.len();
+        prop_assert!(scan_frame(&bytes[..cut]).expect("prefix scan never errors").is_none());
+        // The complete buffer yields exactly one frame consuming it all.
+        let (frame, used) = scan_frame(&bytes).expect("scan").expect("complete frame");
+        prop_assert_eq!(used, bytes.len());
+        match frame {
+            WireFrame::Binary { op, payload } => {
+                // Compare by bits: PartialEq would reject NaN == NaN.
+                let (back, _) = BinRequest::decode(op, &payload).expect("decodes");
+                match (back, req) {
+                    (
+                        BinRequest::Predict { model: m1, measured: v1 },
+                        BinRequest::Predict { model: m2, measured: v2 },
+                    ) => {
+                        prop_assert_eq!(m1, m2);
+                        prop_assert_eq!(bits_of(&v1), bits_of(&v2));
+                    }
+                    other => prop_assert!(false, "wrong variants: {:?}", other),
+                }
+            }
+            other => prop_assert!(false, "expected binary frame, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_map_to_typed_errors(
+        flip_byte in 0usize..3,
+        flip_bit in 0u8..8,
+        len in 0u32..1024,
+    ) {
+        let mut header = [MAGIC0, MAGIC1, VERSION, OP_PREDICT, 0, 0, 0, 0];
+        header[4..8].copy_from_slice(&len.to_le_bytes());
+        prop_assert!(parse_header(&header).is_ok());
+        // Flipping any bit of magic0/magic1/version must be rejected.
+        header[flip_byte] ^= 1 << flip_bit;
+        match parse_header(&header) {
+            Err(ProtocolError::Malformed(_)) => {}
+            other => prop_assert!(false, "corrupt header gave {:?}", other),
+        }
+        // Over-limit declared lengths are typed as Oversized before any
+        // allocation happens.
+        let mut oversized = [MAGIC0, MAGIC1, VERSION, OP_PREDICT, 0, 0, 0, 0];
+        let big = (MAX_FRAME_BYTES as u32) + 1 + len;
+        oversized[4..8].copy_from_slice(&big.to_le_bytes());
+        match parse_header(&oversized) {
+            Err(ProtocolError::Oversized(n)) => prop_assert_eq!(n, big as usize),
+            other => prop_assert!(false, "oversized header gave {:?}", other),
+        }
+    }
+}

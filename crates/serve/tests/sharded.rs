@@ -1,0 +1,187 @@
+//! The sharded reactor runtime's core invariant: replies are bit-identical
+//! to the offline predictor — and therefore to the thread-per-connection
+//! runtime — at any shard count, for either wire protocol, including when
+//! JSON and binary clients interleave on one daemon.
+
+use pathrep_serve::demo::{build_quickstart_model, DemoModel};
+use pathrep_serve::{Client, Server, ServerConfig, WireProtocol};
+use std::sync::{Mutex, OnceLock};
+
+/// Daemon tests mutate the global obs registry; serialize them (and
+/// recover the lock if an earlier test's assert poisoned it).
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn demo() -> &'static DemoModel {
+    static DEMO: OnceLock<DemoModel> = OnceLock::new();
+    DEMO.get_or_init(|| build_quickstart_model().expect("quickstart model builds"))
+}
+
+fn artifact_path() -> &'static str {
+    static PATH: OnceLock<String> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pathrep_serve_sharded_{}.artifact", std::process::id()));
+        let p = p.to_string_lossy().into_owned();
+        demo().artifact.save(&p).expect("artifact saves");
+        p
+    })
+}
+
+fn config(shards: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch_max: 4,
+        queue_cap: 64,
+        cache_cap: 2,
+        shards,
+        ..ServerConfig::default()
+    }
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (a, b)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: element {i} differs");
+    }
+}
+
+/// Run every chip through one daemon at the given shard count with the
+/// given protocol: per-chip `predict` calls plus one `predict_batch`,
+/// returning `(per_chip_replies, batch_reply)`.
+fn serve_round(
+    shards: usize,
+    proto: WireProtocol,
+    chips: &[Vec<f64>],
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let handle = Server::bind(config(shards)).expect("bind").spawn().expect("spawn");
+    let addr = handle.addr();
+    let loaded = Client::connect(addr)
+        .expect("connect")
+        .load_model(artifact_path())
+        .expect("load");
+    let mut client = Client::connect(addr).expect("connect");
+    client.set_protocol(proto);
+    let singles: Vec<Vec<f64>> = chips
+        .iter()
+        .map(|m| client.predict(&loaded.model, m).expect("predict"))
+        .collect();
+    let batch = client.predict_batch(&loaded.model, chips).expect("batch");
+    let stats = Client::connect(addr).expect("connect").stats().expect("stats");
+    assert_eq!(stats.errors, 0, "shards={shards} round must be error-free: {stats:?}");
+    Client::connect(addr).expect("connect").shutdown().expect("shutdown");
+    let final_stats = handle.join();
+    assert_eq!(final_stats.errors, 0, "shards={shards}: drain saw errors");
+    (singles, batch)
+}
+
+#[test]
+fn replies_are_byte_identical_at_any_shard_count_and_protocol() {
+    let _obs = obs_lock();
+    let chips = demo().measure_chips(10, 23).expect("chips fabricate");
+    let offline: Vec<Vec<f64>> = chips
+        .iter()
+        .map(|m| demo().artifact.predictor.predict(m).expect("offline"))
+        .collect();
+
+    for shards in [0, 1, 4] {
+        for proto in [WireProtocol::Json, WireProtocol::Binary] {
+            let (singles, batch) = serve_round(shards, proto, &chips);
+            for (k, (got, want)) in singles.iter().zip(offline.iter()).enumerate() {
+                assert_bits_eq(got, want, &format!("shards={shards} {proto:?} chip {k}"));
+            }
+            for (k, (got, want)) in batch.iter().zip(offline.iter()).enumerate() {
+                assert_bits_eq(got, want, &format!("shards={shards} {proto:?} batch row {k}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_protocol_clients_interleave_on_one_sharded_daemon() {
+    let _obs = obs_lock();
+    let chips = demo().measure_chips(12, 41).expect("chips fabricate");
+    let offline: Vec<Vec<f64>> = chips
+        .iter()
+        .map(|m| demo().artifact.predictor.predict(m).expect("offline"))
+        .collect();
+
+    let handle = Server::bind(config(2)).expect("bind").spawn().expect("spawn");
+    let addr = handle.addr();
+    let loaded = Client::connect(addr)
+        .expect("connect")
+        .load_model(artifact_path())
+        .expect("load");
+
+    // 2 JSON + 2 binary clients hammer the same chips concurrently, so
+    // both framings share reactor loops, shard queues and batches.
+    let workers: Vec<_> = [
+        WireProtocol::Json,
+        WireProtocol::Binary,
+        WireProtocol::Json,
+        WireProtocol::Binary,
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(c, proto)| {
+        let chips = chips.clone();
+        let offline = offline.clone();
+        let model = loaded.model.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("worker connects");
+            client.set_protocol(proto);
+            for (k, m) in chips.iter().enumerate().skip(c % 3) {
+                let got = client.predict(&model, m).expect("predict");
+                assert_bits_eq(&got, &offline[k], &format!("client {c} ({proto:?}) chip {k}"));
+            }
+            let got = client.predict_batch(&model, &chips).expect("batch");
+            for (k, (row, want)) in got.iter().zip(offline.iter()).enumerate() {
+                assert_bits_eq(row, want, &format!("client {c} ({proto:?}) batch row {k}"));
+            }
+        })
+    })
+    .collect();
+    for w in workers {
+        w.join().expect("worker threads succeed");
+    }
+
+    let stats = Client::connect(addr).expect("connect").stats().expect("stats");
+    assert_eq!(stats.errors, 0, "mixed-protocol soak must be error-free: {stats:?}");
+    assert!(stats.predictions > 0);
+    Client::connect(addr).expect("connect").shutdown().expect("shutdown");
+    assert_eq!(handle.join().errors, 0);
+}
+
+#[test]
+fn binary_protocol_surfaces_typed_server_errors() {
+    let _obs = obs_lock();
+    let handle = Server::bind(config(2)).expect("bind").spawn().expect("spawn");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client.set_protocol(WireProtocol::Binary);
+
+    // Unknown model over the binary framing is a server error reply, and
+    // the connection survives it.
+    let err = client.predict("0000000000000000", &[1.0]).unwrap_err();
+    assert!(err.to_string().contains("not loaded"), "{err}");
+
+    let loaded = client.load_model(artifact_path()).expect("load");
+    let err = client
+        .predict(&loaded.model, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        .unwrap_err();
+    assert!(err.to_string().contains("measurements"), "{err}");
+
+    // The same connection still serves good requests afterwards.
+    let chips = demo().measure_chips(1, 5).expect("chips");
+    let got = client.predict(&loaded.model, &chips[0]).expect("predict");
+    let want = demo().artifact.predictor.predict(&chips[0]).expect("offline");
+    assert_bits_eq(&got, &want, "post-error predict");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.errors, 2);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}

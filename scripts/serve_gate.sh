@@ -14,24 +14,36 @@
 #   * the ledger carries the serve/model_load record and pathrep-doctor
 #     accepts it (unknown-kind records are reported, never fatal).
 #
-# Usage: scripts/serve_gate.sh [--self-test] [--clients N] [--requests M]
+# Every non-self-test run soaks the daemon twice: once over the JSON
+# protocol and once over the compact binary protocol (loadgen --binary),
+# both bit-compared against the offline predictor.
+#
+# Usage: scripts/serve_gate.sh [--self-test] [--sharded] [--clients N] [--requests M]
 #   --self-test  inject a deliberate expected-value mismatch into the
 #                loadgen and require the byte-identity check to FAIL
 #                (proves the gate trips).
+#   --sharded    run the daemon with PATHREP_SERVE_SHARDS=4 (the reactor
+#                runtime): same soaks, same byte-identity invariant, plus
+#                per-shard metric families in the Prometheus export.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 self_test=0
+sharded=0
 clients=8
 requests=50
 while [ $# -gt 0 ]; do
     case "$1" in
         --self-test) self_test=1; shift ;;
+        --sharded)   sharded=1; shift ;;
         --clients)   clients="$2"; shift 2 ;;
         --requests)  requests="$2"; shift 2 ;;
         *) echo "serve_gate.sh: unknown flag $1" >&2; exit 2 ;;
     esac
 done
+
+shards=0
+[ "$sharded" = 1 ] && shards=4
 
 WORK="${TMPDIR:-/tmp}/pathrep_serve_gate_$$"
 mkdir -p "$WORK"
@@ -58,10 +70,11 @@ DOCTOR=./target/release/pathrep-doctor
 
 "$CLIENT" build-artifact "$ARTIFACT"
 
-echo "serve_gate.sh: starting daemon on an ephemeral port"
+echo "serve_gate.sh: starting daemon on an ephemeral port (shards=$shards)"
 PATHREP_OBS=1 PATHREP_OBS_PROM="$PROM" PATHREP_OBS_LEDGER="$LEDGER" \
     PATHREP_OBS_HTTP=127.0.0.1:0 \
     PATHREP_OBS_SLO="serve.request_ns:p999<250ms:99.9" \
+    PATHREP_SERVE_SHARDS="$shards" \
     PATHREP_SERVE_ADDR=127.0.0.1:0 "$SERVE" > "$SERVE_LOG" 2>&1 &
 serve_pid=$!
 
@@ -83,6 +96,11 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 echo "serve_gate.sh: daemon is listening on $addr"
+if [ "$sharded" = 1 ] && ! grep -q 'listening on .*shards=4' "$SERVE_LOG"; then
+    echo "serve_gate.sh: FAIL — daemon did not report the requested 4 shards:" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
 
 # The live telemetry plane prints its own address on a second line.
 obs_addr="$(sed -n 's/^pathrep-serve: obs http listening on \([0-9.:]*\)$/\1/p' "$SERVE_LOG" | head -1)"
@@ -157,6 +175,15 @@ if ! wait "$loadgen_pid"; then
     exit 1
 fi
 
+# Second soak over the compact binary protocol: same concurrent clients,
+# same per-prediction bit-compare against the offline predictor. Binary
+# and JSON clients have now interleaved on one daemon lifetime.
+echo "serve_gate.sh: binary-protocol soak with $clients concurrent clients x $requests requests"
+if ! "$CLIENT" loadgen "$addr" "$ARTIFACT" "${loadgen_flags[@]}" --binary; then
+    echo "serve_gate.sh: FAIL — binary-protocol loadgen reported mismatches or errors" >&2
+    exit 1
+fi
+
 # A short fixed-rate pass: latencies measured from the intended arrival
 # schedule (coordinated-omission-safe), p50/p99/p999 from the HDR buckets.
 echo "serve_gate.sh: CO-safe fixed-rate loadgen pass"
@@ -197,6 +224,11 @@ if ! grep -q '^pathrep_serve_request_ns_count ' "$PROM"; then
     cat "$PROM" >&2
     exit 1
 fi
+if [ "$sharded" = 1 ] && ! grep -q '^pathrep_serve_shard_requests ' "$PROM"; then
+    echo "serve_gate.sh: FAIL — sharded run's Prometheus export lacks pathrep_serve_shard_* families" >&2
+    cat "$PROM" >&2
+    exit 1
+fi
 if ! grep -q '"stage":"serve","name":"model_load"' "$LEDGER"; then
     echo "serve_gate.sh: FAIL — ledger lacks the serve/model_load record" >&2
     cat "$LEDGER" >&2
@@ -209,4 +241,4 @@ if ! printf '%s\n' "$doctor_out" | grep -q 'serve/model_load'; then
     printf '%s\n' "$doctor_out" >&2
     exit 1
 fi
-echo "serve_gate.sh: PASS — $((clients * requests)) predictions byte-identical, telemetry and ledger complete"
+echo "serve_gate.sh: PASS — $((2 * clients * requests)) predictions (json + binary, shards=$shards) byte-identical, telemetry and ledger complete"

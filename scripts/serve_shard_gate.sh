@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Sharded-serving gate: the full serve_gate.sh contract (JSON + binary
+# soaks bit-compared against the offline predictor, mid-soak telemetry,
+# clean drain, ledger evidence) against the PATHREP_SERVE_SHARDS=4
+# reactor runtime — the multi-shard byte-identity pass in CI.
+#
+# Usage: scripts/serve_shard_gate.sh [serve_gate.sh flags]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec scripts/serve_gate.sh --sharded "$@"
